@@ -1,0 +1,50 @@
+// Ablation: integration batch size vs CPE efficiency — extends the paper's
+// 100/200/300 points-per-batch observation (Fig. 13, cases #3/#5/#6) to a
+// full sweep, for both the modeled Sunway kernels and the real cut-plane
+// batcher on an actual molecular grid.
+
+#include <cstdio>
+
+#include "core/swraman.hpp"
+
+int main() {
+  using namespace swraman;
+  using namespace swraman::sunway;
+  log::set_level(log::Level::Warn);
+
+  const ArchParams sw = sw26010pro();
+  std::printf("=== Ablation: batch size sweep (n1/H1 kernel model, "
+              "Si case grid) ===\n");
+  std::printf("%8s %12s %12s\n", "pts/bat", "n1 speedup", "H1 speedup");
+  for (std::size_t pts : {50, 100, 150, 200, 250, 300, 400}) {
+    core::SiCase c{"sweep", 35836, 36, pts};
+    const auto speedup = [&](const KernelWorkload& w) {
+      return modeled_time(w, sw, Variant::MpeScalar) /
+             modeled_time(w, sw, Variant::CpeTiledDbSimd);
+    };
+    std::printf("%8zu %11.1fx %11.1fx\n", pts,
+                speedup(core::si_case_n1(c)), speedup(core::si_case_h1(c)));
+  }
+
+  // Real batcher behavior on a real grid: batch statistics + Algorithm-1
+  // balance quality across target sizes.
+  std::printf("\nReal cut-plane batching of a water grid:\n");
+  std::printf("%8s %10s %12s %22s\n", "target", "batches", "avg size",
+              "imbalance @ 16 procs");
+  const grid::MolecularGrid g =
+      grid::build_molecular_grid(molecules::water(), {});
+  for (std::size_t target : {50, 100, 200, 300}) {
+    grid::BatchingOptions opt;
+    opt.target_batch_size = target;
+    const std::vector<grid::Batch> batches = grid::make_batches(g, opt);
+    double avg = 0.0;
+    for (const grid::Batch& b : batches) {
+      avg += static_cast<double>(b.size());
+    }
+    avg /= static_cast<double>(batches.size());
+    const grid::BatchAssignment assign = grid::balance_batches(batches, 16);
+    std::printf("%8zu %10zu %12.1f %21.3f\n", target, batches.size(), avg,
+                assign.imbalance());
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 10: high-frequency dielectric constants of zinc-blende
+// semiconductors — the all-electron approach vs the pseudopotential
+// approach (the paper compares FHI-aims against Quantum ESPRESSO; here
+// both are variants of this engine, per the DESIGN.md substitution).
+//
+// Protocol: X4Y4 cluster per material, DFPT polarizability, dielectric
+// constant from Eq. 11 with the zinc-blende conventional-cell volume.
+// Default runs a light-element subset; pass --full for all 19 materials
+// (minutes; heavy-Z atomic solves included).
+//
+// Paper: mean relative error ~1% between all-electron and pseudopotential
+// (carefully constructed norm-conserving potentials, s/p valences). Our
+// single-channel local pseudopotential is cruder — expect ~5-10% MRE with
+// the same qualitative diagonal correlation (see EXPERIMENTS.md).
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "core/swraman.hpp"
+
+namespace {
+
+// Dielectric constant of a material cluster under the given species
+// options; returns < 0 on SCF/DFPT failure.
+double dielectric(const swraman::core::ZincBlendeMaterial& m,
+                  bool pseudized) {
+  using namespace swraman;
+  try {
+    const auto cluster =
+        molecules::zinc_blende_cluster(m.z_cation, m.z_anion, m.bond_angstrom);
+    scf::ScfOptions opt;
+    opt.species.tier = basis::Tier::Minimal;
+    opt.species.pseudized = pseudized;
+    opt.max_iterations = 150;
+    scf::ScfEngine engine(cluster, opt);
+    const scf::GroundState gs = engine.solve();
+    // A vanishing cluster gap makes the electric-field response ill-defined.
+    if (!gs.converged || gs.homo_lumo_gap < 0.005) return -1.0;
+    dfpt::DfptEngine dfpt(engine, gs);
+    const linalg::Matrix alpha = dfpt.polarizability();
+    // Conventional zinc-blende cell: a = 4 d / sqrt(3), 8 atoms — matching
+    // the cluster's atom count.
+    const double a = 4.0 * m.bond_angstrom * kBohrPerAngstrom / std::sqrt(3.0);
+    const double volume = a * a * a;
+    const linalg::Matrix eps =
+        dfpt::DfptEngine::dielectric_tensor(alpha, volume);
+    return eps.trace() / 3.0;
+  } catch (const Error&) {
+    return -1.0;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swraman;
+  log::set_level(log::Level::Warn);
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  std::printf("=== Fig. 10: dielectric constants, all-electron vs "
+              "pseudopotential ===\n");
+  std::printf("(X4Y4 cluster substitution; %s set — use --full for all 19)\n",
+              full ? "full" : "light-element");
+  std::printf("%-6s %12s %14s %10s\n", "mat", "all-elec", "pseudopot",
+              "rel err");
+
+  double mre = 0.0;
+  int counted = 0;
+  for (const core::ZincBlendeMaterial& m : core::fig10_materials()) {
+    const bool light = m.z_cation <= 16 && m.z_anion <= 16;
+    if (!full && !light) continue;
+    Timer timer;
+    const double eps_ae = dielectric(m, false);
+    const double eps_ps = dielectric(m, true);
+    if (eps_ae < 0.0 || eps_ps < 0.0) {
+      std::printf("%-6s %12s %14s %10s (SCF/DFPT did not converge)\n",
+                  m.name.c_str(), "-", "-", "-");
+      continue;
+    }
+    const double rel = std::abs(eps_ps - eps_ae) / eps_ae;
+    mre += rel;
+    ++counted;
+    std::printf("%-6s %12.3f %14.3f %9.1f%%   (%.0f s)\n", m.name.c_str(),
+                eps_ae, eps_ps, 100.0 * rel, timer.seconds());
+  }
+  if (counted > 0) {
+    std::printf("\nmean relative error: %.1f%% over %d materials "
+                "(paper: ~%.0f%% with norm-conserving potentials; the local "
+                "single-channel pseudization here is cruder)\n",
+                100.0 * mre / counted, counted,
+                100.0 * core::paper_targets().fig10_mre);
+  }
+  return 0;
+}

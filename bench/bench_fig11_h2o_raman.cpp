@@ -1,0 +1,95 @@
+// Figure 11: harmonic Raman frequencies and intensities of the H2O
+// molecule — the NAO backend (FHI-aims stand-in) vs the GTO backend
+// (Gaussian stand-in), both at LDA.
+//
+// Paper: relative errors within 0.5% in the O-H stretching region between
+// FHI-aims (tight/tier2) and Gaussian (aug-cc-pVDZ). Our two backends
+// share grids and differ only in radial representation; agreement at the
+// few-percent level in frequencies demonstrates the same cross-code check.
+//
+// Runtime: ~1-2 min (two full Raman pipelines).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/swraman.hpp"
+
+namespace {
+
+// Each backend is relaxed to its own PES minimum first (harmonic analysis
+// is only valid at a stationary point), then the full Raman pipeline runs
+// at tight grid settings; the 0.02-Bohr displacement averages over the
+// residual grid egg-box of the sharp refitted GTO cores.
+swraman::raman::RamanSpectrum water_raman(swraman::basis::Backend backend) {
+  using namespace swraman;
+  raman::RelaxOptions relax;
+  relax.scf.species.backend = backend;
+  relax.scf.grid.level = grid::GridLevel::Tight;
+  const raman::RelaxResult eq =
+      raman::relax_geometry(molecules::water(), relax);
+  std::printf("  relaxed: E = %.6f Ha, max|F| = %.4f (%d steps)\n",
+              eq.energy, eq.max_force, eq.iterations);
+  raman::RamanOptions options;
+  options.vibrations.scf = relax.scf;
+  options.vibrations.displacement = 0.02;
+  options.alpha_displacement = 0.02;
+  raman::RamanCalculator calc(eq.atoms, options);
+  return calc.compute();
+}
+
+}  // namespace
+
+int main() {
+  using namespace swraman;
+  log::set_level(log::Level::Warn);
+
+  std::printf("=== Fig. 11: H2O Raman spectrum, NAO vs GTO backend ===\n");
+  Timer timer;
+  const raman::RamanSpectrum nao = water_raman(basis::Backend::Nao);
+  std::printf("NAO  backend done (%.0f s)\n", timer.seconds());
+  timer.reset();
+  const raman::RamanSpectrum gto = water_raman(basis::Backend::Gto);
+  std::printf("GTO  backend done (%.0f s)\n\n", timer.seconds());
+
+  std::printf("%22s %12s %12s %10s %10s\n", "mode", "NAO cm^-1", "GTO cm^-1",
+              "dfreq", "dact");
+  const char* labels[] = {"bend", "sym O-H stretch", "asym O-H stretch"};
+  const std::size_t n = std::min(nao.modes.size(), gto.modes.size());
+  double max_stretch_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fn = nao.modes[i].frequency_cm;
+    const double fg = gto.modes[i].frequency_cm;
+    const double rel = std::abs(fg - fn) / fn;
+    if (fn > 2500.0) max_stretch_err = std::max(max_stretch_err, rel);
+    std::printf("%22s %12.1f %12.1f %9.1f%% %9.1f%%\n",
+                i < 3 ? labels[i] : "mode", fn, fg, 100.0 * rel,
+                100.0 * std::abs(gto.modes[i].activity -
+                                 nao.modes[i].activity) /
+                    std::max(nao.modes[i].activity, 1e-12));
+  }
+  std::printf("\nO-H stretching-region frequency deviation: %.1f%% "
+              "(paper: <%.1f%% between FHI-aims and Gaussian)\n",
+              100.0 * max_stretch_err,
+              100.0 * core::paper_targets().fig11_rel_err);
+
+  // Broadened overlay for visual comparison, 5 cm^-1 smearing.
+  const raman::BroadenedSpectrum sn =
+      raman::broaden(nao.modes, 15.0, 3200.0, 4600.0, 25.0);
+  const raman::BroadenedSpectrum sg =
+      raman::broaden(gto.modes, 15.0, 3200.0, 4600.0, 25.0);
+  double peak = 1e-12;
+  for (double v : sn.intensity) peak = std::max(peak, v);
+  for (double v : sg.intensity) peak = std::max(peak, v);
+  std::printf("\nO-H stretch region (N = NAO, G = GTO):\n");
+  for (std::size_t i = 0; i < sn.wavenumber_cm.size(); ++i) {
+    const int bn = static_cast<int>(40.0 * sn.intensity[i] / peak);
+    const int bg = static_cast<int>(40.0 * sg.intensity[i] / peak);
+    if (bn == 0 && bg == 0) continue;
+    std::printf("%7.0f |", sn.wavenumber_cm[i]);
+    for (int b = 0; b < bn; ++b) std::printf("N");
+    std::printf("\n        |");
+    for (int b = 0; b < bg; ++b) std::printf("G");
+    std::printf("\n");
+  }
+  return 0;
+}

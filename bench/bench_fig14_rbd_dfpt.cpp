@@ -1,0 +1,59 @@
+// Figure 14: total time per DFPT iteration for the RBD protein
+// (3006 atoms) — new-generation Sunway vs Intel Xeon E5-2692v2
+// (Tianhe-2) at equal MPI task counts (64 / 128 / 256).
+//
+// Paper: 9.70x / 8.38x / 7.84x, declining as per-process work shrinks and
+// the Sunway-side fixed costs (MPE-serial phases, collectives, kernel
+// launches) gain weight.
+
+#include <cstdio>
+
+#include "core/swraman.hpp"
+
+int main() {
+  using namespace swraman;
+
+  const scaling::RamanJob job = core::make_dfpt_job(core::rbd_protein());
+
+  scaling::MachineModel sunway;
+  sunway.node = sunway::sw26010pro();
+
+  scaling::MachineModel xeon;
+  xeon.cpu = true;
+  xeon.node = sunway::xeon_e5_2692v2();
+  xeon.node.n_pes = 1;                 // one MPI task = one core
+  xeon.node.node_mem_bw_gbs /= 12.0;   // sharing the socket bandwidth
+  xeon.cores_per_process = 1;
+
+  const auto& targets = core::paper_targets();
+  const double paper[] = {targets.fig14_speedup_at_64,
+                          targets.fig14_speedup_at_128,
+                          targets.fig14_speedup_at_256};
+
+  std::printf("=== Fig. 14: RBD (3006 atoms) DFPT time per iteration ===\n");
+  std::printf("%10s %14s %14s %10s %10s\n", "MPI tasks", "Xeon (s)",
+              "Sunway (s)", "speedup", "paper");
+  int k = 0;
+  for (std::size_t p : {64, 128, 256}) {
+    const scaling::ScalabilitySimulator sw_sim(job, sunway, p);
+    const scaling::ScalabilitySimulator xe_sim(job, xeon, p);
+    const double t_sw = sw_sim.dfpt_iteration_time(p);
+    const double t_xe = xe_sim.dfpt_iteration_time(p);
+    std::printf("%10zu %14.4f %14.4f %9.2fx %9.2fx\n", p, t_xe, t_sw,
+                t_xe / t_sw, paper[k++]);
+  }
+
+  std::printf("\nPer-kernel share of the Sunway iteration at 256 tasks:\n");
+  const sunway::ArchParams sw = sunway::sw26010pro();
+  const double p = 256.0;
+  for (const sunway::KernelWorkload* w : {&job.v1, &job.n1, &job.h1}) {
+    sunway::KernelWorkload share = *w;
+    share.elements /= p;
+    std::printf("  %-3s %9.4f s\n", share.name.c_str(),
+                modeled_time(share, sw, sunway::Variant::CpeTiledDbSimd));
+  }
+  std::printf("  allreduce %7.4f s   MPE-serial %7.4f s\n",
+              modeled_allreduce_time(job.allreduce_bytes, 256, sw, {}),
+              job.mpe_serial_seconds);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Figure 19: simulated vs experimental Raman spectrum of the RBD protein.
+//
+// The 3006-atom protein itself is replaced by full-QM Raman calculations
+// of representative fragments (DESIGN.md substitution): the S-S bridge
+// model H2S2 (500-550 cm^-1 band) and the carbonyl/amide model H2CO
+// (amide-I region ~1650 cm^-1 and amide-III-adjacent bends); pass --full
+// to add the C=C model (C2H4, ~1600-1650 cm^-1). The composed spectrum is
+// compared band-by-band against the experimental table the paper's Fig. 19
+// discussion provides.
+//
+// Runtime: ~4 min default, ~6 min with --full.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "core/swraman.hpp"
+
+namespace {
+
+swraman::raman::RamanSpectrum fragment(const char* name,
+                                       const std::vector<swraman::grid::AtomSite>& mol) {
+  using namespace swraman;
+  Timer timer;
+  // Relax to the fragment's own LDA minimum first — harmonic analysis away
+  // from a stationary point contaminates the low-frequency bands.
+  const raman::RelaxResult eq = raman::relax_geometry(mol, {});
+  raman::RamanOptions options;
+  // 0.025-Bohr displacements average over the light grid's egg-box noise,
+  // which otherwise softens the low-frequency S-S band by ~100 cm^-1.
+  options.vibrations.displacement = 0.025;
+  options.alpha_displacement = 0.02;
+  raman::RamanCalculator calc(eq.atoms, options);
+  raman::RamanSpectrum spec = calc.compute();
+  std::printf("  %-6s: relaxed in %d steps, %zu modes, "
+              "%d polarizability evaluations, %.0f s\n",
+              name, eq.iterations, spec.modes.size(),
+              spec.n_polarizabilities, timer.seconds());
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swraman;
+  log::set_level(log::Level::Warn);
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  std::printf("=== Fig. 19: RBD Raman spectrum via protein fragments ===\n");
+  std::printf("Computing fragment spectra (full QM: FD Hessian + 6N DFPT "
+              "polarizabilities each):\n");
+
+  std::vector<raman::RamanMode> all_modes;
+  {
+    const raman::RamanSpectrum s =
+        fragment("H2S2", molecules::hydrogen_disulfide());
+    all_modes.insert(all_modes.end(), s.modes.begin(), s.modes.end());
+  }
+  {
+    const raman::RamanSpectrum s =
+        fragment("H2CO", molecules::formaldehyde());
+    all_modes.insert(all_modes.end(), s.modes.begin(), s.modes.end());
+  }
+  if (full) {
+    const raman::RamanSpectrum s = fragment("C2H4", molecules::ethylene());
+    all_modes.insert(all_modes.end(), s.modes.begin(), s.modes.end());
+  }
+
+  // Composed spectrum with the paper's 5 cm^-1 smearing.
+  const raman::BroadenedSpectrum composed =
+      raman::broaden(all_modes, 5.0, 300.0, 2100.0, 5.0);
+
+  std::printf("\nComputed fragment bands (activity-weighted):\n");
+  for (const raman::RamanMode& m : all_modes) {
+    if (m.activity < 1.0) continue;
+    std::printf("  %8.1f cm^-1   activity %8.2f\n", m.frequency_cm,
+                m.activity);
+  }
+
+  std::printf("\nExperimental RBD bands vs closest computed fragment "
+              "band:\n%10s  %-44s %s\n", "exp cm^-1", "assignment",
+              "computed");
+  int matched = 0;
+  int covered = 0;
+  for (const core::RamanBand& band : core::rbd_experimental_bands()) {
+    double best = -1.0;
+    for (const raman::RamanMode& m : all_modes) {
+      if (m.activity < 0.5) continue;
+      if (best < 0.0 || std::abs(m.frequency_cm - band.position_cm) <
+                            std::abs(best - band.position_cm)) {
+        best = m.frequency_cm;
+      }
+    }
+    const bool in_set = band.fragment != "(aromatic)";
+    if (in_set) ++covered;
+    if (in_set && best > 0.0 &&
+        std::abs(best - band.position_cm) < 0.15 * band.position_cm + 60.0) {
+      ++matched;
+      std::printf("%10.0f  %-44s %.0f cm^-1 (delta %+.0f)\n",
+                  band.position_cm, band.assignment.c_str(), best,
+                  best - band.position_cm);
+    } else if (in_set) {
+      std::printf("%10.0f  %-44s nearest %.0f cm^-1\n", band.position_cm,
+                  band.assignment.c_str(), best);
+    } else {
+      std::printf("%10.0f  %-44s (aromatic ring: outside the default "
+                  "fragment set)\n",
+                  band.position_cm, band.assignment.c_str());
+    }
+  }
+  std::printf("\nMatched %d of %d covered bands.\n", matched, covered);
+
+  // ASCII spectrum.
+  double peak = 1e-12;
+  for (double v : composed.intensity) peak = std::max(peak, v);
+  std::printf("\nComposed theoretical spectrum (5 cm^-1 smearing):\n");
+  for (std::size_t i = 0; i < composed.wavenumber_cm.size(); i += 8) {
+    const int bars = static_cast<int>(56.0 * composed.intensity[i] / peak);
+    if (bars == 0) continue;
+    std::printf("%7.0f | ", composed.wavenumber_cm[i]);
+    for (int b = 0; b < bars; ++b) std::printf("#");
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: ground-state DFT and a DFPT polarizability for water.
+//
+//   $ ./quickstart
+//
+// Demonstrates the core public API: molecule builders, ScfEngine,
+// DfptEngine, and the dielectric helper (paper Eqs. 1-4, 11).
+
+#include <cstdio>
+
+#include "core/swraman.hpp"
+
+int main() {
+  using namespace swraman;
+  log::set_level(log::Level::Warn);
+
+  const auto mol = molecules::water();
+  std::printf("Water: %zu atoms, %.0f electrons\n", mol.size(),
+              molecules::electron_count(mol));
+
+  // Ground state (all-electron NAO basis, LDA, light grid).
+  scf::ScfOptions options;
+  scf::ScfEngine scf(mol, options);
+  std::printf("Basis functions: %zu   grid points: %zu   batches: %zu\n",
+              scf.basis().size(), scf.grid().size(), scf.batches().size());
+
+  Timer timer;
+  const scf::GroundState gs = scf.solve();
+  std::printf("SCF converged in %d iterations (%.2f s)\n", gs.iterations,
+              timer.seconds());
+  std::printf("  total energy   %12.6f Ha\n", gs.total_energy);
+  std::printf("  HOMO-LUMO gap  %12.4f Ha\n", gs.homo_lumo_gap);
+  std::printf("  dipole moment  %12.4f a.u. (along the C2 axis)\n",
+              gs.dipole.z);
+
+  // Self-consistent response to an electric field (Sternheimer/DFPT).
+  timer.reset();
+  dfpt::DfptEngine dfpt(scf, gs);
+  const linalg::Matrix alpha = dfpt.polarizability();
+  std::printf("DFPT polarizability (%.2f s, %d total cycles):\n",
+              timer.seconds(), dfpt.kernel_times().cycles);
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  %10.4f %10.4f %10.4f\n", alpha(i, 0), alpha(i, 1),
+                alpha(i, 2));
+  }
+  std::printf("isotropic alpha: %.4f Bohr^3\n",
+              dfpt::DfptEngine::isotropic(alpha));
+  return 0;
+}

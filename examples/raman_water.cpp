@@ -1,0 +1,53 @@
+// Full ab initio Raman spectrum of water: finite-difference Hessian,
+// normal modes, 6N displaced DFPT polarizabilities (paper Eq. 5), Raman
+// activities and a Lorentzian-broadened spectrum rendered as ASCII art.
+//
+//   $ ./raman_water
+//
+// Runtime: ~30 s (163 SCF solutions for the Hessian + 18 DFPT
+// polarizability calculations).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/swraman.hpp"
+
+int main() {
+  using namespace swraman;
+  log::set_level(log::Level::Warn);
+
+  const auto mol = molecules::water();
+  raman::RamanOptions options;
+
+  Timer timer;
+  raman::RamanCalculator calc(mol, options);
+  const raman::RamanSpectrum spectrum = calc.compute();
+  std::printf("Raman pipeline finished in %.1f s "
+              "(%d DFPT polarizability evaluations)\n\n",
+              timer.seconds(), spectrum.n_polarizabilities);
+
+  std::printf("%12s %16s %8s   assignment\n", "freq (cm^-1)",
+              "activity (A^4/amu)", "depol");
+  for (const raman::RamanMode& m : spectrum.modes) {
+    const char* label = m.frequency_cm < 2000.0 ? "H-O-H bend"
+                        : (m.depolarization < 0.4 ? "symmetric O-H stretch"
+                                                  : "asymmetric O-H stretch");
+    std::printf("%12.1f %16.3f %8.3f   %s\n", m.frequency_cm, m.activity,
+                m.depolarization, label);
+  }
+
+  // Broadened spectrum, 5 cm^-1 smearing as in the paper's Fig. 19.
+  const raman::BroadenedSpectrum broad =
+      raman::broaden(spectrum.modes, 5.0, 500.0, 4500.0, 10.0);
+  const double peak =
+      *std::max_element(broad.intensity.begin(), broad.intensity.end());
+  std::printf("\nBroadened spectrum (5 cm^-1 Lorentzian):\n");
+  for (std::size_t i = 0; i < broad.wavenumber_cm.size(); i += 5) {
+    const int bars = static_cast<int>(60.0 * broad.intensity[i] / peak);
+    if (bars == 0 && broad.intensity[i] < 0.01 * peak) continue;
+    std::printf("%7.0f | ", broad.wavenumber_cm[i]);
+    for (int b = 0; b < bars; ++b) std::printf("#");
+    std::printf("\n");
+  }
+  return 0;
+}

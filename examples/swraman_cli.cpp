@@ -1,0 +1,178 @@
+// swraman_cli — command-line driver over the library for downstream users:
+//
+//   swraman_cli scf    molecule.xyz [options]   ground-state DFT
+//   swraman_cli polar  molecule.xyz [options]   DFPT polarizability
+//   swraman_cli relax  molecule.xyz [options]   BFGS geometry relaxation
+//   swraman_cli raman  molecule.xyz [options]   full Raman spectrum
+//
+// Options:
+//   --backend nao|gto      radial basis backend        (default nao)
+//   --tier minimal|standard|extended                   (default standard)
+//   --grid light|tight|really-tight                    (default light)
+//   --pseudized            valence-only pseudopotential variant
+//   --relax-first          relax before raman/polar
+//   --freq <Hartree>       dynamic polarizability frequency (polar only)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/swraman.hpp"
+#include "core/xyz.hpp"
+
+namespace {
+
+using namespace swraman;
+
+struct CliOptions {
+  std::string command;
+  std::string path;
+  scf::ScfOptions scf;
+  bool relax_first = false;
+  double frequency = 0.0;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: swraman_cli <scf|polar|relax|raman> <file.xyz> "
+               "[--backend nao|gto] [--tier minimal|standard|extended] "
+               "[--grid light|tight|really-tight] [--pseudized] "
+               "[--relax-first] [--freq w]\n");
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  if (argc < 3) usage();
+  CliOptions opt;
+  opt.command = argv[1];
+  opt.path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (flag == "--backend") {
+      const std::string v = next();
+      opt.scf.species.backend =
+          v == "gto" ? basis::Backend::Gto : basis::Backend::Nao;
+    } else if (flag == "--tier") {
+      const std::string v = next();
+      opt.scf.species.tier = v == "minimal"    ? basis::Tier::Minimal
+                             : v == "extended" ? basis::Tier::Extended
+                                               : basis::Tier::Standard;
+    } else if (flag == "--grid") {
+      const std::string v = next();
+      opt.scf.grid.level = v == "tight"          ? grid::GridLevel::Tight
+                           : v == "really-tight" ? grid::GridLevel::ReallyTight
+                                                 : grid::GridLevel::Light;
+    } else if (flag == "--pseudized") {
+      opt.scf.species.pseudized = true;
+    } else if (flag == "--relax-first") {
+      opt.relax_first = true;
+    } else if (flag == "--freq") {
+      opt.frequency = std::stod(next());
+    } else {
+      usage();
+    }
+  }
+  return opt;
+}
+
+int run(const CliOptions& opt) {
+  std::vector<grid::AtomSite> atoms = core::load_xyz(opt.path);
+  std::printf("Loaded %zu atoms (%.0f electrons) from %s\n", atoms.size(),
+              molecules::electron_count(atoms), opt.path.c_str());
+
+  if (opt.relax_first || opt.command == "relax") {
+    raman::RelaxOptions ro;
+    ro.scf = opt.scf;
+    Timer t;
+    const raman::RelaxResult res = raman::relax_geometry(atoms, ro);
+    std::printf("relaxed in %d steps (%.1f s): E = %.8f Ha, max|F| = %.5f "
+                "Ha/Bohr, converged = %s\n",
+                res.iterations, t.seconds(), res.energy, res.max_force,
+                res.converged ? "yes" : "no");
+    atoms = res.atoms;
+    if (opt.command == "relax") {
+      std::printf("%s", core::write_xyz(atoms, "relaxed by swraman_cli").c_str());
+      return res.converged ? 0 : 1;
+    }
+  }
+
+  scf::ScfEngine engine(atoms, opt.scf);
+  std::printf("basis %zu fns, grid %zu points, %zu batches\n",
+              engine.basis().size(), engine.grid().size(),
+              engine.batches().size());
+  Timer t;
+  const scf::GroundState gs = engine.solve();
+  std::printf("SCF: E = %.8f Ha in %d iterations (%.1f s), gap %.4f Ha, "
+              "|mu| = %.4f a.u.\n",
+              gs.total_energy, gs.iterations, t.seconds(), gs.homo_lumo_gap,
+              gs.dipole.norm());
+  if (!gs.converged) {
+    std::fprintf(stderr, "SCF did not converge\n");
+    return 1;
+  }
+  if (opt.command == "scf") {
+    const scf::MullikenAnalysis m = scf::mulliken(engine, gs);
+    std::printf("Mulliken charges:");
+    for (std::size_t a = 0; a < m.charges.size(); ++a) {
+      std::printf(" %s%+.3f", element(atoms[a].z).symbol.c_str(),
+                  m.charges[a]);
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+  if (opt.command == "polar") {
+    dfpt::DfptEngine dfpt(engine, gs);
+    t.reset();
+    const linalg::Matrix alpha =
+        opt.frequency > 0.0 ? dfpt.polarizability_at_frequency(opt.frequency)
+                            : dfpt.polarizability();
+    std::printf("polarizability (omega = %.4f Ha, %.1f s):\n", opt.frequency,
+                t.seconds());
+    for (int i = 0; i < 3; ++i) {
+      std::printf("  %10.4f %10.4f %10.4f\n", alpha(i, 0), alpha(i, 1),
+                  alpha(i, 2));
+    }
+    std::printf("isotropic: %.4f Bohr^3\n",
+                dfpt::DfptEngine::isotropic(alpha));
+    return 0;
+  }
+
+  if (opt.command == "raman") {
+    raman::RamanOptions ro;
+    ro.vibrations.scf = opt.scf;
+    t.reset();
+    raman::RamanCalculator calc(atoms, ro);
+    const raman::RamanSpectrum spec = calc.compute();
+    std::printf("Raman pipeline: %.1f s, %d polarizability evaluations\n",
+                t.seconds(), spec.n_polarizabilities);
+    std::printf("%12s %16s %8s %14s\n", "freq (cm^-1)", "activity(A^4/amu)",
+                "depol", "IR (km/mol)");
+    for (const raman::RamanMode& m : spec.modes) {
+      std::printf("%12.1f %16.3f %8.3f %14.2f\n", m.frequency_cm, m.activity,
+                  m.depolarization, m.ir_intensity);
+    }
+    const raman::Thermochemistry th = raman::harmonic_thermochemistry(spec);
+    std::printf("ZPE %.6f Ha   G_vib(298K) %.6f Ha   S_vib %.3e Ha/K\n",
+                th.zero_point_energy, th.free_energy,
+                th.vibrational_entropy);
+    return 0;
+  }
+  usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  swraman::log::set_level(swraman::log::Level::Warn);
+  try {
+    return run(parse(argc, argv));
+  } catch (const swraman::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

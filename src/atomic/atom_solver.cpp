@@ -1,0 +1,165 @@
+#include "atomic/atom_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace swraman::atomic {
+
+std::vector<double> radial_hartree(const RadialMesh& mesh,
+                                   const std::vector<double>& density) {
+  const std::size_t n = mesh.size();
+  SWRAMAN_REQUIRE(density.size() == n, "radial_hartree: size mismatch");
+
+  // Running integrals q(r) = integral_0^r n 4 pi s^2 ds and
+  // p(r) = integral_r^inf n 4 pi s ds by cumulative trapezoid, plus the
+  // analytic inner-sphere contribution below the first mesh point.
+  std::vector<double> q(n, 0.0);
+  std::vector<double> p(n, 0.0);
+  q[0] = density[0] * kFourPi * mesh.r(0) * mesh.r(0) * mesh.r(0) / 3.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double dr = mesh.r(i) - mesh.r(i - 1);
+    const double fi = density[i] * kFourPi * mesh.r(i) * mesh.r(i);
+    const double fim = density[i - 1] * kFourPi * mesh.r(i - 1) * mesh.r(i - 1);
+    q[i] = q[i - 1] + 0.5 * (fi + fim) * dr;
+  }
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const double dr = mesh.r(i + 1) - mesh.r(i);
+    const double fi = density[i] * kFourPi * mesh.r(i);
+    const double fip = density[i + 1] * kFourPi * mesh.r(i + 1);
+    p[i] = p[i + 1] + 0.5 * (fi + fip) * dr;
+  }
+
+  std::vector<double> vh(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vh[i] = q[i] / mesh.r(i) + p[i];
+  }
+  return vh;
+}
+
+AtomicSolution solve_atom(int z, const AtomSolverOptions& options) {
+  const ElementData& elem = element(z);
+  AtomicSolution sol;
+  sol.z = z;
+  sol.mesh = RadialMesh(1e-6 / static_cast<double>(z), options.mesh_rmax,
+                        options.mesh_points);
+  const RadialMesh& mesh = sol.mesh;
+  const std::size_t np = mesh.size();
+
+  // Confinement tail (quartic onset) for basis localization.
+  std::vector<double> v_conf(np, 0.0);
+  if (options.confinement_strength > 0.0) {
+    for (std::size_t i = 0; i < np; ++i) {
+      const double r = mesh.r(i);
+      if (r > options.confinement_onset) {
+        const double t = (r - options.confinement_onset);
+        v_conf[i] = options.confinement_strength * t * t * t * t;
+      }
+    }
+  }
+
+  // Group the configuration by l and record how many states per l we need.
+  std::map<int, std::vector<Shell>> by_l;
+  for (const Shell& sh : elem.configuration) by_l[sh.l].push_back(sh);
+  for (auto& [l, shells] : by_l) {
+    std::sort(shells.begin(), shells.end(),
+              [](const Shell& a, const Shell& b) { return a.n < b.n; });
+  }
+
+  // Initial guess: Thomas-Fermi-like screened density ~ exponential with
+  // nuclear-charge scale, normalized to z electrons.
+  std::vector<double> density(np);
+  {
+    const double zeta = std::max(1.0, static_cast<double>(z) / 2.0);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < np; ++i) {
+      const double r = mesh.r(i);
+      density[i] = std::exp(-2.0 * zeta * r / (1.0 + r));
+      norm += density[i] * kFourPi * r * r * mesh.weight(i);
+    }
+    for (double& d : density) d *= static_cast<double>(z) / norm;
+  }
+
+  std::vector<double> v_nuc(np);
+  for (std::size_t i = 0; i < np; ++i) v_nuc[i] = -static_cast<double>(z) / mesh.r(i);
+
+  double e_prev = 0.0;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    sol.scf_iterations = iter;
+
+    // Effective potential from the current density.
+    std::vector<double> vh = radial_hartree(mesh, density);
+    std::vector<double> veff(np);
+    std::vector<double> vxc(np), exc(np);
+    for (std::size_t i = 0; i < np; ++i) {
+      const xc::XcPoint p = xc::evaluate(options.functional, density[i]);
+      vxc[i] = p.v;
+      exc[i] = p.eps;
+      veff[i] = v_nuc[i] + vh[i] + vxc[i] + v_conf[i];
+    }
+
+    // Solve each l channel for as many states as the configuration needs.
+    sol.orbitals.clear();
+    double e_band = 0.0;
+    std::vector<double> new_density(np, 0.0);
+    for (const auto& [l, shells] : by_l) {
+      const std::vector<RadialState> states =
+          solve_radial(mesh, veff, l, shells.size());
+      for (std::size_t k = 0; k < shells.size(); ++k) {
+        AtomicOrbital orb;
+        orb.n = shells[k].n;
+        orb.l = l;
+        orb.occ = shells[k].occ;
+        orb.energy = states[k].energy;
+        orb.u = states[k].u;
+        e_band += orb.occ * orb.energy;
+        for (std::size_t i = 0; i < np; ++i) {
+          const double r = mesh.r(i);
+          new_density[i] += orb.occ * orb.u[i] * orb.u[i] / (kFourPi * r * r);
+        }
+        sol.orbitals.push_back(std::move(orb));
+      }
+    }
+
+    // Total energy: E = sum occ*eps - E_H - integral vxc n + E_xc
+    // (double-counting corrections evaluated at the *input* density that
+    // produced the eigenvalues).
+    double e_h = 0.0, e_vxc = 0.0, e_xc = 0.0;
+    for (std::size_t i = 0; i < np; ++i) {
+      const double r = mesh.r(i);
+      const double dvol = kFourPi * r * r * mesh.weight(i);
+      e_h += 0.5 * vh[i] * density[i] * dvol;
+      e_vxc += vxc[i] * density[i] * dvol;
+      e_xc += exc[i] * density[i] * dvol;
+    }
+    sol.total_energy = e_band - e_h - e_vxc + e_xc;
+
+    const double de = std::abs(sol.total_energy - e_prev);
+    e_prev = sol.total_energy;
+
+    // Linear density mixing.
+    for (std::size_t i = 0; i < np; ++i) {
+      density[i] = (1.0 - options.mixing) * density[i] +
+                   options.mixing * new_density[i];
+    }
+
+    if (iter > 3 && de < options.energy_tol) {
+      sol.converged = true;
+      break;
+    }
+  }
+
+  sol.density = density;
+  sol.hartree = radial_hartree(mesh, density);
+  sol.potential.resize(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    sol.potential[i] = v_nuc[i] + sol.hartree[i] +
+                       xc::evaluate(options.functional, density[i]).v;
+  }
+  return sol;
+}
+
+}  // namespace swraman::atomic

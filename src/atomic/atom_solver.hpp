@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "atomic/radial_solver.hpp"
+#include "common/elements.hpp"
+#include "common/radial_mesh.hpp"
+#include "xc/lda.hpp"
+
+// Self-consistent spherical (spin-restricted) LDA solution of a free atom.
+// This is the "species generator" of the all-electron NAO method: it
+// produces (i) the occupied atomic orbitals that form the minimal basis,
+// (ii) the free-atom density used for the superposition initial guess, and
+// (iii) the self-consistent atomic potential used to generate confined or
+// polarization basis functions.
+
+namespace swraman::atomic {
+
+struct AtomicOrbital {
+  int n = 1;                 // principal quantum number
+  int l = 0;
+  double occ = 0.0;          // total occupation of the (n, l) shell
+  double energy = 0.0;       // KS eigenvalue, Hartree
+  std::vector<double> u;     // u(r) = r R(r) on the solver mesh
+};
+
+struct AtomicSolution {
+  int z = 0;
+  RadialMesh mesh;
+  std::vector<AtomicOrbital> orbitals;   // occupied shells
+  std::vector<double> density;           // n(r), spherically averaged
+  std::vector<double> hartree;           // V_H[n](r)
+  std::vector<double> potential;         // full KS potential -Z/r + V_H + v_xc
+  double total_energy = 0.0;             // Hartree
+  int scf_iterations = 0;
+  bool converged = false;
+};
+
+struct AtomSolverOptions {
+  xc::Functional functional = xc::Functional::LdaPw92;
+  std::size_t mesh_points = 500;
+  double mesh_rmax = 30.0;
+  double mixing = 0.35;              // linear density mixing
+  double energy_tol = 1e-8;          // Hartree
+  int max_iterations = 200;
+  // Optional smooth confinement potential added beyond r_onset (generates
+  // localized NAO basis functions); 0 disables.
+  double confinement_strength = 0.0;
+  double confinement_onset = 8.0;    // Bohr
+};
+
+// Solves the neutral atom with nuclear charge z (ground-state configuration
+// from common/elements).
+AtomicSolution solve_atom(int z, const AtomSolverOptions& options = {});
+
+// Radial Hartree potential of a spherical density n(r) (electrons /
+// volume * 4 pi r^2 integrated): V_H(r) = q(<r)/r + integral_r^inf n 4 pi s ds.
+std::vector<double> radial_hartree(const RadialMesh& mesh,
+                                   const std::vector<double>& density);
+
+}  // namespace swraman::atomic

@@ -1,0 +1,142 @@
+#include "atomic/pseudo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace swraman::atomic {
+
+bool is_valence_shell(int z, int n, int l) {
+  const ElementData& e = element(z);
+  int n_max_sp = 0;
+  for (const Shell& sh : e.configuration) {
+    if (sh.l <= 1 && sh.n > n_max_sp) n_max_sp = sh.n;
+  }
+  for (const Shell& sh : e.configuration) {
+    if (sh.n != n || sh.l != l) continue;
+    if (sh.l <= 1) return sh.n == n_max_sp;
+    if (sh.l == 2) return sh.occ < 10.0;
+    if (sh.l == 3) return sh.occ < 14.0;
+  }
+  return false;
+}
+
+namespace {
+
+// Outermost node radius of u(r), or 0 when nodeless.
+double outermost_node_radius(const RadialMesh& mesh,
+                             const std::vector<double>& u) {
+  double umax = 0.0;
+  for (double v : u) umax = std::max(umax, std::abs(v));
+  const double floor = 1e-6 * umax;
+  double r_node = 0.0;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (std::abs(u[i]) < floor) continue;
+    if (prev != 0.0 && u[i] * prev < 0.0) r_node = mesh.r(i);
+    prev = u[i];
+  }
+  return r_node;
+}
+
+double peak_radius(const RadialMesh& mesh, const std::vector<double>& u) {
+  std::size_t imax = 0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (std::abs(u[i]) > std::abs(u[imax])) imax = i;
+  }
+  return mesh.r(imax);
+}
+
+}  // namespace
+
+PseudoAtom pseudize(const AtomicSolution& ae, const PseudizeOptions& options) {
+  PseudoAtom ps;
+  ps.z = ae.z;
+  ps.mesh = ae.mesh;
+  const RadialMesh& mesh = ps.mesh;
+  const std::size_t np = mesh.size();
+
+  for (const AtomicOrbital& orb : ae.orbitals) {
+    if (!is_valence_shell(ae.z, orb.n, orb.l)) continue;
+    AtomicOrbital v = orb;
+
+    // Core radius.
+    const double r_node = outermost_node_radius(mesh, orb.u);
+    const double rc = (r_node > 0.0)
+                          ? options.core_radius_scale * r_node
+                          : 0.55 * peak_radius(mesh, orb.u);
+
+    // Index of first mesh point beyond rc.
+    std::size_t ic = 0;
+    while (ic + 1 < np && mesh.r(ic) < rc) ++ic;
+    SWRAMAN_REQUIRE(ic > 2 && ic + 2 < np,
+                    "pseudize: core radius outside mesh interior");
+
+    // Match p(r) = A r^{l+1} exp(b r^2) to u and u' at r_c: the logarithmic
+    // derivative fixes b, the value fixes A.
+    const double r0 = mesh.r(ic);
+    const double u0 = orb.u[ic];
+    // Centered log-mesh derivative du/dr = (du/di) / (alpha r).
+    const double du =
+        (orb.u[ic + 1] - orb.u[ic - 1]) / 2.0 / (mesh.alpha() * r0);
+    SWRAMAN_REQUIRE(std::abs(u0) > 1e-12, "pseudize: node at core radius");
+    const double logder = du / u0;
+    const double b =
+        (logder - static_cast<double>(orb.l + 1) / r0) / (2.0 * r0);
+    const double a = u0 / (std::pow(r0, orb.l + 1) * std::exp(b * r0 * r0));
+
+    for (std::size_t i = 0; i < ic; ++i) {
+      const double r = mesh.r(i);
+      v.u[i] = a * std::pow(r, orb.l + 1) * std::exp(b * r * r);
+    }
+    // Renormalize (pseudization changes the core norm).
+    std::vector<double> u2(np);
+    for (std::size_t i = 0; i < np; ++i) u2[i] = v.u[i] * v.u[i];
+    const double norm = std::sqrt(mesh.integrate(u2));
+    for (double& x : v.u) x /= norm;
+
+    ps.valence.push_back(std::move(v));
+    ps.z_valence += orb.occ;
+  }
+  SWRAMAN_REQUIRE(!ps.valence.empty(), "pseudize: no valence shells found");
+
+  // Pseudo-valence density.
+  ps.valence_density.assign(np, 0.0);
+  for (const AtomicOrbital& v : ps.valence) {
+    for (std::size_t i = 0; i < np; ++i) {
+      const double r = mesh.r(i);
+      ps.valence_density[i] += v.occ * v.u[i] * v.u[i] / (kFourPi * r * r);
+    }
+  }
+
+  // Unscreen: v_ion = V_KS - V_H[n_v] - v_xc[n_v]; then smooth the deep
+  // core region with a parabola matched in value and slope at the smallest
+  // valence core radius so the result is finite at the origin.
+  const std::vector<double> vh = radial_hartree(mesh, ps.valence_density);
+  ps.v_ion.resize(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    ps.v_ion[i] = ae.potential[i] - vh[i] -
+                  xc::evaluate(options.functional, ps.valence_density[i]).v;
+  }
+  // Smoothing radius: half the Bragg radius (well inside the valence).
+  const double r_smooth = 0.3 * element(ae.z).bragg_radius_bohr;
+  std::size_t is = 0;
+  while (is + 1 < np && mesh.r(is) < r_smooth) ++is;
+  if (is > 2 && is + 2 < np) {
+    const double r0 = mesh.r(is);
+    const double v0 = ps.v_ion[is];
+    const double dv =
+        (ps.v_ion[is + 1] - ps.v_ion[is - 1]) / 2.0 / (mesh.alpha() * r0);
+    const double c2 = dv / (2.0 * r0);
+    const double c0 = v0 - c2 * r0 * r0;
+    for (std::size_t i = 0; i < is; ++i) {
+      const double r = mesh.r(i);
+      ps.v_ion[i] = c0 + c2 * r * r;
+    }
+  }
+  return ps;
+}
+
+}  // namespace swraman::atomic

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "atomic/atom_solver.hpp"
+
+// Valence-only pseudization of a converged all-electron atom — the
+// "Quantum ESPRESSO stand-in" used by the Fig. 10 benchmark (DESIGN.md S7).
+// The all-electron valence orbitals are replaced by nodeless pseudo-orbitals
+// (smooth r^{l+1} e^{b r^2} core continuation matched in value and
+// logarithmic derivative at a core radius), and the self-consistent KS
+// potential is unscreened by the pseudo-valence density to yield a local
+// ionic pseudopotential that is finite at the origin.
+
+namespace swraman::atomic {
+
+struct PseudoAtom {
+  int z = 0;                 // true nuclear charge (bookkeeping)
+  double z_valence = 0.0;    // electrons kept in the valence
+  RadialMesh mesh;
+  std::vector<AtomicOrbital> valence;   // pseudized orbitals
+  std::vector<double> valence_density;  // n_v(r)
+  std::vector<double> v_ion;            // local ionic pseudopotential
+};
+
+struct PseudizeOptions {
+  // Core radius as a multiple of the outermost-node radius (orbitals with
+  // nodes) or of the density-peak radius (nodeless orbitals).
+  double core_radius_scale = 1.1;
+  xc::Functional functional = xc::Functional::LdaPw92;
+};
+
+PseudoAtom pseudize(const AtomicSolution& all_electron,
+                    const PseudizeOptions& options = {});
+
+// True if shell (n, l) belongs to the valence of element z (outermost s/p
+// plus open d/f), matching valence_electron_count in common/elements.
+bool is_valence_shell(int z, int n, int l);
+
+}  // namespace swraman::atomic

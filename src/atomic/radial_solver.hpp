@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/radial_mesh.hpp"
+
+// Radial Schroedinger eigensolver on a logarithmic mesh. For a spherically
+// symmetric potential V(r) and angular momentum l, solves
+//
+//   [-1/2 d2/dr2 + l(l+1)/(2 r^2) + V(r)] u(r) = E u(r),   u = r R(r),
+//
+// by the standard log-mesh transformation u = sqrt(r) v(x), r = r0 e^{a x},
+// which yields a symmetric tridiagonal eigenproblem after scaling by the
+// diagonal metric r^2. Eigenvalues come from the implicit QL algorithm;
+// the few needed eigenvectors from shifted inverse iteration.
+
+namespace swraman::atomic {
+
+struct RadialState {
+  int l = 0;
+  int node_count = 0;        // radial nodes; principal n = node_count + l + 1
+  double energy = 0.0;       // Hartree
+  std::vector<double> u;     // u(r_i) = r R(r_i), normalized: integral u^2 dr = 1
+};
+
+// Returns the `n_states` lowest eigenstates for angular momentum l in the
+// potential v (tabulated on mesh). States are ordered by energy.
+std::vector<RadialState> solve_radial(const RadialMesh& mesh,
+                                      const std::vector<double>& v, int l,
+                                      std::size_t n_states);
+
+}  // namespace swraman::atomic

@@ -1,0 +1,310 @@
+#include "basis/species.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "atomic/atom_solver.hpp"
+#include "atomic/pseudo.hpp"
+#include "common/constants.hpp"
+#include "common/elements.hpp"
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace swraman::basis {
+
+namespace {
+
+// Cutoff radius: last radius at which |R| exceeds the drop tolerance.
+double find_cutoff(const RadialMesh& mesh, const std::vector<double>& radial,
+                   double tol = 1e-6) {
+  double cutoff = mesh.r(2);
+  double rmax_val = 0.0;
+  for (double v : radial) rmax_val = std::max(rmax_val, std::abs(v));
+  for (std::size_t i = 0; i < radial.size(); ++i) {
+    if (std::abs(radial[i]) > tol * rmax_val) cutoff = mesh.r(i);
+  }
+  return std::min(cutoff * 1.05, mesh.r_max());
+}
+
+RadialFn make_fn(const RadialMesh& mesh, std::vector<double> radial, int l,
+                 int n, std::string label) {
+  RadialFn fn;
+  fn.l = l;
+  fn.n = n;
+  fn.label = std::move(label);
+  fn.cutoff = find_cutoff(mesh, radial);
+  // Zero the tail beyond the cutoff so the spline itself vanishes there.
+  for (std::size_t i = 0; i < radial.size(); ++i) {
+    if (mesh.r(i) > fn.cutoff) radial[i] = 0.0;
+  }
+  fn.shape = IndexSpline(radial);
+  return fn;
+}
+
+std::vector<double> orbital_radial(const RadialMesh& mesh,
+                                   const std::vector<double>& u) {
+  std::vector<double> radial(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) radial[i] = u[i] / mesh.r(i);
+  return radial;
+}
+
+// Normalizes integral R^2 r^2 dr = 1 on the mesh.
+void normalize_radial(const RadialMesh& mesh, std::vector<double>& radial) {
+  std::vector<double> f(radial.size());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = radial[i] * radial[i] * mesh.r(i) * mesh.r(i);
+  }
+  const double norm = std::sqrt(mesh.integrate(f));
+  SWRAMAN_REQUIRE(norm > 0.0, "normalize_radial: zero norm");
+  for (double& v : radial) v /= norm;
+}
+
+// Adds a polarization function: lowest state of angular momentum l_pol in
+// the atomic potential plus a strong confinement well.
+void add_polarization(Species& sp, const std::vector<double>& potential,
+                      int l_pol, int n_label) {
+  const RadialMesh& mesh = sp.mesh;
+  std::vector<double> v = potential;
+  const double onset = 3.0;
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    const double r = mesh.r(i);
+    if (r > onset) {
+      const double t = r - onset;
+      v[i] += 1.5 * t * t * t * t;
+    }
+  }
+  const std::vector<atomic::RadialState> states =
+      atomic::solve_radial(mesh, v, l_pol, 1);
+  std::vector<double> radial = orbital_radial(mesh, states[0].u);
+  normalize_radial(mesh, radial);
+  sp.fns.push_back(make_fn(mesh, std::move(radial), l_pol, n_label,
+                           "pol-l" + std::to_string(l_pol)));
+}
+
+Species build_nao(int z, const SpeciesOptions& options) {
+  Species sp;
+  sp.z = z;
+  sp.backend = Backend::Nao;
+  sp.tier = options.tier;
+  sp.pseudized = options.pseudized;
+
+  atomic::AtomSolverOptions aopt;
+  aopt.confinement_strength = 0.5;
+  aopt.confinement_onset = 8.0;
+  const atomic::AtomicSolution sol = atomic::solve_atom(z, aopt);
+  sp.mesh = sol.mesh;
+
+  int lmax_occ = 0;
+  if (!options.pseudized) {
+    sp.z_valence = static_cast<double>(z);
+    sp.z_nuclear = static_cast<double>(z);
+    for (const atomic::AtomicOrbital& orb : sol.orbitals) {
+      std::vector<double> radial = orbital_radial(sp.mesh, orb.u);
+      normalize_radial(sp.mesh, radial);
+      sp.fns.push_back(make_fn(sp.mesh, std::move(radial), orb.l, orb.n,
+                               element(z).symbol + std::to_string(orb.n) +
+                                   "spdf"[orb.l % 4]));
+      lmax_occ = std::max(lmax_occ, orb.l);
+    }
+    std::vector<double> dens = sol.density;
+    sp.density_cutoff = find_cutoff(sp.mesh, dens, 1e-9);
+    sp.free_density = IndexSpline(dens);
+  } else {
+    const atomic::PseudoAtom ps = atomic::pseudize(sol);
+    sp.z_valence = ps.z_valence;
+    sp.z_nuclear = ps.z_valence;
+    for (const atomic::AtomicOrbital& orb : ps.valence) {
+      std::vector<double> radial = orbital_radial(sp.mesh, orb.u);
+      normalize_radial(sp.mesh, radial);
+      sp.fns.push_back(make_fn(sp.mesh, std::move(radial), orb.l, orb.n,
+                               element(z).symbol + std::to_string(orb.n) +
+                                   "spdf"[orb.l % 4] + std::string("-ps")));
+      lmax_occ = std::max(lmax_occ, orb.l);
+    }
+    std::vector<double> dens = ps.valence_density;
+    sp.density_cutoff = find_cutoff(sp.mesh, dens, 1e-9);
+    sp.free_density = IndexSpline(dens);
+    sp.v_ion = IndexSpline(ps.v_ion);
+    sp.has_v_ion = true;
+  }
+
+  // The effective potential the extra functions are generated in: the
+  // all-electron KS potential, or the screened pseudopotential.
+  std::vector<double> vgen = sol.potential;
+  if (options.pseudized) {
+    // Screened pseudo potential: v_ion + V_H[n_v] + v_xc[n_v] equals the AE
+    // KS potential outside the core by construction; regenerate from parts.
+    const atomic::PseudoAtom ps = atomic::pseudize(sol);
+    const std::vector<double> vh =
+        atomic::radial_hartree(sp.mesh, ps.valence_density);
+    vgen.resize(sp.mesh.size());
+    for (std::size_t i = 0; i < sp.mesh.size(); ++i) {
+      vgen[i] = ps.v_ion[i] + vh[i] +
+                xc::evaluate(xc::Functional::LdaPw92, ps.valence_density[i]).v;
+    }
+  }
+
+  if (options.tier != Tier::Minimal) {
+    add_polarization(sp, vgen, lmax_occ + 1, 90);
+  }
+  if (options.tier == Tier::Extended) {
+    // Confined split-valence copies of the outermost s and p channels.
+    for (int l = 0; l <= std::min(lmax_occ, 1); ++l) {
+      add_polarization(sp, vgen, l, 91);
+    }
+  }
+  return sp;
+}
+
+// Even-tempered exponent ladder covering the core-to-tail range of element z.
+std::vector<double> even_tempered_exponents(int z, int l) {
+  const double a_min = (l == 0) ? 0.06 : 0.10;
+  const double a_max = 2.5 * static_cast<double>(z) * z + 2.0;
+  std::vector<double> a;
+  for (double x = a_min; x < a_max; x *= 3.2) a.push_back(x);
+  a.push_back(a_max);
+  return a;
+}
+
+Species build_gto(int z, const SpeciesOptions& options) {
+  // Start from the NAO species and refit every radial shape onto
+  // contracted Gaussians; then add split-valence and polarization
+  // primitives in the 6-31G** spirit.
+  SpeciesOptions nao_opt = options;
+  nao_opt.backend = Backend::Nao;
+  Species sp = build_nao(z, nao_opt);
+  sp.backend = Backend::Gto;
+
+  const RadialMesh& mesh = sp.mesh;
+  std::vector<RadialFn> gto_fns;
+  int pol_l = 0;
+  for (const RadialFn& fn : sp.fns) pol_l = std::max(pol_l, fn.l);
+
+  for (const RadialFn& fn : sp.fns) {
+    // Tabulate the NAO shape, fit, re-tabulate the contracted Gaussian.
+    std::vector<double> radial(mesh.size());
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+      radial[i] = sp.radial_value(fn, mesh.r(i));
+    }
+    const std::vector<double> expo = even_tempered_exponents(z, fn.l);
+    const std::vector<double> coef = fit_gaussians(mesh, radial, fn.l, expo);
+    std::vector<double> fitted(mesh.size(), 0.0);
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+      const double r = mesh.r(i);
+      double s = 0.0;
+      for (std::size_t k = 0; k < expo.size(); ++k) {
+        s += coef[k] * std::exp(-expo[k] * r * r);
+      }
+      fitted[i] = s * std::pow(r, fn.l);
+    }
+    normalize_radial(mesh, fitted);
+    gto_fns.push_back(
+        make_fn(mesh, std::move(fitted), fn.l, fn.n, fn.label + "-gto"));
+
+    // Split valence: one diffuse primitive per valence shell (l <= pol_l-1
+    // heuristic keeps polarization shells un-split).
+    const bool is_polarization = fn.label.rfind("pol", 0) == 0;
+    const bool is_core =
+        !sp.pseudized && !atomic::is_valence_shell(z, fn.n, fn.l);
+    if (!is_polarization && !is_core) {
+      const double a_diff = (fn.l == 0) ? 0.18 : 0.25;
+      std::vector<double> diffuse(mesh.size());
+      for (std::size_t i = 0; i < mesh.size(); ++i) {
+        const double r = mesh.r(i);
+        diffuse[i] = std::pow(r, fn.l) * std::exp(-a_diff * r * r);
+      }
+      normalize_radial(mesh, diffuse);
+      gto_fns.push_back(make_fn(mesh, std::move(diffuse), fn.l, fn.n + 80,
+                                fn.label + "-sv"));
+    }
+  }
+  sp.fns = std::move(gto_fns);
+  return sp;
+}
+
+}  // namespace
+
+int Species::lmax() const {
+  int l = 0;
+  for (const RadialFn& fn : fns) l = std::max(l, fn.l);
+  return l;
+}
+
+std::size_t Species::n_basis_functions() const {
+  std::size_t n = 0;
+  for (const RadialFn& fn : fns) n += static_cast<std::size_t>(2 * fn.l + 1);
+  return n;
+}
+
+double Species::radial_value(const RadialFn& fn, double r) const {
+  if (r >= fn.cutoff) return 0.0;
+  return fn.shape.value(mesh.fractional_index(r));
+}
+
+double Species::density_value(double r) const {
+  if (r >= density_cutoff) return 0.0;
+  return std::max(0.0, free_density.value(mesh.fractional_index(r)));
+}
+
+double Species::v_ion_value(double r) const {
+  SWRAMAN_REQUIRE(has_v_ion, "v_ion_value: species is not pseudized");
+  if (r >= mesh.r_max()) return -z_valence / r;
+  return v_ion.value(mesh.fractional_index(r));
+}
+
+std::vector<double> fit_gaussians(const RadialMesh& mesh,
+                                  const std::vector<double>& radial, int l,
+                                  const std::vector<double>& exponents) {
+  SWRAMAN_REQUIRE(radial.size() == mesh.size(), "fit_gaussians: size");
+  SWRAMAN_REQUIRE(!exponents.empty(), "fit_gaussians: no exponents");
+  const std::size_t k = exponents.size();
+  // Weighted linear least squares: weight r^2 dr (the norm metric).
+  linalg::Matrix a(k, k);
+  std::vector<double> b(k, 0.0);
+  std::vector<double> g(k);
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    const double r = mesh.r(i);
+    const double w = r * r * mesh.weight(i);
+    const double rl = std::pow(r, l);
+    for (std::size_t p = 0; p < k; ++p) {
+      g[p] = rl * std::exp(-exponents[p] * r * r);
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t q = 0; q <= p; ++q) a(p, q) += w * g[p] * g[q];
+      b[p] += w * g[p] * radial[i];
+    }
+  }
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t q = p + 1; q < k; ++q) a(p, q) = a(q, p);
+  // Tikhonov regularization keeps near-collinear ladders solvable.
+  for (std::size_t p = 0; p < k; ++p) a(p, p) += 1e-10 * (1.0 + a(p, p));
+  return linalg::Lu(a).solve(b);
+}
+
+Species build_species(int z, const SpeciesOptions& options) {
+  SWRAMAN_REQUIRE(z >= 1 && z <= 54, "build_species: Z in [1, 54]");
+  SWRAMAN_REQUIRE(!(options.pseudized && options.backend == Backend::Gto),
+                  "build_species: pseudized GTO backend not supported");
+  if (options.backend == Backend::Gto) return build_gto(z, options);
+  return build_nao(z, options);
+}
+
+const Species& species(int z, const SpeciesOptions& options) {
+  using Key = std::tuple<int, int, int, bool>;
+  static std::map<Key, Species> cache;
+  static std::mutex mutex;
+  const Key key{z, static_cast<int>(options.backend),
+                static_cast<int>(options.tier), options.pseudized};
+  const std::scoped_lock lock(mutex);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, build_species(z, options)).first;
+  }
+  return it->second;
+}
+
+}  // namespace swraman::basis

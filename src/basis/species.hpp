@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/radial_mesh.hpp"
+#include "common/spline.hpp"
+
+// Per-element basis data ("species" in FHI-aims parlance). A species holds
+// radial basis functions tabulated on a logarithmic mesh, the free-atom
+// density (superposition initial guess), and — for the pseudized variant —
+// the local ionic pseudopotential. Three backends:
+//
+//   * NAO: numeric atom-centered orbitals from the self-consistent atomic
+//     solver (the paper's all-electron basis),
+//   * GTO: contracted-Gaussian radial functions (even-tempered fits plus
+//     split-valence and polarization Gaussians), the "Gaussian code"
+//     stand-in of Figs 11/16,
+//   * pseudized NAO: valence-only orbitals + ionic pseudopotential, the
+//     "Quantum ESPRESSO" stand-in of Fig 10.
+
+namespace swraman::basis {
+
+enum class Backend { Nao, Gto };
+
+enum class Tier {
+  Minimal,   // occupied atomic shells only
+  Standard,  // minimal + one polarization shell (l_max + 1)
+  Extended,  // standard + confined split-valence copies
+};
+
+struct RadialFn {
+  int l = 0;
+  int n = 0;              // shell label (principal qn or synthetic counter)
+  double cutoff = 0.0;    // R(r) == 0 for r > cutoff
+  IndexSpline shape;      // R(r) on the species mesh (spline in mesh index)
+  std::string label;
+};
+
+struct Species {
+  int z = 0;
+  Backend backend = Backend::Nao;
+  Tier tier = Tier::Standard;
+  bool pseudized = false;
+  double z_valence = 0.0;     // electrons contributed to the molecule
+  double z_nuclear = 0.0;     // point charge used when not pseudized
+  RadialMesh mesh;
+  std::vector<RadialFn> fns;
+  IndexSpline free_density;   // spherical free-atom (or valence) density
+  double density_cutoff = 0.0;
+  IndexSpline v_ion;          // pseudized: local ionic potential (incl. tail)
+  bool has_v_ion = false;
+
+  [[nodiscard]] int lmax() const;
+  // Total basis functions including m degeneracy: sum over fns of (2l+1).
+  [[nodiscard]] std::size_t n_basis_functions() const;
+  // Radial value at distance r (0 beyond cutoff).
+  [[nodiscard]] double radial_value(const RadialFn& fn, double r) const;
+  // Free-atom density at r.
+  [[nodiscard]] double density_value(double r) const;
+  // Ionic potential at r (requires has_v_ion).
+  [[nodiscard]] double v_ion_value(double r) const;
+};
+
+struct SpeciesOptions {
+  Backend backend = Backend::Nao;
+  Tier tier = Tier::Standard;
+  bool pseudized = false;
+};
+
+// Builds (or fetches from the process-wide cache) the species for element z.
+const Species& species(int z, const SpeciesOptions& options = {});
+
+// Uncached builder, exposed for tests.
+Species build_species(int z, const SpeciesOptions& options);
+
+// Least-squares even-tempered Gaussian fit r^l sum_k c_k exp(-a_k r^2) of a
+// radial function tabulated on `mesh`. Exposed for tests.
+std::vector<double> fit_gaussians(const RadialMesh& mesh,
+                                  const std::vector<double>& radial, int l,
+                                  const std::vector<double>& exponents);
+
+}  // namespace swraman::basis

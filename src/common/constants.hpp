@@ -1,0 +1,35 @@
+#pragma once
+
+// Physical constants and unit conversions. Internal units are Hartree atomic
+// units throughout (energy: Hartree, length: Bohr, mass: electron mass).
+
+namespace swraman {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+inline constexpr double kFourPi = 4.0 * kPi;
+inline constexpr double kSqrtPi = 1.77245385090551602730;
+
+// Length.
+inline constexpr double kBohrPerAngstrom = 1.0 / 0.529177210903;
+inline constexpr double kAngstromPerBohr = 0.529177210903;
+
+// Energy.
+inline constexpr double kEvPerHartree = 27.211386245988;
+inline constexpr double kHartreePerEv = 1.0 / kEvPerHartree;
+
+// Vibrational frequency: omega [sqrt(Hartree/(me*Bohr^2))] -> wavenumber.
+// 1 a.u. of angular frequency corresponds to 219474.6313632 cm^-1.
+inline constexpr double kCmInvPerAu = 219474.6313632;
+
+// Mass: unified atomic mass unit in electron masses.
+inline constexpr double kMeAmu = 1822.888486209;
+
+// Boltzmann constant in Hartree/K (for Fermi smearing).
+inline constexpr double kBoltzmannHa = 3.166811563e-6;
+
+// Polarizability volume conversion: Bohr^3 -> Angstrom^3.
+inline constexpr double kAngstrom3PerBohr3 =
+    kAngstromPerBohr * kAngstromPerBohr * kAngstromPerBohr;
+
+}  // namespace swraman

@@ -1,0 +1,152 @@
+#include "common/elements.hpp"
+
+#include <array>
+#include <map>
+#include <mutex>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace swraman {
+
+namespace {
+
+constexpr int kMaxZ = 54;
+
+struct Raw {
+  const char* symbol;
+  double mass;          // amu
+  double bragg_ang;     // Bragg-Slater radius, Angstrom
+};
+
+// Bragg-Slater radii after Slater (1964); hydrogen enlarged to 0.35 A as is
+// conventional for Becke partitioning.
+constexpr std::array<Raw, kMaxZ> kRaw{{
+    {"H", 1.008, 0.35},    {"He", 4.0026, 0.31},  {"Li", 6.94, 1.45},
+    {"Be", 9.0122, 1.05},  {"B", 10.81, 0.85},    {"C", 12.011, 0.70},
+    {"N", 14.007, 0.65},   {"O", 15.999, 0.60},   {"F", 18.998, 0.50},
+    {"Ne", 20.180, 0.38},  {"Na", 22.990, 1.80},  {"Mg", 24.305, 1.50},
+    {"Al", 26.982, 1.25},  {"Si", 28.085, 1.10},  {"P", 30.974, 1.00},
+    {"S", 32.06, 1.00},    {"Cl", 35.45, 1.00},   {"Ar", 39.948, 0.71},
+    {"K", 39.098, 2.20},   {"Ca", 40.078, 1.80},  {"Sc", 44.956, 1.60},
+    {"Ti", 47.867, 1.40},  {"V", 50.942, 1.35},   {"Cr", 51.996, 1.40},
+    {"Mn", 54.938, 1.40},  {"Fe", 55.845, 1.40},  {"Co", 58.933, 1.35},
+    {"Ni", 58.693, 1.35},  {"Cu", 63.546, 1.35},  {"Zn", 65.38, 1.35},
+    {"Ga", 69.723, 1.30},  {"Ge", 72.630, 1.25},  {"As", 74.922, 1.15},
+    {"Se", 78.971, 1.15},  {"Br", 79.904, 1.15},  {"Kr", 83.798, 0.88},
+    {"Rb", 85.468, 2.35},  {"Sr", 87.62, 2.00},   {"Y", 88.906, 1.80},
+    {"Zr", 91.224, 1.55},  {"Nb", 92.906, 1.45},  {"Mo", 95.95, 1.45},
+    {"Tc", 98.0, 1.35},    {"Ru", 101.07, 1.30},  {"Rh", 102.91, 1.35},
+    {"Pd", 106.42, 1.40},  {"Ag", 107.87, 1.60},  {"Cd", 112.41, 1.55},
+    {"In", 114.82, 1.55},  {"Sn", 118.71, 1.45},  {"Sb", 121.76, 1.45},
+    {"Te", 127.60, 1.40},  {"I", 126.90, 1.40},   {"Xe", 131.29, 1.08},
+}};
+
+// Aufbau filling order as (n, l) pairs.
+constexpr std::array<std::array<int, 2>, 19> kAufbau{{
+    {1, 0}, {2, 0}, {2, 1}, {3, 0}, {3, 1}, {4, 0}, {3, 2}, {4, 1},
+    {5, 0}, {4, 2}, {5, 1}, {6, 0}, {4, 3}, {5, 2}, {6, 1}, {7, 0},
+    {5, 3}, {6, 2}, {7, 1},
+}};
+
+std::vector<Shell> configuration_for(int z) {
+  std::vector<Shell> shells;
+  double remaining = z;
+  for (const auto& [n, l] : kAufbau) {
+    if (remaining <= 0.0) break;
+    const double cap = 2.0 * (2 * l + 1);
+    const double occ = remaining < cap ? remaining : cap;
+    shells.push_back({n, l, occ});
+    remaining -= occ;
+  }
+
+  // Ground-state exceptions in Z <= 54 (promote one s electron into d).
+  const auto promote_s_to_d = [&shells](int ns, int nd) {
+    Shell* s_shell = nullptr;
+    Shell* d_shell = nullptr;
+    for (Shell& sh : shells) {
+      if (sh.n == ns && sh.l == 0) s_shell = &sh;
+      if (sh.n == nd && sh.l == 2) d_shell = &sh;
+    }
+    if (s_shell != nullptr && d_shell != nullptr && s_shell->occ >= 1.0) {
+      s_shell->occ -= 1.0;
+      d_shell->occ += 1.0;
+    }
+  };
+  switch (z) {
+    case 24:  // Cr 3d5 4s1
+    case 29:  // Cu 3d10 4s1
+      promote_s_to_d(4, 3);
+      break;
+    case 41:  // Nb 4d4 5s1
+    case 42:  // Mo 4d5 5s1
+    case 44:  // Ru 4d7 5s1
+    case 45:  // Rh 4d8 5s1
+    case 47:  // Ag 4d10 5s1
+      promote_s_to_d(5, 4);
+      break;
+    case 46:  // Pd 4d10 5s0
+      promote_s_to_d(5, 4);
+      promote_s_to_d(5, 4);
+      break;
+    default:
+      break;
+  }
+  // Drop emptied shells.
+  std::vector<Shell> cleaned;
+  for (const Shell& sh : shells) {
+    if (sh.occ > 0.0) cleaned.push_back(sh);
+  }
+  return cleaned;
+}
+
+const std::vector<ElementData>& table() {
+  static const std::vector<ElementData> data = [] {
+    std::vector<ElementData> t;
+    t.reserve(kMaxZ);
+    for (int z = 1; z <= kMaxZ; ++z) {
+      const Raw& raw = kRaw[static_cast<std::size_t>(z - 1)];
+      ElementData e;
+      e.z = z;
+      e.symbol = raw.symbol;
+      e.mass_amu = raw.mass;
+      e.bragg_radius_bohr = raw.bragg_ang * kBohrPerAngstrom;
+      e.configuration = configuration_for(z);
+      t.push_back(std::move(e));
+    }
+    return t;
+  }();
+  return data;
+}
+
+}  // namespace
+
+const ElementData& element(int z) {
+  SWRAMAN_REQUIRE(z >= 1 && z <= kMaxZ, "element: Z must be in [1, 54]");
+  return table()[static_cast<std::size_t>(z - 1)];
+}
+
+int atomic_number(const std::string& symbol) {
+  for (const ElementData& e : table()) {
+    if (e.symbol == symbol) return e.z;
+  }
+  throw Error("atomic_number: unknown element symbol '" + symbol + "'");
+}
+
+double valence_electron_count(int z) {
+  const ElementData& e = element(z);
+  int n_max = 0;
+  for (const Shell& sh : e.configuration) {
+    if (sh.l <= 1 && sh.n > n_max) n_max = sh.n;
+  }
+  double count = 0.0;
+  for (const Shell& sh : e.configuration) {
+    const bool outer_sp = (sh.l <= 1 && sh.n == n_max);
+    const bool open_d = (sh.l == 2 && sh.occ < 10.0);
+    const bool open_f = (sh.l == 3 && sh.occ < 14.0);
+    if (outer_sp || open_d || open_f) count += sh.occ;
+  }
+  return count;
+}
+
+}  // namespace swraman

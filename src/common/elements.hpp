@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+// Reference data for chemical elements Z = 1..54 (H through Xe): symbols,
+// standard atomic masses, Bragg-Slater radii (used by the Becke partition and
+// the radial-grid scale), and ground-state electron configurations (used by
+// the atomic solver to seed occupations).
+
+namespace swraman {
+
+struct Shell {
+  int n = 1;       // principal quantum number
+  int l = 0;       // angular momentum
+  double occ = 0;  // electrons in the shell (up to 2*(2l+1))
+};
+
+struct ElementData {
+  int z = 0;
+  std::string symbol;
+  double mass_amu = 0.0;
+  double bragg_radius_bohr = 0.0;
+  std::vector<Shell> configuration;  // ground state, aufbau + exceptions
+};
+
+// Data for atomic number z in [1, 54]. Throws outside the supported range.
+const ElementData& element(int z);
+
+// Atomic number for a symbol ("H", "He", ...). Throws for unknown symbols.
+int atomic_number(const std::string& symbol);
+
+// Number of electrons in the valence (outermost n for s/p, plus open d/f)
+// shells — what survives pseudization in the valence-only variant.
+double valence_electron_count(int z);
+
+}  // namespace swraman

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+// Error handling: SWRAMAN_REQUIRE for precondition checks on public
+// interfaces (always on), SWRAMAN_ASSERT for internal invariants (on unless
+// NDEBUG). Both throw swraman::Error so callers can recover and tests can
+// assert on failure.
+
+namespace swraman {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace swraman
+
+#define SWRAMAN_REQUIRE(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::swraman::detail::fail("precondition", #cond, __FILE__, __LINE__, \
+                              (msg));                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define SWRAMAN_ASSERT(cond, msg) \
+  do {                            \
+  } while (false)
+#else
+#define SWRAMAN_ASSERT(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::swraman::detail::fail("assertion", #cond, __FILE__, __LINE__,     \
+                              (msg));                                     \
+  } while (false)
+#endif

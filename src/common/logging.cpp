@@ -1,0 +1,39 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace swraman::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Info};
+std::mutex g_mutex;
+
+const char* prefix(Level lvl) {
+  switch (lvl) {
+    case Level::Debug:
+      return "[debug] ";
+    case Level::Info:
+      return "[info ] ";
+    case Level::Warn:
+      return "[warn ] ";
+    case Level::Error:
+      return "[error] ";
+    default:
+      return "";
+  }
+}
+}  // namespace
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& message) {
+  const std::scoped_lock lock(g_mutex);
+  std::ostream& os = (lvl >= Level::Warn) ? std::cerr : std::cout;
+  os << prefix(lvl) << message << '\n';
+}
+
+}  // namespace swraman::log

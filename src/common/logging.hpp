@@ -1,0 +1,62 @@
+#pragma once
+
+#include <chrono>
+#include <sstream>
+#include <string>
+
+// Minimal leveled logger. Benchmarks and examples print through this so that
+// output stays uniform; tests set the level to Error to keep output clean.
+
+namespace swraman::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+Level level();
+void set_level(Level level);
+
+void write(Level level, const std::string& message);
+
+template <typename... Args>
+void emit(Level lvl, Args&&... args) {
+  if (lvl < level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(lvl, os.str());
+}
+
+template <typename... Args>
+void debug(Args&&... args) {
+  emit(Level::Debug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void info(Args&&... args) {
+  emit(Level::Info, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  emit(Level::Warn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void error(Args&&... args) {
+  emit(Level::Error, std::forward<Args>(args)...);
+}
+
+}  // namespace swraman::log
+
+namespace swraman {
+
+// Wall-clock stopwatch in seconds.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace swraman

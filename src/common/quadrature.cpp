@@ -1,0 +1,81 @@
+#include "common/quadrature.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace swraman {
+
+Quadrature1D gauss_legendre(std::size_t n) {
+  SWRAMAN_REQUIRE(n >= 1, "gauss_legendre: n >= 1");
+  Quadrature1D q;
+  q.nodes.resize(n);
+  q.weights.resize(n);
+  const std::size_t m = (n + 1) / 2;
+  for (std::size_t i = 0; i < m; ++i) {
+    // Initial guess: Chebyshev approximation to the i-th root.
+    double x = std::cos(kPi * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(n) + 0.5));
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Legendre recurrence to evaluate P_n(x) and derivative.
+      double p0 = 1.0;
+      double p1 = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double p2 = p1;
+        p1 = p0;
+        p0 = ((2.0 * static_cast<double>(j) + 1.0) * x * p1 -
+              static_cast<double>(j) * p2) /
+             (static_cast<double>(j) + 1.0);
+      }
+      pp = static_cast<double>(n) * (x * p0 - p1) / (x * x - 1.0);
+      const double dx = p0 / pp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    q.nodes[i] = -x;
+    q.nodes[n - 1 - i] = x;
+    const double w = 2.0 / ((1.0 - x * x) * pp * pp);
+    q.weights[i] = w;
+    q.weights[n - 1 - i] = w;
+  }
+  return q;
+}
+
+Quadrature1D gauss_chebyshev2(std::size_t n) {
+  SWRAMAN_REQUIRE(n >= 1, "gauss_chebyshev2: n >= 1");
+  Quadrature1D q;
+  q.nodes.resize(n);
+  q.weights.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double th =
+        kPi * static_cast<double>(i + 1) / (static_cast<double>(n) + 1.0);
+    const double s = std::sin(th);
+    q.nodes[i] = std::cos(th);
+    // weight for integral f(x) dx (includes the 1/sqrt(1-x^2)-free form):
+    // integral_{-1}^{1} f(x) dx ~= sum w_i f(x_i), w_i = pi/(n+1) sin^2(th)
+    // divided by sqrt(1-x^2) = sin(th).
+    q.weights[i] = kPi / (static_cast<double>(n) + 1.0) * s;
+  }
+  return q;
+}
+
+Quadrature1D becke_radial(std::size_t n, double r_m) {
+  SWRAMAN_REQUIRE(r_m > 0.0, "becke_radial: r_m > 0");
+  Quadrature1D cheb = gauss_chebyshev2(n);
+  Quadrature1D q;
+  q.nodes.resize(n);
+  q.weights.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = cheb.nodes[i];
+    const double r = r_m * (1.0 + x) / (1.0 - x);
+    // dr/dx = 2 r_m / (1-x)^2; include r^2 volume element.
+    const double drdx = 2.0 * r_m / ((1.0 - x) * (1.0 - x));
+    q.nodes[i] = r;
+    q.weights[i] = cheb.weights[i] * drdx * r * r;
+  }
+  return q;
+}
+
+}  // namespace swraman

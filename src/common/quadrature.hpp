@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+// 1-D quadrature rules used to assemble the radial part of atom-centered
+// integration grids and for assorted numerical integrals.
+
+namespace swraman {
+
+struct Quadrature1D {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+
+// Gauss-Legendre rule on [-1, 1] with n nodes (exact for degree 2n-1).
+Quadrature1D gauss_legendre(std::size_t n);
+
+// Gauss-Chebyshev (second kind) rule on (-1, 1) with n nodes; closed form,
+// used by the Becke radial transformation.
+Quadrature1D gauss_chebyshev2(std::size_t n);
+
+// Becke radial quadrature: maps Gauss-Chebyshev nodes x in (-1,1) onto
+// r in (0, inf) via r = r_m * (1+x)/(1-x). Returns radii and weights that
+// already include the r^2 volume element, i.e.
+//   integral_0^inf f(r) r^2 dr ~= sum_i w_i f(r_i).
+Quadrature1D becke_radial(std::size_t n, double r_m);
+
+}  // namespace swraman

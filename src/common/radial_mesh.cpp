@@ -1,0 +1,45 @@
+#include "common/radial_mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace swraman {
+
+RadialMesh::RadialMesh(double r_min, double r_max, std::size_t n) {
+  SWRAMAN_REQUIRE(n >= 2, "RadialMesh: need at least 2 points");
+  SWRAMAN_REQUIRE(r_min > 0.0 && r_max > r_min,
+                  "RadialMesh: need 0 < r_min < r_max");
+  r0_ = r_min;
+  alpha_ = std::log(r_max / r_min) / static_cast<double>(n - 1);
+  r_.resize(n);
+  w_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r_[i] = r0_ * std::exp(alpha_ * static_cast<double>(i));
+    w_[i] = alpha_ * r_[i];
+  }
+  w_.front() *= 0.5;
+  w_.back() *= 0.5;
+}
+
+RadialMesh RadialMesh::for_nuclear_charge(double z, double r_max,
+                                          std::size_t n) {
+  SWRAMAN_REQUIRE(z > 0.0, "RadialMesh: nuclear charge must be positive");
+  return RadialMesh(1e-5 / z, r_max, n);
+}
+
+double RadialMesh::fractional_index(double r) const {
+  if (r <= r0_) return 0.0;
+  const double t = std::log(r / r0_) / alpha_;
+  return std::min(t, static_cast<double>(r_.size() - 1));
+}
+
+double RadialMesh::integrate(const std::vector<double>& f) const {
+  SWRAMAN_REQUIRE(f.size() == r_.size(), "RadialMesh: integrand size");
+  double s = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) s += f[i] * w_[i];
+  return s;
+}
+
+}  // namespace swraman

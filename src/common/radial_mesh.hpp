@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+// Logarithmic radial mesh r_i = r0 * exp(alpha * i), i = 0..n-1, the standard
+// mesh for all-electron atomic problems: it resolves the nuclear-cusp region
+// with exponentially fine spacing while reaching large radii in O(100) points.
+
+namespace swraman {
+
+class RadialMesh {
+ public:
+  RadialMesh() = default;
+
+  // Mesh from r_min to r_max with n points (n >= 2).
+  RadialMesh(double r_min, double r_max, std::size_t n);
+
+  // Conventional all-electron mesh for nuclear charge z: starts at
+  // ~1e-5/z Bohr and extends to r_max.
+  static RadialMesh for_nuclear_charge(double z, double r_max = 30.0,
+                                       std::size_t n = 600);
+
+  [[nodiscard]] std::size_t size() const { return r_.size(); }
+  [[nodiscard]] double r(std::size_t i) const { return r_[i]; }
+  [[nodiscard]] const std::vector<double>& points() const { return r_; }
+  [[nodiscard]] double r_min() const { return r_.front(); }
+  [[nodiscard]] double r_max() const { return r_.back(); }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  // Fractional mesh index of radius r (clamped to [0, n-1]); this is the
+  // argument handed to IndexSpline when interpolating tabulated radial
+  // functions ("i_r_log" in the paper's Algorithm 2).
+  [[nodiscard]] double fractional_index(double r) const;
+
+  // Integration weight dr_i = alpha * r_i with trapezoidal end corrections:
+  // integral f(r) dr ~= sum_i f(r_i) * weight(i).
+  [[nodiscard]] double weight(std::size_t i) const { return w_[i]; }
+  [[nodiscard]] const std::vector<double>& weights() const { return w_; }
+
+  // integral f(r) dr over the mesh range.
+  [[nodiscard]] double integrate(const std::vector<double>& f) const;
+
+ private:
+  std::vector<double> r_;
+  std::vector<double> w_;
+  double r0_ = 0.0;
+  double alpha_ = 0.0;
+};
+
+}  // namespace swraman

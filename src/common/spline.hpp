@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+// Cubic-spline interpolation. Two flavours are provided:
+//
+//  * CubicSpline: general non-uniform knots, natural boundary conditions,
+//    with value / first / second derivative evaluation.
+//
+//  * IndexSpline: knots at integer indices 0..n-1 (the FHI-aims convention
+//    for functions tabulated on a logarithmic radial mesh: the spline runs
+//    in index space and the mesh maps r -> fractional index). IndexSpline
+//    stores per-interval polynomial coefficients (s0, s1, s2, s3) laid out
+//    contiguously, which is exactly the memory layout consumed by the
+//    vectorized cubic-spline-interpolation (CSI) kernel of the paper
+//    (Algorithm 2 / Fig 7).
+
+namespace swraman {
+
+class CubicSpline {
+ public:
+  CubicSpline() = default;
+
+  // Builds a natural cubic spline through (x[i], y[i]). x must be strictly
+  // increasing and contain at least 2 points.
+  CubicSpline(std::vector<double> x, std::vector<double> y);
+
+  [[nodiscard]] double value(double x) const;
+  [[nodiscard]] double derivative(double x) const;
+  [[nodiscard]] double second_derivative(double x) const;
+
+  [[nodiscard]] std::size_t size() const { return x_.size(); }
+  [[nodiscard]] const std::vector<double>& knots() const { return x_; }
+  [[nodiscard]] const std::vector<double>& values() const { return y_; }
+
+  // Exact integrals of the spline from the first knot to every knot
+  // (piecewise-cubic antiderivative; O(h^4) accurate for smooth data, far
+  // better than trapezoid on coarse nonuniform meshes).
+  [[nodiscard]] std::vector<double> cumulative_at_knots() const;
+
+  // Monomial coefficients of interval i (i = 0..size()-2):
+  //   y(x) = c[0] + c[1] u + c[2] u^2 + c[3] u^3,  u = x - knot(i).
+  // This is the per-interval (s0, s1, s2, s3) layout the vectorized CSI
+  // kernel consumes (paper Algorithm 2).
+  void interval_coefficients(std::size_t i, double c[4]) const;
+
+  // Interval index containing x (clamped to the knot range).
+  [[nodiscard]] std::size_t interval_of(double x) const { return interval(x); }
+
+ private:
+  [[nodiscard]] std::size_t interval(double x) const;
+
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> y2_;  // second derivatives at knots
+};
+
+class IndexSpline {
+ public:
+  IndexSpline() = default;
+
+  // Builds a natural cubic spline through (i, y[i]), i = 0..n-1.
+  explicit IndexSpline(const std::vector<double>& y);
+
+  // Evaluates at fractional index t in [0, n-1]. Out-of-range t is clamped.
+  [[nodiscard]] double value(double t) const;
+  // d/dt at fractional index t.
+  [[nodiscard]] double derivative(double t) const;
+  // d2/dt2 at fractional index t.
+  [[nodiscard]] double second_derivative(double t) const;
+
+  [[nodiscard]] std::size_t n_knots() const { return n_; }
+
+  // Raw coefficient storage: for interval i (i = 0..n-2) the polynomial is
+  //   y(t) = c[4i] + c[4i+1]*u + c[4i+2]*u^2 + c[4i+3]*u^3,  u = t - i.
+  // This is the array the CSI CPE kernel DMA-prefetches.
+  [[nodiscard]] const std::vector<double>& coefficients() const {
+    return coeff_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> coeff_;
+};
+
+// Solves a tridiagonal system in place: diag a (sub), b (main), c (super),
+// rhs d; result returned in d. b is modified.
+void solve_tridiagonal(std::vector<double>& a, std::vector<double>& b,
+                       std::vector<double>& c, std::vector<double>& d);
+
+}  // namespace swraman

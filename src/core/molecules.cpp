@@ -1,0 +1,146 @@
+#include "core/molecules.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace swraman::molecules {
+
+namespace {
+constexpr double kA = kBohrPerAngstrom;
+}
+
+std::vector<AtomSite> h2(double bond_bohr) {
+  return {{1, {0.0, 0.0, 0.0}}, {1, {0.0, 0.0, bond_bohr}}};
+}
+
+std::vector<AtomSite> water() {
+  const double oh = 0.9572 * kA;
+  const double half = 0.5 * 104.5 * kPi / 180.0;
+  return {{8, {0.0, 0.0, 0.0}},
+          {1, {oh * std::sin(half), 0.0, oh * std::cos(half)}},
+          {1, {-oh * std::sin(half), 0.0, oh * std::cos(half)}}};
+}
+
+std::vector<AtomSite> hydrogen_disulfide() {
+  const double ss = 2.055 * kA;
+  const double sh = 1.342 * kA;
+  const double ang = 98.0 * kPi / 180.0;
+  const double dih = 90.6 * kPi / 180.0;
+  // S-S along z; hydrogens off each sulfur at the SSH angle, twisted by the
+  // dihedral around z.
+  const double hx = sh * std::sin(ang);
+  const double hz = -sh * std::cos(ang);
+  return {{16, {0.0, 0.0, 0.0}},
+          {16, {0.0, 0.0, ss}},
+          {1, {hx, 0.0, hz}},
+          {1, {hx * std::cos(dih), hx * std::sin(dih), ss - hz}}};
+}
+
+std::vector<AtomSite> ethylene() {
+  const double cc = 1.339 * kA;
+  const double ch = 1.087 * kA;
+  const double ang = 121.3 * kPi / 180.0;  // H-C=C
+  const double hx = ch * std::sin(ang);
+  const double hz = ch * std::cos(ang);
+  const double zc = 0.5 * cc;
+  return {{6, {0.0, 0.0, zc}},     {6, {0.0, 0.0, -zc}},
+          {1, {hx, 0.0, zc - hz}}, {1, {-hx, 0.0, zc - hz}},
+          {1, {hx, 0.0, -zc + hz}}, {1, {-hx, 0.0, -zc + hz}}};
+}
+
+std::vector<AtomSite> formaldehyde() {
+  const double co = 1.205 * kA;
+  const double ch = 1.111 * kA;
+  const double ang = 121.9 * kPi / 180.0;  // H-C=O
+  const double hx = ch * std::sin(ang);
+  const double hz = -ch * std::cos(ang);
+  return {{6, {0.0, 0.0, 0.0}},
+          {8, {0.0, 0.0, co}},
+          {1, {hx, 0.0, hz}},
+          {1, {-hx, 0.0, hz}}};
+}
+
+namespace {
+
+std::vector<AtomSite> tetrahedral(int z_center, double bond_bohr) {
+  const double c = bond_bohr / std::sqrt(3.0);
+  return {{z_center, {0.0, 0.0, 0.0}},
+          {1, {c, c, c}},
+          {1, {c, -c, -c}},
+          {1, {-c, c, -c}},
+          {1, {-c, -c, c}}};
+}
+
+}  // namespace
+
+std::vector<AtomSite> methane() { return tetrahedral(6, 1.087 * kA); }
+
+std::vector<AtomSite> silane() { return tetrahedral(14, 1.480 * kA); }
+
+std::vector<AtomSite> polyethylene_chain(std::size_t n_units) {
+  SWRAMAN_REQUIRE(n_units >= 1, "polyethylene_chain: need >= 1 unit");
+  // All-trans zigzag backbone in the xz plane: C-C 1.54 A, CCC 113.5 deg,
+  // C-H 1.09 A with the H pair in the plane perpendicular to the backbone.
+  const double cc = 1.54 * kA;
+  const double ccc = 113.5 * kPi / 180.0;
+  const double ch = 1.09 * kA;
+  const double dz = cc * std::sin(ccc / 2.0);
+  const double dx = cc * std::cos(ccc / 2.0);
+  const double hch_half = 0.5 * 107.0 * kPi / 180.0;
+
+  std::vector<AtomSite> atoms;
+  const std::size_t n_carbon = 2 * n_units;
+  std::vector<Vec3> carbons(n_carbon);
+  for (std::size_t i = 0; i < n_carbon; ++i) {
+    carbons[i] = {(i % 2 == 0) ? 0.0 : dx, 0.0,
+                  dz * static_cast<double>(i)};
+  }
+  for (std::size_t i = 0; i < n_carbon; ++i) {
+    atoms.push_back({6, carbons[i]});
+    // Two hydrogens per carbon, in the plane bisecting the backbone angle:
+    // mostly +-y with a slight x tilt away from the chain.
+    const double tilt = (i % 2 == 0) ? -1.0 : 1.0;
+    const Vec3 hy{tilt * ch * std::cos(hch_half) * 0.55,
+                  ch * std::sin(hch_half), 0.0};
+    const Vec3 hy2{tilt * ch * std::cos(hch_half) * 0.55,
+                   -ch * std::sin(hch_half), 0.0};
+    atoms.push_back({1, carbons[i] + hy});
+    atoms.push_back({1, carbons[i] + hy2});
+  }
+  // Terminal hydrogens extend the backbone direction.
+  const Vec3 cap0 = carbons[0] + Vec3{dx * 0.7, 0.0, -ch * 0.8};
+  const Vec3 capN =
+      carbons[n_carbon - 1] +
+      Vec3{(n_carbon % 2 == 0 ? -1.0 : 1.0) * dx * 0.7, 0.0, ch * 0.8};
+  atoms.push_back({1, cap0});
+  atoms.push_back({1, capN});
+  return atoms;
+}
+
+std::vector<AtomSite> zinc_blende_cluster(int z_cation, int z_anion,
+                                          double bond_angstrom) {
+  // Cubane-like X4Y4 fragment: alternating species on cube corners, edge
+  // length = the zinc-blende bond length (unlike nearest neighbors).
+  const double d = 0.5 * bond_angstrom * kA;
+  std::vector<AtomSite> atoms;
+  // Alternating cube corners: cations where x*y*z parity even.
+  for (int sx : {-1, 1})
+    for (int sy : {-1, 1})
+      for (int sz : {-1, 1}) {
+        const bool cation = (sx * sy * sz) > 0;
+        atoms.push_back(
+            {cation ? z_cation : z_anion,
+             {sx * d, sy * d, sz * d}});
+      }
+  return atoms;
+}
+
+double electron_count(const std::vector<AtomSite>& atoms) {
+  double n = 0.0;
+  for (const AtomSite& a : atoms) n += static_cast<double>(a.z);
+  return n;
+}
+
+}  // namespace swraman::molecules

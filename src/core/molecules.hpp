@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/atom_grid.hpp"
+
+// Geometry builders for the systems used across examples, tests, and the
+// benchmark harness. All coordinates in Bohr; experimental equilibrium
+// geometries unless noted.
+
+namespace swraman::molecules {
+
+using grid::AtomSite;
+
+// H2 at the given bond length (default near the LDA minimum of this basis).
+std::vector<AtomSite> h2(double bond_bohr = 1.45);
+
+// Water, C2v, O-H 0.9572 A, H-O-H 104.5 deg; C2 axis along +z.
+std::vector<AtomSite> water();
+
+// Dihydrogen disulfide H-S-S-H (the protein S-S bridge model of Fig. 19):
+// S-S 2.055 A, S-H 1.342 A, S-S-H 98 deg, dihedral 90.6 deg.
+std::vector<AtomSite> hydrogen_disulfide();
+
+// Ethylene C2H4 (C=C stretch model): C=C 1.339 A, C-H 1.087 A, HCC 121.3.
+std::vector<AtomSite> ethylene();
+
+// Formaldehyde H2CO (carbonyl / amide-I model): C=O 1.205 A, C-H 1.111 A.
+std::vector<AtomSite> formaldehyde();
+
+// Methane CH4, C-H 1.087 A (tetrahedral).
+std::vector<AtomSite> methane();
+
+// Silane SiH4, Si-H 1.480 A (tetrahedral).
+std::vector<AtomSite> silane();
+
+// All-trans polyethylene chain H(C2H4)_n H — the Fig. 16 workload.
+// n repeat units -> 2n carbons + (4n + 2) hydrogens = 6n + 2 atoms.
+std::vector<AtomSite> polyethylene_chain(std::size_t n_units);
+
+// X4Y4 zinc-blende fragment: eight alternating atoms on a cube, bond along
+// the body diagonals, nearest-neighbor distance = bond_angstrom (the
+// cluster stand-in for the Fig. 10 semiconductors).
+std::vector<AtomSite> zinc_blende_cluster(int z_cation, int z_anion,
+                                          double bond_angstrom);
+
+// Number of electrons of a neutral geometry.
+double electron_count(const std::vector<AtomSite>& atoms);
+
+}  // namespace swraman::molecules

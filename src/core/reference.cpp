@@ -1,0 +1,38 @@
+#include "core/reference.hpp"
+
+namespace swraman::core {
+
+const std::vector<RamanBand>& rbd_experimental_bands() {
+  static const std::vector<RamanBand> bands{
+      {525.0, 0.0, "S-S bridge stretching (500-550 region)", "H2S2"},
+      {800.0, 0.0, "tyrosine phenol-ring in-plane breathing", "(aromatic)"},
+      {1001.0, 1003.0, "Trp/Phe ring breathing", "(aromatic)"},
+      {1112.0, 1117.0, "Trp band", "(aromatic)"},
+      {1280.0, 0.0, "amide III (1200-1360 region)", "H2CO"},
+      {1604.0, 0.0, "C=C stretching", "C2H4"},
+      {1650.0, 0.0, "amide I (C=O stretching)", "H2CO"},
+  };
+  return bands;
+}
+
+const PaperTargets& paper_targets() {
+  static const PaperTargets t;
+  return t;
+}
+
+const std::vector<ZincBlendeMaterial>& fig10_materials() {
+  // Nearest-neighbor bond lengths from zinc-blende lattice constants
+  // (d = sqrt(3)/4 a); names as labeled in the paper's Fig. 10.
+  static const std::vector<ZincBlendeMaterial> m{
+      {"CC", 6, 6, 1.545},    {"BN", 5, 7, 1.567},   {"BeO", 4, 8, 1.65},
+      {"SiC", 14, 6, 1.888},  {"BP", 5, 15, 1.965},  {"AlN", 13, 7, 1.90},
+      {"BeS", 4, 16, 2.10},   {"BAs", 5, 33, 2.069}, {"AlP", 13, 15, 2.367},
+      {"SiSi", 14, 14, 2.352},{"GeC", 32, 6, 2.03},  {"AlAs", 13, 33, 2.451},
+      {"BeSe", 4, 34, 2.20},  {"SiGe", 14, 32, 2.385},{"BSb", 5, 51, 2.27},
+      {"BeTe", 4, 52, 2.40},  {"AlSb", 13, 51, 2.656},{"SnC", 50, 6, 2.05},
+      {"SiSn", 14, 50, 2.52},
+  };
+  return m;
+}
+
+}  // namespace swraman::core

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+// Reference data for the evaluation benchmarks: the experimental Raman
+// band table of the RBD protein (positions/assignments as read from the
+// paper's Fig. 19 discussion) and the paper's reported performance numbers
+// (so each bench can print paper-vs-measured side by side).
+
+namespace swraman::core {
+
+struct RamanBand {
+  double position_cm = 0.0;        // experimental band center
+  double calculated_cm = 0.0;      // value the paper reports (0 = n/a)
+  std::string assignment;
+  std::string fragment;            // which model fragment reproduces it
+};
+
+// Fig. 19 band table: S-S, Tyr ring, Phe breathing, Trp, amide III, C=C,
+// amide I.
+const std::vector<RamanBand>& rbd_experimental_bands();
+
+// Paper-reported performance targets used in EXPERIMENTS.md comparisons.
+struct PaperTargets {
+  // Fig. 12 (response potential on the CPE cluster vs MPE).
+  double tiling_speedup_lo = 10.0;
+  double tiling_speedup_hi = 15.0;
+  double tiling_db_speedup = 16.0;
+  double tiling_db_simd_speedup = 20.0;
+  // Fig. 14 (RBD DFPT / iteration, Sunway vs Xeon per process).
+  double fig14_speedup_at_64 = 9.70;
+  double fig14_speedup_at_128 = 8.38;
+  double fig14_speedup_at_256 = 7.80;
+  // Fig. 15 (Allreduce optimization).
+  double fig15_speedup_at_256 = 2.22;
+  double fig15_speedup_at_1024 = 2.61;
+  // Fig. 16 (FHI-aims vs Gaussian, chains 14 -> 50 atoms).
+  double fig16_ratio_small = 2.27;
+  double fig16_ratio_large = 1.25;
+  // Fig. 17 (strong scaling 10,240 -> 300,800 processes).
+  double fig17_speedup = 25.0;
+  double fig17_efficiency = 0.845;
+  // Fig. 18 (weak scaling).
+  double fig18_efficiency = 0.844;
+  std::vector<double> fig18_times = {22345, 22375, 23235, 26085, 26472};
+  // Fig. 10 (dielectric constants): mean relative error all-electron vs
+  // pseudopotential across the 19 materials.
+  double fig10_mre = 0.01;
+  // Fig. 11 (H2O Raman, NAO vs GTO backend): relative error in the O-H
+  // stretching region.
+  double fig11_rel_err = 0.005;
+};
+
+const PaperTargets& paper_targets();
+
+// The 19 zinc-blende materials of Fig. 10 with experimental-ish bond
+// lengths (Angstrom) for the cluster substitution.
+struct ZincBlendeMaterial {
+  std::string name;
+  int z_cation = 0;
+  int z_anion = 0;
+  double bond_angstrom = 0.0;
+};
+
+const std::vector<ZincBlendeMaterial>& fig10_materials();
+
+}  // namespace swraman::core

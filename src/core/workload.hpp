@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+
+#include "scaling/simulator.hpp"
+
+// Workload synthesis: DFPT kernel statistics at RBD-protein scale
+// (3006 atoms) and the Table-1 silicon cases, derived from the real
+// per-point / per-basis-function operation counts of the implemented
+// kernels. This is what drives the performance figures (12-15, 17, 18)
+// at scales the QM engine itself cannot run on this machine
+// (DESIGN.md Sec. 1, RBD substitution).
+
+namespace swraman::core {
+
+struct SystemScale {
+  std::size_t n_atoms = 3006;
+  double points_per_atom = 1400.0;   // light-grid average
+  double basis_per_atom = 9.0;       // light NAO (biological element mix)
+  double points_per_batch = 200.0;
+  double local_fns_per_batch = 140.0;  // basis functions reaching a batch
+  int multipole_lmax = 6;
+  double radial_shells_per_atom = 40.0;
+};
+
+// The receptor-binding-domain protein of the paper (PDB 6LZG + H): 3006
+// atoms, roughly C:H:N:O:S biological composition.
+SystemScale rbd_protein();
+
+// Table 1 silicon-solid benchmark cases (#1..#6): grid points, basis count,
+// average points per batch — encoded verbatim from the paper.
+struct SiCase {
+  const char* name;
+  std::size_t grid_points;
+  std::size_t n_basis;
+  std::size_t points_per_batch;
+};
+const std::vector<SiCase>& table1_cases();
+
+// Builds the three DFPT kernel workloads (n1, v1, h1) for one geometry of
+// the given system scale, with per-element costs matching the implemented
+// kernels' operation counts.
+scaling::RamanJob make_dfpt_job(const SystemScale& scale);
+
+// Kernel workloads for one Table-1 case (used by Figs. 12-13).
+sunway::KernelWorkload si_case_v1(const SiCase& c);
+sunway::KernelWorkload si_case_n1(const SiCase& c);
+sunway::KernelWorkload si_case_h1(const SiCase& c);
+
+}  // namespace swraman::core

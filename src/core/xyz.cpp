@@ -1,0 +1,71 @@
+#include "core/xyz.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/constants.hpp"
+#include "common/elements.hpp"
+#include "common/error.hpp"
+
+namespace swraman::core {
+
+std::vector<grid::AtomSite> read_xyz(std::istream& in) {
+  std::string line;
+  SWRAMAN_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                  "read_xyz: empty input");
+  std::size_t n = 0;
+  {
+    std::istringstream is(line);
+    SWRAMAN_REQUIRE(static_cast<bool>(is >> n) && n >= 1,
+                    "read_xyz: first line must be the atom count");
+  }
+  SWRAMAN_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                  "read_xyz: missing comment line");
+
+  std::vector<grid::AtomSite> atoms;
+  atoms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SWRAMAN_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                    "read_xyz: truncated coordinate block");
+    std::istringstream is(line);
+    std::string symbol;
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+    SWRAMAN_REQUIRE(static_cast<bool>(is >> symbol >> x >> y >> z),
+                    "read_xyz: malformed coordinate line: " + line);
+    grid::AtomSite site;
+    site.z = atomic_number(symbol);
+    site.pos = {x * kBohrPerAngstrom, y * kBohrPerAngstrom,
+                z * kBohrPerAngstrom};
+    atoms.push_back(site);
+  }
+  return atoms;
+}
+
+std::vector<grid::AtomSite> parse_xyz(const std::string& text) {
+  std::istringstream is(text);
+  return read_xyz(is);
+}
+
+std::vector<grid::AtomSite> load_xyz(const std::string& path) {
+  std::ifstream f(path);
+  SWRAMAN_REQUIRE(f.good(), "load_xyz: cannot open '" + path + "'");
+  return read_xyz(f);
+}
+
+std::string write_xyz(const std::vector<grid::AtomSite>& atoms,
+                      const std::string& comment) {
+  std::ostringstream os;
+  os << atoms.size() << "\n" << comment << "\n";
+  os.setf(std::ios::fixed);
+  os.precision(8);
+  for (const grid::AtomSite& a : atoms) {
+    os << element(a.z).symbol << "  " << a.pos.x * kAngstromPerBohr << "  "
+       << a.pos.y * kAngstromPerBohr << "  " << a.pos.z * kAngstromPerBohr
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace swraman::core

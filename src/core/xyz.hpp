@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "grid/atom_grid.hpp"
+
+// XYZ-format geometry I/O (coordinates in Angstrom, converted to Bohr
+// internally) — the interchange format the CLI and downstream users speak.
+
+namespace swraman::core {
+
+// Parses XYZ text: first line atom count, second line comment, then
+// "Symbol x y z" rows. Throws swraman::Error on malformed input.
+std::vector<grid::AtomSite> read_xyz(std::istream& in);
+
+// Convenience: parse from a string.
+std::vector<grid::AtomSite> parse_xyz(const std::string& text);
+
+// Loads from a file path.
+std::vector<grid::AtomSite> load_xyz(const std::string& path);
+
+// Serializes a geometry back to XYZ text (Angstrom).
+std::string write_xyz(const std::vector<grid::AtomSite>& atoms,
+                      const std::string& comment = "");
+
+}  // namespace swraman::core

@@ -1,0 +1,148 @@
+#include "grid/angular.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/quadrature.hpp"
+
+namespace swraman::grid {
+
+namespace {
+
+void add_point(AngularGrid& g, double x, double y, double z, double w) {
+  g.points.push_back({x, y, z});
+  g.weights.push_back(w * kFourPi);  // tabulated weights are normalized to 1
+}
+
+// Octahedral generator classes (Lebedev's a1/a2/a3/b/c sets).
+void gen_a1(AngularGrid& g, double w) {
+  for (int s : {-1, 1}) {
+    add_point(g, s, 0, 0, w);
+    add_point(g, 0, s, 0, w);
+    add_point(g, 0, 0, s, w);
+  }
+}
+
+void gen_a2(AngularGrid& g, double w) {
+  const double c = 1.0 / std::sqrt(2.0);
+  for (int s1 : {-1, 1})
+    for (int s2 : {-1, 1}) {
+      add_point(g, s1 * c, s2 * c, 0, w);
+      add_point(g, s1 * c, 0, s2 * c, w);
+      add_point(g, 0, s1 * c, s2 * c, w);
+    }
+}
+
+void gen_a3(AngularGrid& g, double w) {
+  const double c = 1.0 / std::sqrt(3.0);
+  for (int s1 : {-1, 1})
+    for (int s2 : {-1, 1})
+      for (int s3 : {-1, 1}) add_point(g, s1 * c, s2 * c, s3 * c, w);
+}
+
+// 24 points (+-l, +-l, +-m) with m = sqrt(1 - 2 l^2), all coordinate slots.
+void gen_b(AngularGrid& g, double l, double w) {
+  const double m = std::sqrt(1.0 - 2.0 * l * l);
+  for (int s1 : {-1, 1})
+    for (int s2 : {-1, 1})
+      for (int s3 : {-1, 1}) {
+        add_point(g, s1 * l, s2 * l, s3 * m, w);
+        add_point(g, s1 * l, s2 * m, s3 * l, w);
+        add_point(g, s1 * m, s2 * l, s3 * l, w);
+      }
+}
+
+// 24 points (+-p, +-q, 0) with q = sqrt(1 - p^2), all orderings.
+void gen_c(AngularGrid& g, double p, double w) {
+  const double q = std::sqrt(1.0 - p * p);
+  for (int s1 : {-1, 1})
+    for (int s2 : {-1, 1}) {
+      add_point(g, s1 * p, s2 * q, 0, w);
+      add_point(g, s1 * q, s2 * p, 0, w);
+      add_point(g, s1 * p, 0, s2 * q, w);
+      add_point(g, s1 * q, 0, s2 * p, w);
+      add_point(g, 0, s1 * p, s2 * q, w);
+      add_point(g, 0, s1 * q, s2 * p, w);
+    }
+}
+
+}  // namespace
+
+const std::vector<std::size_t>& lebedev_sizes() {
+  static const std::vector<std::size_t> sizes{6, 14, 26, 38, 50};
+  return sizes;
+}
+
+AngularGrid lebedev_grid(std::size_t n_points) {
+  AngularGrid g;
+  switch (n_points) {
+    case 6:
+      g.design_order = 3;
+      gen_a1(g, 1.0 / 6.0);
+      break;
+    case 14:
+      g.design_order = 5;
+      gen_a1(g, 1.0 / 15.0);
+      gen_a3(g, 3.0 / 40.0);
+      break;
+    case 26:
+      g.design_order = 7;
+      gen_a1(g, 1.0 / 21.0);
+      gen_a2(g, 4.0 / 105.0);
+      gen_a3(g, 9.0 / 280.0);
+      break;
+    case 38:
+      g.design_order = 9;
+      gen_a1(g, 1.0 / 105.0);
+      gen_a3(g, 9.0 / 280.0);
+      gen_c(g, 0.4597008433809831, 1.0 / 35.0);
+      break;
+    case 50:
+      g.design_order = 11;
+      gen_a1(g, 4.0 / 315.0);
+      gen_a2(g, 64.0 / 2835.0);
+      gen_a3(g, 27.0 / 1280.0);
+      gen_b(g, 1.0 / std::sqrt(11.0), 14641.0 / 725760.0);
+      break;
+    default:
+      SWRAMAN_REQUIRE(false, "lebedev_grid: unsupported point count");
+  }
+  SWRAMAN_ASSERT(g.points.size() == n_points, "lebedev generator count");
+  return g;
+}
+
+AngularGrid product_grid(int order) {
+  SWRAMAN_REQUIRE(order >= 0, "product_grid: order >= 0");
+  AngularGrid g;
+  g.design_order = order;
+  const std::size_t n_theta = static_cast<std::size_t>(order / 2 + 1);
+  const std::size_t n_phi = static_cast<std::size_t>(order + 1);
+  const Quadrature1D gl = gauss_legendre(n_theta);
+  const double wphi = kTwoPi / static_cast<double>(n_phi);
+  for (std::size_t i = 0; i < n_theta; ++i) {
+    const double ct = gl.nodes[i];
+    const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+    for (std::size_t j = 0; j < n_phi; ++j) {
+      const double phi = wphi * static_cast<double>(j);
+      g.points.push_back({st * std::cos(phi), st * std::sin(phi), ct});
+      g.weights.push_back(gl.weights[i] * wphi);
+    }
+  }
+  return g;
+}
+
+AngularGrid angular_grid_for_order(int order) {
+  SWRAMAN_REQUIRE(order >= 0, "angular_grid_for_order: order >= 0");
+  struct Entry {
+    int order;
+    std::size_t n;
+  };
+  static const Entry lebedev[] = {{3, 6}, {5, 14}, {7, 26}, {9, 38}, {11, 50}};
+  for (const Entry& e : lebedev) {
+    if (order <= e.order) return lebedev_grid(e.n);
+  }
+  return product_grid(order);
+}
+
+}  // namespace swraman::grid

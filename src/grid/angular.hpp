@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+// Angular integration grids on the unit sphere. Two families:
+//
+//  * Lebedev grids (octahedral symmetry, the grids FHI-aims uses; Delley,
+//    J. Comput. Chem. 17, 1152 (1996)): tabulated generator sets for the
+//    6/14/26/38/50-point rules, exact for spherical harmonics up to the
+//    design order.
+//
+//  * Gauss-product grids (Gauss-Legendre in cos(theta) x uniform phi):
+//    constructively exact to any requested order; used above the tabulated
+//    Lebedev range. (Deviation from the paper noted in DESIGN.md: identical
+//    exactness guarantees, slightly more points per order.)
+//
+// Weights sum to 4*pi, i.e. integral_S2 f dOmega ~= sum_i w_i f(u_i).
+
+namespace swraman::grid {
+
+struct AngularGrid {
+  std::vector<Vec3> points;      // unit vectors
+  std::vector<double> weights;   // sum to 4*pi
+  int design_order = 0;          // exact for Y_lm with l <= design_order
+};
+
+// Available tabulated Lebedev point counts in ascending order.
+const std::vector<std::size_t>& lebedev_sizes();
+
+// Tabulated Lebedev rule by point count (6, 14, 26, 38, 50). Throws for
+// unsupported counts.
+AngularGrid lebedev_grid(std::size_t n_points);
+
+// Gauss-product rule exact for spherical harmonics up to `order`.
+AngularGrid product_grid(int order);
+
+// Smallest available rule exact up to `order`: Lebedev when a tabulated rule
+// suffices, Gauss-product beyond.
+AngularGrid angular_grid_for_order(int order);
+
+}  // namespace swraman::grid

@@ -1,0 +1,83 @@
+#include "grid/loadbalance.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace swraman::grid {
+
+std::size_t BatchAssignment::max_points() const {
+  return points_per_process.empty()
+             ? 0
+             : *std::max_element(points_per_process.begin(),
+                                 points_per_process.end());
+}
+
+std::size_t BatchAssignment::min_points() const {
+  return points_per_process.empty()
+             ? 0
+             : *std::min_element(points_per_process.begin(),
+                                 points_per_process.end());
+}
+
+double BatchAssignment::imbalance() const {
+  if (points_per_process.empty()) return 1.0;
+  std::size_t total = 0;
+  for (std::size_t p : points_per_process) total += p;
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(points_per_process.size());
+  return static_cast<double>(max_points()) / mean;
+}
+
+BatchAssignment balance_batches(const std::vector<Batch>& batches,
+                                std::size_t n_processes) {
+  SWRAMAN_REQUIRE(n_processes >= 1, "balance_batches: n_processes >= 1");
+  BatchAssignment a;
+  a.owner.resize(batches.size());
+  a.points_per_process.assign(n_processes, 0);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    // "the new batch is always sent to the process with the minimal number
+    // of points" (paper Algorithm 1).
+    std::size_t jmin = 0;
+    for (std::size_t j = 1; j < n_processes; ++j) {
+      if (a.points_per_process[j] < a.points_per_process[jmin]) jmin = j;
+    }
+    a.owner[i] = jmin;
+    a.points_per_process[jmin] += batches[i].size();
+  }
+  return a;
+}
+
+BatchAssignment round_robin_batches(const std::vector<Batch>& batches,
+                                    std::size_t n_processes) {
+  SWRAMAN_REQUIRE(n_processes >= 1, "round_robin_batches: n_processes >= 1");
+  BatchAssignment a;
+  a.owner.resize(batches.size());
+  a.points_per_process.assign(n_processes, 0);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const std::size_t p = i % n_processes;
+    a.owner[i] = p;
+    a.points_per_process[p] += batches[i].size();
+  }
+  return a;
+}
+
+BatchAssignment random_batches(const std::vector<Batch>& batches,
+                               std::size_t n_processes, unsigned seed) {
+  SWRAMAN_REQUIRE(n_processes >= 1, "random_batches: n_processes >= 1");
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::size_t> dist(0, n_processes - 1);
+  BatchAssignment a;
+  a.owner.resize(batches.size());
+  a.points_per_process.assign(n_processes, 0);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const std::size_t p = dist(rng);
+    a.owner[i] = p;
+    a.points_per_process[p] += batches[i].size();
+  }
+  return a;
+}
+
+}  // namespace swraman::grid

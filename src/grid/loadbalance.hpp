@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/batch.hpp"
+
+// Algorithm 1 of the paper: greedy distribution of integration batches over
+// MPI processes. Each batch goes to the process currently holding the fewest
+// integration points, balancing point counts (the integration cost unit)
+// rather than batch counts.
+
+namespace swraman::grid {
+
+struct BatchAssignment {
+  // owner[i] = process that owns batch i.
+  std::vector<std::size_t> owner;
+  // points_per_process[p] = total integration points assigned to p.
+  std::vector<std::size_t> points_per_process;
+
+  [[nodiscard]] std::size_t max_points() const;
+  [[nodiscard]] std::size_t min_points() const;
+  // max/mean point ratio; 1.0 is perfect balance.
+  [[nodiscard]] double imbalance() const;
+};
+
+// Paper Algorithm 1. Deterministic: ties broken by lowest process id.
+BatchAssignment balance_batches(const std::vector<Batch>& batches,
+                                std::size_t n_processes);
+
+// Baselines for the ablation bench.
+BatchAssignment round_robin_batches(const std::vector<Batch>& batches,
+                                    std::size_t n_processes);
+BatchAssignment random_batches(const std::vector<Batch>& batches,
+                               std::size_t n_processes, unsigned seed);
+
+}  // namespace swraman::grid

@@ -1,0 +1,81 @@
+#include "grid/ylm.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace swraman::grid {
+
+void real_ylm(const Vec3& u, int lmax, std::vector<double>& out) {
+  SWRAMAN_REQUIRE(lmax >= 0, "real_ylm: lmax >= 0");
+  out.assign(n_lm(lmax), 0.0);
+
+  const double r = u.norm();
+  double c = 1.0;  // cos(theta)
+  double s = 0.0;  // sin(theta)
+  double cphi = 1.0;
+  double sphi = 0.0;
+  if (r > 0.0) {
+    c = u.z / r;
+    const double rho = std::hypot(u.x, u.y);
+    s = rho / r;
+    if (rho > 0.0) {
+      cphi = u.x / rho;
+      sphi = u.y / rho;
+    }
+  }
+
+  // Fully normalized associated Legendre Q_l^m (no Condon-Shortley phase):
+  //   Y_l0 = Q_l0, Y_l(+-m) = sqrt(2) Q_lm {cos,sin}(m phi).
+  // Recurrences are stable upward in l for fixed m.
+  const int nl = lmax + 1;
+  std::vector<double> q(static_cast<std::size_t>(nl * nl), 0.0);
+  const auto qi = [nl](int l, int m) {
+    return static_cast<std::size_t>(l * nl + m);
+  };
+
+  q[qi(0, 0)] = std::sqrt(1.0 / kFourPi);
+  for (int m = 1; m <= lmax; ++m) {
+    q[qi(m, m)] = std::sqrt((2.0 * m + 1.0) / (2.0 * m)) * s * q[qi(m - 1, m - 1)];
+  }
+  for (int m = 0; m < lmax; ++m) {
+    q[qi(m + 1, m)] = std::sqrt(2.0 * m + 3.0) * c * q[qi(m, m)];
+  }
+  for (int m = 0; m <= lmax; ++m) {
+    for (int l = m + 2; l <= lmax; ++l) {
+      const double a =
+          std::sqrt((4.0 * l * l - 1.0) / (static_cast<double>(l) * l - m * m));
+      const double b = std::sqrt(
+          (static_cast<double>(l - 1) * (l - 1) - m * m) /
+          (4.0 * static_cast<double>(l - 1) * (l - 1) - 1.0));
+      q[qi(l, m)] = a * (c * q[qi(l - 1, m)] - b * q[qi(l - 2, m)]);
+    }
+  }
+
+  // Azimuthal factors cos(m phi), sin(m phi) by the angle-addition recurrence.
+  std::vector<double> cm(static_cast<std::size_t>(lmax) + 1, 1.0);
+  std::vector<double> sm(static_cast<std::size_t>(lmax) + 1, 0.0);
+  for (int m = 1; m <= lmax; ++m) {
+    cm[m] = cm[m - 1] * cphi - sm[m - 1] * sphi;
+    sm[m] = sm[m - 1] * cphi + cm[m - 1] * sphi;
+  }
+
+  const double sqrt2 = std::sqrt(2.0);
+  for (int l = 0; l <= lmax; ++l) {
+    out[lm_index(l, 0)] = q[qi(l, 0)];
+    for (int m = 1; m <= l; ++m) {
+      const double qlm = q[qi(l, m)];
+      out[lm_index(l, m)] = sqrt2 * qlm * cm[m];
+      out[lm_index(l, -m)] = sqrt2 * qlm * sm[m];
+    }
+  }
+}
+
+std::vector<double> real_ylm(const Vec3& u, int lmax) {
+  std::vector<double> out;
+  real_ylm(u, lmax, out);
+  return out;
+}
+
+}  // namespace swraman::grid

@@ -1,0 +1,145 @@
+#include "hartree/ewald.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace swraman::hartree {
+
+Ewald::Ewald(EwaldSystem system, double eta, double r_cut, double g_cut)
+    : sys_(std::move(system)), eta_(eta), r_cut_(r_cut) {
+  SWRAMAN_REQUIRE(eta > 0.0 && r_cut > 0.0 && g_cut > 0.0,
+                  "Ewald: eta, r_cut, g_cut must be positive");
+  SWRAMAN_REQUIRE(sys_.positions.size() == sys_.charges.size(),
+                  "Ewald: positions/charges size mismatch");
+  double qtot = 0.0;
+  for (double q : sys_.charges) qtot += q;
+  SWRAMAN_REQUIRE(std::abs(qtot) < 1e-10, "Ewald: cell must be neutral");
+
+  volume_ = dot(sys_.a1, cross(sys_.a2, sys_.a3));
+  SWRAMAN_REQUIRE(volume_ > 0.0, "Ewald: left-handed or singular lattice");
+
+  // Real-space images: all lattice translations with |T| <= r_cut + cell
+  // diagonal (conservative box enumeration).
+  const double diag =
+      sys_.a1.norm() + sys_.a2.norm() + sys_.a3.norm();
+  const int n1 = static_cast<int>(std::ceil((r_cut_ + diag) / sys_.a1.norm()));
+  const int n2 = static_cast<int>(std::ceil((r_cut_ + diag) / sys_.a2.norm()));
+  const int n3 = static_cast<int>(std::ceil((r_cut_ + diag) / sys_.a3.norm()));
+  for (int i = -n1; i <= n1; ++i)
+    for (int j = -n2; j <= n2; ++j)
+      for (int k = -n3; k <= n3; ++k) {
+        const Vec3 t = static_cast<double>(i) * sys_.a1 +
+                       static_cast<double>(j) * sys_.a2 +
+                       static_cast<double>(k) * sys_.a3;
+        if (t.norm() <= r_cut_ + diag) real_images_.push_back(t);
+      }
+
+  // Reciprocal lattice.
+  const Vec3 b1 = kTwoPi / volume_ * cross(sys_.a2, sys_.a3);
+  const Vec3 b2 = kTwoPi / volume_ * cross(sys_.a3, sys_.a1);
+  const Vec3 b3 = kTwoPi / volume_ * cross(sys_.a1, sys_.a2);
+  const int m1 = static_cast<int>(std::ceil(g_cut / b1.norm())) + 1;
+  const int m2 = static_cast<int>(std::ceil(g_cut / b2.norm())) + 1;
+  const int m3 = static_cast<int>(std::ceil(g_cut / b3.norm())) + 1;
+  for (int i = -m1; i <= m1; ++i)
+    for (int j = -m2; j <= m2; ++j)
+      for (int k = -m3; k <= m3; ++k) {
+        if (i == 0 && j == 0 && k == 0) continue;
+        const Vec3 g = static_cast<double>(i) * b1 +
+                       static_cast<double>(j) * b2 +
+                       static_cast<double>(k) * b3;
+        const double g2 = g.norm2();
+        if (g2 > g_cut * g_cut) continue;
+        g_.push_back(g);
+        coef_.push_back(kFourPi / (volume_ * g2) *
+                        std::exp(-g2 / (4.0 * eta_)));
+        double a = 0.0;
+        double b = 0.0;
+        for (std::size_t p = 0; p < sys_.positions.size(); ++p) {
+          const double phase = dot(g, sys_.positions[p]);
+          a += sys_.charges[p] * std::cos(phase);
+          b += sys_.charges[p] * std::sin(phase);
+        }
+        str_cos_.push_back(a);
+        str_sin_.push_back(b);
+      }
+}
+
+double Ewald::real_space(const Vec3& r) const {
+  const double sq_eta = std::sqrt(eta_);
+  double v = 0.0;
+  for (const Vec3& t : real_images_) {
+    for (std::size_t p = 0; p < sys_.positions.size(); ++p) {
+      const Vec3 d = r - sys_.positions[p] - t;
+      const double dist = d.norm();
+      if (dist > r_cut_ || dist < 1e-12) continue;
+      v += sys_.charges[p] * std::erfc(sq_eta * dist) / dist;
+    }
+  }
+  return v;
+}
+
+double Ewald::reciprocal(const Vec3& r) const {
+  double v = 0.0;
+  for (std::size_t k = 0; k < g_.size(); ++k) {
+    const double phase = dot(g_[k], r);
+    v += coef_[k] *
+         (std::cos(phase) * str_cos_[k] + std::sin(phase) * str_sin_[k]);
+  }
+  return v;
+}
+
+double Ewald::potential(const Vec3& r) const {
+  return real_space(r) + reciprocal(r);
+}
+
+double Ewald::potential_at_ion(std::size_t i) const {
+  SWRAMAN_REQUIRE(i < sys_.positions.size(), "potential_at_ion: index");
+  const Vec3& r = sys_.positions[i];
+  // real_space already skips the zero-distance self term; the reciprocal
+  // sum includes the Gaussian self interaction, removed analytically.
+  const double self = 2.0 * std::sqrt(eta_ / kPi) * sys_.charges[i];
+  return real_space(r) + reciprocal(r) - self;
+}
+
+EwaldSystem rock_salt_cell(double a, double q) {
+  EwaldSystem s;
+  s.a1 = {a, 0.0, 0.0};
+  s.a2 = {0.0, a, 0.0};
+  s.a3 = {0.0, 0.0, a};
+  const double h = 0.5 * a;
+  // Cations at FCC sites, anions offset by (h, 0, 0).
+  const Vec3 fcc[4] = {{0, 0, 0}, {0, h, h}, {h, 0, h}, {h, h, 0}};
+  for (const Vec3& p : fcc) {
+    s.positions.push_back(p);
+    s.charges.push_back(q);
+  }
+  for (const Vec3& p : fcc) {
+    s.positions.push_back(p + Vec3{h, 0.0, 0.0});
+    s.charges.push_back(-q);
+  }
+  return s;
+}
+
+EwaldSystem zinc_blende_cell(double a, double q1) {
+  EwaldSystem s;
+  s.a1 = {a, 0.0, 0.0};
+  s.a2 = {0.0, a, 0.0};
+  s.a3 = {0.0, 0.0, a};
+  const double h = 0.5 * a;
+  const double t = 0.25 * a;
+  const Vec3 fcc[4] = {{0, 0, 0}, {0, h, h}, {h, 0, h}, {h, h, 0}};
+  for (const Vec3& p : fcc) {
+    s.positions.push_back(p);
+    s.charges.push_back(q1);
+  }
+  for (const Vec3& p : fcc) {
+    s.positions.push_back(p + Vec3{t, t, t});
+    s.charges.push_back(-q1);
+  }
+  return s;
+}
+
+}  // namespace swraman::hartree

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+// Classical Ewald summation for periodic point-charge systems — the
+// reciprocal-space part is the paper's "kernel2" (update potential in
+// reciprocal space), exercised by the Fig. 12 tiling benchmark on the
+// silicon-solid workload. The splitting parameter eta partitions the
+// Coulomb sum into a short-ranged real-space erfc sum and a smooth
+// reciprocal-space sum over G vectors:
+//
+//   V(r) = sum_{i,R} q_i erfc(sqrt(eta)|r - r_i - R|)/|r - r_i - R|
+//        + 4pi/V sum_{G != 0} e^{-G^2/(4 eta)}/G^2
+//              [cos(G.r) A(G) + sin(G.r) B(G)],
+//
+// with structure factors A = sum q_i cos(G.r_i), B = sum q_i sin(G.r_i).
+
+namespace swraman::hartree {
+
+struct EwaldSystem {
+  Vec3 a1, a2, a3;                 // lattice vectors (Bohr)
+  std::vector<Vec3> positions;     // fractional-free Cartesian positions
+  std::vector<double> charges;     // must sum to ~0 (neutral cell)
+};
+
+class Ewald {
+ public:
+  // eta: splitting parameter; r_cut / g_cut: real/reciprocal cutoffs.
+  Ewald(EwaldSystem system, double eta, double r_cut, double g_cut);
+
+  [[nodiscard]] double potential(const Vec3& r) const;
+  [[nodiscard]] double real_space(const Vec3& r) const;
+  [[nodiscard]] double reciprocal(const Vec3& r) const;
+
+  // Potential at ion i excluding its own charge (Madelung-type value).
+  [[nodiscard]] double potential_at_ion(std::size_t i) const;
+
+  [[nodiscard]] double cell_volume() const { return volume_; }
+  [[nodiscard]] std::size_t n_g_vectors() const { return g_.size(); }
+
+  // Raw reciprocal-space tables, the operands of the tiled CPE kernel:
+  // coefficient_k = 4pi/(V G_k^2) e^{-G_k^2/(4 eta)}; structure factors
+  // A_k, B_k as above.
+  [[nodiscard]] const std::vector<Vec3>& g_vectors() const { return g_; }
+  [[nodiscard]] const std::vector<double>& coefficients() const {
+    return coef_;
+  }
+  [[nodiscard]] const std::vector<double>& structure_cos() const {
+    return str_cos_;
+  }
+  [[nodiscard]] const std::vector<double>& structure_sin() const {
+    return str_sin_;
+  }
+
+ private:
+  EwaldSystem sys_;
+  double eta_;
+  double r_cut_;
+  double volume_ = 0.0;
+  std::vector<Vec3> real_images_;  // lattice translations within reach
+  std::vector<Vec3> g_;
+  std::vector<double> coef_;
+  std::vector<double> str_cos_;
+  std::vector<double> str_sin_;
+};
+
+// Convenience: conventional rock-salt (NaCl-type) cell with lattice constant
+// a and charges +-q, 8 ions; used by tests and the Fig. 12 workload.
+EwaldSystem rock_salt_cell(double a, double q = 1.0);
+
+// Diamond/zinc-blende 8-atom conventional cell with charges q1 on the first
+// sublattice and q2 = -q1 on the second (synthetic polar workload).
+EwaldSystem zinc_blende_cell(double a, double q1);
+
+}  // namespace swraman::hartree

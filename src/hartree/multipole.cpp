@@ -1,0 +1,194 @@
+#include "hartree/multipole.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "grid/ylm.hpp"
+
+namespace swraman::hartree {
+
+MultipoleSolver::MultipoleSolver(const grid::MolecularGrid& grid, int lmax)
+    : grid_(grid), lmax_(lmax) {
+  SWRAMAN_REQUIRE(lmax >= 0, "MultipoleSolver: lmax >= 0");
+  SWRAMAN_REQUIRE(!grid.shells.empty(),
+                  "MultipoleSolver: grid lacks shell structure");
+  n_lm_ = grid::n_lm(lmax_);
+
+  // Precompute Y_lm(u) for every point relative to its owning atom.
+  ylm_.resize(grid_.size() * n_lm_);
+  std::vector<double> y;
+  for (std::size_t p = 0; p < grid_.size(); ++p) {
+    const int a = grid_.owner_atom[p];
+    const Vec3 u = grid_.points[p] - grid_.atoms[static_cast<std::size_t>(a)].pos;
+    grid::real_ylm(u, lmax_, y);
+    std::copy(y.begin(), y.end(), ylm_.begin() + static_cast<long>(p * n_lm_));
+  }
+
+  shells_of_atom_.resize(grid_.atoms.size());
+  for (std::size_t s = 0; s < grid_.shells.size(); ++s) {
+    shells_of_atom_[static_cast<std::size_t>(grid_.shells[s].atom)].push_back(s);
+  }
+  for (auto& list : shells_of_atom_) {
+    std::sort(list.begin(), list.end(), [this](std::size_t a, std::size_t b) {
+      return grid_.shells[a].radius < grid_.shells[b].radius;
+    });
+  }
+}
+
+MultipolePotential MultipoleSolver::solve(
+    const std::vector<double>& density) const {
+  SWRAMAN_REQUIRE(density.size() == grid_.size(),
+                  "MultipoleSolver::solve: density size mismatch");
+  const std::size_t n_atoms = grid_.atoms.size();
+
+  MultipolePotential pot;
+  pot.lmax_ = lmax_;
+  pot.centers_.resize(n_atoms);
+  pot.outer_radius_.assign(n_atoms, 0.0);
+  pot.v_lm_.resize(n_atoms);
+  pot.moments_.assign(n_atoms, std::vector<double>(n_lm_, 0.0));
+
+  for (std::size_t a = 0; a < n_atoms; ++a) {
+    pot.centers_[a] = grid_.atoms[a].pos;
+    const std::vector<std::size_t>& shells = shells_of_atom_[a];
+    if (shells.empty()) continue;
+    const std::size_t ns = shells.size();
+
+    // Project the partitioned density onto Y_lm on each shell.
+    std::vector<double> radii(ns);
+    // rho[lm * ns + s]
+    std::vector<double> rho(n_lm_ * ns, 0.0);
+    for (std::size_t si = 0; si < ns; ++si) {
+      const grid::ShellInfo& sh = grid_.shells[shells[si]];
+      radii[si] = sh.radius;
+      // A shell's angular rule resolves the Y_l * Y_l product only up to
+      // l = order/2; projecting beyond that aliases order-one garbage into
+      // the channel (pruned inner shells have low-order rules). Density is
+      // nearly spherical there, so truncating is the physical choice.
+      const std::size_t lm_cap =
+          std::min(n_lm_, grid::n_lm(sh.angular_order / 2));
+      for (std::size_t k = 0; k < sh.n_points; ++k) {
+        const std::size_t p = sh.first_point + k;
+        const double f =
+            grid_.angular_weight[p] * grid_.partition[p] * density[p];
+        if (f == 0.0) continue;
+        const double* y = &ylm_[p * n_lm_];
+        for (std::size_t lm = 0; lm < lm_cap; ++lm) {
+          rho[lm * ns + si] += f * y[lm];
+        }
+      }
+    }
+
+    pot.outer_radius_[a] = radii.back();
+    pot.v_lm_[a].resize(n_lm_);
+
+    // Radial Green's-function integrals per lm channel, exact spline
+    // integration over the shell radii (+ analytic inner-sphere term).
+    std::vector<double> v_r(ns);
+    std::vector<double> rho_ch(ns);
+    for (int l = 0; l <= lmax_; ++l) {
+      for (int m = -l; m <= l; ++m) {
+        const std::size_t lm = grid::lm_index(l, m);
+        // Physical channels vanish like s^l at the nucleus; angular
+        // quadrature roundoff does not, and the s^{1-l} Green's-function
+        // factor would amplify it catastrophically. Zero everything below
+        // the channel's noise floor.
+        double chmax = 0.0;
+        for (std::size_t s = 0; s < ns; ++s) {
+          chmax = std::max(chmax, std::abs(rho[lm * ns + s]));
+        }
+        for (std::size_t s = 0; s < ns; ++s) {
+          const double v = rho[lm * ns + s];
+          rho_ch[s] = (std::abs(v) < 1e-10 * chmax) ? 0.0 : v;
+        }
+        const double* rl = rho_ch.data();
+
+        // I<(r_k) = integral_0^{r_k} rho s^{l+2} ds: spline integration of
+        // the tabulated integrand plus the analytic inner-sphere term
+        // (rho ~ const below the first shell).
+        std::vector<double> f_lt(ns);
+        std::vector<double> f_gt(ns);
+        for (std::size_t s = 0; s < ns; ++s) {
+          f_lt[s] = rl[s] * std::pow(radii[s], l + 2);
+          f_gt[s] = rl[s] * std::pow(radii[s], 1 - l);
+        }
+        std::vector<double> ilt =
+            CubicSpline(radii, f_lt).cumulative_at_knots();
+        const double inner =
+            rl[0] * std::pow(radii[0], l + 3) / static_cast<double>(l + 3);
+        for (double& v : ilt) v += inner;
+        // I>(r_k) = integral_{r_k}^{rmax} rho s^{1-l} ds.
+        std::vector<double> igt =
+            CubicSpline(radii, f_gt).cumulative_at_knots();
+        const double igt_total = igt.back();
+        for (double& v : igt) v = igt_total - v;
+
+        const double pref = kFourPi / (2.0 * l + 1.0);
+        for (std::size_t s = 0; s < ns; ++s) {
+          v_r[s] = pref * (ilt[s] / std::pow(radii[s], l + 1) +
+                           igt[s] * std::pow(radii[s], l));
+        }
+        pot.moments_[a][lm] = ilt[ns - 1];
+        pot.v_lm_[a][lm] = CubicSpline(radii, v_r);
+      }
+    }
+  }
+  return pot;
+}
+
+std::vector<double> MultipoleSolver::solve_on_grid(
+    const std::vector<double>& density) const {
+  const MultipolePotential pot = solve(density);
+  std::vector<double> v(grid_.size());
+  for (std::size_t p = 0; p < grid_.size(); ++p) {
+    v[p] = pot.value(grid_.points[p]);
+  }
+  return v;
+}
+
+double MultipolePotential::value(const Vec3& point) const {
+  double v = 0.0;
+  std::vector<double> y;
+  const std::size_t n_lm = grid::n_lm(lmax_);
+  for (std::size_t a = 0; a < centers_.size(); ++a) {
+    if (v_lm_[a].empty()) continue;
+    const Vec3 d = point - centers_[a];
+    const double r = std::max(d.norm(), 1e-8);
+    grid::real_ylm(d, lmax_, y);
+    if (r <= outer_radius_[a]) {
+      for (std::size_t lm = 0; lm < n_lm; ++lm) {
+        v += v_lm_[a][lm].value(r) * y[lm];
+      }
+    } else {
+      // Analytic multipole far field.
+      double rpow = r;  // r^{l+1}
+      std::size_t lm = 0;
+      for (int l = 0; l <= lmax_; ++l) {
+        const double pref = kFourPi / (2.0 * l + 1.0) / rpow;
+        for (int m = -l; m <= l; ++m, ++lm) {
+          v += pref * moments_[a][lm] * y[lm];
+        }
+        rpow *= r;
+      }
+    }
+  }
+  return v;
+}
+
+double MultipolePotential::total_charge() const {
+  double q = 0.0;
+  for (const std::vector<double>& m : moments_) {
+    if (!m.empty()) q += m[0] * std::sqrt(kFourPi);
+  }
+  return q;
+}
+
+double MultipolePotential::moment(std::size_t atom, std::size_t lm) const {
+  SWRAMAN_REQUIRE(atom < moments_.size() && lm < moments_[atom].size(),
+                  "MultipolePotential::moment: index");
+  return moments_[atom][lm];
+}
+
+}  // namespace swraman::hartree

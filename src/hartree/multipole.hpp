@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/spline.hpp"
+#include "common/vec3.hpp"
+#include "grid/atom_grid.hpp"
+
+// Multipole electrostatics after Delley (J. Phys. Chem. 100, 6107 (1996)) —
+// the real-space Poisson solver of the paper (Sec. 3.2, "kernel1"). The
+// Becke-partitioned density is projected onto real spherical harmonics on
+// each atom's radial shells,
+//
+//   rho^a_lm(r_s) = sum_{angular points} w_ang Y_lm(u) p_a(x) n(x),
+//
+// each (a, lm) channel is solved by the radial Green's function,
+//
+//   V_lm(r) = 4pi/(2l+1) [ r^-(l+1) I<(r) + r^l I>(r) ],
+//
+// the channels are cubic-splined over the shell radii (the CSI data the
+// vectorized kernel of Algorithm 2 consumes), and the molecular potential is
+// the sum over atoms with analytic multipole far fields.
+
+namespace swraman::hartree {
+
+// The solved potential: per-atom per-lm radial splines plus far-field
+// multipole moments.
+class MultipolePotential {
+ public:
+  // Potential value at an arbitrary point.
+  [[nodiscard]] double value(const Vec3& point) const;
+
+  // Total charge seen by the far field (sum of the l=0 moments); equals the
+  // integrated density when the grid resolves it.
+  [[nodiscard]] double total_charge() const;
+
+  [[nodiscard]] int lmax() const { return lmax_; }
+
+  // Multipole moment q_lm of atom a (flat lm index), defined as
+  // integral rho_lm s^{l+2} ds.
+  [[nodiscard]] double moment(std::size_t atom, std::size_t lm) const;
+
+  // Raw per-atom data, used by the Sunway CSI kernel to build its
+  // structure-of-arrays spline-coefficient tables.
+  [[nodiscard]] const std::vector<Vec3>& centers() const { return centers_; }
+  [[nodiscard]] double outer_radius(std::size_t atom) const {
+    return outer_radius_[atom];
+  }
+  [[nodiscard]] const std::vector<CubicSpline>& channels(
+      std::size_t atom) const {
+    return v_lm_[atom];
+  }
+
+ private:
+  friend class MultipoleSolver;
+  int lmax_ = 0;
+  std::vector<Vec3> centers_;
+  std::vector<double> outer_radius_;             // per atom
+  std::vector<std::vector<CubicSpline>> v_lm_;   // [atom][lm]
+  std::vector<std::vector<double>> moments_;     // [atom][lm]
+};
+
+class MultipoleSolver {
+ public:
+  // The grid must retain its shell structure (grid.shells non-empty).
+  MultipoleSolver(const grid::MolecularGrid& grid, int lmax = 6);
+
+  // Solves Poisson for the density given at the grid points.
+  [[nodiscard]] MultipolePotential solve(
+      const std::vector<double>& density) const;
+
+  // Convenience: potential evaluated back on every grid point.
+  [[nodiscard]] std::vector<double> solve_on_grid(
+      const std::vector<double>& density) const;
+
+  [[nodiscard]] int lmax() const { return lmax_; }
+
+ private:
+  const grid::MolecularGrid& grid_;
+  int lmax_;
+  // Precomputed Y_lm for every grid point (n_points x n_lm, row-major).
+  std::vector<double> ylm_;
+  std::size_t n_lm_ = 0;
+  // Shells grouped per atom, ascending radius.
+  std::vector<std::vector<std::size_t>> shells_of_atom_;
+};
+
+}  // namespace swraman::hartree

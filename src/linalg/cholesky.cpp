@@ -1,0 +1,68 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace swraman::linalg {
+
+Cholesky::Cholesky(const Matrix& b) : l_(b.rows(), b.cols()) {
+  SWRAMAN_REQUIRE(b.rows() == b.cols(), "Cholesky: square matrix required");
+  const std::size_t n = b.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double djj = b(j, j);
+    for (std::size_t k = 0; k < j; ++k) djj -= l_(j, k) * l_(j, k);
+    SWRAMAN_REQUIRE(djj > 0.0, "Cholesky: matrix not positive definite");
+    l_(j, j) = std::sqrt(djj);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = b(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / l_(j, j);
+    }
+  }
+}
+
+Matrix Cholesky::solve_lower(const Matrix& x) const {
+  const std::size_t n = l_.rows();
+  SWRAMAN_REQUIRE(x.rows() == n, "solve_lower: dimension mismatch");
+  Matrix y = x;
+  for (std::size_t j = 0; j < y.cols(); ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = y(i, j);
+      for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y(k, j);
+      y(i, j) = s / l_(i, i);
+    }
+  }
+  return y;
+}
+
+Matrix Cholesky::solve_lower_transposed(const Matrix& x) const {
+  const std::size_t n = l_.rows();
+  SWRAMAN_REQUIRE(x.rows() == n, "solve_lower_transposed: dimension mismatch");
+  Matrix y = x;
+  for (std::size_t j = 0; j < y.cols(); ++j) {
+    for (std::size_t i = n; i-- > 0;) {
+      double s = y(i, j);
+      for (std::size_t k = i + 1; k < n; ++k) s -= l_(k, i) * y(k, j);
+      y(i, j) = s / l_(i, i);
+    }
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::solve(const std::vector<double>& x) const {
+  const std::size_t n = l_.rows();
+  SWRAMAN_REQUIRE(x.size() == n, "Cholesky::solve: dimension mismatch");
+  std::vector<double> y = x;
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = y[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double s = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l_(k, i) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+}  // namespace swraman::linalg

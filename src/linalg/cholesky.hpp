@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+// Cholesky factorization B = L L^T of a symmetric positive-definite matrix,
+// with the triangular solves needed to reduce the generalized symmetric
+// eigenproblem (H C = S C eps) to standard form.
+
+namespace swraman::linalg {
+
+class Cholesky {
+ public:
+  // Factorizes b (reads the lower triangle). Throws swraman::Error if b is
+  // not positive definite.
+  explicit Cholesky(const Matrix& b);
+
+  [[nodiscard]] const Matrix& lower() const { return l_; }
+
+  // Returns L^-1 X (forward substitution applied to each column of X).
+  [[nodiscard]] Matrix solve_lower(const Matrix& x) const;
+
+  // Returns L^-T X (back substitution applied to each column of X).
+  [[nodiscard]] Matrix solve_lower_transposed(const Matrix& x) const;
+
+  // Solves B y = x.
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& x) const;
+
+ private:
+  Matrix l_;
+};
+
+}  // namespace swraman::linalg

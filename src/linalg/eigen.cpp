@@ -1,0 +1,202 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/cholesky.hpp"
+
+namespace swraman::linalg {
+
+namespace {
+
+double hypot2(double a, double b) { return std::hypot(a, b); }
+
+// Householder reduction of symmetric a (modified in place into the
+// accumulated orthogonal transform) to tridiagonal form; d receives the
+// diagonal, e the sub-diagonal in e[1..n-1] (e[0] = 0). Classic tred2.
+void tred2(Matrix& a, std::vector<double>& d, std::vector<double>& e) {
+  const std::size_t n = a.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  if (n == 0) return;
+
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (std::size_t k = 0; k <= l; ++k) scale += std::abs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (std::size_t k = 0; k <= j; ++k)
+            a(j, k) -= f * e[k] + g * a(i, k);
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d[i] != 0.0) {
+      for (std::size_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (std::size_t k = 0; k < i; ++k) g += a(i, k) * a(k, j);
+        for (std::size_t k = 0; k < i; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    d[i] = a(i, i);
+    a(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      a(j, i) = 0.0;
+      a(i, j) = 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+void tql2(std::vector<double>& d, std::vector<double>& e, Matrix* vectors) {
+  const std::size_t n = d.size();
+  if (n == 0) return;
+  SWRAMAN_REQUIRE(e.size() == n - 1 || e.size() == n,
+                  "tql2: subdiagonal size must be n-1 or n");
+  // Internal convention: f[i] couples d[i-1], d[i]; shift input accordingly.
+  std::vector<double> f(n, 0.0);
+  if (e.size() == n - 1) {
+    for (std::size_t i = 1; i < n; ++i) f[i] = e[i - 1];
+  } else {
+    f = e;
+  }
+  for (std::size_t i = 1; i < n; ++i) f[i - 1] = f[i];
+  f[n - 1] = 0.0;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m = l;
+    for (;;) {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(f[m]) <= 1e-300 ||
+            std::abs(f[m]) <= 1e-15 * dd)
+          break;
+      }
+      if (m == l) break;
+      SWRAMAN_REQUIRE(++iter <= 50, "tql2: too many iterations");
+      double g = (d[l + 1] - d[l]) / (2.0 * f[l]);
+      double r = hypot2(g, 1.0);
+      g = d[m] - d[l] + f[l] / (g + (g >= 0.0 ? std::abs(r) : -std::abs(r)));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      for (std::size_t i = m; i-- > l;) {
+        double fi = s * f[i];
+        const double b = c * f[i];
+        r = hypot2(fi, g);
+        f[i + 1] = r;
+        if (r == 0.0) {
+          d[i + 1] -= p;
+          f[m] = 0.0;
+          break;
+        }
+        s = fi / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+        if (vectors != nullptr) {
+          Matrix& z = *vectors;
+          for (std::size_t k = 0; k < z.rows(); ++k) {
+            fi = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * fi;
+            z(k, i) = c * z(k, i) - s * fi;
+          }
+        }
+      }
+      if (r == 0.0 && m > l + 1) continue;
+      d[l] -= p;
+      f[l] = g;
+      f[m] = 0.0;
+    }
+  }
+
+  // Sort ascending, permuting eigenvector columns alongside.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+  std::vector<double> ds(n);
+  for (std::size_t j = 0; j < n; ++j) ds[j] = d[order[j]];
+  d = ds;
+  if (vectors != nullptr) {
+    Matrix sorted(vectors->rows(), n);
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < vectors->rows(); ++k)
+        sorted(k, j) = (*vectors)(k, order[j]);
+    *vectors = std::move(sorted);
+  }
+}
+
+EigenResult eigh(const Matrix& a) {
+  SWRAMAN_REQUIRE(a.rows() == a.cols(), "eigh: square matrix required");
+  const std::size_t n = a.rows();
+  EigenResult res;
+  if (n == 0) return res;
+
+  Matrix z = a;
+  z.symmetrize();
+  std::vector<double> d;
+  std::vector<double> e;
+  tred2(z, d, e);
+  // tred2 produces e with e[0]=0, couplings at e[1..n-1]; convert to the
+  // (n-1)-length convention expected by tql2.
+  std::vector<double> sub(e.begin() + 1, e.end());
+  tql2(d, sub, &z);
+  res.values = std::move(d);
+  res.vectors = std::move(z);
+  return res;
+}
+
+EigenResult eigh_generalized(const Matrix& a, const Matrix& b) {
+  SWRAMAN_REQUIRE(a.rows() == a.cols() && b.rows() == b.cols() &&
+                      a.rows() == b.rows(),
+                  "eigh_generalized: shape mismatch");
+  // B = L L^T; solve (L^-1 A L^-T) y = lambda y, then x = L^-T y.
+  const Cholesky chol(b);
+  Matrix c = chol.solve_lower(a);       // L^-1 A
+  c = chol.solve_lower(c.transposed()); // L^-1 (L^-1 A)^T = L^-1 A^T L^-T
+  EigenResult res = eigh(c);
+  res.vectors = chol.solve_lower_transposed(res.vectors);
+  return res;
+}
+
+}  // namespace swraman::linalg

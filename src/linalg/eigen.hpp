@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+// Dense symmetric eigensolvers: Householder tridiagonalization followed by
+// the implicit-shift QL algorithm (the classical EISPACK tred2/tql2 pair,
+// reimplemented). Suitable for the basis dimensions of this project
+// (n up to a few thousand).
+
+namespace swraman::linalg {
+
+struct EigenResult {
+  std::vector<double> values;  // ascending
+  Matrix vectors;              // column j is the eigenvector of values[j]
+};
+
+// Solves A v = lambda v for symmetric A. Only the lower triangle is read.
+EigenResult eigh(const Matrix& a);
+
+// Solves the generalized problem A v = lambda B v for symmetric A and
+// symmetric positive-definite B (the KS secular equation H C = S C eps).
+// Returned vectors are B-orthonormal: V^T B V = I.
+EigenResult eigh_generalized(const Matrix& a, const Matrix& b);
+
+// Eigen decomposition of a symmetric tridiagonal matrix given by its
+// diagonal d and sub-diagonal e (e has size n-1); if vectors is non-null it
+// must be initialized (typically to identity or a transformation matrix) and
+// is rotated in place. Used directly by the radial atomic solver.
+void tql2(std::vector<double>& d, std::vector<double>& e, Matrix* vectors);
+
+}  // namespace swraman::linalg

@@ -1,0 +1,87 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace swraman::linalg {
+
+Lu::Lu(Matrix a) : lu_(std::move(a)) {
+  SWRAMAN_REQUIRE(lu_.rows() == lu_.cols(), "Lu: square matrix required");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), 0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best == 0.0) {
+      singular_ = true;
+      continue;
+    }
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(lu_(p, j), lu_(k, j));
+      std::swap(perm_[p], perm_[k]);
+      sign_ = -sign_;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      lu_(i, k) /= lu_(k, k);
+      const double m = lu_(i, k);
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+}
+
+double Lu::determinant() const {
+  if (singular_) return 0.0;
+  double det = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::vector<double> Lu::solve(const std::vector<double>& b) const {
+  SWRAMAN_REQUIRE(!singular_, "Lu::solve: singular matrix");
+  const std::size_t n = lu_.rows();
+  SWRAMAN_REQUIRE(b.size() == n, "Lu::solve: dimension mismatch");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = x[i];
+    for (std::size_t k = 0; k < i; ++k) s -= lu_(i, k) * x[k];
+    x[i] = s;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double s = x[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= lu_(i, k) * x[k];
+    x[i] = s / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  SWRAMAN_REQUIRE(b.rows() == lu_.rows(), "Lu::solve: dimension mismatch");
+  Matrix x(b.rows(), b.cols());
+  std::vector<double> col(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    const std::vector<double> sol = solve(col);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+Matrix Lu::inverse() const { return solve(Matrix::identity(lu_.rows())); }
+
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b) {
+  return Lu(a).solve(b);
+}
+
+}  // namespace swraman::linalg

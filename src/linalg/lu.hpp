@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+// LU factorization with partial pivoting; used for general linear solves
+// (e.g. the DIIS extrapolation system, which is symmetric indefinite).
+
+namespace swraman::linalg {
+
+class Lu {
+ public:
+  explicit Lu(Matrix a);
+
+  [[nodiscard]] bool singular() const { return singular_; }
+  [[nodiscard]] double determinant() const;
+
+  // Solves A x = b. Throws swraman::Error when the factorization is singular.
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+  [[nodiscard]] Matrix inverse() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;
+  bool singular_ = false;
+};
+
+// Convenience: x = A^-1 b.
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace swraman::linalg

@@ -1,0 +1,372 @@
+#include "parallel/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace swraman::parallel {
+
+// Shared state of one communicator: mailboxes keyed by (src, dst, tag),
+// a generation-counting barrier, and scratch used by split().
+class CommContext {
+ public:
+  explicit CommContext(std::size_t n) : n_(n), split_colors_(n, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  void post(std::size_t src, std::size_t dst, int tag,
+            std::vector<double> data) {
+    const std::scoped_lock lock(mutex_);
+    mail_[key(src, dst, tag)].push(std::move(data));
+    cv_.notify_all();
+  }
+
+  std::vector<double> take(std::size_t src, std::size_t dst, int tag) {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t k = key(src, dst, tag);
+    cv_.wait(lock, [&] {
+      const auto it = mail_.find(k);
+      return it != mail_.end() && !it->second.empty();
+    });
+    auto& q = mail_[k];
+    std::vector<double> data = std::move(q.front());
+    q.pop();
+    return data;
+  }
+
+  void barrier() {
+    std::unique_lock lock(mutex_);
+    const std::size_t gen = barrier_gen_;
+    if (++barrier_count_ == n_) {
+      barrier_count_ = 0;
+      ++barrier_gen_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return barrier_gen_ != gen; });
+    }
+  }
+
+  // Collective split: every rank posts its color; the call returns the
+  // shared child context plus this rank's position within its color group.
+  std::pair<std::shared_ptr<CommContext>, std::size_t> split(
+      std::size_t rank, int color) {
+    std::unique_lock lock(mutex_);
+    split_colors_[rank] = color;
+    const std::size_t gen = split_gen_;
+    if (++split_count_ == n_) {
+      split_children_.clear();
+      for (std::size_t r = 0; r < n_; ++r) {
+        auto& group = split_children_[split_colors_[r]];
+        if (group.ctx == nullptr) group.ctx = nullptr;  // created below
+        group.members.push_back(r);
+      }
+      for (auto& [c, group] : split_children_) {
+        group.ctx = std::make_shared<CommContext>(group.members.size());
+      }
+      split_count_ = 0;
+      ++split_gen_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return split_gen_ != gen; });
+    }
+    const auto& group = split_children_.at(color);
+    const auto it =
+        std::find(group.members.begin(), group.members.end(), rank);
+    return {group.ctx,
+            static_cast<std::size_t>(it - group.members.begin())};
+  }
+
+ private:
+  static std::uint64_t key(std::size_t src, std::size_t dst, int tag) {
+    return (static_cast<std::uint64_t>(src) << 40) ^
+           (static_cast<std::uint64_t>(dst) << 16) ^
+           static_cast<std::uint64_t>(static_cast<unsigned>(tag));
+  }
+
+  struct SplitGroup {
+    std::shared_ptr<CommContext> ctx;
+    std::vector<std::size_t> members;
+  };
+
+  std::size_t n_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::queue<std::vector<double>>> mail_;
+  std::size_t barrier_count_ = 0;
+  std::size_t barrier_gen_ = 0;
+  std::vector<int> split_colors_;
+  std::size_t split_count_ = 0;
+  std::size_t split_gen_ = 0;
+  std::map<int, SplitGroup> split_children_;
+};
+
+Communicator::Communicator(std::shared_ptr<CommContext> ctx, std::size_t rank)
+    : ctx_(std::move(ctx)), rank_(rank) {}
+
+std::size_t Communicator::size() const { return ctx_->size(); }
+
+void Communicator::barrier() { ctx_->barrier(); }
+
+void Communicator::send(std::size_t dest, const std::vector<double>& data,
+                        int tag) {
+  SWRAMAN_REQUIRE(dest < size(), "send: destination rank out of range");
+  ctx_->post(rank_, dest, tag, data);
+}
+
+std::vector<double> Communicator::recv(std::size_t src, int tag) {
+  SWRAMAN_REQUIRE(src < size(), "recv: source rank out of range");
+  return ctx_->take(src, rank_, tag);
+}
+
+void Communicator::broadcast(std::vector<double>& data, std::size_t root) {
+  if (size() == 1) return;
+  if (rank_ == root) {
+    for (std::size_t r = 0; r < size(); ++r) {
+      if (r != root) send(r, data, -101);
+    }
+  } else {
+    data = recv(root, -101);
+  }
+}
+
+void Communicator::allreduce(std::vector<double>& data,
+                             AllreduceAlgorithm algorithm) {
+  if (size() == 1) return;
+  switch (algorithm) {
+    case AllreduceAlgorithm::Linear:
+      allreduce_linear(data);
+      break;
+    case AllreduceAlgorithm::Ring:
+      allreduce_ring(data);
+      break;
+    case AllreduceAlgorithm::RecursiveDoubling:
+      allreduce_recursive_doubling(data);
+      break;
+    case AllreduceAlgorithm::ReduceScatterAllgather:
+      allreduce_rsag(data, false);
+      break;
+    case AllreduceAlgorithm::CpePipelined:
+      allreduce_rsag(data, true);
+      break;
+  }
+}
+
+namespace {
+
+// Plain elementwise accumulate.
+void reduce_into(std::vector<double>& acc, const std::vector<double>& in) {
+  SWRAMAN_REQUIRE(acc.size() == in.size(), "allreduce: size mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+}
+
+// The CPE-offloaded local reduction of paper Algorithm 3: the array is
+// processed in LDM-sized blocks through a double-buffered pipeline. The
+// numerics are identical; the chunked structure is what the Sunway cost
+// model charges differently (see sunway/cost_model).
+void reduce_into_pipelined(std::vector<double>& acc,
+                           const std::vector<double>& in) {
+  SWRAMAN_REQUIRE(acc.size() == in.size(), "allreduce: size mismatch");
+  constexpr std::size_t kBlk = 256 * 1024 / 4 / sizeof(double);
+  for (std::size_t base = 0; base < acc.size(); base += kBlk) {
+    const std::size_t end = std::min(acc.size(), base + kBlk);
+    for (std::size_t i = base; i < end; ++i) acc[i] += in[i];
+  }
+}
+
+}  // namespace
+
+void Communicator::allreduce_linear(std::vector<double>& data) {
+  if (rank_ == 0) {
+    for (std::size_t r = 1; r < size(); ++r) {
+      reduce_into(data, recv(r, -201));
+    }
+  } else {
+    send(0, data, -201);
+  }
+  broadcast(data, 0);
+}
+
+void Communicator::allreduce_ring(std::vector<double>& data) {
+  const std::size_t p = size();
+  const std::size_t n = data.size();
+  if (n == 0) {
+    barrier();
+    return;
+  }
+  // Chunk boundaries.
+  const auto lo = [&](std::size_t c) { return c * n / p; };
+  const auto hi = [&](std::size_t c) { return (c + 1) * n / p; };
+  const std::size_t next = (rank_ + 1) % p;
+  const std::size_t prev = (rank_ + p - 1) % p;
+
+  // Reduce-scatter: after p-1 steps, rank r owns the full sum of chunk
+  // (r+1) mod p.
+  for (std::size_t step = 0; step < p - 1; ++step) {
+    const std::size_t send_chunk = (rank_ + p - step) % p;
+    const std::size_t recv_chunk = (rank_ + p - step - 1) % p;
+    std::vector<double> out(data.begin() + static_cast<long>(lo(send_chunk)),
+                            data.begin() + static_cast<long>(hi(send_chunk)));
+    send(next, out, -300 - static_cast<int>(step));
+    const std::vector<double> in =
+        recv(prev, -300 - static_cast<int>(step));
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      data[lo(recv_chunk) + i] += in[i];
+    }
+  }
+  // Allgather ring.
+  for (std::size_t step = 0; step < p - 1; ++step) {
+    const std::size_t send_chunk = (rank_ + 1 + p - step) % p;
+    const std::size_t recv_chunk = (rank_ + p - step) % p;
+    std::vector<double> out(data.begin() + static_cast<long>(lo(send_chunk)),
+                            data.begin() + static_cast<long>(hi(send_chunk)));
+    send(next, out, -400 - static_cast<int>(step));
+    const std::vector<double> in =
+        recv(prev, -400 - static_cast<int>(step));
+    std::copy(in.begin(), in.end(),
+              data.begin() + static_cast<long>(lo(recv_chunk)));
+  }
+}
+
+void Communicator::allreduce_recursive_doubling(std::vector<double>& data) {
+  const std::size_t p = size();
+  // Fold the non-power-of-two remainder into the lower ranks first.
+  std::size_t pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  const std::size_t rem = p - pof2;
+
+  long my_id = -1;  // id within the power-of-two group, -1 = folded out
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 0) {
+      send(rank_ + 1, data, -500);
+      my_id = -1;
+    } else {
+      reduce_into(data, recv(rank_ - 1, -500));
+      my_id = static_cast<long>(rank_ / 2);
+    }
+  } else {
+    my_id = static_cast<long>(rank_ - rem);
+  }
+
+  if (my_id >= 0) {
+    for (std::size_t mask = 1; mask < pof2; mask <<= 1) {
+      const std::size_t partner_id =
+          static_cast<std::size_t>(my_id) ^ mask;
+      const std::size_t partner_rank = partner_id < rem
+                                           ? 2 * partner_id + 1
+                                           : partner_id + rem;
+      send(partner_rank, data, -600 - static_cast<int>(mask));
+      reduce_into(data, recv(partner_rank, -600 - static_cast<int>(mask)));
+    }
+  }
+
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 1) {
+      send(rank_ - 1, data, -700);
+    } else {
+      data = recv(rank_ + 1, -700);
+    }
+  }
+}
+
+void Communicator::allreduce_rsag(std::vector<double>& data,
+                                  bool pipelined_local) {
+  const std::size_t p = size();
+  const std::size_t n = data.size();
+  const auto combine = pipelined_local ? reduce_into_pipelined : reduce_into;
+
+  // Non-power-of-two: fall back to linear fold into recursive halving is
+  // intricate; a ring pass keeps correctness with the same local-reduce
+  // kernel. Power-of-two uses true recursive halving + doubling.
+  std::size_t pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  if (pof2 != p || n < p) {
+    // Same communication volume class; local reductions go through the
+    // (possibly pipelined) combine.
+    if (rank_ == 0) {
+      for (std::size_t r = 1; r < p; ++r) combine(data, recv(r, -801));
+    } else {
+      send(0, data, -801);
+    }
+    broadcast(data, 0);
+    return;
+  }
+
+  // Recursive halving reduce-scatter: at step k my active window halves.
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  for (std::size_t mask = p / 2; mask >= 1; mask >>= 1) {
+    const std::size_t partner = rank_ ^ mask;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const bool keep_low = (rank_ & mask) == 0;
+    const std::size_t send_lo = keep_low ? mid : lo;
+    const std::size_t send_hi = keep_low ? hi : mid;
+    std::vector<double> out(data.begin() + static_cast<long>(send_lo),
+                            data.begin() + static_cast<long>(send_hi));
+    send(partner, out, -900 - static_cast<int>(mask));
+    const std::vector<double> in =
+        recv(partner, -900 - static_cast<int>(mask));
+    const std::size_t keep_lo = keep_low ? lo : mid;
+    std::vector<double> window(data.begin() + static_cast<long>(keep_lo),
+                               data.begin() +
+                                   static_cast<long>(keep_lo + in.size()));
+    combine(window, in);
+    std::copy(window.begin(), window.end(),
+              data.begin() + static_cast<long>(keep_lo));
+    if (keep_low) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  // Recursive doubling allgather: windows merge back.
+  for (std::size_t mask = 1; mask < p; mask <<= 1) {
+    const std::size_t partner = rank_ ^ mask;
+    std::vector<double> out(data.begin() + static_cast<long>(lo),
+                            data.begin() + static_cast<long>(hi));
+    send(partner, out, -1000 - static_cast<int>(mask));
+    const std::vector<double> in =
+        recv(partner, -1000 - static_cast<int>(mask));
+    if ((rank_ & mask) == 0) {
+      // Partner owned the upper half adjacent to ours.
+      std::copy(in.begin(), in.end(), data.begin() + static_cast<long>(hi));
+      hi += in.size();
+    } else {
+      std::copy(in.begin(), in.end(),
+                data.begin() + static_cast<long>(lo - in.size()));
+      lo -= in.size();
+    }
+  }
+}
+
+Communicator Communicator::split(int color) {
+  auto [child, new_rank] = ctx_->split(rank_, color);
+  return Communicator(child, new_rank);
+}
+
+void run_spmd(std::size_t n_ranks,
+              const std::function<void(Communicator&)>& fn) {
+  SWRAMAN_REQUIRE(n_ranks >= 1, "run_spmd: need at least one rank");
+  auto ctx = std::make_shared<CommContext>(n_ranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(n_ranks);
+  threads.reserve(n_ranks);
+  for (std::size_t r = 0; r < n_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Communicator comm(ctx, r);
+        fn(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace swraman::parallel

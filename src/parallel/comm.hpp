@@ -1,0 +1,69 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+// SPMD message-passing runtime over std::thread — the stand-in for MPI
+// (DESIGN.md S4). Ranks are threads sharing a CommContext of mailboxes;
+// the API mirrors the MPI subset the paper's code needs: point-to-point,
+// barrier, broadcast, communicator split (the geometry-level sub-groups of
+// Fig. 4), and Allreduce in five algorithm variants including the paper's
+// "Reduce-Scatter followed by Allgather" (Sec. 3.4).
+
+namespace swraman::parallel {
+
+enum class AllreduceAlgorithm {
+  Linear,                  // gather to root, reduce, broadcast
+  Ring,                    // ring reduce-scatter + ring allgather
+  RecursiveDoubling,       // log2(P) pairwise exchanges
+  ReduceScatterAllgather,  // Rabenseifner (the paper's baseline optimized)
+  CpePipelined,            // same pattern, local reduce via chunked pipeline
+};
+
+class CommContext;
+
+class Communicator {
+ public:
+  Communicator(std::shared_ptr<CommContext> ctx, std::size_t rank);
+
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  [[nodiscard]] std::size_t size() const;
+
+  void barrier();
+
+  void send(std::size_t dest, const std::vector<double>& data, int tag = 0);
+  [[nodiscard]] std::vector<double> recv(std::size_t src, int tag = 0);
+
+  // Root's data is copied to everyone.
+  void broadcast(std::vector<double>& data, std::size_t root = 0);
+
+  // Element-wise sum across ranks; result available on every rank.
+  void allreduce(std::vector<double>& data,
+                 AllreduceAlgorithm algorithm = AllreduceAlgorithm::Ring);
+
+  // Collective: every rank calls with its color; returns a communicator
+  // over the ranks sharing the color (ranks ordered by parent rank).
+  [[nodiscard]] Communicator split(int color);
+
+ private:
+  std::shared_ptr<CommContext> ctx_;
+  std::size_t rank_;
+
+  void allreduce_linear(std::vector<double>& data);
+  void allreduce_ring(std::vector<double>& data);
+  void allreduce_recursive_doubling(std::vector<double>& data);
+  void allreduce_rsag(std::vector<double>& data, bool pipelined_local);
+};
+
+// Launches fn on n_ranks threads, each receiving its Communicator. Any
+// exception on a rank is rethrown on the caller after all threads join.
+void run_spmd(std::size_t n_ranks,
+              const std::function<void(Communicator&)>& fn);
+
+}  // namespace swraman::parallel

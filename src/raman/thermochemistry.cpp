@@ -1,0 +1,49 @@
+#include "raman/thermochemistry.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace swraman::raman {
+
+Thermochemistry harmonic_thermochemistry(
+    const std::vector<double>& frequencies_cm, double temperature_k,
+    double floor_cm) {
+  SWRAMAN_REQUIRE(temperature_k > 0.0,
+                  "harmonic_thermochemistry: temperature > 0");
+  Thermochemistry t;
+  t.temperature = temperature_k;
+  const double kt = kBoltzmannHa * temperature_k;
+
+  for (double nu : frequencies_cm) {
+    if (nu < floor_cm) continue;
+    const double hw = nu / kCmInvPerAu;  // Hartree
+    const double x = hw / kt;
+    t.zero_point_energy += 0.5 * hw;
+    // Thermal part of the harmonic oscillator.
+    const double expm = std::expm1(x);  // e^x - 1, stable for small x
+    t.vibrational_energy += hw / expm;
+    // S = kB [x/(e^x - 1) - ln(1 - e^{-x})].
+    t.vibrational_entropy +=
+        kBoltzmannHa * (x / expm - std::log1p(-std::exp(-x)));
+    // Cv = kB x^2 e^x / (e^x - 1)^2.
+    const double ex = std::exp(x);
+    t.heat_capacity += kBoltzmannHa * x * x * ex / (expm * expm);
+  }
+  t.free_energy = t.zero_point_energy + t.vibrational_energy -
+                  temperature_k * t.vibrational_entropy;
+  return t;
+}
+
+Thermochemistry harmonic_thermochemistry(const RamanSpectrum& spectrum,
+                                         double temperature_k) {
+  std::vector<double> freqs;
+  freqs.reserve(spectrum.modes.size());
+  for (const RamanMode& m : spectrum.modes) {
+    freqs.push_back(m.frequency_cm);
+  }
+  return harmonic_thermochemistry(freqs, temperature_k);
+}
+
+}  // namespace swraman::raman

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "raman/raman.hpp"
+
+// Harmonic vibrational thermochemistry from the computed frequencies: zero-
+// point energy, vibrational internal energy / entropy / heat capacity and
+// free-energy contributions in the harmonic-oscillator partition function.
+
+namespace swraman::raman {
+
+struct Thermochemistry {
+  double zero_point_energy = 0.0;     // Hartree
+  double vibrational_energy = 0.0;    // Hartree, thermal part (excl. ZPE)
+  double vibrational_entropy = 0.0;   // Hartree / K
+  double heat_capacity = 0.0;         // Hartree / K (Cv, vibrational)
+  double free_energy = 0.0;           // ZPE + U_vib - T S_vib, Hartree
+  double temperature = 298.15;        // K
+};
+
+// Computes harmonic thermochemistry from vibrational frequencies (cm^-1);
+// frequencies below `floor_cm` (rigid-body residue / imaginary modes) are
+// skipped, as is conventional.
+Thermochemistry harmonic_thermochemistry(
+    const std::vector<double>& frequencies_cm, double temperature_k = 298.15,
+    double floor_cm = 20.0);
+
+// Convenience overload on a computed Raman spectrum.
+Thermochemistry harmonic_thermochemistry(const RamanSpectrum& spectrum,
+                                         double temperature_k = 298.15);
+
+}  // namespace swraman::raman

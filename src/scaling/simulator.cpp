@@ -1,0 +1,158 @@
+#include "scaling/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace swraman::scaling {
+
+double geometry_jitter(std::size_t geometry_id) {
+  std::uint64_t x = static_cast<std::uint64_t>(geometry_id) + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x = x ^ (x >> 31);
+  // Map to [-1, 1].
+  return 2.0 * (static_cast<double>(x >> 11) / 9007199254740992.0) - 1.0;
+}
+
+ScalabilitySimulator::ScalabilitySimulator(RamanJob job, MachineModel machine,
+                                           std::size_t processes_per_group)
+    : job_(std::move(job)),
+      machine_(std::move(machine)),
+      group_size_(processes_per_group) {
+  SWRAMAN_REQUIRE(group_size_ >= 1, "simulator: group size >= 1");
+  SWRAMAN_REQUIRE(job_.n_polarizabilities >= 1, "simulator: empty job");
+}
+
+double ScalabilitySimulator::dfpt_iteration_time(
+    std::size_t group_size, std::size_t n_groups) const {
+  SWRAMAN_REQUIRE(group_size >= 1, "dfpt_iteration_time: group size");
+  const double p = static_cast<double>(group_size);
+
+  // Level-2 batch distribution: Algorithm 1 keeps the point imbalance to
+  // at most ~half a batch above the mean.
+  const double total_points =
+      static_cast<double>(job_.n_batches) * job_.points_per_batch;
+  const double mean_points = total_points / p;
+  const double imbalance =
+      1.0 + 0.5 * job_.points_per_batch / std::max(mean_points, 1.0);
+
+  const auto share = [&](const sunway::KernelWorkload& w) {
+    sunway::KernelWorkload s = w;
+    s.elements = w.elements / p * imbalance;
+    return s;
+  };
+
+  double t = 0.0;
+  for (const sunway::KernelWorkload* w : {&job_.n1, &job_.v1, &job_.h1}) {
+    if (machine_.cpu) {
+      t += modeled_cpu_time(share(*w), machine_.node);
+    } else {
+      t += modeled_time(share(*w), machine_.node, machine_.variant);
+    }
+  }
+  const double contention =
+      1.0 + job_.comm_contention *
+                std::log2(static_cast<double>(std::max<std::size_t>(
+                    n_groups, 1)) + 1.0);
+  t += contention * modeled_allreduce_time(job_.allreduce_bytes, group_size,
+                                           machine_.node, machine_.allreduce);
+  if (!machine_.cpu) t += job_.mpe_serial_seconds;
+  return t;
+}
+
+double ScalabilitySimulator::geometry_time(std::size_t geometry_id,
+                                           std::size_t group_size,
+                                           std::size_t n_groups) const {
+  const double iter = dfpt_iteration_time(group_size, n_groups);
+  const double cycles =
+      job_.scf_iterations +
+      job_.response_directions * job_.dfpt_iterations;
+  const double jitter =
+      1.0 + job_.iteration_variance * geometry_jitter(geometry_id);
+  return iter * cycles * jitter;
+}
+
+double ScalabilitySimulator::simulate(std::size_t n_processes) const {
+  SWRAMAN_REQUIRE(n_processes >= 1, "simulate: n_processes >= 1");
+  const std::size_t group = std::min(group_size_, n_processes);
+  const std::size_t n_groups = std::max<std::size_t>(1, n_processes / group);
+
+  // Level 1: geometries dealt round-robin to groups; each group's time is
+  // the sum of its geometries, the job finishes at the slowest group.
+  double t_max = 0.0;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    double t_group = 0.0;
+    for (std::size_t j = g; j < job_.n_polarizabilities; j += n_groups) {
+      t_group += geometry_time(j, group, n_groups);
+    }
+    t_max = std::max(t_max, t_group);
+  }
+
+  // Job-level synchronization / system overhead: charged per DFPT cycle
+  // along the critical path (the slowest group's geometry chain).
+  const double log2p = std::log2(static_cast<double>(n_processes) + 1.0);
+  const std::size_t geoms_critical =
+      (job_.n_polarizabilities + n_groups - 1) / n_groups;
+  const double cycles = job_.scf_iterations +
+                        job_.response_directions * job_.dfpt_iterations;
+  const double sync = job_.global_sync_us * 1e-6 * log2p * log2p *
+                      static_cast<double>(geoms_critical) * cycles;
+
+  // Result collection.
+  const double alpha = machine_.node.net_latency_us * 1e-6;
+  const double collect =
+      log2p * alpha * static_cast<double>(job_.n_polarizabilities) / 8.0;
+  return t_max + sync + collect;
+}
+
+std::vector<ScalingPoint> ScalabilitySimulator::strong_scaling(
+    const std::vector<std::size_t>& process_counts) const {
+  SWRAMAN_REQUIRE(!process_counts.empty(), "strong_scaling: empty sweep");
+  std::vector<ScalingPoint> out;
+  const double t_ref = simulate(process_counts.front());
+  for (std::size_t p : process_counts) {
+    ScalingPoint pt;
+    pt.n_processes = p;
+    pt.n_cores = p * machine_.cores_per_process;
+    pt.time_seconds = simulate(p);
+    pt.speedup = t_ref / pt.time_seconds;
+    const double ideal = static_cast<double>(p) /
+                         static_cast<double>(process_counts.front());
+    pt.efficiency = pt.speedup / ideal;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<ScalingPoint> ScalabilitySimulator::weak_scaling(
+    const std::vector<std::size_t>& process_counts) const {
+  SWRAMAN_REQUIRE(!process_counts.empty(), "weak_scaling: empty sweep");
+  std::vector<ScalingPoint> out;
+  double t_ref = 0.0;
+  for (std::size_t p : process_counts) {
+    // Scale the polarizability count with the machine.
+    RamanJob scaled = job_;
+    const std::size_t groups =
+        std::max<std::size_t>(1, p / std::min(group_size_, p));
+    scaled.n_polarizabilities = groups * std::max<std::size_t>(
+        1, job_.n_polarizabilities /
+               std::max<std::size_t>(1, process_counts.front() /
+                                            std::min(group_size_,
+                                                     process_counts.front())));
+    ScalabilitySimulator sim(scaled, machine_, group_size_);
+    ScalingPoint pt;
+    pt.n_processes = p;
+    pt.n_cores = p * machine_.cores_per_process;
+    pt.time_seconds = sim.simulate(p);
+    if (t_ref == 0.0) t_ref = pt.time_seconds;
+    pt.speedup = 1.0;
+    pt.efficiency = t_ref / pt.time_seconds;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace swraman::scaling

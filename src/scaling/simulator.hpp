@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sunway/cost_model.hpp"
+
+// Discrete-event scalability model of the paper's 3-level parallelization
+// (Fig. 4) at full machine scale. A Raman job is a set of independent
+// polarizability calculations (level 1: geometry sub-groups); each runs a
+// DFPT cycle whose per-iteration cost is the sum of the three grid kernels
+// over the batches owned by each process (level 2: Algorithm-1 batch
+// distribution) executed on the CPE cluster (level 3), plus the Allreduce
+// that synchronizes the response density/Hamiltonian.
+//
+// Efficiency losses emerge from the model rather than being scripted:
+//  * geometry granularity: ceil(n_pol / n_groups) quantization,
+//  * per-geometry DFPT iteration-count variance (deterministically hashed),
+//    whose *maximum* over groups grows with the group count — the dominant
+//    term at 300,800 processes,
+//  * batch-level load imbalance within a group,
+//  * collective costs growing with log(P).
+
+namespace swraman::scaling {
+
+struct RamanJob {
+  std::size_t n_polarizabilities = 1175;  // paper's strong-scaling setup
+  std::size_t n_batches = 20000;          // per geometry
+  double points_per_batch = 200.0;
+  double scf_iterations = 12.0;           // ground state per geometry
+  double dfpt_iterations = 14.0;          // per response direction
+  double response_directions = 3.0;
+  // Per-geometry kernel workloads for ONE DFPT iteration over the whole
+  // grid (split across the group's processes by the simulator).
+  sunway::KernelWorkload n1;
+  sunway::KernelWorkload v1;
+  sunway::KernelWorkload h1;
+  double allreduce_bytes = 8e6;           // per DFPT iteration
+  double iteration_variance = 0.18;       // relative spread across geometries
+  // Interconnect contention: collective bandwidth degrades as more groups
+  // share the fabric (factor 1 + c * log2(n_groups)).
+  double comm_contention = 0.10;
+  // MPE-serial per-iteration work not offloaded to the CPEs (accelerator
+  // machines only; on a CPU the same core runs it inside the kernels).
+  double mpe_serial_seconds = 0.0;
+  // Job-level synchronization / system overhead per DFPT cycle, growing
+  // with machine size: t = global_sync_us * 1e-6 * log2(P)^2.
+  double global_sync_us = 18.0;
+};
+
+struct MachineModel {
+  sunway::ArchParams node;                // one process's compute unit
+  sunway::Variant variant = sunway::Variant::CpeTiledDbSimd;
+  bool cpu = false;                       // CPU path: modeled_cpu_time
+  sunway::AllreduceModel allreduce;       // collective configuration
+  std::size_t cores_per_process = 65;     // MPE + 64 CPEs (axis labels)
+};
+
+struct ScalingPoint {
+  std::size_t n_processes = 0;
+  std::size_t n_cores = 0;
+  double time_seconds = 0.0;
+  double speedup = 1.0;      // relative to the smallest run in the sweep
+  double efficiency = 1.0;   // speedup / ideal
+};
+
+class ScalabilitySimulator {
+ public:
+  ScalabilitySimulator(RamanJob job, MachineModel machine,
+                       std::size_t processes_per_group = 256);
+
+  // Total wall time of the job on n_processes.
+  [[nodiscard]] double simulate(std::size_t n_processes) const;
+
+  // Time of one DFPT iteration of one geometry on a group of `group_size`
+  // processes (the Fig. 14 quantity); n_groups models fabric contention
+  // from concurrently communicating sub-groups.
+  [[nodiscard]] double dfpt_iteration_time(std::size_t group_size,
+                                           std::size_t n_groups = 1) const;
+
+  // Strong scaling: fixed job, growing machine.
+  [[nodiscard]] std::vector<ScalingPoint> strong_scaling(
+      const std::vector<std::size_t>& process_counts) const;
+
+  // Weak scaling: polarizability count grows proportionally with the
+  // machine (the paper's Fig. 18 protocol); efficiency = t_ref / t.
+  [[nodiscard]] std::vector<ScalingPoint> weak_scaling(
+      const std::vector<std::size_t>& process_counts) const;
+
+  [[nodiscard]] const RamanJob& job() const { return job_; }
+
+ private:
+  [[nodiscard]] double geometry_time(std::size_t geometry_id,
+                                     std::size_t group_size,
+                                     std::size_t n_groups) const;
+
+  RamanJob job_;
+  MachineModel machine_;
+  std::size_t group_size_;
+};
+
+// Deterministic per-geometry jitter in [-1, 1] (splitmix-style hash).
+double geometry_jitter(std::size_t geometry_id);
+
+}  // namespace swraman::scaling

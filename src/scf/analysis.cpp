@@ -1,0 +1,46 @@
+#include "scf/analysis.hpp"
+
+#include "common/error.hpp"
+
+namespace swraman::scf {
+
+MullikenAnalysis mulliken(const ScfEngine& engine, const GroundState& gs) {
+  SWRAMAN_REQUIRE(gs.converged, "mulliken: ground state not converged");
+  const std::size_t n_atoms = engine.atoms().size();
+  const linalg::Matrix ps = gs.density * engine.overlap();
+
+  MullikenAnalysis out;
+  out.populations.assign(n_atoms, 0.0);
+  const auto& fns = engine.basis().functions();
+  for (std::size_t u = 0; u < fns.size(); ++u) {
+    out.populations[static_cast<std::size_t>(fns[u].atom)] += ps(u, u);
+  }
+  out.charges.resize(n_atoms);
+  for (std::size_t a = 0; a < n_atoms; ++a) {
+    out.charges[a] = engine.basis().species_of(a).z_valence -
+                     out.populations[a];
+    out.total_electrons += out.populations[a];
+  }
+  return out;
+}
+
+double orbital_on_atom(const ScfEngine& engine, const GroundState& gs,
+                       std::size_t mo, std::size_t atom) {
+  SWRAMAN_REQUIRE(mo < gs.eigenvalues.size(), "orbital_on_atom: MO index");
+  SWRAMAN_REQUIRE(atom < engine.atoms().size(), "orbital_on_atom: atom");
+  const linalg::Matrix& c = gs.coefficients;
+  const linalg::Matrix& s = engine.overlap();
+  const auto& fns = engine.basis().functions();
+  double frac = 0.0;
+  for (std::size_t u = 0; u < fns.size(); ++u) {
+    if (static_cast<std::size_t>(fns[u].atom) != atom) continue;
+    double sv = 0.0;
+    for (std::size_t v = 0; v < fns.size(); ++v) {
+      sv += c(v, mo) * s(u, v);
+    }
+    frac += c(u, mo) * sv;
+  }
+  return frac;
+}
+
+}  // namespace swraman::scf

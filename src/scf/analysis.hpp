@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "scf/scf_engine.hpp"
+
+// Post-SCF analysis utilities: Mulliken populations/charges and orbital
+// character — the structural-interpretation layer a downstream user of the
+// Raman pipeline reaches for first.
+
+namespace swraman::scf {
+
+struct MullikenAnalysis {
+  // Gross electron population per atom: sum_{u on A} (P S)_uu.
+  std::vector<double> populations;
+  // Partial charges q_A = Z_A(valence) - population_A.
+  std::vector<double> charges;
+  // Total electrons (sum of populations; equals Tr(P S)).
+  double total_electrons = 0.0;
+};
+
+// Mulliken population analysis of a converged ground state.
+MullikenAnalysis mulliken(const ScfEngine& engine, const GroundState& gs);
+
+// Fraction of molecular orbital `mo` living on atom `atom` (Mulliken
+// decomposition of a single MO): sum_{u on A} sum_v C_u C_v S_uv.
+double orbital_on_atom(const ScfEngine& engine, const GroundState& gs,
+                       std::size_t mo, std::size_t atom);
+
+}  // namespace swraman::scf

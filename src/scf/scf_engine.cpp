@@ -1,0 +1,436 @@
+#include "scf/scf_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/lu.hpp"
+
+namespace swraman::scf {
+
+namespace {
+
+// Extracts the local block P(fn_ids, fn_ids) of a global matrix.
+linalg::Matrix local_block(const linalg::Matrix& global,
+                           const std::vector<std::size_t>& ids) {
+  linalg::Matrix loc(ids.size(), ids.size());
+  for (std::size_t a = 0; a < ids.size(); ++a)
+    for (std::size_t b = 0; b < ids.size(); ++b)
+      loc(a, b) = global(ids[a], ids[b]);
+  return loc;
+}
+
+}  // namespace
+
+namespace {
+
+// Wires the real species free-atom densities into the Hirshfeld partition
+// when the caller requested it without supplying a model.
+ScfOptions prepare_options(ScfOptions options) {
+  if (options.grid.partition == grid::PartitionScheme::Hirshfeld &&
+      !options.grid.free_atom_density) {
+    const basis::SpeciesOptions species_opt = options.species;
+    options.grid.free_atom_density = [species_opt](int z, double r) {
+      return basis::species(z, species_opt).density_value(r);
+    };
+  }
+  return options;
+}
+
+}  // namespace
+
+ScfEngine::ScfEngine(std::vector<grid::AtomSite> atoms, ScfOptions options)
+    : ScfEngine(std::move(atoms), std::move(options), GridPartition{}) {}
+
+ScfEngine::ScfEngine(std::vector<grid::AtomSite> atoms, ScfOptions options,
+                     GridPartition partition)
+    : options_(prepare_options(std::move(options))),
+      grid_(grid::build_molecular_grid(atoms, options_.grid)),
+      basis_(std::move(atoms), options_.species),
+      batches_(grid::make_batches(grid_, options_.batching)),
+      partition_(std::move(partition)),
+      poisson_(grid_, options_.multipole_lmax) {
+  SWRAMAN_REQUIRE(!partition_.active() ||
+                      static_cast<bool>(partition_.allreduce),
+                  "ScfEngine: active partition needs an allreduce");
+  SWRAMAN_REQUIRE(partition_.rank < std::max<std::size_t>(partition_.n_ranks, 1),
+                  "ScfEngine: partition rank out of range");
+  // Level-2 batch distribution (paper Algorithm 1).
+  batch_owner_ =
+      grid::balance_batches(batches_, std::max<std::size_t>(1, partition_.n_ranks))
+          .owner;
+  build_matrices();
+}
+
+void ScfEngine::reduce(double* data, std::size_t n) const {
+  if (partition_.active()) partition_.allreduce(data, n);
+}
+
+void ScfEngine::reduce_matrix(linalg::Matrix& m) const {
+  reduce(m.data(), m.rows() * m.cols());
+}
+
+void ScfEngine::build_matrices() {
+  const std::size_t nbf = basis_.size();
+  s_ = linalg::Matrix(nbf, nbf);
+  t_ = linalg::Matrix(nbf, nbf);
+  v_ext_.assign(grid_.size(), 0.0);
+
+  // External potential: -Z/r per atom (all-electron) or the tabulated local
+  // ionic pseudopotential.
+  for (std::size_t p = 0; p < grid_.size(); ++p) {
+    double v = 0.0;
+    for (std::size_t a = 0; a < grid_.atoms.size(); ++a) {
+      const basis::Species& sp = basis_.species_of(a);
+      const double r =
+          std::max(distance(grid_.points[p], grid_.atoms[a].pos), 1e-10);
+      v += sp.has_v_ion ? sp.v_ion_value(r) : -sp.z_nuclear / r;
+    }
+    v_ext_[p] = v;
+  }
+
+  // Per-batch caches + overlap and kinetic matrices.
+  batch_data_.resize(batches_.size());
+  std::vector<Vec3> pts;
+  linalg::Matrix lap;
+  for (std::size_t b = 0; b < batches_.size(); ++b) {
+    if (partition_.active() && batch_owner_[b] != partition_.rank) continue;
+    const grid::Batch& batch = batches_[b];
+    BatchData& data = batch_data_[b];
+    data.pt_ids = batch.point_ids;
+
+    double radius = 0.0;
+    pts.resize(batch.size());
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      pts[k] = grid_.points[batch.point_ids[k]];
+      radius = std::max(radius, distance(pts[k], batch.center));
+    }
+    data.fn_ids = basis_.local_functions(batch.center, radius);
+    basis_.evaluate(data.fn_ids, pts.data(), pts.size(), data.values, &lap);
+
+    // S_uv += sum_p w_p chi_u chi_v ; T_uv += -1/2 sum_p w_p chi_u lap_v.
+    const std::size_t nloc = data.fn_ids.size();
+    for (std::size_t a = 0; a < nloc; ++a) {
+      const std::size_t ga = data.fn_ids[a];
+      for (std::size_t bfn = 0; bfn < nloc; ++bfn) {
+        const std::size_t gb = data.fn_ids[bfn];
+        double sv = 0.0;
+        double tv = 0.0;
+        for (std::size_t k = 0; k < batch.size(); ++k) {
+          const double w = grid_.weights[batch.point_ids[k]];
+          sv += w * data.values(a, k) * data.values(bfn, k);
+          tv += w * data.values(a, k) * lap(bfn, k);
+        }
+        s_(ga, gb) += sv;
+        t_(ga, gb) += -0.5 * tv;
+      }
+    }
+  }
+  reduce_matrix(s_);
+  reduce_matrix(t_);
+  s_.symmetrize();
+  t_.symmetrize();
+
+  // Canonical orthogonalizer with eigenvalue filtering: X = U s^{-1/2}
+  // restricted to eigenvalues above the floor (near-linear-dependent
+  // combinations of diffuse functions are projected out).
+  const linalg::EigenResult se = linalg::eigh(s_);
+  std::size_t kept = 0;
+  for (double v : se.values) {
+    if (v > options_.s_eigen_floor) ++kept;
+  }
+  SWRAMAN_REQUIRE(kept > 0, "ScfEngine: overlap matrix numerically singular");
+  x_ = linalg::Matrix(basis_.size(), kept);
+  std::size_t col = 0;
+  for (std::size_t j = 0; j < se.values.size(); ++j) {
+    if (se.values[j] <= options_.s_eigen_floor) continue;
+    const double inv_sqrt = 1.0 / std::sqrt(se.values[j]);
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      x_(i, col) = se.vectors(i, j) * inv_sqrt;
+    }
+    ++col;
+  }
+}
+
+std::vector<double> ScfEngine::density_on_grid(
+    const linalg::Matrix& density_matrix) const {
+  std::vector<double> n(grid_.size(), 0.0);
+  for (const BatchData& data : batch_data_) {
+    const std::size_t nloc = data.fn_ids.size();
+    if (nloc == 0) continue;  // also skips batches owned by other ranks
+    const linalg::Matrix p_loc = local_block(density_matrix, data.fn_ids);
+    // tmp = P_loc * values; n_p = sum_a values(a,p) tmp(a,p).
+    const linalg::Matrix tmp = p_loc * data.values;
+    for (std::size_t k = 0; k < data.pt_ids.size(); ++k) {
+      double acc = 0.0;
+      for (std::size_t a = 0; a < nloc; ++a) {
+        acc += data.values(a, k) * tmp(a, k);
+      }
+      n[data.pt_ids[k]] = acc;
+    }
+  }
+  // Ranks fill disjoint point subsets; the sum assembles the full density.
+  reduce(n.data(), n.size());
+  return n;
+}
+
+linalg::Matrix ScfEngine::integrate_matrix(
+    const std::vector<double>& potential_on_grid) const {
+  SWRAMAN_REQUIRE(potential_on_grid.size() == grid_.size(),
+                  "integrate_matrix: potential size mismatch");
+  const std::size_t nbf = basis_.size();
+  linalg::Matrix m(nbf, nbf);
+  linalg::Matrix scaled;
+  for (const BatchData& data : batch_data_) {
+    const std::size_t nloc = data.fn_ids.size();
+    const std::size_t npts = data.pt_ids.size();
+    if (nloc == 0) continue;
+    scaled = data.values;
+    for (std::size_t k = 0; k < npts; ++k) {
+      const double wv = grid_.weights[data.pt_ids[k]] *
+                        potential_on_grid[data.pt_ids[k]];
+      for (std::size_t a = 0; a < nloc; ++a) scaled(a, k) *= wv;
+    }
+    // M_loc = values * scaled^T, scattered into the global matrix — the
+    // paper's large-array reduction arr[idx] += val (Sec. 3.3).
+    const linalg::Matrix m_loc = linalg::a_bt(data.values, scaled);
+    for (std::size_t a = 0; a < nloc; ++a)
+      for (std::size_t b = 0; b < nloc; ++b)
+        m(data.fn_ids[a], data.fn_ids[b]) += 0.5 * (m_loc(a, b) + m_loc(b, a));
+  }
+  reduce_matrix(m);
+  return m;
+}
+
+linalg::Matrix ScfEngine::dipole_matrix(int axis) const {
+  SWRAMAN_REQUIRE(axis >= 0 && axis < 3, "dipole_matrix: axis in [0,3)");
+  std::vector<double> coord(grid_.size());
+  for (std::size_t p = 0; p < grid_.size(); ++p) {
+    coord[p] = grid_.points[p][axis];
+  }
+  return integrate_matrix(coord);
+}
+
+std::vector<double> ScfEngine::fermi_occupations(
+    const std::vector<double>& eigenvalues, double n_electrons,
+    double* fermi) const {
+  const double kt = std::max(options_.smearing, 1e-8);
+  const auto count = [&](double mu) {
+    double n = 0.0;
+    for (double e : eigenvalues) {
+      n += 2.0 / (1.0 + std::exp((e - mu) / kt));
+    }
+    return n;
+  };
+  double lo = eigenvalues.front() - 10.0;
+  double hi = eigenvalues.back() + 10.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (count(mid) < n_electrons) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double mu = 0.5 * (lo + hi);
+  if (fermi != nullptr) *fermi = mu;
+  std::vector<double> occ(eigenvalues.size());
+  for (std::size_t i = 0; i < occ.size(); ++i) {
+    occ[i] = 2.0 / (1.0 + std::exp((eigenvalues[i] - mu) / kt));
+  }
+  return occ;
+}
+
+void ScfEngine::solve_eigenproblem(const linalg::Matrix& h,
+                                   std::vector<double>& eigenvalues,
+                                   linalg::Matrix& coefficients) const {
+  // H' = X^T H X, standard eigenproblem in the filtered orthonormal basis.
+  const linalg::Matrix hx = linalg::at_b(x_, h * x_);
+  const linalg::EigenResult res = linalg::eigh(hx);
+  eigenvalues = res.values;
+  coefficients = x_ * res.vectors;
+}
+
+GroundState ScfEngine::solve(const linalg::Matrix* initial_density) {
+  const std::size_t nbf = basis_.size();
+  const double n_elec = basis_.n_electrons();
+  GroundState gs;
+
+  // Nuclear repulsion (ionic point charges for pseudized species).
+  for (std::size_t a = 0; a < grid_.atoms.size(); ++a) {
+    for (std::size_t b = a + 1; b < grid_.atoms.size(); ++b) {
+      gs.nuclear_repulsion +=
+          basis_.species_of(a).z_nuclear * basis_.species_of(b).z_nuclear /
+          distance(grid_.atoms[a].pos, grid_.atoms[b].pos);
+    }
+  }
+
+  // Initial density: superposition of free atoms, or a restart from a
+  // caller-provided density matrix (nearby geometry / field).
+  std::vector<double> n(grid_.size());
+  if (initial_density != nullptr && initial_density->rows() == nbf &&
+      initial_density->cols() == nbf) {
+    n = density_on_grid(*initial_density);
+  } else {
+    for (std::size_t p = 0; p < grid_.size(); ++p) {
+      n[p] = basis_.free_atom_density(grid_.points[p]);
+    }
+  }
+
+  // Finite-field contribution to the effective potential, +F.r.
+  std::vector<double> v_field(grid_.size(), 0.0);
+  const bool has_field = options_.electric_field.norm2() > 0.0;
+  if (has_field) {
+    for (std::size_t p = 0; p < grid_.size(); ++p) {
+      v_field[p] = dot(options_.electric_field, grid_.points[p]);
+    }
+  }
+
+  linalg::Matrix p_old(nbf, nbf);
+  std::deque<linalg::Matrix> diis_h;
+  std::deque<linalg::Matrix> diis_e;
+  double e_prev = 0.0;
+  std::vector<double> v_eff(grid_.size());
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    gs.iterations = iter;
+
+    // Effective potential from the current density.
+    const std::vector<double> v_h = poisson_.solve_on_grid(n);
+    double e_h = 0.0;
+    double e_xc = 0.0;
+    double e_vxc = 0.0;
+    for (std::size_t p = 0; p < grid_.size(); ++p) {
+      const xc::XcPoint xcp = xc::evaluate(options_.functional, n[p]);
+      v_eff[p] = v_ext_[p] + v_h[p] + xcp.v + v_field[p];
+      const double wn = grid_.weights[p] * n[p];
+      e_h += 0.5 * wn * v_h[p];
+      e_xc += wn * xcp.eps;
+      e_vxc += wn * xcp.v;
+    }
+
+    linalg::Matrix h = t_ + integrate_matrix(v_eff);
+
+    // Pulay DIIS on the Hamiltonian with commutator residuals.
+    if (gs.iterations > 1) {
+      linalg::Matrix e_mat = h * (p_old * s_) - s_ * (p_old * h);
+      diis_h.push_back(h);
+      diis_e.push_back(std::move(e_mat));
+      if (static_cast<int>(diis_h.size()) > options_.diis_depth) {
+        diis_h.pop_front();
+        diis_e.pop_front();
+      }
+      const std::size_t m = diis_h.size();
+      if (m >= 2) {
+        linalg::Matrix b(m + 1, m + 1);
+        std::vector<double> rhs(m + 1, 0.0);
+        for (std::size_t i = 0; i < m; ++i) {
+          for (std::size_t j = 0; j < m; ++j) {
+            b(i, j) = linalg::trace_product(diis_e[i],
+                                            diis_e[j].transposed());
+          }
+          b(i, m) = -1.0;
+          b(m, i) = -1.0;
+        }
+        rhs[m] = -1.0;
+        const linalg::Lu lu(b);
+        if (!lu.singular()) {
+          const std::vector<double> c = lu.solve(rhs);
+          linalg::Matrix h_mix(nbf, nbf);
+          for (std::size_t i = 0; i < m; ++i) {
+            linalg::Matrix term = diis_h[i];
+            term *= c[i];
+            h_mix += term;
+          }
+          h = std::move(h_mix);
+        }
+      }
+    }
+
+    std::vector<double> eps;
+    linalg::Matrix c;
+    solve_eigenproblem(h, eps, c);
+
+    double fermi = 0.0;
+    const std::vector<double> occ = fermi_occupations(eps, n_elec, &fermi);
+
+    // P = C f C^T over (significantly) occupied states.
+    linalg::Matrix p_new(nbf, nbf);
+    for (std::size_t j = 0; j < eps.size(); ++j) {
+      if (occ[j] < 1e-12) continue;
+      for (std::size_t u = 0; u < nbf; ++u) {
+        const double cu = occ[j] * c(u, j);
+        if (cu == 0.0) continue;
+        for (std::size_t v = 0; v < nbf; ++v) {
+          p_new(u, v) += cu * c(v, j);
+        }
+      }
+    }
+
+    double band = 0.0;
+    for (std::size_t j = 0; j < eps.size(); ++j) band += occ[j] * eps[j];
+
+    // Total energy with double-counting corrections (input density).
+    double e_field = 0.0;
+    if (has_field) {
+      for (std::size_t p = 0; p < grid_.size(); ++p) {
+        e_field += grid_.weights[p] * n[p] * v_field[p];
+      }
+    }
+    (void)e_field;  // band energy already contains the field term
+    gs.band_energy = band;
+    gs.total_energy = band - e_h - e_vxc + e_xc + gs.nuclear_repulsion;
+
+    const double dp = (p_new - p_old).max_abs();
+    const double de = std::abs(gs.total_energy - e_prev);
+    e_prev = gs.total_energy;
+
+    // Full step in P (the initial free-atom density already carries the
+    // right electron count); damp the grid density in the first iterations
+    // until DIIS has history.
+    p_old = p_new;
+    const std::vector<double> n_new = density_on_grid(p_old);
+    const double beta = (iter <= 3) ? options_.mixing : 1.0;
+    for (std::size_t p = 0; p < grid_.size(); ++p) {
+      n[p] = (1.0 - beta) * n[p] + beta * n_new[p];
+    }
+
+    gs.eigenvalues = eps;
+    gs.occupations = occ;
+    gs.coefficients = c;
+    gs.density = p_old;
+    gs.fermi_level = fermi;
+
+    log::debug("SCF iter ", iter, ": E = ", gs.total_energy, " dP = ", dp,
+               " dE = ", de);
+    if (iter > 3 && dp < options_.density_tol && de < options_.energy_tol) {
+      gs.converged = true;
+      break;
+    }
+  }
+
+  // HOMO-LUMO gap from the smeared occupations.
+  double homo = -1e30;
+  double lumo = 1e30;
+  for (std::size_t j = 0; j < gs.eigenvalues.size(); ++j) {
+    if (gs.occupations[j] >= 1.0) homo = std::max(homo, gs.eigenvalues[j]);
+    if (gs.occupations[j] < 1.0) lumo = std::min(lumo, gs.eigenvalues[j]);
+  }
+  gs.homo_lumo_gap = lumo - homo;
+
+  // Dipole moment: nuclei minus electrons.
+  gs.dipole = {0.0, 0.0, 0.0};
+  for (std::size_t a = 0; a < grid_.atoms.size(); ++a) {
+    gs.dipole += basis_.species_of(a).z_nuclear * grid_.atoms[a].pos;
+  }
+  for (std::size_t p = 0; p < grid_.size(); ++p) {
+    gs.dipole -= grid_.weights[p] * n[p] * grid_.points[p];
+  }
+  return gs;
+}
+
+}  // namespace swraman::scf

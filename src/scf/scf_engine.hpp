@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <functional>
+
+#include "basis/basis_set.hpp"
+#include "common/vec3.hpp"
+#include "grid/atom_grid.hpp"
+#include "grid/batch.hpp"
+#include "grid/loadbalance.hpp"
+#include "hartree/multipole.hpp"
+#include "linalg/matrix.hpp"
+#include "xc/lda.hpp"
+
+// Self-consistent all-electron (or pseudized) Kohn-Sham DFT on numeric
+// atom-centered grids — the ground-state stage that precedes every DFPT
+// calculation in the paper (Fig. 2, upper box). The implementation mirrors
+// the FHI-aims structure: batch-wise grid integration for every matrix
+// element (the same kernels DFPT reuses), multipole (Delley) electrostatics,
+// LDA exchange-correlation, Fermi smearing, and Pulay/DIIS acceleration.
+
+namespace swraman::scf {
+
+struct ScfOptions {
+  basis::SpeciesOptions species;
+  grid::GridSettings grid;
+  grid::BatchingOptions batching;
+  xc::Functional functional = xc::Functional::LdaPw92;
+  int multipole_lmax = 6;
+  double density_tol = 1e-6;     // max |P_new - P_old|
+  double energy_tol = 1e-7;      // Hartree
+  int max_iterations = 80;
+  double smearing = 1e-3;        // Fermi smearing width, Hartree
+  int diis_depth = 6;
+  double mixing = 0.4;           // linear fallback before DIIS kicks in
+  double s_eigen_floor = 1e-7;   // overlap eigenvalue filter
+  Vec3 electric_field{};         // uniform finite field (adds +F.r to v_eff)
+};
+
+// Level-2 parallelization hook (paper Fig. 4): when an engine is built
+// with a partition, it owns only the integration batches Algorithm 1
+// assigns to `rank`, and every grid-reduced quantity (S, T, matrix
+// elements, densities) is summed across ranks through `allreduce` — the
+// role MPI_Allreduce plays in the paper. The DFPT engine inherits the
+// distribution automatically because its three kernels go through
+// density_on_grid / integrate_matrix.
+struct GridPartition {
+  std::size_t rank = 0;
+  std::size_t n_ranks = 1;
+  // Element-wise sum of the buffer across ranks (collective).
+  std::function<void(double*, std::size_t)> allreduce;
+
+  [[nodiscard]] bool active() const { return n_ranks > 1; }
+};
+
+struct GroundState {
+  bool converged = false;
+  int iterations = 0;
+  double total_energy = 0.0;
+  double band_energy = 0.0;
+  double nuclear_repulsion = 0.0;
+  double fermi_level = 0.0;
+  double homo_lumo_gap = 0.0;
+  std::vector<double> eigenvalues;
+  std::vector<double> occupations;
+  linalg::Matrix coefficients;  // column j = MO j (AO coefficients)
+  linalg::Matrix density;       // P = C f C^T
+  Vec3 dipole;                  // nuclear + electronic, atomic units
+};
+
+class ScfEngine {
+ public:
+  ScfEngine(std::vector<grid::AtomSite> atoms, ScfOptions options);
+
+  // Distributed construction: this rank integrates only its Algorithm-1
+  // share of the batches; collective sums go through partition.allreduce.
+  ScfEngine(std::vector<grid::AtomSite> atoms, ScfOptions options,
+            GridPartition partition);
+
+  // Runs the SCF loop to self-consistency. When a previous density matrix
+  // is supplied (same basis dimension — e.g. the equilibrium solution for
+  // a displaced geometry in the Hessian / d(alpha)/dR loops), it seeds the
+  // initial density instead of the free-atom superposition, typically
+  // halving the iteration count.
+  GroundState solve(const linalg::Matrix* initial_density = nullptr);
+
+  // --- building blocks shared with the DFPT engine ---
+
+  [[nodiscard]] const basis::BasisSet& basis() const { return basis_; }
+  [[nodiscard]] const grid::MolecularGrid& grid() const { return grid_; }
+  [[nodiscard]] const std::vector<grid::Batch>& batches() const {
+    return batches_;
+  }
+  [[nodiscard]] const hartree::MultipoleSolver& poisson() const {
+    return poisson_;
+  }
+  [[nodiscard]] const linalg::Matrix& overlap() const { return s_; }
+  [[nodiscard]] const linalg::Matrix& kinetic() const { return t_; }
+  [[nodiscard]] const ScfOptions& options() const { return options_; }
+  [[nodiscard]] const std::vector<grid::AtomSite>& atoms() const {
+    return grid_.atoms;
+  }
+
+  // Electron density on the grid from a density matrix (paper kernel "n1"
+  // when fed a response density matrix).
+  [[nodiscard]] std::vector<double> density_on_grid(
+      const linalg::Matrix& density_matrix) const;
+
+  // Matrix elements of a multiplicative potential given on the grid
+  // (paper kernel "H1"): M_uv = integral chi_u v(r) chi_v d3r.
+  [[nodiscard]] linalg::Matrix integrate_matrix(
+      const std::vector<double>& potential_on_grid) const;
+
+  // Dipole integrals D^axis_uv = integral chi_u r_axis chi_v d3r.
+  [[nodiscard]] linalg::Matrix dipole_matrix(int axis) const;
+
+  // External (nuclear / ionic) potential on the grid points.
+  [[nodiscard]] const std::vector<double>& external_potential() const {
+    return v_ext_;
+  }
+
+  // Fermi occupations for the given spectrum; returns occupations summing
+  // to n_electrons and sets fermi (chemical potential).
+  [[nodiscard]] std::vector<double> fermi_occupations(
+      const std::vector<double>& eigenvalues, double n_electrons,
+      double* fermi) const;
+
+  // Generalized eigensolve H C = S C eps with overlap-eigenvalue filtering
+  // (canonical orthogonalization). Returns eigenvalues and AO coefficients.
+  void solve_eigenproblem(const linalg::Matrix& h,
+                          std::vector<double>& eigenvalues,
+                          linalg::Matrix& coefficients) const;
+
+ private:
+  struct BatchData {
+    std::vector<std::size_t> fn_ids;   // global basis functions touching it
+    std::vector<std::size_t> pt_ids;   // global point ids
+    linalg::Matrix values;             // (n_fns x n_pts)
+  };
+
+  void build_matrices();  // S, T, v_ext, batch caches
+  void reduce(double* data, std::size_t n) const;
+  void reduce_matrix(linalg::Matrix& m) const;
+
+  ScfOptions options_;
+  grid::MolecularGrid grid_;
+  basis::BasisSet basis_;
+  std::vector<grid::Batch> batches_;
+  GridPartition partition_;
+  std::vector<std::size_t> batch_owner_;
+  hartree::MultipoleSolver poisson_;
+  std::vector<BatchData> batch_data_;
+  linalg::Matrix s_;
+  linalg::Matrix t_;
+  std::vector<double> v_ext_;
+  linalg::Matrix x_;  // canonical orthogonalizer: X^T S X = I (filtered)
+};
+
+}  // namespace swraman::scf

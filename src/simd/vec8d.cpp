@@ -1,0 +1,45 @@
+#include "simd/vec8d.hpp"
+
+namespace swraman::simd {
+
+void axpy(const double* a, const double* x, double* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const Vec8d va = Vec8d::load(a + i);
+    const Vec8d vx = Vec8d::load(x + i);
+    const Vec8d vy = Vec8d::load(y + i);
+    vmad(va, vx, vy).store(y + i);
+  }
+  for (; i < n; ++i) y[i] += a[i] * x[i];
+}
+
+double dot(const double* a, const double* b, std::size_t n) {
+  Vec8d acc(0.0);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc = vmad(Vec8d::load(a + i), Vec8d::load(b + i), acc);
+  }
+  double s = hsum(acc);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void poly3_eval(const double* s0, const double* s1, const double* s2,
+                const double* s3, double t, double* out, std::size_t n) {
+  const Vec8d vt(t);
+  const Vec8d vt2(t * t);
+  const Vec8d vt3(t * t * t);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    // d = s0 + s1*t; d = s2*t^2 + d; d = s3*t^3 + d (three vmads, Fig 7).
+    Vec8d d = vmad(Vec8d::load(s1 + i), vt, Vec8d::load(s0 + i));
+    d = vmad(Vec8d::load(s2 + i), vt2, d);
+    d = vmad(Vec8d::load(s3 + i), vt3, d);
+    d.store(out + i);
+  }
+  for (; i < n; ++i) {
+    out[i] = s0[i] + t * (s1[i] + t * (s2[i] + t * s3[i]));
+  }
+}
+
+}  // namespace swraman::simd

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+// Portable 512-bit SIMD vector: 8 packed doubles, modeled on the SW26010Pro
+// CPE vector unit (the paper's "simd_vmad" in Fig 7). On commodity hardware
+// the element-wise loops compile to the native vector ISA; the type exists so
+// kernels can be written in explicit 8-lane form, matching the structure of
+// the Sunway implementation, and so the cost model can count vector ops.
+
+namespace swraman::simd {
+
+inline constexpr std::size_t kLanes = 8;
+
+struct alignas(64) Vec8d {
+  std::array<double, kLanes> v{};
+
+  Vec8d() = default;
+  explicit Vec8d(double s) { v.fill(s); }
+
+  static Vec8d load(const double* p) {
+    Vec8d r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = p[i];
+    return r;
+  }
+
+  // Loads min(n, 8) elements, zero-filling the rest (masked tail load).
+  static Vec8d load_partial(const double* p, std::size_t n) {
+    Vec8d r;
+    const std::size_t m = n < kLanes ? n : kLanes;
+    for (std::size_t i = 0; i < m; ++i) r.v[i] = p[i];
+    return r;
+  }
+
+  void store(double* p) const {
+    for (std::size_t i = 0; i < kLanes; ++i) p[i] = v[i];
+  }
+
+  void store_partial(double* p, std::size_t n) const {
+    const std::size_t m = n < kLanes ? n : kLanes;
+    for (std::size_t i = 0; i < m; ++i) p[i] = v[i];
+  }
+
+  double& operator[](std::size_t i) { return v[i]; }
+  double operator[](std::size_t i) const { return v[i]; }
+};
+
+inline Vec8d operator+(Vec8d a, const Vec8d& b) {
+  for (std::size_t i = 0; i < kLanes; ++i) a.v[i] += b.v[i];
+  return a;
+}
+inline Vec8d operator-(Vec8d a, const Vec8d& b) {
+  for (std::size_t i = 0; i < kLanes; ++i) a.v[i] -= b.v[i];
+  return a;
+}
+inline Vec8d operator*(Vec8d a, const Vec8d& b) {
+  for (std::size_t i = 0; i < kLanes; ++i) a.v[i] *= b.v[i];
+  return a;
+}
+inline Vec8d operator*(Vec8d a, double s) {
+  for (std::size_t i = 0; i < kLanes; ++i) a.v[i] *= s;
+  return a;
+}
+
+// Fused multiply-add d = a*b + c — the "simd_vmad" primitive of the paper.
+inline Vec8d vmad(const Vec8d& a, const Vec8d& b, const Vec8d& c) {
+  Vec8d d;
+  for (std::size_t i = 0; i < kLanes; ++i) d.v[i] = a.v[i] * b.v[i] + c.v[i];
+  return d;
+}
+
+inline double hsum(const Vec8d& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < kLanes; ++i) s += a.v[i];
+  return s;
+}
+
+// Vectorized y[i] += a[i]*x[i] over n elements with tail handling.
+void axpy(const double* a, const double* x, double* y, std::size_t n);
+
+// Vectorized dot product.
+double dot(const double* a, const double* b, std::size_t n);
+
+// Vectorized cubic polynomial evaluation over structure-of-arrays
+// coefficients: out[i] = s0[i] + s1[i]*t + s2[i]*t^2 + s3[i]*t^3.
+// This is the inner loop of the paper's CSI kernel (Algorithm 2, Fig 7).
+void poly3_eval(const double* s0, const double* s1, const double* s2,
+                const double* s3, double t, double* out, std::size_t n);
+
+}  // namespace swraman::simd

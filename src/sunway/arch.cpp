@@ -1,0 +1,35 @@
+#include "sunway/arch.hpp"
+
+namespace swraman::sunway {
+
+ArchParams sw26010pro() {
+  ArchParams p;
+  p.name = "SW26010Pro-CG";
+  // Defaults in the struct are the SW26010Pro core group.
+  return p;
+}
+
+ArchParams xeon_e5_2692v2() {
+  ArchParams p;
+  p.name = "Xeon-E5-2692v2";
+  p.n_pes = 12;
+  p.pe_freq_ghz = 2.2;
+  p.pe_flops_per_cycle = 3.0;  // out-of-order core, cached tables
+  p.simd_lanes = 4;            // 256-bit AVX doubles
+  p.simd_efficiency = 0.55;
+  p.ldm_bytes = 0;             // cache-based: no explicit scratchpad
+  p.dma_bw_gbs = 0.0;
+  p.dma_startup_cycles = 0.0;
+  p.direct_mem_cycles_per_access = 25;  // cache hierarchy amortizes
+  p.mpe_freq_ghz = 2.2;
+  p.mpe_flops_per_cycle = 2.0;
+  p.mpe_mem_bw_gbs = 12.0;
+  p.rma_bw_gbs = 30.0;         // shared L3 as the on-chip exchange
+  p.rma_latency_cycles = 40;
+  p.node_mem_bw_gbs = 48.0;
+  p.net_latency_us = 1.5;      // TH Express-2
+  p.net_bw_gbs = 10.0;
+  return p;
+}
+
+}  // namespace swraman::sunway

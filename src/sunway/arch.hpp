@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+// Machine parameter sets for the performance model. The SW26010Pro numbers
+// follow the paper's Sec. 2.2 description and published SW26010(Pro)
+// characterizations; the Xeon E5-2692v2 set models the Tianhe-2 nodes of
+// the paper's Fig. 14 baseline. The model is calibrated at the level of
+// published bandwidth/latency/throughput ratios — the benchmarks reproduce
+// the paper's speedup *shapes*, not silicon-exact timings (DESIGN.md Sec 1).
+
+namespace swraman::sunway {
+
+struct ArchParams {
+  std::string name;
+
+  // Accelerator cluster (CPEs) of one core group — or the cores of a CPU.
+  int n_pes = 64;                  // processing elements
+  double pe_freq_ghz = 2.25;       // clock
+  // Effective scalar issue rate on branchy grid kernels (in-order CPE
+  // pipeline, no data cache for table searches).
+  double pe_flops_per_cycle = 0.35;
+  int simd_lanes = 8;              // 512-bit doubles
+  double simd_efficiency = 0.30;   // achieved fraction of peak vector speedup
+
+  // Scratchpad + DMA (zero for cache-based CPUs).
+  std::size_t ldm_bytes = 256 * 1024;
+  double dma_bw_gbs = 51.2;        // aggregate DMA bandwidth per CG
+  double dma_startup_cycles = 1500;
+
+  // Direct (non-DMA) main-memory access from a PE: per-element cost.
+  double direct_mem_cycles_per_access = 220;
+
+  // Management element (MPE) — the pre-port baseline executes here.
+  double mpe_freq_ghz = 2.1;
+  double mpe_flops_per_cycle = 1.6;
+  double mpe_mem_bw_gbs = 9.0;     // single-core stream
+
+  // RMA mesh between PEs.
+  double rma_bw_gbs = 45.0;
+  double rma_latency_cycles = 80;
+
+  // One-time cost of spawning a kernel on the CPE cluster.
+  double kernel_launch_cycles = 60000;
+
+  // Node-level DRAM bandwidth (all PEs streaming).
+  double node_mem_bw_gbs = 51.2;
+
+  // Interconnect (node-to-node) for the collective model.
+  double net_latency_us = 1.8;
+  double net_bw_gbs = 6.0;
+};
+
+// The new-generation Sunway SW26010Pro core group (1 MPE + 64 CPEs).
+ArchParams sw26010pro();
+
+// Intel Xeon E5-2692v2 (Tianhe-2): 12 cores, 256-bit AVX, cache hierarchy.
+ArchParams xeon_e5_2692v2();
+
+}  // namespace swraman::sunway

@@ -1,0 +1,42 @@
+#include "sunway/cpe_cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace swraman::sunway {
+
+void CpeCluster::run(const std::function<void(CpeContext&)>& kernel) {
+  if (counters_.empty()) {
+    counters_.resize(static_cast<std::size_t>(arch_.n_pes));
+  }
+  for (int id = 0; id < arch_.n_pes; ++id) {
+    CpeContext ctx(id, arch_.n_pes, arch_);
+    kernel(ctx);
+    ctx.finish();
+    counters_[static_cast<std::size_t>(id)] += ctx.counters();
+  }
+}
+
+void CpeCluster::reset() { counters_.clear(); }
+
+CpeCounters CpeCluster::total() const {
+  CpeCounters t;
+  for (const CpeCounters& c : counters_) t += c;
+  return t;
+}
+
+KernelWorkload CpeCluster::workload(const std::string& name, double elements,
+                                    double vectorizable_fraction) const {
+  SWRAMAN_REQUIRE(elements > 0.0, "workload: elements must be positive");
+  const CpeCounters t = total();
+  KernelWorkload w;
+  w.name = name;
+  w.elements = elements;
+  w.flops_per_element = t.flops / elements;
+  w.stream_bytes_per_element = t.dma_bytes / elements;
+  w.irregular_bytes_per_element =
+      t.direct_mem_accesses * sizeof(double) / elements;
+  w.vectorizable_fraction = vectorizable_fraction;
+  return w;
+}
+
+}  // namespace swraman::sunway

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "sunway/arch.hpp"
+#include "sunway/cost_model.hpp"
+#include "sunway/ldm.hpp"
+
+// Functional execution model of one core group's CPE cluster. Kernels are
+// written against CpeContext — LDM allocation with the real 256 KB limit,
+// DMA get/put with operation counting, explicit flop charging — and run for
+// every logical CPE. The numerics are produced on the host; the counters
+// feed the cost model, which converts them into modeled Sunway time per
+// optimization variant.
+
+namespace swraman::sunway {
+
+struct CpeCounters {
+  double flops = 0.0;
+  double dma_bytes = 0.0;
+  double dma_transfers = 0.0;
+  double direct_mem_accesses = 0.0;
+  double rma_bytes = 0.0;
+  double rma_messages = 0.0;
+  std::size_t ldm_peak = 0;
+
+  CpeCounters& operator+=(const CpeCounters& o) {
+    flops += o.flops;
+    dma_bytes += o.dma_bytes;
+    dma_transfers += o.dma_transfers;
+    direct_mem_accesses += o.direct_mem_accesses;
+    rma_bytes += o.rma_bytes;
+    rma_messages += o.rma_messages;
+    ldm_peak = ldm_peak > o.ldm_peak ? ldm_peak : o.ldm_peak;
+    return *this;
+  }
+};
+
+class CpeContext {
+ public:
+  CpeContext(int id, int n_cpes, const ArchParams& arch)
+      : id_(id), n_cpes_(n_cpes), ldm_(arch.ldm_bytes) {}
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int n_cpes() const { return n_cpes_; }
+  [[nodiscard]] LdmArena& ldm() { return ldm_; }
+  [[nodiscard]] CpeCounters& counters() { return counters_; }
+
+  // Async-style DMA: copies now (functional), charges one transaction.
+  template <typename T>
+  void dma_get(T* dst_ldm, const T* src_mem, std::size_t n) {
+    std::memcpy(dst_ldm, src_mem, n * sizeof(T));
+    counters_.dma_bytes += static_cast<double>(n * sizeof(T));
+    counters_.dma_transfers += 1.0;
+  }
+
+  template <typename T>
+  void dma_put(const T* src_ldm, T* dst_mem, std::size_t n) {
+    std::memcpy(dst_mem, src_ldm, n * sizeof(T));
+    counters_.dma_bytes += static_cast<double>(n * sizeof(T));
+    counters_.dma_transfers += 1.0;
+  }
+
+  void charge_flops(double n) { counters_.flops += n; }
+  void charge_direct_access(double n) { counters_.direct_mem_accesses += n; }
+  void charge_rma(double bytes) {
+    counters_.rma_bytes += bytes;
+    counters_.rma_messages += 1.0;
+  }
+
+  // Static round-robin slice [begin, end) of a range for this CPE.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> my_slice(
+      std::size_t total) const {
+    const std::size_t per = (total + n_cpes_ - 1) / n_cpes_;
+    const std::size_t lo = std::min(total, per * static_cast<std::size_t>(id_));
+    const std::size_t hi = std::min(total, lo + per);
+    return {lo, hi};
+  }
+
+  void finish() { counters_.ldm_peak = ldm_.peak(); }
+
+ private:
+  int id_;
+  int n_cpes_;
+  LdmArena ldm_;
+  CpeCounters counters_;
+};
+
+class CpeCluster {
+ public:
+  explicit CpeCluster(ArchParams arch) : arch_(std::move(arch)) {}
+
+  // Runs the kernel body once per logical CPE; counters accumulate across
+  // run() calls until reset().
+  void run(const std::function<void(CpeContext&)>& kernel);
+
+  void reset();
+
+  [[nodiscard]] const ArchParams& arch() const { return arch_; }
+  [[nodiscard]] const std::vector<CpeCounters>& per_cpe() const {
+    return counters_;
+  }
+  [[nodiscard]] CpeCounters total() const;
+
+  // Summarizes the counted operations as a KernelWorkload for the cost
+  // model. `elements` gives the logical work-item count; the per-element
+  // byte/flop figures are derived from the counters.
+  [[nodiscard]] KernelWorkload workload(const std::string& name,
+                                        double elements,
+                                        double vectorizable_fraction) const;
+
+ private:
+  ArchParams arch_;
+  std::vector<CpeCounters> counters_;
+};
+
+}  // namespace swraman::sunway

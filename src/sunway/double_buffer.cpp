@@ -1,0 +1,76 @@
+#include "sunway/double_buffer.hpp"
+
+#include <algorithm>
+
+namespace swraman::sunway {
+
+std::size_t reduce_local_pipelined(CpeContext& ctx, double* dst,
+                                   const double* src, std::size_t count,
+                                   std::size_t ldm_buf_doubles,
+                                   const CombineOp& op) {
+  SWRAMAN_REQUIRE(ldm_buf_doubles >= 8,
+                  "reduce_local_pipelined: LDM budget too small");
+  // Algorithm 3 line 3: blk_sz = Ldm_buf_sz / 4.
+  const std::size_t blk = ldm_buf_doubles / 4;
+
+  ctx.ldm().reset();
+  double* ldm = ctx.ldm().allocate<double>(4 * blk);
+  double* buf_a = ldm;            // blocks 0 (dst) and 1 (src)
+  double* buf_b = ldm + 2 * blk;  // blocks 2 and 3
+
+  const std::size_t blks = count / blk;  // full blocks (line 4)
+  ReplyWord reply;                       // line 5
+  double* cur = buf_a;                   // line 6
+  double* next = buf_b;                  // line 7
+
+  std::size_t transferred = 0;
+  std::size_t stages = 0;
+  int i = 0;
+
+  // Prologue (lines 9-14): prefetch the first block pair.
+  if (blks > 0) {
+    dma_get_async(ctx, cur, dst, blk, reply);
+    dma_get_async(ctx, cur + blk, src, blk, reply);
+    transferred += blk;
+    ++i;
+  }
+
+  // Steady state (lines 16-28): read block i+1 into `next` while combining
+  // block i in `cur`, then write the result back.
+  while (transferred < blks * blk) {
+    dma_wait(reply, 3 * i - 1);  // line 17: both reads of `cur` done
+    double* tmpdst = dst + transferred;
+    const double* tmpsrc = src + transferred;
+    dma_get_async(ctx, next, tmpdst, blk, reply);           // line 21
+    dma_get_async(ctx, next + blk, tmpsrc, blk, reply);     // line 22
+    op(cur, cur + blk, blk);                                // line 23
+    dma_put_async(ctx, cur, dst + transferred - blk, blk, reply);  // 24
+    transferred += blk;
+    ++i;
+    std::swap(cur, next);  // line 27 (ping-pong)
+    ++stages;
+  }
+
+  // Epilogue (lines 30-37): combine and flush the last full block.
+  if (blks > 0) {
+    dma_wait(reply, 3 * i - 1);
+    op(cur, cur + blk, blk);
+    ctx.dma_put(cur, dst + transferred - blk, blk);
+    ++stages;
+  }
+
+  // Remainder shorter than one block: single staged pass (the hardware
+  // code falls back to a synchronous tail as well).
+  const std::size_t tail = count - blks * blk;
+  if (tail > 0) {
+    ctx.dma_get(buf_a, dst + blks * blk, tail);
+    ctx.dma_get(buf_a + blk, src + blks * blk, tail);
+    op(buf_a, buf_a + blk, tail);
+    ctx.dma_put(buf_a, dst + blks * blk, tail);
+    ++stages;
+  }
+  ctx.charge_flops(static_cast<double>(count));
+  return stages;
+}
+
+}  // namespace swraman::sunway

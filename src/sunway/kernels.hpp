@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "hartree/ewald.hpp"
+#include "hartree/multipole.hpp"
+#include "sunway/cpe_cluster.hpp"
+
+// The DFPT hotspot kernels in their Sunway form (paper Sec. 3.2):
+//
+//  * kernel1 — real-space response potential: cubic-spline interpolation
+//    (CSI, Algorithm 2) of the per-atom multipole channels, evaluated from
+//    structure-of-arrays monomial coefficient tables; scalar and genuinely
+//    vectorized (8-lane poly3) execution.
+//  * kernel2 — reciprocal-space potential update: the Ewald G-sum with the
+//    irregular structure-factor gather (the "WPxy" pattern of Fig. 5).
+//  * n1 / H1 batch kernels — response density and response Hamiltonian as
+//    batch-local matrix work, executed on the CPE model for operation
+//    counting (their numerics live in scf::ScfEngine).
+//
+// Host functions produce reference results; *_cpe variants run on the
+// CpeCluster with LDM tiling + DMA counting and must match bit-for-bit
+// (same arithmetic, different orchestration).
+
+namespace swraman::sunway {
+
+enum class ExecMode { Scalar, Simd };
+
+// --- kernel1: CSI real-space potential ---
+
+struct CsiAtomTable {
+  Vec3 center;
+  double outer_radius = 0.0;
+  std::vector<double> knots;    // shell radii (ascending)
+  // coeff[(interval * 4 + c) * n_lm + lm]: monomial c of channel lm.
+  std::vector<double> coeff;
+  std::vector<double> moments;  // far-field q_lm
+};
+
+struct CsiTables {
+  int lmax = 0;
+  std::size_t n_lm = 0;
+  std::vector<CsiAtomTable> atoms;
+
+  [[nodiscard]] std::size_t coeff_bytes() const;
+};
+
+CsiTables build_csi_tables(const hartree::MultipolePotential& potential);
+
+// Host execution; out[i] = V(points[i]). Must match
+// MultipolePotential::value to rounding.
+void real_space_potential(const CsiTables& tables, const Vec3* points,
+                          std::size_t n, double* out, ExecMode mode);
+
+// CPE-cluster execution: points tiled over CPEs and through LDM.
+void real_space_potential_cpe(CpeCluster& cluster, const CsiTables& tables,
+                              const Vec3* points, std::size_t n, double* out,
+                              ExecMode mode);
+
+// --- kernel2: reciprocal-space potential ---
+
+struct ReciprocalTables {
+  std::vector<Vec3> g;
+  std::vector<double> coef;      // "electrostatic coef" of Fig. 5
+  std::vector<double> str_cos;   // the irregularly gathered WPxy data
+  std::vector<double> str_sin;
+  std::vector<std::size_t> gather_index;  // k_points_es-style indirection
+};
+
+ReciprocalTables build_reciprocal_tables(const hartree::Ewald& ewald);
+
+void reciprocal_potential(const ReciprocalTables& tables, const Vec3* points,
+                          std::size_t n, double* out);
+
+void reciprocal_potential_cpe(CpeCluster& cluster,
+                              const ReciprocalTables& tables,
+                              const Vec3* points, std::size_t n, double* out);
+
+// --- n1 / H1 batch kernels (operation-count models on real batch shapes) --
+
+struct BatchShape {
+  std::size_t n_fns = 0;
+  std::size_t n_points = 0;
+};
+
+// Executes the response-density batch contraction n(r) = sum_uv P_uv
+// chi_u chi_v on synthetic data of the given shapes, tiling through LDM;
+// returns the summarizing workload.
+KernelWorkload run_density_batches(CpeCluster& cluster,
+                                   const std::vector<BatchShape>& batches);
+
+// Response-Hamiltonian batch integration + scatter-add (the distributed
+// reduction feeds rma_reduce).
+KernelWorkload run_hamiltonian_batches(CpeCluster& cluster,
+                                       const std::vector<BatchShape>& batches);
+
+}  // namespace swraman::sunway

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+// Local-data-memory (scratchpad) arena of one CPE: 256 KB on SW26010Pro.
+// Kernels allocate their tiles here; exceeding the capacity throws, which
+// is exactly the constraint that forces the loop-tiling design of paper
+// Sec. 3.2 (Fig. 5: 128 KB for kernel1 tiles, 60 KB static + remainder
+// irregular for kernel2).
+
+namespace swraman::sunway {
+
+class LdmArena {
+ public:
+  explicit LdmArena(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  // Allocates n elements of T; throws swraman::Error when the scratchpad
+  // would overflow. Pointers stay valid until reset().
+  template <typename T>
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = align_up(n * sizeof(T));
+    SWRAMAN_REQUIRE(used_ + bytes <= capacity_,
+                    "LdmArena: scratchpad overflow — tile too large");
+    blocks_.emplace_back(bytes);
+    used_ += bytes;
+    peak_ = used_ > peak_ ? used_ : peak_;
+    return reinterpret_cast<T*>(blocks_.back().data());
+  }
+
+  void reset() {
+    blocks_.clear();
+    used_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] std::size_t peak() const { return peak_; }
+  [[nodiscard]] std::size_t available() const { return capacity_ - used_; }
+
+ private:
+  static std::size_t align_up(std::size_t bytes) {
+    return (bytes + 63) / 64 * 64;  // 64-byte (vector) alignment granules
+  }
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+  std::vector<std::vector<unsigned char>> blocks_;
+};
+
+}  // namespace swraman::sunway

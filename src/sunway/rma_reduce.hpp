@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sunway/cpe_cluster.hpp"
+
+// Distributed large-array reduction over the CPE RMA mesh (paper Sec. 3.3,
+// Fig. 8): the target array arr[idx] += val, with idx irregular and arr too
+// large for any LDM, is partitioned into 64 ownership ranges. Each CPE
+// routes its contributions to the owner through per-destination send
+// buffers (flushed by RMA when full); owners apply updates through an
+// LDM-resident block cache of their range, flushing dirty blocks back to
+// main memory by DMA. This replaces the lock-contended direct-update
+// scheme whose serialization the paper calls out.
+
+namespace swraman::sunway {
+
+struct Contribution {
+  std::size_t index = 0;
+  double value = 0.0;
+};
+
+struct RmaReduceOptions {
+  std::size_t send_buffer_entries = 64;  // S0..S63 capacity (paper Step 2)
+  std::size_t ldm_block_doubles = 2048;  // owner's cached block ("buf")
+};
+
+struct RmaReduceStats {
+  double rma_messages = 0.0;
+  double rma_bytes = 0.0;
+  double dma_block_transfers = 0.0;
+  double dma_bytes = 0.0;
+  double updates = 0.0;
+};
+
+// Reduces contributions[cpe] into arr (accumulating). Functionally exact
+// (up to fp associativity); stats expose the communication the cost model
+// charges. contributions.size() defines the CPE count.
+RmaReduceStats rma_array_reduction(
+    const std::vector<std::vector<Contribution>>& contributions,
+    std::vector<double>& arr, const RmaReduceOptions& options = {});
+
+// Reference implementation with a single lock-style serial pass — the
+// baseline the paper's Fig. 8 scheme replaces; used for testing and as the
+// ablation baseline.
+void serial_array_reduction(
+    const std::vector<std::vector<Contribution>>& contributions,
+    std::vector<double>& arr);
+
+}  // namespace swraman::sunway

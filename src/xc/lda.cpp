@@ -1,0 +1,80 @@
+#include "xc/lda.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+
+namespace swraman::xc {
+
+namespace {
+
+constexpr double kDensityFloor = 1e-14;
+
+// PW92 parameters for the spin-unpolarized correlation energy.
+constexpr double kA = 0.0310907;
+constexpr double kAlpha1 = 0.21370;
+constexpr double kBeta1 = 7.5957;
+constexpr double kBeta2 = 3.5876;
+constexpr double kBeta3 = 1.6382;
+constexpr double kBeta4 = 0.49294;
+
+}  // namespace
+
+XcPoint slater_exchange(double n) {
+  XcPoint p;
+  if (n < kDensityFloor) return p;
+  const double cx = -0.75 * std::cbrt(3.0 / kPi);  // eps_x = cx n^{1/3}
+  const double n13 = std::cbrt(n);
+  p.eps = cx * n13;
+  p.v = (4.0 / 3.0) * cx * n13;             // d(n eps)/dn
+  p.f = (4.0 / 9.0) * cx / (n13 * n13);     // dv/dn
+  return p;
+}
+
+XcPoint pw92_correlation(double n) {
+  XcPoint p;
+  if (n < kDensityFloor) return p;
+  const double rs = std::cbrt(3.0 / (kFourPi * n));
+  const double sq = std::sqrt(rs);
+
+  const double q = 2.0 * kA *
+                   (kBeta1 * sq + kBeta2 * rs + kBeta3 * rs * sq +
+                    kBeta4 * rs * rs);
+  const double dq = 2.0 * kA *
+                    (0.5 * kBeta1 / sq + kBeta2 + 1.5 * kBeta3 * sq +
+                     2.0 * kBeta4 * rs);
+  const double d2q = 2.0 * kA *
+                     (-0.25 * kBeta1 / (rs * sq) + 0.75 * kBeta3 / sq +
+                      2.0 * kBeta4);
+
+  const double lnq = std::log1p(1.0 / q);
+  // L = ln(1 + 1/q); L' = -q'/(q(q+1)); L'' per quotient rule.
+  const double lp = -dq / (q * (q + 1.0));
+  const double lpp = -d2q / (q * (q + 1.0)) +
+                     dq * dq * (2.0 * q + 1.0) / (q * q * (q + 1.0) * (q + 1.0));
+
+  const double pre = -2.0 * kA * (1.0 + kAlpha1 * rs);
+  const double ec = pre * lnq;
+  const double dec = -2.0 * kA * kAlpha1 * lnq + pre * lp;
+  const double d2ec = -4.0 * kA * kAlpha1 * lp + pre * lpp;
+
+  p.eps = ec;
+  // v_c = ec - (rs/3) dec/drs.
+  p.v = ec - (rs / 3.0) * dec;
+  // f_c = dv/dn = [(2/3) ec' - (rs/3) ec''] * drs/dn, drs/dn = -rs/(3n).
+  const double dv_drs = (2.0 / 3.0) * dec - (rs / 3.0) * d2ec;
+  p.f = dv_drs * (-rs / (3.0 * n));
+  return p;
+}
+
+XcPoint evaluate(Functional f, double n) {
+  XcPoint x = slater_exchange(n);
+  if (f == Functional::SlaterX) return x;
+  const XcPoint c = pw92_correlation(n);
+  x.eps += c.eps;
+  x.v += c.v;
+  x.f += c.f;
+  return x;
+}
+
+}  // namespace swraman::xc

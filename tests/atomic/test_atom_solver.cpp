@@ -1,0 +1,125 @@
+#include "atomic/atom_solver.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+
+namespace swraman::atomic {
+namespace {
+
+TEST(RadialHartree, PointLikeDensityGivesCoulombTail) {
+  const RadialMesh mesh(1e-5, 40.0, 600);
+  // Narrow normalized Gaussian shell at the origin: V_H -> q/r outside.
+  std::vector<double> n(mesh.size());
+  const double sigma = 0.2;
+  double norm = 0.0;
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    const double r = mesh.r(i);
+    n[i] = std::exp(-r * r / (2.0 * sigma * sigma));
+    norm += n[i] * kFourPi * r * r * mesh.weight(i);
+  }
+  for (double& x : n) x /= norm;
+  const std::vector<double> vh = radial_hartree(mesh, n);
+  for (std::size_t i = 0; i < mesh.size(); i += 40) {
+    const double r = mesh.r(i);
+    if (r < 5.0 * sigma) continue;
+    EXPECT_NEAR(vh[i], 1.0 / r, 2e-4 / r) << "r=" << r;
+  }
+}
+
+TEST(RadialHartree, HydrogenDensityAnalytic) {
+  // n = exp(-2r)/pi: V_H(r) = 1/r - (1 + 1/r) e^{-2r}.
+  const RadialMesh mesh(1e-6, 40.0, 700);
+  std::vector<double> n(mesh.size());
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    n[i] = std::exp(-2.0 * mesh.r(i)) / kPi;
+  }
+  const std::vector<double> vh = radial_hartree(mesh, n);
+  for (std::size_t i = 50; i < mesh.size(); i += 60) {
+    const double r = mesh.r(i);
+    const double exact = 1.0 / r - (1.0 + 1.0 / r) * std::exp(-2.0 * r);
+    EXPECT_NEAR(vh[i], exact, 2e-4 * std::abs(exact) + 1e-7) << "r=" << r;
+  }
+}
+
+TEST(AtomSolver, HydrogenLdaReferenceValues) {
+  const AtomicSolution sol = solve_atom(1);
+  EXPECT_TRUE(sol.converged);
+  ASSERT_EQ(sol.orbitals.size(), 1u);
+  // Spin-restricted LDA(PW92) H atom: eps_1s ~= -0.2338 Ha,
+  // E_tot ~= -0.4457 Ha (NIST atomic reference data).
+  EXPECT_NEAR(sol.orbitals[0].energy, -0.2338, 5e-3);
+  EXPECT_NEAR(sol.total_energy, -0.4457, 5e-3);
+}
+
+TEST(AtomSolver, HeliumLdaReferenceValues) {
+  const AtomicSolution sol = solve_atom(2);
+  EXPECT_TRUE(sol.converged);
+  // LDA helium: eps_1s ~= -0.5704 Ha, E_tot ~= -2.8348 Ha (NIST LSD data).
+  EXPECT_NEAR(sol.orbitals[0].energy, -0.5704, 1e-2);
+  EXPECT_NEAR(sol.total_energy, -2.8348, 1e-2);
+}
+
+class AtomZ : public ::testing::TestWithParam<int> {};
+
+TEST_P(AtomZ, ConvergesWithCorrectElectronCount) {
+  const int z = GetParam();
+  const AtomicSolution sol = solve_atom(z);
+  EXPECT_TRUE(sol.converged) << "Z=" << z;
+
+  double n_elec = 0.0;
+  for (std::size_t i = 0; i < sol.mesh.size(); ++i) {
+    const double r = sol.mesh.r(i);
+    n_elec += sol.density[i] * kFourPi * r * r * sol.mesh.weight(i);
+  }
+  EXPECT_NEAR(n_elec, static_cast<double>(z), 1e-6);
+
+  // Orbital energies ordered: core far below valence.
+  for (const AtomicOrbital& orb : sol.orbitals) {
+    EXPECT_LT(orb.energy, 0.5) << "unbound occupied orbital, Z=" << z;
+  }
+  EXPECT_LT(sol.total_energy, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Elements, AtomZ,
+                         ::testing::Values(1, 2, 6, 7, 8, 14, 16));
+
+TEST(AtomSolver, CarbonShellStructure) {
+  const AtomicSolution sol = solve_atom(6);
+  ASSERT_EQ(sol.orbitals.size(), 3u);  // 1s, 2s, 2p
+  // Known LDA carbon eigenvalues: 1s ~ -9.95, 2s ~ -0.50, 2p ~ -0.19 Ha.
+  double e1s = 0, e2s = 0, e2p = 0;
+  for (const AtomicOrbital& o : sol.orbitals) {
+    if (o.n == 1 && o.l == 0) e1s = o.energy;
+    if (o.n == 2 && o.l == 0) e2s = o.energy;
+    if (o.n == 2 && o.l == 1) e2p = o.energy;
+  }
+  EXPECT_NEAR(e1s, -9.95, 0.2);
+  EXPECT_NEAR(e2s, -0.50, 0.05);
+  EXPECT_NEAR(e2p, -0.19, 0.05);
+}
+
+TEST(AtomSolver, ConfinementLocalizesOrbitals) {
+  AtomSolverOptions opt;
+  opt.confinement_strength = 2.0;
+  opt.confinement_onset = 4.0;
+  const AtomicSolution confined = solve_atom(1, opt);
+  const AtomicSolution free_atom = solve_atom(1);
+  // Confinement raises the eigenvalue and pulls the tail in.
+  EXPECT_GT(confined.orbitals[0].energy, free_atom.orbitals[0].energy);
+  const RadialMesh& mesh = confined.mesh;
+  std::size_t i_far = 0;
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    if (mesh.r(i) > 7.0) {
+      i_far = i;
+      break;
+    }
+  }
+  EXPECT_LT(std::abs(confined.orbitals[0].u[i_far]),
+            std::abs(free_atom.orbitals[0].u[i_far]));
+}
+
+}  // namespace
+}  // namespace swraman::atomic

@@ -1,0 +1,97 @@
+#include "atomic/pseudo.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+
+namespace swraman::atomic {
+namespace {
+
+TEST(IsValenceShell, MainGroupElements) {
+  EXPECT_TRUE(is_valence_shell(1, 1, 0));    // H 1s
+  EXPECT_TRUE(is_valence_shell(6, 2, 0));    // C 2s
+  EXPECT_TRUE(is_valence_shell(6, 2, 1));    // C 2p
+  EXPECT_FALSE(is_valence_shell(6, 1, 0));   // C 1s core
+  EXPECT_TRUE(is_valence_shell(14, 3, 0));   // Si 3s
+  EXPECT_FALSE(is_valence_shell(14, 2, 1));  // Si 2p core
+}
+
+class PseudoZ : public ::testing::TestWithParam<int> {};
+
+TEST_P(PseudoZ, ValenceChargeAndNodelessness) {
+  const int z = GetParam();
+  const AtomicSolution ae = solve_atom(z);
+  const PseudoAtom ps = pseudize(ae);
+
+  EXPECT_NEAR(ps.z_valence, valence_electron_count(z), 1e-12);
+
+  // Pseudo-orbitals are nodeless: no sign change above the noise floor.
+  for (const AtomicOrbital& orb : ps.valence) {
+    double umax = 0.0;
+    for (double u : orb.u) umax = std::max(umax, std::abs(u));
+    double prev = 0.0;
+    int nodes = 0;
+    for (double u : orb.u) {
+      if (std::abs(u) < 1e-5 * umax) continue;
+      if (prev != 0.0 && u * prev < 0.0) ++nodes;
+      prev = u;
+    }
+    EXPECT_EQ(nodes, 0) << "Z=" << z << " n=" << orb.n << " l=" << orb.l;
+  }
+
+  // Valence density integrates to the valence charge.
+  double q = 0.0;
+  for (std::size_t i = 0; i < ps.mesh.size(); ++i) {
+    const double r = ps.mesh.r(i);
+    q += ps.valence_density[i] * kFourPi * r * r * ps.mesh.weight(i);
+  }
+  EXPECT_NEAR(q, ps.z_valence, 1e-8);
+}
+
+TEST_P(PseudoZ, IonicPotentialHasCoulombTailAndFiniteCore) {
+  const int z = GetParam();
+  const PseudoAtom ps = pseudize(solve_atom(z));
+  const RadialMesh& mesh = ps.mesh;
+
+  // Far tail: v_ion -> -Z_v / r.
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    const double r = mesh.r(i);
+    if (r < 6.0 || r > 12.0) continue;
+    EXPECT_NEAR(ps.v_ion[i], -ps.z_valence / r, 0.05 * ps.z_valence / r + 0.01)
+        << "Z=" << z << " r=" << r;
+  }
+
+  // Finite at the origin (unlike -Z/r).
+  EXPECT_TRUE(std::isfinite(ps.v_ion[0]));
+  EXPECT_LT(std::abs(ps.v_ion[0]), 100.0) << "Z=" << z;
+}
+
+INSTANTIATE_TEST_SUITE_P(Elements, PseudoZ, ::testing::Values(6, 8, 14));
+
+TEST(Pseudo, MatchesAllElectronOrbitalOutsideCore) {
+  const AtomicSolution ae = solve_atom(14);  // Si
+  const PseudoAtom ps = pseudize(ae);
+  // Find the AE 3s orbital.
+  const AtomicOrbital* ae3s = nullptr;
+  for (const AtomicOrbital& o : ae.orbitals) {
+    if (o.n == 3 && o.l == 0) ae3s = &o;
+  }
+  ASSERT_NE(ae3s, nullptr);
+  const AtomicOrbital* ps3s = nullptr;
+  for (const AtomicOrbital& o : ps.valence) {
+    if (o.n == 3 && o.l == 0) ps3s = &o;
+  }
+  ASSERT_NE(ps3s, nullptr);
+  // Outside ~3 Bohr the pseudized orbital tracks the AE one up to the
+  // renormalization factor (core norm change is small).
+  for (std::size_t i = 0; i < ae.mesh.size(); i += 50) {
+    const double r = ae.mesh.r(i);
+    if (r < 3.0 || r > 8.0) continue;
+    EXPECT_NEAR(ps3s->u[i], ae3s->u[i], 0.05 * std::abs(ae3s->u[i]) + 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace swraman::atomic

@@ -1,0 +1,88 @@
+#include "atomic/radial_solver.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace swraman::atomic {
+namespace {
+
+// Coulomb potential: hydrogenic energies E_nl = -Z^2 / (2 n^2) with
+// n = nodes + l + 1 — an exact analytic check of the log-mesh solver.
+class HydrogenicZ : public ::testing::TestWithParam<double> {};
+
+TEST_P(HydrogenicZ, SStatesMatchAnalyticSpectrum) {
+  const double z = GetParam();
+  const RadialMesh mesh(1e-6 / z, 60.0 / std::sqrt(z), 900);
+  std::vector<double> v(mesh.size());
+  for (std::size_t i = 0; i < mesh.size(); ++i) v[i] = -z / mesh.r(i);
+
+  const std::vector<RadialState> states = solve_radial(mesh, v, 0, 3);
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    const double n = static_cast<double>(k + 1);
+    const double exact = -z * z / (2.0 * n * n);
+    EXPECT_NEAR(states[k].energy, exact, 2e-4 * z * z) << "state " << k;
+    EXPECT_EQ(states[k].node_count, static_cast<int>(k));
+  }
+}
+
+TEST_P(HydrogenicZ, PStatesMatchAnalyticSpectrum) {
+  const double z = GetParam();
+  const RadialMesh mesh(1e-6 / z, 60.0 / std::sqrt(z), 900);
+  std::vector<double> v(mesh.size());
+  for (std::size_t i = 0; i < mesh.size(); ++i) v[i] = -z / mesh.r(i);
+
+  const std::vector<RadialState> states = solve_radial(mesh, v, 1, 2);
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    const double n = static_cast<double>(k + 2);  // 2p, 3p
+    const double exact = -z * z / (2.0 * n * n);
+    EXPECT_NEAR(states[k].energy, exact, 2e-4 * z * z) << "state " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Charges, HydrogenicZ,
+                         ::testing::Values(1.0, 2.0, 6.0, 14.0));
+
+TEST(RadialSolver, StatesAreNormalized) {
+  const RadialMesh mesh(1e-6, 50.0, 700);
+  std::vector<double> v(mesh.size());
+  for (std::size_t i = 0; i < mesh.size(); ++i) v[i] = -1.0 / mesh.r(i);
+  const std::vector<RadialState> states = solve_radial(mesh, v, 0, 2);
+  for (const RadialState& st : states) {
+    std::vector<double> u2(st.u.size());
+    for (std::size_t i = 0; i < u2.size(); ++i) u2[i] = st.u[i] * st.u[i];
+    EXPECT_NEAR(mesh.integrate(u2), 1.0, 1e-10);
+  }
+}
+
+TEST(RadialSolver, Hydrogen1sWavefunctionShape) {
+  const RadialMesh mesh(1e-6, 50.0, 900);
+  std::vector<double> v(mesh.size());
+  for (std::size_t i = 0; i < mesh.size(); ++i) v[i] = -1.0 / mesh.r(i);
+  const RadialState st = solve_radial(mesh, v, 0, 1)[0];
+  // u_1s(r) = 2 r exp(-r).
+  for (std::size_t i = 100; i < mesh.size(); i += 60) {
+    const double r = mesh.r(i);
+    if (r > 8.0) break;
+    EXPECT_NEAR(st.u[i], 2.0 * r * std::exp(-r), 3e-3) << "r=" << r;
+  }
+}
+
+TEST(RadialSolver, HarmonicOscillatorSpectrum) {
+  // V = r^2/2: s-state energies are 1.5, 3.5, 5.5 (E = 2k + l + 3/2).
+  const RadialMesh mesh(1e-5, 15.0, 800);
+  std::vector<double> v(mesh.size());
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    v[i] = 0.5 * mesh.r(i) * mesh.r(i);
+  }
+  const std::vector<RadialState> s = solve_radial(mesh, v, 0, 3);
+  EXPECT_NEAR(s[0].energy, 1.5, 1e-4);
+  EXPECT_NEAR(s[1].energy, 3.5, 1e-4);
+  EXPECT_NEAR(s[2].energy, 5.5, 1e-4);
+  const std::vector<RadialState> p = solve_radial(mesh, v, 1, 2);
+  EXPECT_NEAR(p[0].energy, 2.5, 1e-4);
+  EXPECT_NEAR(p[1].energy, 4.5, 1e-4);
+}
+
+}  // namespace
+}  // namespace swraman::atomic

@@ -1,0 +1,126 @@
+#include "basis/basis_set.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "grid/atom_grid.hpp"
+
+namespace swraman::basis {
+namespace {
+
+std::vector<grid::AtomSite> h2() {
+  return {{1, {0.0, 0.0, 0.0}}, {1, {0.0, 0.0, 1.4}}};
+}
+
+TEST(BasisSet, FunctionCountAndElectronCount) {
+  const BasisSet bs(h2(), {});
+  // Two H atoms, standard tier: (1s + 3 p) each.
+  EXPECT_EQ(bs.size(), 8u);
+  EXPECT_DOUBLE_EQ(bs.n_electrons(), 2.0);
+}
+
+TEST(BasisSet, LocalFunctionsFiltersByDistance) {
+  std::vector<grid::AtomSite> far = {{1, {0.0, 0.0, 0.0}},
+                                     {1, {0.0, 0.0, 40.0}}};
+  const BasisSet bs(far, {});
+  const std::vector<std::size_t> near_origin =
+      bs.local_functions({0.0, 0.0, 0.0}, 1.0);
+  for (std::size_t id : near_origin) {
+    EXPECT_EQ(bs.functions()[id].atom, 0);
+  }
+  const std::vector<std::size_t> all =
+      bs.local_functions({0.0, 0.0, 20.0}, 30.0);
+  EXPECT_EQ(all.size(), bs.size());
+}
+
+TEST(BasisSet, OverlapOfNormalizedFunctionIsOne) {
+  const std::vector<grid::AtomSite> atom = {{1, {0.0, 0.0, 0.0}}};
+  const BasisSet bs(atom, {});
+  const grid::MolecularGrid g = grid::build_molecular_grid(atom, {});
+
+  linalg::Matrix values;
+  std::vector<std::size_t> ids(bs.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  bs.evaluate(ids, g.points.data(), g.size(), values, nullptr);
+
+  for (std::size_t k = 0; k < bs.size(); ++k) {
+    double s = 0.0;
+    for (std::size_t p = 0; p < g.size(); ++p) {
+      s += g.weights[p] * values(k, p) * values(k, p);
+    }
+    EXPECT_NEAR(s, 1.0, 2e-2) << "fn " << k;
+  }
+}
+
+TEST(BasisSet, DifferentMOnSameShellAreOrthogonal) {
+  const std::vector<grid::AtomSite> atom = {{6, {0.0, 0.0, 0.0}}};
+  const BasisSet bs(atom, {});
+  grid::GridSettings gs;
+  gs.level = grid::GridLevel::Tight;
+  const grid::MolecularGrid g = grid::build_molecular_grid(atom, gs);
+
+  linalg::Matrix values;
+  std::vector<std::size_t> ids(bs.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  bs.evaluate(ids, g.points.data(), g.size(), values, nullptr);
+
+  for (std::size_t a = 0; a < bs.size(); ++a) {
+    for (std::size_t b = 0; b < a; ++b) {
+      const BasisSet::Fn& fa = bs.functions()[a];
+      const BasisSet::Fn& fb = bs.functions()[b];
+      if (fa.l == fb.l && fa.m == fb.m) continue;  // same angular channel
+      double s = 0.0;
+      for (std::size_t p = 0; p < g.size(); ++p) {
+        s += g.weights[p] * values(a, p) * values(b, p);
+      }
+      EXPECT_NEAR(s, 0.0, 1e-6) << "fns " << a << "," << b;
+    }
+  }
+}
+
+TEST(BasisSet, LaplacianGivesHydrogenicKineticEnergy) {
+  // For the H-atom-like 1s NAO, <chi|-1/2 nabla^2|chi> should be close to
+  // the free-atom kinetic energy (~0.28 Ha for the LDA H atom with mild
+  // confinement; bounded well away from 0 and from 1).
+  const std::vector<grid::AtomSite> atom = {{1, {0.0, 0.0, 0.0}}};
+  SpeciesOptions opt;
+  opt.tier = Tier::Minimal;
+  const BasisSet bs(atom, opt);
+  grid::GridSettings gs;
+  gs.level = grid::GridLevel::Tight;
+  const grid::MolecularGrid g = grid::build_molecular_grid(atom, gs);
+
+  linalg::Matrix values;
+  linalg::Matrix lap;
+  const std::vector<std::size_t> ids{0};
+  bs.evaluate(ids, g.points.data(), g.size(), values, &lap);
+  double t = 0.0;
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    t += -0.5 * g.weights[p] * values(0, p) * lap(0, p);
+  }
+  EXPECT_GT(t, 0.15);
+  EXPECT_LT(t, 0.8);
+}
+
+TEST(BasisSet, FreeAtomDensitySuperposition) {
+  const BasisSet bs(h2(), {});
+  const grid::MolecularGrid g = grid::build_molecular_grid(h2(), {});
+  double q = 0.0;
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    q += g.weights[p] * bs.free_atom_density(g.points[p]);
+  }
+  EXPECT_NEAR(q, 2.0, 5e-3);
+}
+
+TEST(BasisSet, EvaluateEmptySelectionYieldsZeroSizedMatrix) {
+  const BasisSet bs(h2(), {});
+  linalg::Matrix values(1, 1, 7.0);
+  const Vec3 p{0.0, 0.0, 0.0};
+  bs.evaluate({}, &p, 1, values, nullptr);
+  EXPECT_EQ(values.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace swraman::basis

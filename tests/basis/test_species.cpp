@@ -1,0 +1,136 @@
+#include "basis/species.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace swraman::basis {
+namespace {
+
+TEST(Species, HydrogenMinimalHasOnly1s) {
+  SpeciesOptions opt;
+  opt.tier = Tier::Minimal;
+  const Species sp = build_species(1, opt);
+  ASSERT_EQ(sp.fns.size(), 1u);
+  EXPECT_EQ(sp.fns[0].l, 0);
+  EXPECT_EQ(sp.n_basis_functions(), 1u);
+  EXPECT_DOUBLE_EQ(sp.z_valence, 1.0);
+}
+
+TEST(Species, HydrogenStandardAddsPolarization) {
+  const Species& sp = species(1, {});
+  ASSERT_EQ(sp.fns.size(), 2u);  // 1s + p
+  EXPECT_EQ(sp.lmax(), 1);
+  EXPECT_EQ(sp.n_basis_functions(), 4u);  // 1 + 3
+}
+
+TEST(Species, CarbonStandardShellCount) {
+  const Species& sp = species(6, {});
+  // 1s, 2s, 2p + d polarization.
+  ASSERT_EQ(sp.fns.size(), 4u);
+  EXPECT_EQ(sp.lmax(), 2);
+  EXPECT_EQ(sp.n_basis_functions(), 1u + 1u + 3u + 5u);
+}
+
+TEST(Species, RadialFunctionsAreNormalized) {
+  const Species& sp = species(8, {});
+  for (const RadialFn& fn : sp.fns) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < sp.mesh.size(); ++i) {
+      const double r = sp.mesh.r(i);
+      const double v = sp.radial_value(fn, r);
+      norm += v * v * r * r * sp.mesh.weight(i);
+    }
+    EXPECT_NEAR(norm, 1.0, 2e-2) << fn.label;
+  }
+}
+
+TEST(Species, CutoffsAreRespected) {
+  const Species& sp = species(6, {});
+  for (const RadialFn& fn : sp.fns) {
+    EXPECT_GT(fn.cutoff, 1.0);
+    EXPECT_LE(fn.cutoff, sp.mesh.r_max());
+    EXPECT_DOUBLE_EQ(sp.radial_value(fn, fn.cutoff + 0.1), 0.0);
+  }
+}
+
+TEST(Species, FreeDensityIntegratesToElectronCount) {
+  for (int z : {1, 6, 8}) {
+    const Species& sp = species(z, {});
+    double q = 0.0;
+    for (std::size_t i = 0; i < sp.mesh.size(); ++i) {
+      const double r = sp.mesh.r(i);
+      q += sp.density_value(r) * kFourPi * r * r * sp.mesh.weight(i);
+    }
+    EXPECT_NEAR(q, static_cast<double>(z), 1e-3) << "Z=" << z;
+  }
+}
+
+TEST(Species, PseudizedSpeciesValenceOnly) {
+  SpeciesOptions opt;
+  opt.pseudized = true;
+  const Species& sp = species(14, opt);  // Si
+  EXPECT_TRUE(sp.has_v_ion);
+  EXPECT_DOUBLE_EQ(sp.z_valence, 4.0);
+  // Only 3s/3p-derived functions (+ polarization d).
+  for (const RadialFn& fn : sp.fns) {
+    EXPECT_TRUE(fn.n >= 3 || fn.n >= 90) << fn.label;
+  }
+  // Ionic potential: Coulomb tail of the valence charge.
+  EXPECT_NEAR(sp.v_ion_value(10.0), -4.0 / 10.0, 0.02);
+  EXPECT_NEAR(sp.v_ion_value(40.0), -4.0 / 40.0, 1e-6);
+}
+
+TEST(Species, GtoBackendSplitsValence) {
+  SpeciesOptions nao;
+  SpeciesOptions gto;
+  gto.backend = Backend::Gto;
+  const Species& sp_nao = species(6, nao);
+  const Species& sp_gto = species(6, gto);
+  // GTO variant carries more functions (split valence), like 6-31G** vs a
+  // minimal+pol NAO set.
+  EXPECT_GT(sp_gto.n_basis_functions(), sp_nao.n_basis_functions());
+}
+
+TEST(Species, GtoFitReproducesSmoothOrbital) {
+  // The 2s-like NAO of carbon is smooth away from the nucleus; its GTO fit
+  // must track it closely there (Gaussians cannot do the cusp).
+  SpeciesOptions gto;
+  gto.backend = Backend::Gto;
+  const Species& sp_gto = species(1, gto);
+  const Species& sp_nao = species(1, {});
+  const RadialFn& nao_1s = sp_nao.fns[0];
+  const RadialFn& gto_1s = sp_gto.fns[0];
+  for (double r : {0.5, 1.0, 1.5, 2.0, 3.0}) {
+    EXPECT_NEAR(sp_gto.radial_value(gto_1s, r), sp_nao.radial_value(nao_1s, r),
+                0.05 * std::abs(sp_nao.radial_value(nao_1s, r)) + 5e-3)
+        << "r=" << r;
+  }
+}
+
+TEST(FitGaussians, ExactForGaussianInput) {
+  const RadialMesh mesh(1e-4, 20.0, 400);
+  std::vector<double> radial(mesh.size());
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    radial[i] = std::exp(-0.7 * mesh.r(i) * mesh.r(i));
+  }
+  const std::vector<double> expo{0.3, 0.7, 1.5};
+  const std::vector<double> c = fit_gaussians(mesh, radial, 0, expo);
+  EXPECT_NEAR(c[0], 0.0, 1e-6);
+  EXPECT_NEAR(c[1], 1.0, 1e-6);
+  EXPECT_NEAR(c[2], 0.0, 1e-6);
+}
+
+TEST(Species, RejectsBadRequests) {
+  EXPECT_THROW(build_species(0, {}), Error);
+  SpeciesOptions bad;
+  bad.backend = Backend::Gto;
+  bad.pseudized = true;
+  EXPECT_THROW(build_species(6, bad), Error);
+}
+
+}  // namespace
+}  // namespace swraman::basis

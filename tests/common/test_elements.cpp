@@ -1,0 +1,91 @@
+#include "common/elements.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace swraman {
+namespace {
+
+TEST(Elements, SymbolsAndMasses) {
+  EXPECT_EQ(element(1).symbol, "H");
+  EXPECT_EQ(element(6).symbol, "C");
+  EXPECT_EQ(element(8).symbol, "O");
+  EXPECT_EQ(element(16).symbol, "S");
+  EXPECT_EQ(element(50).symbol, "Sn");
+  EXPECT_NEAR(element(6).mass_amu, 12.011, 1e-3);
+  EXPECT_NEAR(element(14).mass_amu, 28.085, 1e-3);
+}
+
+TEST(Elements, AtomicNumberLookup) {
+  EXPECT_EQ(atomic_number("H"), 1);
+  EXPECT_EQ(atomic_number("Si"), 14);
+  EXPECT_EQ(atomic_number("Te"), 52);
+  EXPECT_THROW(atomic_number("Xx"), Error);
+}
+
+TEST(Elements, RangeChecks) {
+  EXPECT_THROW(element(0), Error);
+  EXPECT_THROW(element(55), Error);
+  EXPECT_NO_THROW(element(54));
+}
+
+class ElementConfig : public ::testing::TestWithParam<int> {};
+
+TEST_P(ElementConfig, ConfigurationSumsToZ) {
+  const int z = GetParam();
+  const ElementData& e = element(z);
+  double total = 0.0;
+  for (const Shell& s : e.configuration) {
+    EXPECT_GT(s.occ, 0.0);
+    EXPECT_LE(s.occ, 2.0 * (2 * s.l + 1) + 1e-12);
+    EXPECT_GE(s.n, s.l + 1);
+    total += s.occ;
+  }
+  EXPECT_NEAR(total, static_cast<double>(z), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSupported, ElementConfig,
+                         ::testing::Range(1, 55));
+
+TEST(Elements, KnownConfigurations) {
+  // Carbon: 1s2 2s2 2p2.
+  const auto& c = element(6).configuration;
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[2].l, 1);
+  EXPECT_DOUBLE_EQ(c[2].occ, 2.0);
+
+  // Copper exception: 3d10 4s1.
+  double cu_4s = -1.0;
+  double cu_3d = -1.0;
+  for (const Shell& s : element(29).configuration) {
+    if (s.n == 4 && s.l == 0) cu_4s = s.occ;
+    if (s.n == 3 && s.l == 2) cu_3d = s.occ;
+  }
+  EXPECT_DOUBLE_EQ(cu_4s, 1.0);
+  EXPECT_DOUBLE_EQ(cu_3d, 10.0);
+
+  // Palladium exception: 4d10 5s0.
+  for (const Shell& s : element(46).configuration) {
+    EXPECT_FALSE(s.n == 5 && s.l == 0) << "Pd must have no 5s shell";
+  }
+}
+
+TEST(Elements, ValenceCounts) {
+  EXPECT_DOUBLE_EQ(valence_electron_count(1), 1.0);   // H: 1s1
+  EXPECT_DOUBLE_EQ(valence_electron_count(6), 4.0);   // C: 2s2 2p2
+  EXPECT_DOUBLE_EQ(valence_electron_count(14), 4.0);  // Si: 3s2 3p2
+  EXPECT_DOUBLE_EQ(valence_electron_count(8), 6.0);   // O: 2s2 2p4
+}
+
+TEST(Elements, BraggRadiiPositiveAndOrdered) {
+  for (int z = 1; z <= 54; ++z) {
+    EXPECT_GT(element(z).bragg_radius_bohr, 0.0);
+  }
+  // O smaller than C smaller than Si.
+  EXPECT_LT(element(8).bragg_radius_bohr, element(6).bragg_radius_bohr);
+  EXPECT_LT(element(6).bragg_radius_bohr, element(14).bragg_radius_bohr);
+}
+
+}  // namespace
+}  // namespace swraman

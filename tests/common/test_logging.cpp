@@ -1,0 +1,58 @@
+#include "common/logging.hpp"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace swraman {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const log::Level saved = log::level();
+  log::set_level(log::Level::Debug);
+  EXPECT_EQ(log::level(), log::Level::Debug);
+  log::set_level(log::Level::Off);
+  EXPECT_EQ(log::level(), log::Level::Off);
+  log::set_level(saved);
+}
+
+TEST(Log, SuppressedBelowLevel) {
+  const log::Level saved = log::level();
+  log::set_level(log::Level::Off);
+  // Must be a no-op (nothing to assert on stdout here, but it must not
+  // crash and must not evaluate into the stream when suppressed).
+  log::info("this should be invisible ", 42);
+  log::debug("also invisible");
+  log::set_level(saved);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(ErrorMacros, RequireThrowsWithContext) {
+  try {
+    SWRAMAN_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("test_logging.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, RequirePassesSilently) {
+  EXPECT_NO_THROW(SWRAMAN_REQUIRE(2 + 2 == 4, "math works"));
+}
+
+}  // namespace
+}  // namespace swraman

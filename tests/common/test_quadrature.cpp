@@ -1,0 +1,72 @@
+#include "common/quadrature.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+
+namespace swraman {
+namespace {
+
+double apply(const Quadrature1D& q, double (*f)(double)) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < q.nodes.size(); ++i)
+    s += q.weights[i] * f(q.nodes[i]);
+  return s;
+}
+
+class GaussLegendreOrder : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GaussLegendreOrder, IntegratesPolynomialsExactly) {
+  const std::size_t n = GetParam();
+  const Quadrature1D q = gauss_legendre(n);
+  // Exact for all monomials up to degree 2n-1.
+  for (std::size_t deg = 0; deg <= 2 * n - 1; ++deg) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      s += q.weights[i] * std::pow(q.nodes[i], static_cast<double>(deg));
+    const double exact = (deg % 2 == 0)
+                             ? 2.0 / (static_cast<double>(deg) + 1.0)
+                             : 0.0;
+    EXPECT_NEAR(s, exact, 1e-12) << "n=" << n << " deg=" << deg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussLegendreOrder,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+TEST(GaussLegendre, WeightsSumToIntervalLength) {
+  const Quadrature1D q = gauss_legendre(24);
+  double s = 0.0;
+  for (double w : q.weights) s += w;
+  EXPECT_NEAR(s, 2.0, 1e-13);
+}
+
+TEST(GaussChebyshev2, IntegratesSmoothFunction) {
+  const Quadrature1D q = gauss_chebyshev2(200);
+  EXPECT_NEAR(apply(q, [](double x) { return x * x; }), 2.0 / 3.0, 1e-4);
+  EXPECT_NEAR(apply(q, [](double x) { return std::cos(x); }),
+              2.0 * std::sin(1.0), 1e-4);
+}
+
+TEST(BeckeRadial, NormalizesGaussian) {
+  // integral exp(-r^2) r^2 dr = sqrt(pi)/4.
+  const Quadrature1D q = becke_radial(80, 1.0);
+  double s = 0.0;
+  for (std::size_t i = 0; i < q.nodes.size(); ++i)
+    s += q.weights[i] * std::exp(-q.nodes[i] * q.nodes[i]);
+  EXPECT_NEAR(s, kSqrtPi / 4.0, 1e-8);
+}
+
+TEST(BeckeRadial, NormalizesSlaterDensity) {
+  // integral exp(-2r) r^2 dr = 1/4.
+  const Quadrature1D q = becke_radial(80, 1.0);
+  double s = 0.0;
+  for (std::size_t i = 0; i < q.nodes.size(); ++i)
+    s += q.weights[i] * std::exp(-2.0 * q.nodes[i]);
+  EXPECT_NEAR(s, 0.25, 1e-8);
+}
+
+}  // namespace
+}  // namespace swraman

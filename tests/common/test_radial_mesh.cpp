@@ -1,0 +1,56 @@
+#include "common/radial_mesh.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace swraman {
+namespace {
+
+TEST(RadialMesh, EndpointsAndMonotonicity) {
+  RadialMesh mesh(1e-5, 20.0, 400);
+  EXPECT_NEAR(mesh.r_min(), 1e-5, 1e-18);
+  EXPECT_NEAR(mesh.r_max(), 20.0, 1e-10);
+  for (std::size_t i = 1; i < mesh.size(); ++i) {
+    EXPECT_GT(mesh.r(i), mesh.r(i - 1));
+  }
+}
+
+TEST(RadialMesh, FractionalIndexInvertsRadius) {
+  RadialMesh mesh(1e-4, 30.0, 300);
+  for (std::size_t i = 0; i < mesh.size(); i += 17) {
+    EXPECT_NEAR(mesh.fractional_index(mesh.r(i)), static_cast<double>(i),
+                1e-9);
+  }
+}
+
+TEST(RadialMesh, IntegratesExponentialDecay) {
+  // integral_0^inf exp(-r) dr = 1; the mesh misses only [0, r_min) and
+  // (r_max, inf) tails.
+  RadialMesh mesh(1e-6, 40.0, 600);
+  std::vector<double> f(mesh.size());
+  for (std::size_t i = 0; i < mesh.size(); ++i) f[i] = std::exp(-mesh.r(i));
+  EXPECT_NEAR(mesh.integrate(f), 1.0, 1e-5);
+}
+
+TEST(RadialMesh, IntegratesHydrogenDensityNorm) {
+  // n(r) = (1/pi) exp(-2r); integral n * 4 pi r^2 dr = 1.
+  RadialMesh mesh = RadialMesh::for_nuclear_charge(1.0);
+  std::vector<double> f(mesh.size());
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    const double r = mesh.r(i);
+    f[i] = 4.0 * r * r * std::exp(-2.0 * r);
+  }
+  EXPECT_NEAR(mesh.integrate(f), 1.0, 1e-6);
+}
+
+TEST(RadialMesh, RejectsBadInput) {
+  EXPECT_THROW(RadialMesh(0.0, 1.0, 10), Error);
+  EXPECT_THROW(RadialMesh(1.0, 0.5, 10), Error);
+  EXPECT_THROW(RadialMesh(1e-3, 1.0, 1), Error);
+}
+
+}  // namespace
+}  // namespace swraman

@@ -1,0 +1,46 @@
+#include "common/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swraman {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  const Vec3 s = a + b;
+  EXPECT_DOUBLE_EQ(s.x, 0.0);
+  EXPECT_DOUBLE_EQ(s.y, 2.5);
+  EXPECT_DOUBLE_EQ(s.z, 5.0);
+  const Vec3 d = a - b;
+  EXPECT_DOUBLE_EQ(d.x, 2.0);
+  const Vec3 m = 2.0 * a;
+  EXPECT_DOUBLE_EQ(m.z, 6.0);
+}
+
+TEST(Vec3, DotCrossNorm) {
+  const Vec3 ex{1.0, 0.0, 0.0};
+  const Vec3 ey{0.0, 1.0, 0.0};
+  const Vec3 ez = cross(ex, ey);
+  EXPECT_DOUBLE_EQ(ez.z, 1.0);
+  EXPECT_DOUBLE_EQ(dot(ex, ey), 0.0);
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3 v{1.0, 2.0, 3.0};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(v[i], static_cast<double>(i + 1));
+  }
+  v[1] = 7.0;
+  EXPECT_DOUBLE_EQ(v.y, 7.0);
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {0, 3, 4}), 5.0);
+}
+
+}  // namespace
+}  // namespace swraman

@@ -1,0 +1,119 @@
+#include "core/molecules.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace swraman::molecules {
+namespace {
+
+TEST(Molecules, WaterGeometry) {
+  const auto atoms = water();
+  ASSERT_EQ(atoms.size(), 3u);
+  EXPECT_EQ(atoms[0].z, 8);
+  const double oh = distance(atoms[0].pos, atoms[1].pos);
+  EXPECT_NEAR(oh * kAngstromPerBohr, 0.9572, 1e-6);
+  // H-O-H angle.
+  const Vec3 a = atoms[1].pos - atoms[0].pos;
+  const Vec3 b = atoms[2].pos - atoms[0].pos;
+  const double ang =
+      std::acos(dot(a, b) / (a.norm() * b.norm())) * 180.0 / kPi;
+  EXPECT_NEAR(ang, 104.5, 1e-6);
+  EXPECT_DOUBLE_EQ(electron_count(atoms), 10.0);
+}
+
+TEST(Molecules, HydrogenDisulfideGeometry) {
+  const auto atoms = hydrogen_disulfide();
+  ASSERT_EQ(atoms.size(), 4u);
+  EXPECT_NEAR(distance(atoms[0].pos, atoms[1].pos) * kAngstromPerBohr, 2.055,
+              1e-6);
+  EXPECT_NEAR(distance(atoms[0].pos, atoms[2].pos) * kAngstromPerBohr, 1.342,
+              1e-6);
+  EXPECT_DOUBLE_EQ(electron_count(atoms), 34.0);
+}
+
+TEST(Molecules, EthyleneAndFormaldehyde) {
+  const auto eth = ethylene();
+  ASSERT_EQ(eth.size(), 6u);
+  EXPECT_NEAR(distance(eth[0].pos, eth[1].pos) * kAngstromPerBohr, 1.339,
+              1e-6);
+  EXPECT_DOUBLE_EQ(electron_count(eth), 16.0);
+
+  const auto fa = formaldehyde();
+  ASSERT_EQ(fa.size(), 4u);
+  EXPECT_NEAR(distance(fa[0].pos, fa[1].pos) * kAngstromPerBohr, 1.205, 1e-6);
+  EXPECT_DOUBLE_EQ(electron_count(fa), 16.0);
+}
+
+TEST(Molecules, TetrahedralBondLengths) {
+  const auto ch4 = methane();
+  ASSERT_EQ(ch4.size(), 5u);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_NEAR(distance(ch4[0].pos, ch4[i].pos) * kAngstromPerBohr, 1.087,
+                1e-9);
+  }
+  const auto sih4 = silane();
+  EXPECT_NEAR(distance(sih4[0].pos, sih4[1].pos) * kAngstromPerBohr, 1.480,
+              1e-9);
+}
+
+class ChainLength : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChainLength, PolyethyleneComposition) {
+  const std::size_t n = GetParam();
+  const auto atoms = polyethylene_chain(n);
+  // H(C2H4)nH: 2n carbons, 4n+2 hydrogens.
+  EXPECT_EQ(atoms.size(), 6 * n + 2);
+  std::size_t carbons = 0;
+  std::size_t hydrogens = 0;
+  for (const AtomSite& a : atoms) {
+    if (a.z == 6) ++carbons;
+    if (a.z == 1) ++hydrogens;
+  }
+  EXPECT_EQ(carbons, 2 * n);
+  EXPECT_EQ(hydrogens, 4 * n + 2);
+  // Atoms never overlap.
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_GT(distance(atoms[i].pos, atoms[j].pos), 1.2)
+          << "atoms " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ChainLength,
+                         ::testing::Values(1, 2, 3, 6, 12));
+
+TEST(Molecules, ChainLengthMatchesPaperAxis) {
+  // Fig. 16 sweeps 14 -> 50 atoms: n = 2 gives 14 atoms, n = 8 gives 50.
+  EXPECT_EQ(polyethylene_chain(2).size(), 14u);
+  EXPECT_EQ(polyethylene_chain(8).size(), 50u);
+}
+
+TEST(Molecules, ZincBlendeCluster) {
+  const auto bn = zinc_blende_cluster(5, 7, 1.567);
+  ASSERT_EQ(bn.size(), 8u);
+  std::size_t boron = 0;
+  for (const AtomSite& a : bn) {
+    if (a.z == 5) ++boron;
+  }
+  EXPECT_EQ(boron, 4u);
+  // Nearest-neighbor distance between unlike atoms = bond length.
+  double min_unlike = 1e9;
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      if (bn[i].z != bn[j].z)
+        min_unlike = std::min(min_unlike, distance(bn[i].pos, bn[j].pos));
+  EXPECT_NEAR(min_unlike * kAngstromPerBohr, 1.567, 1e-9);
+  EXPECT_DOUBLE_EQ(electron_count(bn), 48.0);
+}
+
+TEST(Molecules, RejectsEmptyChain) {
+  EXPECT_THROW(polyethylene_chain(0), Error);
+}
+
+}  // namespace
+}  // namespace swraman::molecules

@@ -1,0 +1,98 @@
+#include "core/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.hpp"
+
+namespace swraman::core {
+namespace {
+
+TEST(Workload, Table1CasesMatchPaper) {
+  const auto& cases = table1_cases();
+  ASSERT_EQ(cases.size(), 6u);
+  EXPECT_EQ(cases[0].grid_points, 35836u);
+  EXPECT_EQ(cases[1].grid_points, 56860u);
+  EXPECT_EQ(cases[3].n_basis, 50u);
+  EXPECT_EQ(cases[4].points_per_batch, 200u);
+  EXPECT_EQ(cases[5].points_per_batch, 300u);
+}
+
+TEST(Workload, RbdJobScale) {
+  const scaling::RamanJob job = make_dfpt_job(rbd_protein());
+  // 3006 atoms at light-grid density: millions of points, paper-scale
+  // batch count, 1175-polarizability default.
+  EXPECT_GT(job.n_batches, 10000u);
+  EXPECT_EQ(job.n_polarizabilities, 1175u);
+  EXPECT_GT(job.v1.total_flops(), 5e10);
+  EXPECT_GT(job.n1.total_flops(), 1e10);
+  EXPECT_GT(job.h1.total_flops(), 1e10);
+  EXPECT_GT(job.allreduce_bytes, 1e5);
+  EXPECT_GT(job.mpe_serial_seconds, 0.0);
+}
+
+TEST(Workload, V1IndependentOfBasisCount) {
+  // Fig. 13: the response-potential kernel touches only the grid.
+  const auto& c = table1_cases();
+  const sunway::KernelWorkload a = si_case_v1(c[0]);  // 18 basis fns
+  const sunway::KernelWorkload b = si_case_v1(c[2]);  // 36 basis fns
+  EXPECT_DOUBLE_EQ(a.flops_per_element, b.flops_per_element);
+  EXPECT_DOUBLE_EQ(a.stream_bytes_per_element, b.stream_bytes_per_element);
+}
+
+TEST(Workload, DensityKernelScalesQuadraticallyWithBasis) {
+  const auto& c = table1_cases();
+  const sunway::KernelWorkload n18 = si_case_n1(c[0]);  // 18 fns
+  const sunway::KernelWorkload n36 = si_case_n1(c[2]);  // 36 fns
+  EXPECT_NEAR(n36.flops_per_element / n18.flops_per_element, 4.0, 1e-9);
+}
+
+TEST(Workload, HamiltonianCarriesScatterTraffic) {
+  const sunway::KernelWorkload h = si_case_h1(table1_cases()[0]);
+  const sunway::KernelWorkload n = si_case_n1(table1_cases()[0]);
+  EXPECT_GT(h.irregular_bytes_per_element, 0.0);
+  EXPECT_DOUBLE_EQ(n.irregular_bytes_per_element, 0.0);
+}
+
+TEST(Workload, BatchSize200IsTheSweetSpot) {
+  // Fig. 13's observation: 200 points per batch accelerates best.
+  const auto& c = table1_cases();
+  const sunway::ArchParams sw = sunway::sw26010pro();
+  const auto speedup = [&](const sunway::KernelWorkload& w) {
+    return modeled_time(w, sw, sunway::Variant::MpeScalar) /
+           modeled_time(w, sw, sunway::Variant::CpeTiledDbSimd);
+  };
+  const double s100 = speedup(si_case_n1(c[2]));  // #3: 100 pts
+  const double s200 = speedup(si_case_n1(c[4]));  // #5: 200 pts
+  const double s300 = speedup(si_case_n1(c[5]));  // #6: 300 pts
+  EXPECT_GT(s200, s100);
+  EXPECT_GT(s200, s300);
+}
+
+TEST(Workload, DenserGridImprovesV1Speedup) {
+  // Fig. 13: ~7% higher V1 acceleration for the denser-grid cases.
+  const auto& c = table1_cases();
+  const sunway::ArchParams sw = sunway::sw26010pro();
+  const auto speedup = [&](const sunway::KernelWorkload& w) {
+    return modeled_time(w, sw, sunway::Variant::MpeScalar) /
+           modeled_time(w, sw, sunway::Variant::CpeTiled);
+  };
+  const double sparse = speedup(si_case_v1(c[0]));  // 35836 points
+  const double dense = speedup(si_case_v1(c[1]));   // 56860 points
+  EXPECT_GT(dense, 1.03 * sparse);
+  EXPECT_LT(dense, 1.25 * sparse);
+}
+
+TEST(Reference, BandTableAndMaterials) {
+  EXPECT_GE(rbd_experimental_bands().size(), 6u);
+  EXPECT_EQ(fig10_materials().size(), 19u);
+  for (const ZincBlendeMaterial& m : fig10_materials()) {
+    EXPECT_GE(m.z_cation, 1);
+    EXPECT_LE(m.z_anion, 54);
+    EXPECT_GT(m.bond_angstrom, 1.0);
+    EXPECT_LT(m.bond_angstrom, 3.0);
+  }
+  EXPECT_NEAR(paper_targets().fig17_efficiency, 0.845, 1e-12);
+}
+
+}  // namespace
+}  // namespace swraman::core

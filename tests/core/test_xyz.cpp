@@ -1,0 +1,56 @@
+#include "core/xyz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "core/molecules.hpp"
+
+namespace swraman::core {
+namespace {
+
+TEST(Xyz, ParsesWellFormedInput) {
+  const std::string text =
+      "3\n"
+      "water molecule\n"
+      "O   0.000000  0.000000  0.000000\n"
+      "H   0.757000  0.000000  0.586000\n"
+      "H  -0.757000  0.000000  0.586000\n";
+  const auto atoms = parse_xyz(text);
+  ASSERT_EQ(atoms.size(), 3u);
+  EXPECT_EQ(atoms[0].z, 8);
+  EXPECT_EQ(atoms[1].z, 1);
+  EXPECT_NEAR(atoms[1].pos.x, 0.757 * kBohrPerAngstrom, 1e-9);
+}
+
+TEST(Xyz, RoundTripPreservesGeometry) {
+  const auto original = molecules::hydrogen_disulfide();
+  const std::string text = write_xyz(original, "H2S2");
+  const auto back = parse_xyz(text);
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(back[i].z, original[i].z);
+    EXPECT_NEAR(distance(back[i].pos, original[i].pos), 0.0, 1e-6);
+  }
+}
+
+TEST(Xyz, RejectsMalformedInput) {
+  EXPECT_THROW(parse_xyz(""), Error);
+  EXPECT_THROW(parse_xyz("abc\ncomment\n"), Error);
+  EXPECT_THROW(parse_xyz("2\ncomment\nH 0 0 0\n"), Error);  // truncated
+  EXPECT_THROW(parse_xyz("1\ncomment\nQq 0 0 0\n"), Error); // unknown symbol
+  EXPECT_THROW(parse_xyz("1\ncomment\nH 0 0\n"), Error);    // missing coord
+}
+
+TEST(Xyz, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_xyz("/nonexistent/path.xyz"), Error);
+}
+
+TEST(Xyz, CommentLineMayBeEmpty) {
+  const auto atoms = parse_xyz("1\n\nHe 1.0 2.0 3.0\n");
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_EQ(atoms[0].z, 2);
+}
+
+}  // namespace
+}  // namespace swraman::core

@@ -1,0 +1,170 @@
+#include "dfpt/dfpt_engine.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace swraman::dfpt {
+namespace {
+
+std::vector<grid::AtomSite> h2(double bond = 1.4) {
+  return {{1, {0.0, 0.0, 0.0}}, {1, {0.0, 0.0, bond}}};
+}
+
+std::vector<grid::AtomSite> water() {
+  const double oh = 0.9572 * kBohrPerAngstrom;
+  const double half = 0.5 * 104.5 * kPi / 180.0;
+  return {{8, {0.0, 0.0, 0.0}},
+          {1, {oh * std::sin(half), 0.0, oh * std::cos(half)}},
+          {1, {-oh * std::sin(half), 0.0, oh * std::cos(half)}}};
+}
+
+TEST(DfptEngine, RequiresConvergedGroundState) {
+  scf::ScfOptions opt;
+  opt.max_iterations = 1;
+  scf::ScfEngine eng(h2(), opt);
+  const scf::GroundState gs = eng.solve();
+  ASSERT_FALSE(gs.converged);
+  EXPECT_THROW(DfptEngine(eng, gs), Error);
+}
+
+TEST(DfptEngine, H2PolarizabilityAnisotropy) {
+  scf::ScfEngine eng(h2(), {});
+  const scf::GroundState gs = eng.solve();
+  DfptEngine dfpt(eng, gs);
+  const linalg::Matrix alpha = dfpt.polarizability();
+  // Parallel (zz, along the bond) exceeds perpendicular; both positive.
+  EXPECT_GT(alpha(2, 2), alpha(0, 0));
+  EXPECT_GT(alpha(0, 0), 0.0);
+  EXPECT_NEAR(alpha(0, 0), alpha(1, 1), 1e-4);
+  // Off-diagonals vanish by symmetry.
+  EXPECT_NEAR(alpha(0, 1), 0.0, 1e-4);
+  EXPECT_NEAR(alpha(0, 2), 0.0, 1e-4);
+}
+
+// The central DFPT correctness property: the self-consistent response must
+// reproduce the numerical derivative of the finite-field dipole moment.
+class DfptVsFiniteField : public ::testing::TestWithParam<int> {};
+
+TEST_P(DfptVsFiniteField, WaterMatchesFiniteField) {
+  const int axis = GetParam();
+  scf::ScfEngine eng(water(), {});
+  const scf::GroundState gs = eng.solve();
+  DfptEngine dfpt(eng, gs);
+  const ResponseResult res = dfpt.solve_response(axis);
+  EXPECT_TRUE(res.converged);
+
+  const double f = 2e-3;
+  scf::ScfOptions plus;
+  plus.electric_field[axis] = f;
+  scf::ScfOptions minus;
+  minus.electric_field[axis] = -f;
+  scf::ScfEngine ep(water(), plus);
+  scf::ScfEngine em(water(), minus);
+  const Vec3 dp = ep.solve().dipole;
+  const Vec3 dm = em.solve().dipole;
+
+  // alpha_(axis,axis) from DFPT vs central difference.
+  linalg::Matrix alpha_col(3, 1);
+  const double dfpt_val =
+      -linalg::trace_product(res.p1, eng.dipole_matrix(axis));
+  (void)alpha_col;
+  const double ff_val = (dp[axis] - dm[axis]) / (2.0 * f);
+  EXPECT_NEAR(dfpt_val, ff_val, 5e-3 * std::abs(ff_val) + 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, DfptVsFiniteField, ::testing::Values(0, 1, 2));
+
+TEST(DfptEngine, WaterPolarizabilityTensorShape) {
+  scf::ScfEngine eng(water(), {});
+  const scf::GroundState gs = eng.solve();
+  DfptEngine dfpt(eng, gs);
+  const linalg::Matrix alpha = dfpt.polarizability();
+  // C2v water in the xz plane: tensor diagonal, all components positive.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(alpha(i, i), 2.0);
+    EXPECT_LT(alpha(i, i), 20.0);
+    for (int j = 0; j < i; ++j) {
+      EXPECT_NEAR(alpha(i, j), 0.0, 1e-3);
+    }
+  }
+  const double iso = DfptEngine::isotropic(alpha);
+  EXPECT_GT(iso, 4.0);
+  EXPECT_LT(iso, 12.0);
+}
+
+TEST(DfptEngine, KernelTimesAreAccumulated) {
+  scf::ScfEngine eng(h2(), {});
+  const scf::GroundState gs = eng.solve();
+  DfptEngine dfpt(eng, gs);
+  (void)dfpt.solve_response(2);
+  const KernelTimes& kt = dfpt.kernel_times();
+  EXPECT_GT(kt.cycles, 1);
+  EXPECT_GT(kt.total(), 0.0);
+  EXPECT_GE(kt.n1, 0.0);
+  EXPECT_GE(kt.v1, 0.0);
+  EXPECT_GE(kt.h1, 0.0);
+}
+
+TEST(DfptEngine, DielectricTensorFromPolarizability) {
+  linalg::Matrix alpha = linalg::Matrix::identity(3);
+  alpha *= 10.0;
+  const double volume = 100.0;
+  const linalg::Matrix eps = DfptEngine::dielectric_tensor(alpha, volume);
+  EXPECT_NEAR(eps(0, 0), 1.0 + kFourPi * 10.0 / 100.0, 1e-12);
+  EXPECT_NEAR(eps(0, 1), 0.0, 1e-12);
+  EXPECT_THROW(DfptEngine::dielectric_tensor(alpha, 0.0), Error);
+}
+
+TEST(DfptEngine, ResponseScalesLinearlyAcrossBackends) {
+  // GTO backend yields a polarizability in the same range as NAO (Fig. 11
+  // agreement at the physics level).
+  scf::ScfOptions gto;
+  gto.species.backend = basis::Backend::Gto;
+  scf::ScfEngine nao_eng(h2(), {});
+  scf::ScfEngine gto_eng(h2(), gto);
+  const scf::GroundState nao_gs = nao_eng.solve();
+  const scf::GroundState gto_gs = gto_eng.solve();
+  DfptEngine nao_dfpt(nao_eng, nao_gs);
+  DfptEngine gto_dfpt(gto_eng, gto_gs);
+  const double a_nao = nao_dfpt.polarizability()(2, 2);
+  const double a_gto = gto_dfpt.polarizability()(2, 2);
+  EXPECT_NEAR(a_nao, a_gto, 0.35 * a_nao);
+}
+
+}  // namespace
+}  // namespace swraman::dfpt
+// -- appended coverage: dynamic (frequency-dependent) polarizability.
+
+namespace swraman::dfpt {
+namespace {
+
+TEST(DynamicPolarizability, StaticLimitAndDispersion) {
+  scf::ScfEngine eng(h2(), {});
+  const scf::GroundState gs = eng.solve();
+  DfptEngine dfpt(eng, gs);
+  const linalg::Matrix a_static = dfpt.polarizability();
+  const linalg::Matrix a_zero = dfpt.polarizability_at_frequency(0.0);
+  EXPECT_NEAR((a_static - a_zero).max_abs(), 0.0, 1e-8);
+
+  // Normal dispersion: alpha grows with omega below the first excitation.
+  const linalg::Matrix a_01 = dfpt.polarizability_at_frequency(0.05);
+  const linalg::Matrix a_02 = dfpt.polarizability_at_frequency(0.10);
+  EXPECT_GT(a_01(2, 2), a_static(2, 2));
+  EXPECT_GT(a_02(2, 2), a_01(2, 2));
+  // Well below resonance the dispersion is modest.
+  EXPECT_LT(a_02(2, 2), 2.0 * a_static(2, 2));
+}
+
+TEST(DynamicPolarizability, RejectsNegativeFrequency) {
+  scf::ScfEngine eng(h2(), {});
+  const scf::GroundState gs = eng.solve();
+  DfptEngine dfpt(eng, gs);
+  EXPECT_THROW(dfpt.polarizability_at_frequency(-0.1), Error);
+}
+
+}  // namespace
+}  // namespace swraman::dfpt

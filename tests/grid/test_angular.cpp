@@ -1,0 +1,89 @@
+#include "grid/angular.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "grid/ylm.hpp"
+
+namespace swraman::grid {
+namespace {
+
+void expect_exact_to_order(const AngularGrid& g) {
+  // A rule exact for Y_lm up to design order integrates Y_00 to sqrt(4 pi)
+  // and every higher Y_lm to zero.
+  const int lmax = g.design_order;
+  const std::size_t nlm = n_lm(lmax);
+  std::vector<double> integral(nlm, 0.0);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < g.points.size(); ++i) {
+    real_ylm(g.points[i], lmax, y);
+    for (std::size_t k = 0; k < nlm; ++k) integral[k] += g.weights[i] * y[k];
+  }
+  EXPECT_NEAR(integral[0], std::sqrt(kFourPi), 1e-10);
+  for (std::size_t k = 1; k < nlm; ++k) {
+    EXPECT_NEAR(integral[k], 0.0, 1e-10) << "lm flat index " << k;
+  }
+}
+
+class LebedevSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LebedevSize, WeightsPositiveOnUnitSphereSummingToFourPi) {
+  const AngularGrid g = lebedev_grid(GetParam());
+  EXPECT_EQ(g.points.size(), GetParam());
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < g.points.size(); ++i) {
+    EXPECT_NEAR(g.points[i].norm(), 1.0, 1e-12);
+    EXPECT_GT(g.weights[i], 0.0);
+    wsum += g.weights[i];
+  }
+  EXPECT_NEAR(wsum, kFourPi, 1e-10);
+}
+
+TEST_P(LebedevSize, ExactToDesignOrder) {
+  expect_exact_to_order(lebedev_grid(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, LebedevSize,
+                         ::testing::ValuesIn(lebedev_sizes()));
+
+TEST(Lebedev, RejectsUnknownSize) {
+  EXPECT_THROW(lebedev_grid(99), Error);
+}
+
+class ProductOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProductOrder, ExactToDesignOrder) {
+  expect_exact_to_order(product_grid(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ProductOrder,
+                         ::testing::Values(0, 1, 3, 7, 13, 17, 23, 29));
+
+TEST(AngularGridForOrder, PrefersLebedevWhenSufficient) {
+  EXPECT_EQ(angular_grid_for_order(3).points.size(), 6u);
+  EXPECT_EQ(angular_grid_for_order(4).points.size(), 14u);
+  EXPECT_EQ(angular_grid_for_order(11).points.size(), 50u);
+}
+
+TEST(AngularGridForOrder, FallsBackToProductGrid) {
+  const AngularGrid g = angular_grid_for_order(15);
+  EXPECT_GE(g.design_order, 15);
+  expect_exact_to_order(g);
+}
+
+TEST(AngularGrid, IntegratesAnisotropicPolynomial) {
+  // integral x^2 z^2 dOmega = 4 pi / 15.
+  const AngularGrid g = lebedev_grid(26);
+  double s = 0.0;
+  for (std::size_t i = 0; i < g.points.size(); ++i) {
+    const Vec3& u = g.points[i];
+    s += g.weights[i] * u.x * u.x * u.z * u.z;
+  }
+  EXPECT_NEAR(s, kFourPi / 15.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace swraman::grid

@@ -1,0 +1,83 @@
+#include "grid/loadbalance.hpp"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace swraman::grid {
+namespace {
+
+std::vector<Batch> synthetic_batches(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::size_t> size_dist(100, 300);
+  std::vector<Batch> batches(n);
+  std::size_t next_id = 0;
+  for (Batch& b : batches) {
+    const std::size_t s = size_dist(rng);
+    for (std::size_t k = 0; k < s; ++k) b.point_ids.push_back(next_id++);
+  }
+  return batches;
+}
+
+TEST(LoadBalance, AllBatchesAssigned) {
+  const std::vector<Batch> batches = synthetic_batches(64, 1);
+  const BatchAssignment a = balance_batches(batches, 8);
+  ASSERT_EQ(a.owner.size(), batches.size());
+  for (std::size_t p : a.owner) EXPECT_LT(p, 8u);
+  std::size_t total = 0;
+  for (std::size_t c : a.points_per_process) total += c;
+  std::size_t expected = 0;
+  for (const Batch& b : batches) expected += b.size();
+  EXPECT_EQ(total, expected);
+}
+
+class LoadBalanceProcs : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LoadBalanceProcs, GreedyBeatsOrMatchesRoundRobinAndRandom) {
+  const std::size_t nproc = GetParam();
+  const std::vector<Batch> batches = synthetic_batches(256, 7);
+  const double greedy = balance_batches(batches, nproc).imbalance();
+  const double rr = round_robin_batches(batches, nproc).imbalance();
+  const double rnd = random_batches(batches, nproc, 3).imbalance();
+  EXPECT_LE(greedy, rr + 1e-12);
+  EXPECT_LE(greedy, rnd + 1e-12);
+}
+
+TEST_P(LoadBalanceProcs, ImbalanceIsTight) {
+  const std::size_t nproc = GetParam();
+  const std::vector<Batch> batches = synthetic_batches(512, 13);
+  const BatchAssignment a = balance_batches(batches, nproc);
+  // Greedy point balancing keeps max within one max-batch of the mean.
+  std::size_t total = 0;
+  for (const Batch& b : batches) total += b.size();
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(nproc);
+  EXPECT_LE(static_cast<double>(a.max_points()), mean + 300.0);
+  EXPECT_GE(static_cast<double>(a.min_points()), mean - 300.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, LoadBalanceProcs,
+                         ::testing::Values(1, 2, 4, 7, 16, 64));
+
+TEST(LoadBalance, MorePointsGoToEmptiestProcess) {
+  // Three batches of sizes 10, 10, 5 over 2 processes: third batch must go
+  // to the process holding only 10 points.
+  std::vector<Batch> batches(3);
+  for (std::size_t k = 0; k < 10; ++k) batches[0].point_ids.push_back(k);
+  for (std::size_t k = 0; k < 10; ++k) batches[1].point_ids.push_back(10 + k);
+  for (std::size_t k = 0; k < 5; ++k) batches[2].point_ids.push_back(20 + k);
+  const BatchAssignment a = balance_batches(batches, 2);
+  EXPECT_EQ(a.owner[0], 0u);
+  EXPECT_EQ(a.owner[1], 1u);
+  EXPECT_EQ(a.points_per_process[0] + a.points_per_process[1], 25u);
+  EXPECT_EQ(a.max_points(), 15u);
+}
+
+TEST(LoadBalance, SingleProcessTakesEverything) {
+  const std::vector<Batch> batches = synthetic_batches(10, 3);
+  const BatchAssignment a = balance_batches(batches, 1);
+  EXPECT_DOUBLE_EQ(a.imbalance(), 1.0);
+}
+
+}  // namespace
+}  // namespace swraman::grid

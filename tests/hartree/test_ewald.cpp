@@ -1,0 +1,81 @@
+#include "hartree/ewald.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace swraman::hartree {
+namespace {
+
+TEST(Ewald, NaClMadelungConstant) {
+  // Rock salt: potential at a cation site is -M / r_nn with M = 1.7476.
+  const double a = 2.0;  // nearest-neighbor distance a/2 = 1
+  const EwaldSystem sys = rock_salt_cell(a, 1.0);
+  const Ewald ewald(sys, 1.0, 8.0, 12.0);
+  const double phi = ewald.potential_at_ion(0);
+  EXPECT_NEAR(phi, -1.747565, 2e-4);
+}
+
+class EwaldEta : public ::testing::TestWithParam<double> {};
+
+TEST_P(EwaldEta, MadelungIndependentOfSplitting) {
+  const double eta = GetParam();
+  const EwaldSystem sys = rock_salt_cell(2.0, 1.0);
+  const Ewald ewald(sys, eta, 10.0 / std::sqrt(eta), 7.0 * std::sqrt(eta));
+  EXPECT_NEAR(ewald.potential_at_ion(0), -1.747565, 5e-4) << "eta=" << eta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Splittings, EwaldEta,
+                         ::testing::Values(0.5, 1.0, 2.0));
+
+TEST(Ewald, ZincBlendeMadelungConstant) {
+  // Zinc blende Madelung constant (refered to the nearest-neighbor
+  // distance sqrt(3)/4 a): M = 1.6381.
+  const double a = 4.0;
+  const double rnn = std::sqrt(3.0) / 4.0 * a;
+  const EwaldSystem sys = zinc_blende_cell(a, 1.0);
+  const Ewald ewald(sys, 0.8, 10.0, 9.0);
+  EXPECT_NEAR(ewald.potential_at_ion(0) * rnn, -1.63806, 2e-3);
+}
+
+TEST(Ewald, PotentialIsPeriodic) {
+  const EwaldSystem sys = rock_salt_cell(2.0, 1.0);
+  const Ewald ewald(sys, 1.0, 8.0, 10.0);
+  const Vec3 r{0.3, 0.41, 0.17};
+  const Vec3 shifted = r + sys.a1 + sys.a3;
+  EXPECT_NEAR(ewald.potential(r), ewald.potential(shifted), 1e-6);
+}
+
+TEST(Ewald, ReciprocalTablesAreConsistent) {
+  const EwaldSystem sys = zinc_blende_cell(4.0, 0.5);
+  const Ewald ewald(sys, 1.0, 8.0, 8.0);
+  ASSERT_GT(ewald.n_g_vectors(), 100u);
+  ASSERT_EQ(ewald.g_vectors().size(), ewald.coefficients().size());
+  ASSERT_EQ(ewald.g_vectors().size(), ewald.structure_cos().size());
+  // Manual reciprocal evaluation from the tables matches the method.
+  const Vec3 r{0.7, -0.3, 1.1};
+  double v = 0.0;
+  for (std::size_t k = 0; k < ewald.n_g_vectors(); ++k) {
+    const double phase = dot(ewald.g_vectors()[k], r);
+    v += ewald.coefficients()[k] * (std::cos(phase) * ewald.structure_cos()[k] +
+                                    std::sin(phase) * ewald.structure_sin()[k]);
+  }
+  EXPECT_NEAR(v, ewald.reciprocal(r), 1e-12);
+}
+
+TEST(Ewald, RejectsChargedCell) {
+  EwaldSystem sys = rock_salt_cell(2.0, 1.0);
+  sys.charges[0] += 0.5;
+  EXPECT_THROW(Ewald(sys, 1.0, 8.0, 8.0), Error);
+}
+
+TEST(Ewald, RejectsBadParameters) {
+  const EwaldSystem sys = rock_salt_cell(2.0, 1.0);
+  EXPECT_THROW(Ewald(sys, -1.0, 8.0, 8.0), Error);
+  EXPECT_THROW(Ewald(sys, 1.0, 0.0, 8.0), Error);
+}
+
+}  // namespace
+}  // namespace swraman::hartree

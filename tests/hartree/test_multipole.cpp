@@ -1,0 +1,185 @@
+#include "hartree/multipole.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+
+namespace swraman::hartree {
+namespace {
+
+// Normalized Gaussian density centered at c: V(r) = erf(sqrt(a) |r-c|)/|r-c|.
+double gaussian_density(const Vec3& r, const Vec3& c, double a) {
+  return std::pow(a / kPi, 1.5) * std::exp(-a * (r - c).norm2());
+}
+
+double gaussian_potential(const Vec3& r, const Vec3& c, double a) {
+  const double d = (r - c).norm();
+  if (d < 1e-8) return 2.0 * std::sqrt(a / kPi);
+  return std::erf(std::sqrt(a) * d) / d;
+}
+
+grid::MolecularGrid make_grid(const std::vector<grid::AtomSite>& atoms,
+                              grid::GridLevel level = grid::GridLevel::Tight) {
+  grid::GridSettings s;
+  s.level = level;
+  return grid::build_molecular_grid(atoms, s);
+}
+
+TEST(Multipole, OnCenterGaussianPotential) {
+  const std::vector<grid::AtomSite> atoms = {{8, {0.0, 0.0, 0.0}}};
+  const grid::MolecularGrid g = make_grid(atoms);
+  const MultipoleSolver solver(g, 6);
+
+  std::vector<double> n(g.size());
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    n[p] = gaussian_density(g.points[p], {0, 0, 0}, 1.2);
+  }
+  const MultipolePotential pot = solver.solve(n);
+  EXPECT_NEAR(pot.total_charge(), 1.0, 1e-4);
+
+  for (const Vec3& r : {Vec3{0.5, 0.0, 0.0}, Vec3{0.0, 1.0, 0.5},
+                        Vec3{2.0, 1.0, -1.0}, Vec3{6.0, 0.0, 0.0}}) {
+    EXPECT_NEAR(pot.value(r), gaussian_potential(r, {0, 0, 0}, 1.2), 5e-4)
+        << r;
+  }
+}
+
+TEST(Multipole, OffCenterGaussianNeedsHigherMultipoles) {
+  // A Gaussian displaced from the only atomic center exercises l > 0.
+  const std::vector<grid::AtomSite> atoms = {{8, {0.0, 0.0, 0.0}}};
+  const grid::MolecularGrid g = make_grid(atoms);
+  const MultipoleSolver solver(g, 8);
+
+  const Vec3 c{0.0, 0.0, 0.5};
+  std::vector<double> n(g.size());
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    n[p] = gaussian_density(g.points[p], c, 2.0);
+  }
+  const MultipolePotential pot = solver.solve(n);
+  for (const Vec3& r : {Vec3{0.0, 0.0, 3.0}, Vec3{2.0, 0.0, 0.0},
+                        Vec3{0.0, -2.5, 1.0}}) {
+    EXPECT_NEAR(pot.value(r), gaussian_potential(r, c, 2.0), 5e-3) << r;
+  }
+}
+
+TEST(Multipole, TwoCenterDensity) {
+  const std::vector<grid::AtomSite> atoms = {{1, {0.0, 0.0, 0.0}},
+                                             {1, {0.0, 0.0, 1.4}}};
+  const grid::MolecularGrid g = make_grid(atoms);
+  const MultipoleSolver solver(g, 6);
+
+  std::vector<double> n(g.size());
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    n[p] = gaussian_density(g.points[p], atoms[0].pos, 1.5) +
+           gaussian_density(g.points[p], atoms[1].pos, 1.5);
+  }
+  const MultipolePotential pot = solver.solve(n);
+  EXPECT_NEAR(pot.total_charge(), 2.0, 2e-4);
+  for (const Vec3& r : {Vec3{0.0, 0.0, 0.7}, Vec3{1.5, 0.0, 0.7},
+                        Vec3{0.0, 0.0, 4.0}, Vec3{0.0, 3.0, 0.0}}) {
+    const double exact = gaussian_potential(r, atoms[0].pos, 1.5) +
+                         gaussian_potential(r, atoms[1].pos, 1.5);
+    EXPECT_NEAR(pot.value(r), exact, 5e-3) << r;
+  }
+}
+
+TEST(Multipole, FarFieldIsMonopole) {
+  const std::vector<grid::AtomSite> atoms = {{6, {0.0, 0.0, 0.0}}};
+  const grid::MolecularGrid g = make_grid(atoms);
+  const MultipoleSolver solver(g, 4);
+  std::vector<double> n(g.size());
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    n[p] = gaussian_density(g.points[p], {0, 0, 0}, 0.8);
+  }
+  const MultipolePotential pot = solver.solve(n);
+  for (double r : {15.0, 25.0, 60.0}) {
+    EXPECT_NEAR(pot.value({r, 0.0, 0.0}), 1.0 / r, 1e-4 / r);
+  }
+}
+
+TEST(Multipole, SolveOnGridMatchesPointwiseEvaluation) {
+  const std::vector<grid::AtomSite> atoms = {{1, {0.0, 0.0, 0.0}}};
+  const grid::MolecularGrid g = make_grid(atoms, grid::GridLevel::Light);
+  const MultipoleSolver solver(g, 4);
+  std::vector<double> n(g.size());
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    n[p] = gaussian_density(g.points[p], {0, 0, 0}, 1.0);
+  }
+  const MultipolePotential pot = solver.solve(n);
+  const std::vector<double> on_grid = solver.solve_on_grid(n);
+  for (std::size_t p = 0; p < g.size(); p += 97) {
+    EXPECT_NEAR(on_grid[p], pot.value(g.points[p]), 1e-12);
+  }
+}
+
+class MultipoleLmax : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultipoleLmax, ErrorDecreasesWithLmax) {
+  // Convergence with lmax for an off-center source (property sweep).
+  const int lmax = GetParam();
+  const std::vector<grid::AtomSite> atoms = {{8, {0.0, 0.0, 0.0}}};
+  const grid::MolecularGrid g = make_grid(atoms);
+  const MultipoleSolver solver(g, lmax);
+  const Vec3 c{0.0, 0.0, 0.4};
+  std::vector<double> n(g.size());
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    n[p] = gaussian_density(g.points[p], c, 2.5);
+  }
+  const MultipolePotential pot = solver.solve(n);
+  const Vec3 probe{0.0, 1.5, 1.0};
+  const double err =
+      std::abs(pot.value(probe) - gaussian_potential(probe, c, 2.5));
+  // Tolerance tightens with lmax.
+  const double tol = (lmax <= 2) ? 0.05 : (lmax <= 4 ? 0.01 : 3e-3);
+  EXPECT_LT(err, tol) << "lmax=" << lmax;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MultipoleLmax, ::testing::Values(2, 4, 6, 8));
+
+}  // namespace
+}  // namespace swraman::hartree
+// -- appended property coverage.
+
+namespace swraman::hartree {
+namespace {
+
+TEST(Multipole, SolverIsLinearInTheDensity) {
+  const std::vector<grid::AtomSite> atoms = {{8, {0.0, 0.0, 0.0}}};
+  const grid::MolecularGrid g = make_grid(atoms, grid::GridLevel::Light);
+  const MultipoleSolver solver(g, 4);
+  std::vector<double> n1(g.size());
+  std::vector<double> n2(g.size());
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    n1[p] = gaussian_density(g.points[p], {0, 0, 0}, 1.0);
+    n2[p] = gaussian_density(g.points[p], {0, 0, 0.3}, 2.0);
+  }
+  std::vector<double> combo(g.size());
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    combo[p] = 2.0 * n1[p] - 0.5 * n2[p];
+  }
+  const MultipolePotential pa = solver.solve(n1);
+  const MultipolePotential pb = solver.solve(n2);
+  const MultipolePotential pc = solver.solve(combo);
+  // Exactly linear up to the channel noise-floor filter (the |rho| <
+  // 1e-10 max threshold in the solver is deliberately nonlinear).
+  for (const Vec3& r : {Vec3{0.5, 0.2, 1.0}, Vec3{2.0, -1.0, 0.0}}) {
+    EXPECT_NEAR(pc.value(r), 2.0 * pa.value(r) - 0.5 * pb.value(r), 1e-8);
+  }
+  EXPECT_NEAR(pc.total_charge(),
+              2.0 * pa.total_charge() - 0.5 * pb.total_charge(), 1e-8);
+}
+
+TEST(Multipole, ZeroDensityGivesZeroPotential) {
+  const std::vector<grid::AtomSite> atoms = {{1, {0.0, 0.0, 0.0}}};
+  const grid::MolecularGrid g = make_grid(atoms, grid::GridLevel::Light);
+  const MultipoleSolver solver(g, 4);
+  const MultipolePotential pot =
+      solver.solve(std::vector<double>(g.size(), 0.0));
+  EXPECT_DOUBLE_EQ(pot.total_charge(), 0.0);
+  EXPECT_DOUBLE_EQ(pot.value({1.0, 1.0, 1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace swraman::hartree

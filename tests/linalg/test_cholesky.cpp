@@ -1,0 +1,65 @@
+#include "linalg/cholesky.hpp"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace swraman::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = dist(rng);
+  Matrix spd = a_bt(m, m);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(Cholesky, FactorizationReconstructs) {
+  const Matrix b = random_spd(15, 11);
+  const Cholesky chol(b);
+  const Matrix l = chol.lower();
+  const Matrix rec = a_bt(l, l);
+  EXPECT_NEAR((rec - b).max_abs(), 0.0, 1e-10);
+  // Strictly lower-triangular factor.
+  for (std::size_t i = 0; i < l.rows(); ++i)
+    for (std::size_t j = i + 1; j < l.cols(); ++j)
+      EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+}
+
+TEST(Cholesky, SolveRecoversSolution) {
+  const Matrix b = random_spd(10, 5);
+  std::vector<double> x_true(10);
+  for (std::size_t i = 0; i < 10; ++i)
+    x_true[i] = static_cast<double>(i) - 4.5;
+  const std::vector<double> rhs = matvec(b, x_true);
+  const std::vector<double> x = Cholesky(b).solve(rhs);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Cholesky, TriangularSolves) {
+  const Matrix b = random_spd(8, 9);
+  const Cholesky chol(b);
+  const Matrix x = random_spd(8, 10);
+  // L (L^-1 X) = X.
+  const Matrix y = chol.solve_lower(x);
+  const Matrix lx = chol.lower() * y;
+  EXPECT_NEAR((lx - x).max_abs(), 0.0, 1e-10);
+  // L^T (L^-T X) = X.
+  const Matrix z = chol.solve_lower_transposed(x);
+  const Matrix ltz = chol.lower().transposed() * z;
+  EXPECT_NEAR((ltz - x).max_abs(), 0.0, 1e-10);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix m{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(Cholesky{m}, Error);
+}
+
+}  // namespace
+}  // namespace swraman::linalg

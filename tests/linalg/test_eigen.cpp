@@ -1,0 +1,154 @@
+#include "linalg/eigen.hpp"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+
+namespace swraman::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = dist(rng);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  return a;
+}
+
+TEST(Eigh, DiagonalMatrix) {
+  Matrix a{{3.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 2.0}};
+  const EigenResult r = eigh(a);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.values[2], 3.0, 1e-12);
+}
+
+TEST(Eigh, KnownTwoByTwo) {
+  // [[2,1],[1,2]] -> eigenvalues 1, 3.
+  const EigenResult r = eigh(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-12);
+  // Eigenvectors (1,-1)/sqrt2 and (1,1)/sqrt2 up to sign.
+  EXPECT_NEAR(std::abs(r.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+class EighRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EighRandom, ResidualAndOrthogonality) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_symmetric(n, 42 + static_cast<unsigned>(n));
+  const EigenResult r = eigh(a);
+
+  // Values ascending.
+  for (std::size_t i = 1; i < n; ++i) EXPECT_LE(r.values[i - 1], r.values[i]);
+
+  // ||A v - lambda v|| small for every pair.
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = r.vectors(i, j);
+    const std::vector<double> av = matvec(a, v);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], r.values[j] * v[i], 1e-10) << "n=" << n;
+    }
+  }
+
+  // V^T V = I.
+  const Matrix vtv = at_b(r.vectors, r.vectors);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-10);
+
+  // Trace preserved.
+  double sum = 0.0;
+  for (double v : r.values) sum += v;
+  EXPECT_NEAR(sum, a.trace(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EighRandom,
+                         ::testing::Values(1, 2, 3, 5, 10, 30, 80));
+
+TEST(EighGeneralized, ReducesToStandardForIdentityMetric) {
+  const Matrix a = random_symmetric(12, 7);
+  const EigenResult g = eigh_generalized(a, Matrix::identity(12));
+  const EigenResult s = eigh(a);
+  for (std::size_t i = 0; i < 12; ++i)
+    EXPECT_NEAR(g.values[i], s.values[i], 1e-10);
+}
+
+TEST(EighGeneralized, SolvesSecularEquation) {
+  const std::size_t n = 20;
+  const Matrix a = random_symmetric(n, 3);
+  // SPD metric: B = M M^T + n I.
+  Matrix b = random_symmetric(n, 4);
+  b = a_bt(b, b);
+  for (std::size_t i = 0; i < n; ++i) b(i, i) += static_cast<double>(n);
+
+  const EigenResult r = eigh_generalized(a, b);
+  // A V = B V diag(lambda).
+  Matrix av = a * r.vectors;
+  Matrix bv = b * r.vectors;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(av(i, j), r.values[j] * bv(i, j), 1e-9);
+
+  // V^T B V = I.
+  const Matrix vbv = at_b(r.vectors, bv);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(vbv(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Tql2, SolvesTridiagonalDirectly) {
+  // Second-difference matrix, eigenvalues 2 - 2 cos(k pi / (n+1)).
+  const std::size_t n = 25;
+  std::vector<double> d(n, 2.0);
+  std::vector<double> e(n - 1, -1.0);
+  Matrix z = Matrix::identity(n);
+  tql2(d, e, &z);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double exact =
+        2.0 - 2.0 * std::cos(static_cast<double>(k + 1) * kPi /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(d[k], exact, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace swraman::linalg
+// -- appended coverage: degenerate spectra.
+
+namespace swraman::linalg {
+namespace {
+
+TEST(Eigh, HandlesDegenerateEigenvalues) {
+  // 2x identity block + distinct value: eigenvalues {1, 1, 4}.
+  const Matrix a{{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 4.0}};
+  const EigenResult r = eigh(a);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[2], 4.0, 1e-12);
+  // Degenerate eigenvectors still orthonormal.
+  double dot01 = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) dot01 += r.vectors(i, 0) * r.vectors(i, 1);
+  EXPECT_NEAR(dot01, 0.0, 1e-12);
+}
+
+TEST(Eigh, RotatedDegenerateBlock) {
+  // Projector-like matrix with eigenvalues {0, 2, 2}.
+  Matrix a{{2.0, 0.0, 0.0}, {0.0, 1.0, 1.0}, {0.0, 1.0, 1.0}};
+  const EigenResult r = eigh(a);
+  EXPECT_NEAR(r.values[0], 0.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.values[2], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace swraman::linalg

@@ -1,0 +1,61 @@
+#include "linalg/lu.hpp"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace swraman::linalg {
+namespace {
+
+TEST(Lu, SolvesSmallSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const std::vector<double> x = solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, Determinant) {
+  EXPECT_NEAR(Lu(Matrix{{2.0, 0.0}, {0.0, 3.0}}).determinant(), 6.0, 1e-12);
+  EXPECT_NEAR(Lu(Matrix{{0.0, 1.0}, {1.0, 0.0}}).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesMatrixIsIdentity) {
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  Matrix a(12, 12);
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j < 12; ++j) a(i, j) = dist(rng);
+  for (std::size_t i = 0; i < 12; ++i) a(i, i) += 5.0;
+  const Matrix inv = Lu(a).inverse();
+  const Matrix id = a * inv;
+  EXPECT_NEAR((id - Matrix::identity(12)).max_abs(), 0.0, 1e-10);
+}
+
+TEST(Lu, DetectsSingular) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const Lu lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+  EXPECT_THROW(lu.solve(std::vector<double>{1.0, 1.0}), Error);
+}
+
+TEST(Lu, SolvesWithPivotingRequired) {
+  // Leading zero forces a row swap.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const std::vector<double> x = solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Lu, MatrixRhs) {
+  const Matrix a{{3.0, 1.0}, {1.0, 2.0}};
+  const Matrix b{{1.0, 0.0}, {0.0, 1.0}};
+  const Matrix x = Lu(a).solve(b);
+  const Matrix check = a * x;
+  EXPECT_NEAR((check - b).max_abs(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace swraman::linalg

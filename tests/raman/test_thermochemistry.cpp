@@ -1,0 +1,62 @@
+#include "raman/thermochemistry.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace swraman::raman {
+namespace {
+
+TEST(Thermo, SingleModeZeroPointEnergy) {
+  const Thermochemistry t = harmonic_thermochemistry({2000.0}, 298.15);
+  EXPECT_NEAR(t.zero_point_energy, 0.5 * 2000.0 / kCmInvPerAu, 1e-12);
+  // A 2000 cm^-1 mode is frozen at room temperature.
+  EXPECT_LT(t.vibrational_energy, 1e-6);
+  EXPECT_LT(t.vibrational_entropy * 298.15, 1e-5);
+}
+
+TEST(Thermo, ClassicalLimitAtHighTemperature) {
+  // kT >> h nu: U -> kT, Cv -> kB per mode.
+  const double t_hot = 30000.0;
+  const Thermochemistry t = harmonic_thermochemistry({200.0}, t_hot);
+  EXPECT_NEAR(t.vibrational_energy, kBoltzmannHa * t_hot,
+              0.05 * kBoltzmannHa * t_hot);
+  EXPECT_NEAR(t.heat_capacity, kBoltzmannHa, 0.02 * kBoltzmannHa);
+}
+
+TEST(Thermo, EntropyGrowsWithTemperature) {
+  const Thermochemistry cold = harmonic_thermochemistry({500.0}, 200.0);
+  const Thermochemistry hot = harmonic_thermochemistry({500.0}, 600.0);
+  EXPECT_GT(hot.vibrational_entropy, cold.vibrational_entropy);
+  EXPECT_GT(hot.vibrational_energy, cold.vibrational_energy);
+  // Free energy decreases with temperature (entropy wins).
+  EXPECT_LT(hot.free_energy, cold.free_energy);
+}
+
+TEST(Thermo, FloorSkipsRigidBodyResidue) {
+  const Thermochemistry with_junk =
+      harmonic_thermochemistry({1.0, 5.0, 1500.0}, 298.15);
+  const Thermochemistry clean = harmonic_thermochemistry({1500.0}, 298.15);
+  EXPECT_NEAR(with_junk.zero_point_energy, clean.zero_point_energy, 1e-12);
+}
+
+TEST(Thermo, ModesAreAdditive) {
+  const Thermochemistry a = harmonic_thermochemistry({800.0}, 298.15);
+  const Thermochemistry b = harmonic_thermochemistry({1600.0}, 298.15);
+  const Thermochemistry ab =
+      harmonic_thermochemistry({800.0, 1600.0}, 298.15);
+  EXPECT_NEAR(ab.zero_point_energy, a.zero_point_energy + b.zero_point_energy,
+              1e-14);
+  EXPECT_NEAR(ab.vibrational_entropy,
+              a.vibrational_entropy + b.vibrational_entropy, 1e-16);
+}
+
+TEST(Thermo, RejectsNonPositiveTemperature) {
+  EXPECT_THROW(harmonic_thermochemistry({1000.0}, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace swraman::raman

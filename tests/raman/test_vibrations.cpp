@@ -1,0 +1,97 @@
+#include "raman/vibrations.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "common/elements.hpp"
+#include "common/error.hpp"
+
+namespace swraman::raman {
+namespace {
+
+std::vector<grid::AtomSite> h2(double bond = 1.45) {
+  return {{1, {0.0, 0.0, 0.0}}, {1, {0.0, 0.0, bond}}};
+}
+
+TEST(EnergyHessian, H2IsSymmetricWithStretchStructure) {
+  VibrationOptions opt;
+  const linalg::Matrix h = energy_hessian(h2(), opt);
+  ASSERT_EQ(h.rows(), 6u);
+  // Symmetry.
+  EXPECT_NEAR((h - h.transposed()).max_abs(), 0.0, 1e-5);
+  // Stretch block: d2E/dz1 dz2 < 0 (opposite displacement raises energy),
+  // d2E/dz1^2 > 0.
+  EXPECT_GT(h(2, 2), 0.0);
+  EXPECT_LT(h(2, 5), 0.0);
+  // Translation invariance: rows sum to ~0 against uniform shift.
+  for (std::size_t i = 0; i < 6; ++i) {
+    double row = h(i, 2) + h(i, 5);  // z-translation combination
+    if (i == 2 || i == 5) {
+      // Grid egg-box noise breaks exact invariance at the light level.
+      EXPECT_NEAR(row, 0.0, 0.1 * std::abs(h(i, i))) << "row " << i;
+    }
+  }
+}
+
+TEST(NormalModes, H2HasOneStretchMode) {
+  VibrationOptions opt;
+  const std::vector<grid::AtomSite> atoms = h2();
+  const linalg::Matrix h = energy_hessian(atoms, opt);
+  const NormalModes modes = normal_modes(atoms, h);
+  ASSERT_EQ(modes.frequencies_cm.size(), 6u);
+  // Five rigid-body-ish modes near zero, one stretch in the vibrational
+  // range (LDA H2 ~4100-5300 cm^-1 depending on basis).
+  int large = 0;
+  for (double f : modes.frequencies_cm) {
+    if (std::abs(f) > 500.0) ++large;
+  }
+  EXPECT_EQ(large, 1);
+  const double stretch = modes.frequencies_cm.back();
+  EXPECT_GT(stretch, 3500.0);
+  EXPECT_LT(stretch, 5800.0);
+  // Reduced mass in the Gaussian-output convention (1/sum l_cart^2 with
+  // mass-weighted-normalized modes): the atomic mass for a homonuclear
+  // diatomic.
+  EXPECT_NEAR(modes.reduced_masses_amu.back(), 1.008, 0.05);
+}
+
+TEST(NormalModes, StretchModeIsAntisymmetricAlongBond) {
+  VibrationOptions opt;
+  const std::vector<grid::AtomSite> atoms = h2();
+  const linalg::Matrix h = energy_hessian(atoms, opt);
+  const NormalModes modes = normal_modes(atoms, h);
+  const std::size_t p = 5;  // highest mode = stretch
+  // z components opposite, x/y negligible.
+  EXPECT_NEAR(modes.cartesian_modes(2, p), -modes.cartesian_modes(5, p),
+              1e-6);
+  EXPECT_NEAR(modes.cartesian_modes(0, p), 0.0, 1e-6);
+  EXPECT_NEAR(modes.cartesian_modes(1, p), 0.0, 1e-6);
+}
+
+TEST(NormalModes, RigidBodyProjectionZerosTranslations) {
+  // Analytic two-body spring Hessian: k (unit) along z.
+  const std::vector<grid::AtomSite> atoms = h2();
+  linalg::Matrix h(6, 6);
+  const double k = 0.37;
+  h(2, 2) = k;
+  h(5, 5) = k;
+  h(2, 5) = -k;
+  h(5, 2) = -k;
+  const NormalModes projected = normal_modes(atoms, h, true);
+  // 5 zero modes + 1 stretch: omega = sqrt(2k/m_H).
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(projected.frequencies_cm[i], 0.0, 1.0);
+  }
+  const double m = element(1).mass_amu * kMeAmu;
+  const double exact = std::sqrt(2.0 * k / m) * kCmInvPerAu;
+  EXPECT_NEAR(projected.frequencies_cm[5], exact, 1e-6 * exact);
+}
+
+TEST(NormalModes, RejectsWrongHessianSize) {
+  EXPECT_THROW(normal_modes(h2(), linalg::Matrix(3, 3)), Error);
+}
+
+}  // namespace
+}  // namespace swraman::raman

@@ -1,0 +1,63 @@
+#include "scf/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/molecules.hpp"
+
+namespace swraman::scf {
+namespace {
+
+struct WaterFixture {
+  ScfEngine engine{molecules::water(), ScfOptions{}};
+  GroundState gs = engine.solve();
+};
+
+const WaterFixture& water_fixture() {
+  static const WaterFixture f;
+  return f;
+}
+
+TEST(Mulliken, PopulationsSumToElectronCount) {
+  const WaterFixture& f = water_fixture();
+  const MullikenAnalysis m = mulliken(f.engine, f.gs);
+  ASSERT_EQ(m.populations.size(), 3u);
+  EXPECT_NEAR(m.total_electrons, 10.0, 1e-8);
+  double qsum = 0.0;
+  for (double q : m.charges) qsum += q;
+  EXPECT_NEAR(qsum, 0.0, 1e-8);  // neutral molecule
+}
+
+TEST(Mulliken, OxygenIsNegativeHydrogensPositive) {
+  const WaterFixture& f = water_fixture();
+  const MullikenAnalysis m = mulliken(f.engine, f.gs);
+  EXPECT_LT(m.charges[0], -0.1);  // O pulls density
+  EXPECT_GT(m.charges[1], 0.05);
+  EXPECT_GT(m.charges[2], 0.05);
+  // C2v symmetry: both hydrogens identical.
+  EXPECT_NEAR(m.charges[1], m.charges[2], 1e-6);
+}
+
+TEST(Mulliken, HomonuclearIsNeutral) {
+  ScfEngine engine(molecules::h2(), {});
+  const GroundState gs = engine.solve();
+  const MullikenAnalysis m = mulliken(engine, gs);
+  EXPECT_NEAR(m.charges[0], 0.0, 1e-6);
+  EXPECT_NEAR(m.charges[1], 0.0, 1e-6);
+}
+
+TEST(OrbitalOnAtom, FractionsSumToOne) {
+  const WaterFixture& f = water_fixture();
+  // The O 1s core MO lives entirely on oxygen.
+  EXPECT_NEAR(orbital_on_atom(f.engine, f.gs, 0, 0), 1.0, 1e-3);
+  // Every occupied MO's atomic fractions sum to 1 (normalization).
+  for (std::size_t mo = 0; mo < 5; ++mo) {
+    double sum = 0.0;
+    for (std::size_t a = 0; a < 3; ++a) {
+      sum += orbital_on_atom(f.engine, f.gs, mo, a);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-8) << "MO " << mo;
+  }
+}
+
+}  // namespace
+}  // namespace swraman::scf

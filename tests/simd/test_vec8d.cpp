@@ -1,0 +1,93 @@
+#include "simd/vec8d.hpp"
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace swraman::simd {
+namespace {
+
+TEST(Vec8d, LoadStoreRoundTrip) {
+  double in[kLanes] = {1, 2, 3, 4, 5, 6, 7, 8};
+  double out[kLanes] = {};
+  Vec8d::load(in).store(out);
+  for (std::size_t i = 0; i < kLanes; ++i) EXPECT_DOUBLE_EQ(out[i], in[i]);
+}
+
+TEST(Vec8d, PartialLoadZeroFills) {
+  double in[3] = {1.0, 2.0, 3.0};
+  const Vec8d v = Vec8d::load_partial(in, 3);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  for (std::size_t i = 3; i < kLanes; ++i) EXPECT_DOUBLE_EQ(v[i], 0.0);
+}
+
+TEST(Vec8d, VmadMatchesScalar) {
+  Vec8d a(2.0), b(3.0), c(1.0);
+  const Vec8d d = vmad(a, b, c);
+  for (std::size_t i = 0; i < kLanes; ++i) EXPECT_DOUBLE_EQ(d[i], 7.0);
+}
+
+TEST(Vec8d, HorizontalSum) {
+  double in[kLanes] = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_DOUBLE_EQ(hsum(Vec8d::load(in)), 36.0);
+}
+
+class SimdKernelSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SimdKernelSize, AxpyMatchesScalar) {
+  const std::size_t n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> a(n), x(n), y(n), y_ref(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = dist(rng);
+    x[i] = dist(rng);
+    y[i] = y_ref[i] = dist(rng);
+  }
+  axpy(a.data(), x.data(), y.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y_ref[i] += a[i] * x[i];
+    EXPECT_DOUBLE_EQ(y[i], y_ref[i]);
+  }
+}
+
+TEST_P(SimdKernelSize, DotMatchesScalar) {
+  const std::size_t n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n) + 99);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> a(n), b(n);
+  double ref = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = dist(rng);
+    b[i] = dist(rng);
+    ref += a[i] * b[i];
+  }
+  EXPECT_NEAR(dot(a.data(), b.data(), n), ref, 1e-12);
+}
+
+TEST_P(SimdKernelSize, Poly3MatchesHorner) {
+  const std::size_t n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n) + 7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> s0(n), s1(n), s2(n), s3(n), out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s0[i] = dist(rng);
+    s1[i] = dist(rng);
+    s2[i] = dist(rng);
+    s3[i] = dist(rng);
+  }
+  const double t = 0.613;
+  poly3_eval(s0.data(), s1.data(), s2.data(), s3.data(), t, out.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ref = s0[i] + t * (s1[i] + t * (s2[i] + t * s3[i]));
+    EXPECT_NEAR(out[i], ref, 1e-13);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimdKernelSize,
+                         ::testing::Values(0, 1, 7, 8, 9, 16, 63, 100, 1024));
+
+}  // namespace
+}  // namespace swraman::simd

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "sunway/arch.hpp"
+#include "sunway/cost_model.hpp"
+
+namespace swraman::sunway {
+namespace {
+
+TEST(Arch, Sw26010ProParameters) {
+  const ArchParams p = sw26010pro();
+  EXPECT_EQ(p.n_pes, 64);             // one CPE cluster per CG
+  EXPECT_EQ(p.ldm_bytes, 256u * 1024u);
+  EXPECT_EQ(p.simd_lanes, 8);         // 512-bit doubles
+  EXPECT_GT(p.dma_bw_gbs, 0.0);
+  EXPECT_GT(p.mpe_freq_ghz, 0.0);
+}
+
+TEST(Arch, XeonParameters) {
+  const ArchParams p = xeon_e5_2692v2();
+  EXPECT_EQ(p.n_pes, 12);
+  EXPECT_EQ(p.simd_lanes, 4);         // 256-bit AVX
+  EXPECT_EQ(p.ldm_bytes, 0u);         // cache-based: no scratchpad
+  EXPECT_DOUBLE_EQ(p.dma_bw_gbs, 0.0);
+}
+
+TEST(Arch, VariantNames) {
+  EXPECT_STREQ(variant_name(Variant::MpeScalar), "MPE");
+  EXPECT_STREQ(variant_name(Variant::CpeTiled), "Tiling");
+  EXPECT_STREQ(variant_name(Variant::CpeTiledDb), "Tiling+DB");
+  EXPECT_STREQ(variant_name(Variant::CpeTiledDbSimd), "Tiling+DB+SIMD");
+}
+
+TEST(CostModel, ZeroWorkloadCostsNothing) {
+  KernelWorkload w;
+  w.elements = 0;
+  for (Variant v : {Variant::MpeScalar, Variant::CpeTiled,
+                    Variant::CpeTiledDb, Variant::CpeTiledDbSimd}) {
+    EXPECT_DOUBLE_EQ(modeled_time(w, sw26010pro(), v), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(modeled_cpu_time(w, xeon_e5_2692v2()), 0.0);
+}
+
+TEST(CostModel, TimeScalesLinearlyWithElements) {
+  KernelWorkload w;
+  w.elements = 1e6;
+  w.flops_per_element = 500;
+  w.stream_bytes_per_element = 100;
+  KernelWorkload w2 = w;
+  w2.elements = 2e6;
+  // Launch overhead makes it slightly sublinear; ratio within [1.9, 2.0].
+  const double r = modeled_time(w2, sw26010pro(), Variant::CpeTiledDbSimd) /
+                   modeled_time(w, sw26010pro(), Variant::CpeTiledDbSimd);
+  EXPECT_GT(r, 1.85);
+  EXPECT_LE(r, 2.0 + 1e-9);
+}
+
+TEST(CostModel, ReuseFactorReducesDmaBoundTime) {
+  KernelWorkload w;
+  w.elements = 1e6;
+  w.flops_per_element = 5;
+  w.stream_bytes_per_element = 2000;  // firmly DMA-bound
+  KernelWorkload reused = w;
+  reused.cpe_reuse_factor = 2.0;
+  EXPECT_LT(modeled_time(reused, sw26010pro(), Variant::CpeTiledDb),
+            0.6 * modeled_time(w, sw26010pro(), Variant::CpeTiledDb));
+  // The MPE baseline ignores the scratchpad reuse.
+  EXPECT_DOUBLE_EQ(modeled_time(reused, sw26010pro(), Variant::MpeScalar),
+                   modeled_time(w, sw26010pro(), Variant::MpeScalar));
+}
+
+}  // namespace
+}  // namespace swraman::sunway
