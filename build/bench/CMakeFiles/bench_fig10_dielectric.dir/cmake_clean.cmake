@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_dielectric.dir/bench_fig10_dielectric.cpp.o"
+  "CMakeFiles/bench_fig10_dielectric.dir/bench_fig10_dielectric.cpp.o.d"
+  "bench_fig10_dielectric"
+  "bench_fig10_dielectric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_dielectric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_h2o_raman.dir/bench_fig11_h2o_raman.cpp.o"
+  "CMakeFiles/bench_fig11_h2o_raman.dir/bench_fig11_h2o_raman.cpp.o.d"
+  "bench_fig11_h2o_raman"
+  "bench_fig11_h2o_raman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_h2o_raman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

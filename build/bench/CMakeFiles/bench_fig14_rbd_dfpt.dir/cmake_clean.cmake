@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_rbd_dfpt.dir/bench_fig14_rbd_dfpt.cpp.o"
+  "CMakeFiles/bench_fig14_rbd_dfpt.dir/bench_fig14_rbd_dfpt.cpp.o.d"
+  "bench_fig14_rbd_dfpt"
+  "bench_fig14_rbd_dfpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rbd_dfpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

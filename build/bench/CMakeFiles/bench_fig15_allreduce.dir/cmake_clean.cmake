@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_allreduce.dir/bench_fig15_allreduce.cpp.o"
+  "CMakeFiles/bench_fig15_allreduce.dir/bench_fig15_allreduce.cpp.o.d"
+  "bench_fig15_allreduce"
+  "bench_fig15_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

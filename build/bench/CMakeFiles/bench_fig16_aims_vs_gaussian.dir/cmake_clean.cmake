@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_aims_vs_gaussian.dir/bench_fig16_aims_vs_gaussian.cpp.o"
+  "CMakeFiles/bench_fig16_aims_vs_gaussian.dir/bench_fig16_aims_vs_gaussian.cpp.o.d"
+  "bench_fig16_aims_vs_gaussian"
+  "bench_fig16_aims_vs_gaussian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_aims_vs_gaussian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig18_weak_scaling.cpp" "bench/CMakeFiles/bench_fig18_weak_scaling.dir/bench_fig18_weak_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_fig18_weak_scaling.dir/bench_fig18_weak_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swraman_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/raman/CMakeFiles/swraman_raman.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/swraman_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfpt/CMakeFiles/swraman_dfpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/scf/CMakeFiles/swraman_scf.dir/DependInfo.cmake"
+  "/root/repo/build/src/basis/CMakeFiles/swraman_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/atomic/CMakeFiles/swraman_atomic.dir/DependInfo.cmake"
+  "/root/repo/build/src/xc/CMakeFiles/swraman_xc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sunway/CMakeFiles/swraman_sunway.dir/DependInfo.cmake"
+  "/root/repo/build/src/hartree/CMakeFiles/swraman_hartree.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/swraman_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/swraman_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/swraman_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/swraman_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_rbd_spectrum.dir/bench_fig19_rbd_spectrum.cpp.o"
+  "CMakeFiles/bench_fig19_rbd_spectrum.dir/bench_fig19_rbd_spectrum.cpp.o.d"
+  "bench_fig19_rbd_spectrum"
+  "bench_fig19_rbd_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_rbd_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_fragments.dir/protein_fragments.cpp.o"
+  "CMakeFiles/protein_fragments.dir/protein_fragments.cpp.o.d"
+  "protein_fragments"
+  "protein_fragments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_fragments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raman_water.dir/raman_water.cpp.o"
+  "CMakeFiles/raman_water.dir/raman_water.cpp.o.d"
+  "raman_water"
+  "raman_water.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raman_water.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

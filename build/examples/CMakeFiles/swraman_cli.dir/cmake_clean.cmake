@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_cli.dir/swraman_cli.cpp.o"
+  "CMakeFiles/swraman_cli.dir/swraman_cli.cpp.o.d"
+  "swraman_cli"
+  "swraman_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

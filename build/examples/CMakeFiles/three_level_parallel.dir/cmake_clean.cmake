@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_level_parallel.dir/three_level_parallel.cpp.o"
+  "CMakeFiles/three_level_parallel.dir/three_level_parallel.cpp.o.d"
+  "three_level_parallel"
+  "three_level_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_level_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

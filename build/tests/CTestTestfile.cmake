@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_simd[1]_include.cmake")
+include("/root/repo/build/tests/test_xc[1]_include.cmake")
+include("/root/repo/build/tests/test_scf[1]_include.cmake")
+include("/root/repo/build/tests/test_dfpt[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_scaling[1]_include.cmake")
+include("/root/repo/build/tests/test_sunway[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_raman[1]_include.cmake")
+include("/root/repo/build/tests/test_hartree[1]_include.cmake")
+include("/root/repo/build/tests/test_basis[1]_include.cmake")
+include("/root/repo/build/tests/test_atomic[1]_include.cmake")
