@@ -269,10 +269,11 @@ bench/CMakeFiles/bench_ablation_loadbalance.dir/bench_ablation_loadbalance.cpp.o
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/raman/raman.hpp \
- /root/repo/src/raman/vibrations.hpp /root/repo/src/raman/relax.hpp \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/raman/checkpoint.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/raman/raman.hpp /root/repo/src/raman/vibrations.hpp \
+ /root/repo/src/raman/relax.hpp /root/repo/src/robustness/fault.hpp \
  /root/repo/src/raman/thermochemistry.hpp /root/repo/src/scf/analysis.hpp \
  /root/repo/src/sunway/kernels.hpp /root/repo/src/sunway/cpe_cluster.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/sunway/ldm.hpp /root/repo/src/sunway/rma_reduce.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h
+ /root/repo/src/sunway/ldm.hpp /root/repo/src/sunway/rma_reduce.hpp

@@ -266,9 +266,15 @@ bench/CMakeFiles/bench_fig19_rbd_spectrum.dir/bench_fig19_rbd_spectrum.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/raman/raman.hpp \
- /root/repo/src/raman/vibrations.hpp /root/repo/src/raman/relax.hpp \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/raman/checkpoint.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/raman/raman.hpp /root/repo/src/raman/vibrations.hpp \
+ /root/repo/src/raman/relax.hpp /root/repo/src/robustness/fault.hpp \
+ /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/raman/thermochemistry.hpp /root/repo/src/scf/analysis.hpp \
  /root/repo/src/sunway/kernels.hpp /root/repo/src/sunway/cpe_cluster.hpp \
- /root/repo/src/sunway/ldm.hpp /root/repo/src/sunway/rma_reduce.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h
+ /root/repo/src/sunway/ldm.hpp /root/repo/src/sunway/rma_reduce.hpp

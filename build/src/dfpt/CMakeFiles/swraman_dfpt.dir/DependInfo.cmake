@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/scf/CMakeFiles/swraman_scf.dir/DependInfo.cmake"
   "/root/repo/build/src/xc/CMakeFiles/swraman_xc.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/swraman_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/robustness/CMakeFiles/swraman_robustness.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
   "/root/repo/build/src/basis/CMakeFiles/swraman_basis.dir/DependInfo.cmake"
   "/root/repo/build/src/atomic/CMakeFiles/swraman_atomic.dir/DependInfo.cmake"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raman/checkpoint.cpp" "src/raman/CMakeFiles/swraman_raman.dir/checkpoint.cpp.o" "gcc" "src/raman/CMakeFiles/swraman_raman.dir/checkpoint.cpp.o.d"
   "/root/repo/src/raman/raman.cpp" "src/raman/CMakeFiles/swraman_raman.dir/raman.cpp.o" "gcc" "src/raman/CMakeFiles/swraman_raman.dir/raman.cpp.o.d"
   "/root/repo/src/raman/relax.cpp" "src/raman/CMakeFiles/swraman_raman.dir/relax.cpp.o" "gcc" "src/raman/CMakeFiles/swraman_raman.dir/relax.cpp.o.d"
   "/root/repo/src/raman/thermochemistry.cpp" "src/raman/CMakeFiles/swraman_raman.dir/thermochemistry.cpp.o" "gcc" "src/raman/CMakeFiles/swraman_raman.dir/thermochemistry.cpp.o.d"
@@ -19,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/dfpt/CMakeFiles/swraman_dfpt.dir/DependInfo.cmake"
   "/root/repo/build/src/scf/CMakeFiles/swraman_scf.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/swraman_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/robustness/CMakeFiles/swraman_robustness.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
   "/root/repo/build/src/basis/CMakeFiles/swraman_basis.dir/DependInfo.cmake"
   "/root/repo/build/src/atomic/CMakeFiles/swraman_atomic.dir/DependInfo.cmake"

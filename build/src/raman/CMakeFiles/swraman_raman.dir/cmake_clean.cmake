@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/swraman_raman.dir/checkpoint.cpp.o"
+  "CMakeFiles/swraman_raman.dir/checkpoint.cpp.o.d"
   "CMakeFiles/swraman_raman.dir/raman.cpp.o"
   "CMakeFiles/swraman_raman.dir/raman.cpp.o.d"
   "CMakeFiles/swraman_raman.dir/relax.cpp.o"

@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/grid/CMakeFiles/swraman_grid.dir/DependInfo.cmake"
   "/root/repo/build/src/xc/CMakeFiles/swraman_xc.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/swraman_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/robustness/CMakeFiles/swraman_robustness.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
   "/root/repo/build/src/atomic/CMakeFiles/swraman_atomic.dir/DependInfo.cmake"
   )

@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/hartree/CMakeFiles/swraman_hartree.dir/DependInfo.cmake"
   "/root/repo/build/src/grid/CMakeFiles/swraman_grid.dir/DependInfo.cmake"
   "/root/repo/build/src/simd/CMakeFiles/swraman_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/robustness/CMakeFiles/swraman_robustness.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
   )
 

@@ -30,6 +30,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/parallel/CMakeFiles/swraman_parallel.dir/DependInfo.cmake"
   "/root/repo/build/src/simd/CMakeFiles/swraman_simd.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/swraman_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/robustness/CMakeFiles/swraman_robustness.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
   )
 

@@ -15,6 +15,7 @@ include("/root/repo/build/tests/test_core[1]_include.cmake")
 include("/root/repo/build/tests/test_scaling[1]_include.cmake")
 include("/root/repo/build/tests/test_sunway[1]_include.cmake")
 include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
 include("/root/repo/build/tests/test_raman[1]_include.cmake")
 include("/root/repo/build/tests/test_hartree[1]_include.cmake")
 include("/root/repo/build/tests/test_basis[1]_include.cmake")

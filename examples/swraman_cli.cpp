@@ -12,6 +12,10 @@
 //   --pseudized            valence-only pseudopotential variant
 //   --relax-first          relax before raman/polar
 //   --freq <Hartree>       dynamic polarizability frequency (polar only)
+//   --checkpoint <file>    raman 6N-geometry checkpoint/restart file
+//   --fault <spec>         arm fault injection, e.g.
+//                          "sunway.dma.fail:p=0.01;sunway.cpe.death:at=1"
+//   --fault-seed <n>       fault-injection RNG seed (reproducible runs)
 
 #include <cstdio>
 #include <cstring>
@@ -30,6 +34,7 @@ struct CliOptions {
   scf::ScfOptions scf;
   bool relax_first = false;
   double frequency = 0.0;
+  std::string checkpoint;
 };
 
 [[noreturn]] void usage() {
@@ -37,7 +42,8 @@ struct CliOptions {
                "usage: swraman_cli <scf|polar|relax|raman> <file.xyz> "
                "[--backend nao|gto] [--tier minimal|standard|extended] "
                "[--grid light|tight|really-tight] [--pseudized] "
-               "[--relax-first] [--freq w]\n");
+               "[--relax-first] [--freq w] [--checkpoint file] "
+               "[--fault spec] [--fault-seed n]\n");
   std::exit(2);
 }
 
@@ -72,6 +78,19 @@ CliOptions parse(int argc, char** argv) {
       opt.relax_first = true;
     } else if (flag == "--freq") {
       opt.frequency = std::stod(next());
+    } else if (flag == "--checkpoint") {
+      opt.checkpoint = next();
+    } else if (flag == "--fault") {
+      fault::FaultInjector::instance().configure_from_string(next());
+    } else if (flag == "--fault-seed") {
+      const std::string seed = next();
+      try {
+        fault::FaultInjector::instance().set_seed(std::stoull(seed));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "error: --fault-seed expects an integer, got '%s'\n",
+                     seed.c_str());
+        std::exit(2);
+      }
     } else {
       usage();
     }
@@ -145,6 +164,7 @@ int run(const CliOptions& opt) {
   if (opt.command == "raman") {
     raman::RamanOptions ro;
     ro.vibrations.scf = opt.scf;
+    ro.checkpoint_path = opt.checkpoint;
     t.reset();
     raman::RamanCalculator calc(atoms, ro);
     const raman::RamanSpectrum spec = calc.compute();

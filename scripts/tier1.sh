@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md): full build + ctest, then the
+# robustness/fault-injection suite rebuilt and re-run under a sanitizer
+# (address by default; set SWRAMAN_SANITIZE=undefined for UBSan, or
+# SWRAMAN_SANITIZE=none to skip the instrumented pass).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZER="${SWRAMAN_SANITIZE:-address}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: plain build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [ "${SANITIZER}" != "none" ]; then
+  echo "== tier-1: robustness suite under -fsanitize=${SANITIZER} =="
+  cmake -B "build-${SANITIZER}" -S . \
+        -DSWRAMAN_SANITIZE="${SANITIZER}" \
+        -DSWRAMAN_BUILD_BENCH=OFF -DSWRAMAN_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "build-${SANITIZER}" -j "${JOBS}" --target \
+        test_robustness
+  "./build-${SANITIZER}/tests/test_robustness"
+fi
+
+echo "tier-1: OK"

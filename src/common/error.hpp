@@ -16,6 +16,39 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Typed-error taxonomy for the fault-tolerance layer: callers catch the
+// specific class they can recover from (a timed-out collective, a diverged
+// SCF cycle, a damaged checkpoint, an injected test fault) and let anything
+// else propagate as a plain Error.
+
+// A blocking operation (recv, allreduce, DMA) exhausted its bounded
+// retry/backoff budget without completing.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+// An iterative solver (SCF, DFPT response) failed to reach its tolerance
+// after the configured recovery attempts.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+// A checkpoint file is missing required structure, carries an unsupported
+// version, or does not match the run being resumed.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error(what) {}
+};
+
+// Raised by an armed fault-injection site that models a hard component
+// failure (killed process, dead CPE past redistribution, poisoned data).
+class FaultInjected : public Error {
+ public:
+  explicit FaultInjected(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void fail(const char* kind, const char* expr,
                               const char* file, int line,

@@ -32,8 +32,10 @@
 #include "hartree/ewald.hpp"
 #include "hartree/multipole.hpp"
 #include "parallel/comm.hpp"
+#include "raman/checkpoint.hpp"
 #include "raman/raman.hpp"
 #include "raman/relax.hpp"
+#include "robustness/fault.hpp"
 #include "raman/thermochemistry.hpp"
 #include "scaling/simulator.hpp"
 #include "scf/analysis.hpp"

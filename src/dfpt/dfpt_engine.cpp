@@ -1,14 +1,33 @@
 #include "dfpt/dfpt_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
+#include <string>
 
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "linalg/lu.hpp"
+#include "robustness/fault.hpp"
 
 namespace swraman::dfpt {
+
+namespace {
+
+// max_abs() cannot flag blow-ups: std::max drops NaN comparisons, so a
+// poisoned matrix can masquerade as converged. Scan explicitly.
+bool has_non_finite(const linalg::Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (!std::isfinite(m(i, j))) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 DfptEngine::DfptEngine(const scf::ScfEngine& scf,
                        const scf::GroundState& ground_state,
@@ -28,6 +47,28 @@ DfptEngine::DfptEngine(const scf::ScfEngine& scf,
 
 ResponseResult DfptEngine::solve_response(int axis) {
   SWRAMAN_REQUIRE(axis >= 0 && axis < 3, "solve_response: axis in [0,3)");
+  const int attempts = std::max(1, options_.recovery_attempts);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    bool diverged = false;
+    ResponseResult res = solve_response_attempt(axis, attempt, &diverged);
+    if (!diverged) return res;
+    if (attempt < attempts) {
+      log::warn("dfpt.recovery: axis ", axis, " response diverged (attempt ",
+                attempt, "/", attempts, ") — halving mixing to ",
+                options_.mixing / static_cast<double>(1 << attempt),
+                ", flushing DIIS history, restarting cycle");
+    }
+  }
+  throw ConvergenceError("DfptEngine::solve_response: axis " +
+                         std::to_string(axis) + " diverged in all " +
+                         std::to_string(attempts) + " recovery attempts");
+}
+
+ResponseResult DfptEngine::solve_response_attempt(int axis, int attempt,
+                                                  bool* diverged) {
+  *diverged = false;
+  const double mixing =
+      options_.mixing / static_cast<double>(1 << (attempt - 1));
   const std::size_t nbf = scf_.basis().size();
   const linalg::Matrix& d = dipole_[static_cast<std::size_t>(axis)];
   const linalg::Matrix& c = gs_.coefficients;
@@ -96,7 +137,20 @@ ResponseResult DfptEngine::solve_response(int axis) {
     p1_new += p1_new.transposed();
     times_.sternheimer += timer.seconds();
 
+    if (fault::should_fire(fault::kDfptDiverge)) {
+      log::warn("fault ", fault::kDfptDiverge,
+                ": poisoning response density at axis ", axis, " iter ",
+                iter);
+      p1_new(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    }
+
     const double dp = (p1_new - res.p1).max_abs();
+    if (!std::isfinite(dp) || has_non_finite(p1_new)) {
+      log::warn("dfpt: non-finite response step at axis ", axis, " iter ",
+                iter, " — aborting cycle for recovery");
+      *diverged = true;
+      return res;
+    }
 
     // DIIS on the response density matrix.
     hist_p.push_back(p1_new);
@@ -136,9 +190,9 @@ ResponseResult DfptEngine::solve_response(int axis) {
     }
     if (!extrapolated) {
       linalg::Matrix mix = res.p1;
-      mix *= (1.0 - options_.mixing);
+      mix *= (1.0 - mixing);
       linalg::Matrix add = p1_new;
-      add *= options_.mixing;
+      add *= mixing;
       mix += add;
       res.p1 = std::move(mix);
     }
@@ -175,7 +229,11 @@ linalg::Matrix DfptEngine::polarizability() {
   linalg::Matrix alpha(3, 3);
   for (int j = 0; j < 3; ++j) {
     const ResponseResult res = solve_response(j);
-    SWRAMAN_REQUIRE(res.converged, "polarizability: DFPT did not converge");
+    if (!res.converged) {
+      throw ConvergenceError(
+          "polarizability: DFPT did not converge for axis " +
+          std::to_string(j));
+    }
     for (int i = 0; i < 3; ++i) {
       alpha(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
           -linalg::trace_product(res.p1,

@@ -29,6 +29,11 @@ struct DfptOptions {
   // the dynamic polarizability alpha(omega) of adiabatic-LDA linear
   // response (denominators (eps_i - eps_a) / ((eps_i - eps_a)^2 - omega^2)).
   double frequency = 0.0;
+  // Automatic divergence recovery, mirroring ScfOptions: a non-finite
+  // response-density step aborts the cycle, the mixing is halved, the DIIS
+  // history flushed, and the cycle restarted — up to this many attempts
+  // before ConvergenceError is thrown.
+  int recovery_attempts = 3;
 };
 
 struct KernelTimes {
@@ -54,6 +59,9 @@ class DfptEngine {
 
   // Self-consistent first-order response to a unit field along `axis`
   // (perturbation v_ext(1) = +r_axis, matching ScfOptions::electric_field).
+  // Divergence (non-finite response step) triggers automatic recovery per
+  // DfptOptions::recovery_attempts; throws ConvergenceError when every
+  // attempt diverged. Plain non-convergence still returns converged=false.
   ResponseResult solve_response(int axis);
 
   // Full polarizability tensor (3 response calculations, symmetrized).
@@ -73,6 +81,12 @@ class DfptEngine {
   [[nodiscard]] const KernelTimes& kernel_times() const { return times_; }
 
  private:
+  // One full response cycle. `attempt` (1-based) halves the linear mixing
+  // per retry; the DIIS history is local to the attempt, so a restart
+  // flushes it. Sets *diverged when non-finite numbers aborted the cycle.
+  ResponseResult solve_response_attempt(int axis, int attempt,
+                                        bool* diverged);
+
   const scf::ScfEngine& scf_;
   const scf::GroundState& gs_;
   DfptOptions options_;

@@ -31,21 +31,41 @@ double BatchAssignment::imbalance() const {
   return static_cast<double>(max_points()) / mean;
 }
 
-BatchAssignment balance_batches(const std::vector<Batch>& batches,
-                                std::size_t n_processes) {
-  SWRAMAN_REQUIRE(n_processes >= 1, "balance_batches: n_processes >= 1");
-  BatchAssignment a;
-  a.owner.resize(batches.size());
-  a.points_per_process.assign(n_processes, 0);
-  for (std::size_t i = 0; i < batches.size(); ++i) {
+std::vector<std::size_t> assign_greedy(
+    const std::vector<std::size_t>& weights, std::size_t n_workers,
+    const std::vector<std::size_t>* initial_load) {
+  SWRAMAN_REQUIRE(n_workers >= 1, "assign_greedy: n_workers >= 1");
+  SWRAMAN_REQUIRE(initial_load == nullptr ||
+                      initial_load->size() == n_workers,
+                  "assign_greedy: initial_load size mismatch");
+  std::vector<std::size_t> load =
+      initial_load ? *initial_load : std::vector<std::size_t>(n_workers, 0);
+  std::vector<std::size_t> owner(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
     // "the new batch is always sent to the process with the minimal number
     // of points" (paper Algorithm 1).
     std::size_t jmin = 0;
-    for (std::size_t j = 1; j < n_processes; ++j) {
-      if (a.points_per_process[j] < a.points_per_process[jmin]) jmin = j;
+    for (std::size_t j = 1; j < n_workers; ++j) {
+      if (load[j] < load[jmin]) jmin = j;
     }
-    a.owner[i] = jmin;
-    a.points_per_process[jmin] += batches[i].size();
+    owner[i] = jmin;
+    load[jmin] += weights[i];
+  }
+  return owner;
+}
+
+BatchAssignment balance_batches(const std::vector<Batch>& batches,
+                                std::size_t n_processes) {
+  SWRAMAN_REQUIRE(n_processes >= 1, "balance_batches: n_processes >= 1");
+  std::vector<std::size_t> weights(batches.size());
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    weights[i] = batches[i].size();
+  }
+  BatchAssignment a;
+  a.owner = assign_greedy(weights, n_processes);
+  a.points_per_process.assign(n_processes, 0);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    a.points_per_process[a.owner[i]] += weights[i];
   }
   return a;
 }

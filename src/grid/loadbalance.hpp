@@ -24,6 +24,16 @@ struct BatchAssignment {
   [[nodiscard]] double imbalance() const;
 };
 
+// Core of Algorithm 1, exposed for any work-unit type: assigns each
+// weighted item (in order) to the worker currently carrying the least
+// weight. `initial_load` pre-loads the workers (e.g. work they already
+// own); ties break on the lowest worker id. Returns owner[i] per item.
+// Also used by the fault-tolerance layer to redistribute a dead CPE's
+// share over the survivors.
+std::vector<std::size_t> assign_greedy(
+    const std::vector<std::size_t>& weights, std::size_t n_workers,
+    const std::vector<std::size_t>* initial_load = nullptr);
+
 // Paper Algorithm 1. Deterministic: ties broken by lowest process id.
 BatchAssignment balance_batches(const std::vector<Batch>& batches,
                                 std::size_t n_processes);

@@ -1,10 +1,13 @@
 #include "parallel/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
+#include "robustness/fault.hpp"
 
 namespace swraman::parallel {
 
@@ -12,9 +15,11 @@ namespace swraman::parallel {
 // a generation-counting barrier, and scratch used by split().
 class CommContext {
  public:
-  explicit CommContext(std::size_t n) : n_(n), split_colors_(n, 0) {}
+  explicit CommContext(std::size_t n, CommConfig config = {})
+      : n_(n), config_(config), split_colors_(n, 0) {}
 
   [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] const CommConfig& config() const { return config_; }
 
   void post(std::size_t src, std::size_t dst, int tag,
             std::vector<double> data) {
@@ -23,17 +28,23 @@ class CommContext {
     cv_.notify_all();
   }
 
-  std::vector<double> take(std::size_t src, std::size_t dst, int tag) {
+  // Waits up to timeout_s for a message; false on expiry (out untouched).
+  bool take(std::size_t src, std::size_t dst, int tag, double timeout_s,
+            std::vector<double>& out) {
     std::unique_lock lock(mutex_);
     const std::uint64_t k = key(src, dst, tag);
-    cv_.wait(lock, [&] {
+    const auto ready = [&] {
       const auto it = mail_.find(k);
       return it != mail_.end() && !it->second.empty();
-    });
+    };
+    if (!cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                      ready)) {
+      return false;
+    }
     auto& q = mail_[k];
-    std::vector<double> data = std::move(q.front());
+    out = std::move(q.front());
     q.pop();
-    return data;
+    return true;
   }
 
   void barrier() {
@@ -63,7 +74,8 @@ class CommContext {
         group.members.push_back(r);
       }
       for (auto& [c, group] : split_children_) {
-        group.ctx = std::make_shared<CommContext>(group.members.size());
+        group.ctx =
+            std::make_shared<CommContext>(group.members.size(), config_);
       }
       split_count_ = 0;
       ++split_gen_;
@@ -91,6 +103,7 @@ class CommContext {
   };
 
   std::size_t n_;
+  CommConfig config_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::map<std::uint64_t, std::queue<std::vector<double>>> mail_;
@@ -107,17 +120,77 @@ Communicator::Communicator(std::shared_ptr<CommContext> ctx, std::size_t rank)
 
 std::size_t Communicator::size() const { return ctx_->size(); }
 
-void Communicator::barrier() { ctx_->barrier(); }
+const CommConfig& Communicator::config() const { return ctx_->config(); }
+
+namespace {
+
+void sleep_s(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+void Communicator::barrier() {
+  // Injected rank stall: this rank arrives late; the others tolerate the
+  // delay through their recv/barrier timeouts.
+  if (fault::should_fire(fault::kCommStall)) {
+    log::warn("fault ", fault::kCommStall, ": rank ", rank_, " stalled ",
+              config().stall_s, " s before barrier");
+    sleep_s(config().stall_s);
+  }
+  ctx_->barrier();
+}
 
 void Communicator::send(std::size_t dest, const std::vector<double>& data,
                         int tag) {
   SWRAMAN_REQUIRE(dest < size(), "send: destination rank out of range");
-  ctx_->post(rank_, dest, tag, data);
+  const CommConfig& cfg = config();
+  double backoff = cfg.backoff_base_s;
+  for (int attempt = 0;; ++attempt) {
+    // The transport acknowledges delivery; a drop injected here is what a
+    // lost RMA message looks like to the sender — no ack, so retransmit.
+    if (!fault::should_fire(fault::kCommSendDrop)) {
+      ctx_->post(rank_, dest, tag, data);
+      return;
+    }
+    if (attempt >= cfg.send_retries) {
+      throw TimeoutError("send: rank " + std::to_string(rank_) + " -> " +
+                         std::to_string(dest) + " tag " +
+                         std::to_string(tag) + " dropped " +
+                         std::to_string(attempt + 1) +
+                         " times; retry budget exhausted");
+    }
+    log::warn("fault ", fault::kCommSendDrop, ": rank ", rank_, " -> ",
+              dest, " tag ", tag, " message dropped, retransmit attempt ",
+              attempt + 1, "/", cfg.send_retries, " after ", backoff, " s");
+    sleep_s(backoff);
+    backoff = std::min(2.0 * backoff, cfg.backoff_max_s);
+  }
 }
 
 std::vector<double> Communicator::recv(std::size_t src, int tag) {
   SWRAMAN_REQUIRE(src < size(), "recv: source rank out of range");
-  return ctx_->take(src, rank_, tag);
+  const CommConfig& cfg = config();
+  if (fault::should_fire(fault::kCommRecvDelay)) {
+    log::warn("fault ", fault::kCommRecvDelay, ": rank ", rank_,
+              " delivery delayed ", cfg.stall_s, " s");
+    sleep_s(cfg.stall_s);
+  }
+  std::vector<double> data;
+  double timeout = cfg.recv_timeout_s;
+  for (int attempt = 0; attempt <= cfg.recv_retries; ++attempt) {
+    if (ctx_->take(src, rank_, tag, timeout, data)) return data;
+    if (attempt < cfg.recv_retries) {
+      log::warn("recv: rank ", rank_, " <- ", src, " tag ", tag,
+                " timed out after ", timeout, " s, retry ", attempt + 1,
+                "/", cfg.recv_retries);
+    }
+    timeout *= 2.0;
+  }
+  throw TimeoutError("recv: rank " + std::to_string(rank_) + " <- " +
+                     std::to_string(src) + " tag " + std::to_string(tag) +
+                     " timed out after " +
+                     std::to_string(cfg.recv_retries + 1) + " waits");
 }
 
 void Communicator::broadcast(std::vector<double>& data, std::size_t root) {
@@ -347,9 +420,10 @@ Communicator Communicator::split(int color) {
 }
 
 void run_spmd(std::size_t n_ranks,
-              const std::function<void(Communicator&)>& fn) {
+              const std::function<void(Communicator&)>& fn,
+              const CommConfig& config) {
   SWRAMAN_REQUIRE(n_ranks >= 1, "run_spmd: need at least one rank");
-  auto ctx = std::make_shared<CommContext>(n_ranks);
+  auto ctx = std::make_shared<CommContext>(n_ranks, config);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(n_ranks);
   threads.reserve(n_ranks);

@@ -15,8 +15,26 @@
 // barrier, broadcast, communicator split (the geometry-level sub-groups of
 // Fig. 4), and Allreduce in five algorithm variants including the paper's
 // "Reduce-Scatter followed by Allgather" (Sec. 3.4).
+//
+// Fault tolerance: the transport models acknowledged delivery, so a send
+// whose message the injector drops (fault site comm.send.drop) is detected
+// by the sender and retransmitted with exponential backoff; recv waits with
+// a bounded timeout instead of blocking forever on a lost peer and throws
+// TimeoutError once its retry budget is spent. All collectives are built on
+// send/recv and inherit both behaviours.
 
 namespace swraman::parallel {
+
+// Retry/backoff policy shared by every rank of a communicator (split
+// children inherit the parent's config).
+struct CommConfig {
+  double recv_timeout_s = 60.0;   // first recv wait; doubles per retry
+  int recv_retries = 3;           // additional timed waits after the first
+  int send_retries = 8;           // retransmissions after a dropped send
+  double backoff_base_s = 1e-4;   // first retransmit backoff; doubles
+  double backoff_max_s = 0.05;    // backoff ceiling
+  double stall_s = 1e-3;          // injected delay for comm.stall / delay
+};
 
 enum class AllreduceAlgorithm {
   Linear,                  // gather to root, reduce, broadcast
@@ -37,8 +55,16 @@ class Communicator {
 
   void barrier();
 
+  // Reliable send: retransmits (with exponential backoff) when the
+  // transport drops the message; throws TimeoutError once the retry budget
+  // of the communicator's CommConfig is exhausted.
   void send(std::size_t dest, const std::vector<double>& data, int tag = 0);
+
+  // Timed receive: waits in bounded, doubling slices and throws
+  // TimeoutError after CommConfig::recv_retries extra waits go unanswered.
   [[nodiscard]] std::vector<double> recv(std::size_t src, int tag = 0);
+
+  [[nodiscard]] const CommConfig& config() const;
 
   // Root's data is copied to everyone.
   void broadcast(std::vector<double>& data, std::size_t root = 0);
@@ -63,7 +89,9 @@ class Communicator {
 
 // Launches fn on n_ranks threads, each receiving its Communicator. Any
 // exception on a rank is rethrown on the caller after all threads join.
+// The config sets the communicator's timeout/retry policy.
 void run_spmd(std::size_t n_ranks,
-              const std::function<void(Communicator&)>& fn);
+              const std::function<void(Communicator&)>& fn,
+              const CommConfig& config = {});
 
 }  // namespace swraman::parallel

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "grid/atom_grid.hpp"
+
+// Checkpoint/restart for the 6N displaced-geometry polarizability loop —
+// the longest stage of the Raman pipeline (paper Sec. 2.3) and the one a
+// node failure is most likely to interrupt on a large system. Every
+// finished geometry (coordinate index + displacement sign) is appended to
+// a versioned text file together with its polarizability tensor and
+// dipole, flushed immediately; a resumed run replays the file and
+// re-evaluates only the geometries that are missing, reproducing the
+// fault-free spectrum bit-for-bit because the stored values round-trip at
+// full double precision (%.17g).
+//
+// File format (one record per line, whitespace-separated):
+//
+//   swraman-raman-checkpoint <version>
+//   system <n_coords> <displacement> <geometry-fingerprint-hex>
+//   geom <coord> <+|-> <alpha(0,0)..alpha(2,2)> <mu_x> <mu_y> <mu_z>
+//
+// A truncated trailing record (the signature of a crash mid-write) is
+// dropped silently; a header or fingerprint mismatch — the file belongs
+// to a different molecule, displacement, or format version — throws
+// CheckpointError rather than silently mixing incompatible data.
+
+namespace swraman::raman {
+
+struct GeometryRecord {
+  std::array<double, 9> alpha{};  // row-major 3x3 polarizability
+  std::array<double, 3> dipole{};
+};
+
+class Checkpoint {
+ public:
+  static constexpr int kVersion = 1;
+
+  // Inactive checkpoint: lookups miss, records are no-ops.
+  Checkpoint() = default;
+
+  // Binds to `path`, validating any existing file against the geometry
+  // (atom count, elements, positions) and displacement step and loading
+  // its finished records. Creates the file (with header) when absent.
+  Checkpoint(std::string path, const std::vector<grid::AtomSite>& atoms,
+             double displacement);
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+
+  // Number of finished geometry records currently known.
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  // Returns the stored record for (coord, sign) or nullptr.
+  [[nodiscard]] const GeometryRecord* lookup(std::size_t coord,
+                                             int sign) const;
+
+  // Appends a finished geometry and flushes it to disk immediately so a
+  // crash never loses more than the geometry in flight.
+  void record(std::size_t coord, int sign, const GeometryRecord& rec);
+
+ private:
+  void write_header(std::size_t n_coords, double displacement,
+                    std::uint64_t fp) const;
+  void append_record(const std::pair<std::size_t, int>& key,
+                     const GeometryRecord& rec) const;
+
+  std::string path_;
+  std::map<std::pair<std::size_t, int>, GeometryRecord> records_;
+};
+
+}  // namespace swraman::raman

@@ -1,10 +1,14 @@
 #include "raman/raman.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/constants.hpp"
 #include "common/elements.hpp"
 #include "common/error.hpp"
+#include "common/logging.hpp"
+#include "raman/checkpoint.hpp"
+#include "robustness/fault.hpp"
 
 namespace swraman::raman {
 
@@ -25,26 +29,65 @@ linalg::Matrix RamanCalculator::polarizability_at(
   return dfpt.polarizability();
 }
 
+GeometryRecord RamanCalculator::evaluate_geometry(std::size_t coord,
+                                                  int sign) {
+  std::vector<grid::AtomSite> geometry = atoms_;
+  geometry[coord / 3].pos[static_cast<int>(coord % 3)] +=
+      sign * options_.alpha_displacement;
+  const int attempts = std::max(1, options_.geometry_attempts);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      Vec3 mu;
+      const linalg::Matrix alpha = polarizability_at(geometry, &mu);
+      GeometryRecord rec;
+      for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) rec.alpha[3 * i + j] = alpha(i, j);
+        rec.dipole[i] = mu[static_cast<int>(i)];
+      }
+      return rec;
+    } catch (const FaultInjected&) {
+      throw;  // a simulated hard failure (process kill) must propagate
+    } catch (const Error& e) {
+      if (attempt >= attempts) throw;
+      log::warn("raman.geometry: coordinate ", coord, " sign ",
+                sign > 0 ? "+" : "-", " failed on attempt ", attempt, "/",
+                attempts, " (", e.what(), ") — retrying");
+    }
+  }
+}
+
 linalg::Matrix RamanCalculator::polarizability_derivatives() {
   const std::size_t n = 3 * atoms_.size();
   const double d = options_.alpha_displacement;
   linalg::Matrix deriv(n, 9);
   dmu_ = linalg::Matrix(n, 3);
+  Checkpoint ckpt;
+  if (!options_.checkpoint_path.empty()) {
+    ckpt = Checkpoint(options_.checkpoint_path, atoms_, d);
+  }
   for (std::size_t coord = 0; coord < n; ++coord) {
-    std::vector<grid::AtomSite> plus = atoms_;
-    std::vector<grid::AtomSite> minus = atoms_;
-    plus[coord / 3].pos[static_cast<int>(coord % 3)] += d;
-    minus[coord / 3].pos[static_cast<int>(coord % 3)] -= d;
-    Vec3 mu_p;
-    Vec3 mu_m;
-    const linalg::Matrix ap = polarizability_at(plus, &mu_p);
-    const linalg::Matrix am = polarizability_at(minus, &mu_m);
+    GeometryRecord rec[2];  // index 0: +d, index 1: -d
+    for (int s = 0; s < 2; ++s) {
+      const int sign = s == 0 ? +1 : -1;
+      if (const GeometryRecord* stored = ckpt.lookup(coord, sign)) {
+        rec[s] = *stored;
+        continue;
+      }
+      rec[s] = evaluate_geometry(coord, sign);
+      ckpt.record(coord, sign, rec[s]);
+      // Simulated mid-pipeline process death: fires only on freshly
+      // computed geometries, after their checkpoint record is durable —
+      // exactly the crash window restart is designed for.
+      if (fault::should_fire(fault::kRamanKill)) {
+        fault::FaultInjector::raise(fault::kRamanKill);
+      }
+    }
     for (std::size_t i = 0; i < 3; ++i) {
       for (std::size_t j = 0; j < 3; ++j) {
-        deriv(coord, 3 * i + j) = (ap(i, j) - am(i, j)) / (2.0 * d);
+        deriv(coord, 3 * i + j) =
+            (rec[0].alpha[3 * i + j] - rec[1].alpha[3 * i + j]) / (2.0 * d);
       }
-      dmu_(coord, i) = (mu_p[static_cast<int>(i)] -
-                        mu_m[static_cast<int>(i)]) / (2.0 * d);
+      dmu_(coord, i) = (rec[0].dipole[i] - rec[1].dipole[i]) / (2.0 * d);
     }
   }
   return deriv;

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "dfpt/dfpt_engine.hpp"
+#include "raman/checkpoint.hpp"
 #include "raman/vibrations.hpp"
 
 // Full ab initio Raman pipeline (paper Sec. 2.3, Eq. 5):
@@ -22,6 +24,15 @@ struct RamanOptions {
   dfpt::DfptOptions dfpt;
   double alpha_displacement = 0.01;  // Bohr, step for d(alpha)/dR
   double mode_floor_cm = 100.0;      // drop rigid-body / noise modes
+  // Checkpoint file for the 6N displaced-geometry loop (see
+  // raman/checkpoint.hpp). Empty = no checkpointing. A resumed run with
+  // the same geometry re-evaluates only the missing geometries and
+  // reproduces the uninterrupted spectrum exactly.
+  std::string checkpoint_path;
+  // Bounded retry per displaced geometry: a transient failure (comm
+  // timeout, recovered-then-exhausted divergence) is retried this many
+  // times before the pipeline gives up and rethrows.
+  int geometry_attempts = 2;
 };
 
 struct RamanMode {
@@ -62,9 +73,19 @@ class RamanCalculator {
     return dmu_;
   }
 
+  // DFPT polarizability evaluations actually performed by this calculator
+  // (checkpointed geometries that were skipped on resume do not count).
+  [[nodiscard]] int n_polarizabilities() const {
+    return n_polarizabilities_;
+  }
+
  private:
   linalg::Matrix polarizability_at(
       const std::vector<grid::AtomSite>& geometry, Vec3* dipole);
+
+  // One displaced geometry (coordinate + sign), with bounded retry on
+  // transient failures per RamanOptions::geometry_attempts.
+  GeometryRecord evaluate_geometry(std::size_t coord, int sign);
 
   std::vector<grid::AtomSite> atoms_;
   RamanOptions options_;

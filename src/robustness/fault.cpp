@@ -1,0 +1,148 @@
+#include "robustness/fault.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace swraman::fault {
+
+namespace {
+
+// FNV-1a: mixes the site name into the global seed so each site draws an
+// independent, reproducible stream regardless of cross-site interleaving.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char* seed_env = std::getenv("SWRAMAN_FAULT_SEED")) {
+    seed_ = std::strtoull(seed_env, nullptr, 10);
+  }
+  if (const char* points = std::getenv("SWRAMAN_FAULT_POINTS")) {
+    configure_from_string(points);
+  }
+}
+
+void FaultInjector::reseed_locked(Site& site, const std::string& name) {
+  site.rng.seed(seed_ ^ fnv1a(name));
+  site.stats = SiteStats{};
+}
+
+void FaultInjector::configure(const std::string& site,
+                              const FaultSpec& spec) {
+  SWRAMAN_REQUIRE(!site.empty(), "fault: site name must not be empty");
+  SWRAMAN_REQUIRE(spec.probability >= 0.0 && spec.probability <= 1.0,
+                  "fault: probability must lie in [0, 1]");
+  const std::scoped_lock lock(mutex_);
+  Site& s = sites_[site];
+  s.spec = spec;
+  // `at` triggers default to firing once unless the caller widened the cap.
+  if (s.spec.fire_at > 0 && s.spec.max_fires < 0) s.spec.max_fires = 1;
+  reseed_locked(s, site);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::configure_from_string(const std::string& config) {
+  std::size_t pos = 0;
+  while (pos < config.size()) {
+    std::size_t end = config.find(';', pos);
+    if (end == std::string::npos) end = config.size();
+    const std::string entry = config.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    SWRAMAN_REQUIRE(colon != std::string::npos && colon > 0,
+                    "fault: spec entry needs the form name:key=value — got '" +
+                        entry + "'");
+    const std::string name = entry.substr(0, colon);
+    FaultSpec spec;
+    std::size_t p = colon + 1;
+    while (p < entry.size()) {
+      std::size_t comma = entry.find(',', p);
+      if (comma == std::string::npos) comma = entry.size();
+      const std::string kv = entry.substr(p, comma - p);
+      p = comma + 1;
+      const std::size_t eq = kv.find('=');
+      SWRAMAN_REQUIRE(eq != std::string::npos,
+                      "fault: expected key=value in spec — got '" + kv + "'");
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      if (key == "p") {
+        spec.probability = std::strtod(value.c_str(), nullptr);
+      } else if (key == "at") {
+        spec.fire_at = std::strtoll(value.c_str(), nullptr, 10);
+      } else if (key == "max") {
+        spec.max_fires = std::strtoll(value.c_str(), nullptr, 10);
+      } else {
+        SWRAMAN_REQUIRE(false, "fault: unknown spec key '" + key + "'");
+      }
+    }
+    configure(name, spec);
+  }
+}
+
+void FaultInjector::set_seed(std::uint64_t seed) {
+  const std::scoped_lock lock(mutex_);
+  seed_ = seed;
+  for (auto& [name, site] : sites_) reseed_locked(site, name);
+}
+
+std::uint64_t FaultInjector::seed() const {
+  const std::scoped_lock lock(mutex_);
+  return seed_;
+}
+
+void FaultInjector::clear() {
+  const std::scoped_lock lock(mutex_);
+  sites_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fire(const std::string& site) {
+  if (!armed()) return false;
+  const std::scoped_lock lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  ++s.stats.visits;
+  if (s.spec.max_fires >= 0 &&
+      s.stats.fires >= static_cast<std::uint64_t>(s.spec.max_fires)) {
+    return false;
+  }
+  bool fire = s.spec.fire_at > 0 &&
+              s.stats.visits == static_cast<std::uint64_t>(s.spec.fire_at);
+  if (s.spec.probability > 0.0) {
+    // Always consume exactly one draw per visit so the sequence depends
+    // only on the visit number, not on earlier outcomes.
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    fire = (uniform(s.rng) < s.spec.probability) || fire;
+  }
+  if (fire) ++s.stats.fires;
+  return fire;
+}
+
+SiteStats FaultInjector::stats(const std::string& site) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? SiteStats{} : it->second.stats;
+}
+
+void FaultInjector::raise(const std::string& site) {
+  throw FaultInjected("fault injected at site '" + site + "'");
+}
+
+}  // namespace swraman::fault

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/lu.hpp"
+#include "robustness/fault.hpp"
 
 namespace swraman::scf {
 
@@ -256,6 +258,31 @@ void ScfEngine::solve_eigenproblem(const linalg::Matrix& h,
 }
 
 GroundState ScfEngine::solve(const linalg::Matrix* initial_density) {
+  const int attempts = std::max(1, options_.recovery_attempts);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    bool diverged = false;
+    GroundState gs = solve_attempt(initial_density, attempt, &diverged);
+    if (!diverged) return gs;
+    if (attempt < attempts) {
+      log::warn("scf.recovery: divergence detected (attempt ", attempt, "/",
+                attempts, "): halving mixing to ",
+                options_.mixing / static_cast<double>(1 << attempt),
+                ", flushing DIIS history, restarting cycle");
+    }
+  }
+  throw ConvergenceError("ScfEngine::solve: cycle diverged in all " +
+                         std::to_string(attempts) + " recovery attempts");
+}
+
+GroundState ScfEngine::solve_attempt(const linalg::Matrix* initial_density,
+                                     int attempt, bool* diverged) {
+  *diverged = false;
+  // Recovery posture: halve the linear mixing and lengthen the damped
+  // warm-up on every retry. The DIIS history is per-attempt state, so a
+  // restart flushes it automatically.
+  const double mixing =
+      options_.mixing / static_cast<double>(1 << (attempt - 1));
+  const int damped_iterations = 3 * attempt;
   const std::size_t nbf = basis_.size();
   const double n_elec = basis_.n_electrons();
   GroundState gs;
@@ -299,6 +326,14 @@ GroundState ScfEngine::solve(const linalg::Matrix* initial_density) {
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
     gs.iterations = iter;
 
+    // Forced-divergence injection: poison the density the way a blown-up
+    // mixing step or corrupted reduction would.
+    if (fault::should_fire(fault::kScfDiverge)) {
+      log::warn("fault ", fault::kScfDiverge,
+                ": poisoning SCF density at iteration ", iter);
+      n[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+
     // Effective potential from the current density.
     const std::vector<double> v_h = poisson_.solve_on_grid(n);
     double e_h = 0.0;
@@ -311,6 +346,14 @@ GroundState ScfEngine::solve(const linalg::Matrix* initial_density) {
       e_h += 0.5 * wn * v_h[p];
       e_xc += wn * xcp.eps;
       e_vxc += wn * xcp.v;
+    }
+    // Divergence check before anything reaches the eigensolver: e_h sums
+    // every grid point, so any non-finite density or potential lands here.
+    if (!std::isfinite(e_h) || !std::isfinite(e_xc)) {
+      log::warn("scf: non-finite effective potential at iteration ", iter,
+                " — aborting cycle for recovery");
+      *diverged = true;
+      return gs;
     }
 
     linalg::Matrix h = t_ + integrate_matrix(v_eff);
@@ -388,13 +431,19 @@ GroundState ScfEngine::solve(const linalg::Matrix* initial_density) {
     const double dp = (p_new - p_old).max_abs();
     const double de = std::abs(gs.total_energy - e_prev);
     e_prev = gs.total_energy;
+    if (!std::isfinite(dp) || !std::isfinite(gs.total_energy)) {
+      log::warn("scf: non-finite energy/density step at iteration ", iter,
+                " — aborting cycle for recovery");
+      *diverged = true;
+      return gs;
+    }
 
     // Full step in P (the initial free-atom density already carries the
     // right electron count); damp the grid density in the first iterations
     // until DIIS has history.
     p_old = p_new;
     const std::vector<double> n_new = density_on_grid(p_old);
-    const double beta = (iter <= 3) ? options_.mixing : 1.0;
+    const double beta = (iter <= damped_iterations) ? mixing : 1.0;
     for (std::size_t p = 0; p < grid_.size(); ++p) {
       n[p] = (1.0 - beta) * n[p] + beta * n_new[p];
     }

@@ -35,6 +35,11 @@ struct ScfOptions {
   double smearing = 1e-3;        // Fermi smearing width, Hartree
   int diis_depth = 6;
   double mixing = 0.4;           // linear fallback before DIIS kicks in
+  // Automatic divergence recovery: when non-finite numbers appear in the
+  // cycle (blow-up, injected NaN), the mixing is halved, the DIIS history
+  // flushed, and the cycle restarted — up to this many attempts total
+  // before ConvergenceError is thrown.
+  int recovery_attempts = 3;
   double s_eigen_floor = 1e-7;   // overlap eigenvalue filter
   Vec3 electric_field{};         // uniform finite field (adds +F.r to v_eff)
 };
@@ -83,7 +88,9 @@ class ScfEngine {
   // is supplied (same basis dimension — e.g. the equilibrium solution for
   // a displaced geometry in the Hessian / d(alpha)/dR loops), it seeds the
   // initial density instead of the free-atom superposition, typically
-  // halving the iteration count.
+  // halving the iteration count. Divergence (non-finite energy/potential)
+  // triggers automatic recovery per ScfOptions::recovery_attempts; throws
+  // ConvergenceError when every attempt diverged.
   GroundState solve(const linalg::Matrix* initial_density = nullptr);
 
   // --- building blocks shared with the DFPT engine ---
@@ -143,6 +150,12 @@ class ScfEngine {
   void build_matrices();  // S, T, v_ext, batch caches
   void reduce(double* data, std::size_t n) const;
   void reduce_matrix(linalg::Matrix& m) const;
+
+  // One full SCF cycle. `attempt` (1-based) scales the recovery response:
+  // linear mixing is halved and the damped warm-up lengthened per retry.
+  // Sets *diverged when non-finite numbers appeared and the cycle aborted.
+  GroundState solve_attempt(const linalg::Matrix* initial_density,
+                            int attempt, bool* diverged);
 
   ScfOptions options_;
   grid::MolecularGrid grid_;

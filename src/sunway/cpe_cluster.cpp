@@ -1,22 +1,75 @@
 #include "sunway/cpe_cluster.hpp"
 
+#include <numeric>
+
 #include "common/error.hpp"
+#include "grid/loadbalance.hpp"
 
 namespace swraman::sunway {
 
 void CpeCluster::run(const std::function<void(CpeContext&)>& kernel) {
-  if (counters_.empty()) {
-    counters_.resize(static_cast<std::size_t>(arch_.n_pes));
+  const std::size_t n = static_cast<std::size_t>(arch_.n_pes);
+  if (counters_.empty()) counters_.resize(n);
+  if (dead_.empty()) dead_.assign(n, 0);
+
+  // Roll for deaths (one visit per live CPE per launch); deaths are sticky.
+  std::vector<std::size_t> alive;
+  std::vector<std::size_t> newly_dead;
+  for (std::size_t id = 0; id < n; ++id) {
+    if (!dead_[id] && fault::should_fire(fault::kCpeDeath)) {
+      dead_[id] = 1;
+      newly_dead.push_back(id);
+    }
+    if (!dead_[id]) alive.push_back(id);
   }
-  for (int id = 0; id < arch_.n_pes; ++id) {
-    CpeContext ctx(id, arch_.n_pes, arch_);
+  if (alive.empty()) {
+    fault::FaultInjector::raise(fault::kCpeDeath);
+  }
+
+  // Adopt every dead CPE's logical run through the Algorithm-1 greedy
+  // balancer: each survivor already carries one slice, each dead slice
+  // goes to whichever survivor carries the least.
+  std::vector<std::size_t> adopter_of(n, n);
+  std::vector<std::size_t> dead_ids;
+  for (std::size_t id = 0; id < n; ++id) {
+    if (dead_[id]) dead_ids.push_back(id);
+  }
+  if (!dead_ids.empty()) {
+    const std::vector<std::size_t> weights(dead_ids.size(), 1);
+    const std::vector<std::size_t> own_load(alive.size(), 1);
+    const std::vector<std::size_t> owner =
+        grid::assign_greedy(weights, alive.size(), &own_load);
+    for (std::size_t k = 0; k < dead_ids.size(); ++k) {
+      adopter_of[dead_ids[k]] = alive[owner[k]];
+    }
+    for (const std::size_t id : newly_dead) {
+      log::warn("fault ", fault::kCpeDeath, ": CPE ", id,
+                " died; slice adopted by CPE ", adopter_of[id],
+                " (modeled cluster slowdown x",
+                static_cast<double>(n) / static_cast<double>(alive.size()),
+                ", ", alive.size(), "/", n, " CPEs alive)");
+    }
+  }
+
+  const auto execute = [&](std::size_t logical_id, std::size_t charge_to) {
+    CpeContext ctx(static_cast<int>(logical_id), arch_.n_pes, arch_);
     kernel(ctx);
     ctx.finish();
-    counters_[static_cast<std::size_t>(id)] += ctx.counters();
-  }
+    counters_[charge_to] += ctx.counters();
+  };
+  for (const std::size_t id : alive) execute(id, id);
+  for (const std::size_t id : dead_ids) execute(id, adopter_of[id]);
 }
 
-void CpeCluster::reset() { counters_.clear(); }
+void CpeCluster::reset() {
+  counters_.clear();
+  dead_.clear();
+}
+
+int CpeCluster::n_dead() const {
+  return static_cast<int>(
+      std::accumulate(dead_.begin(), dead_.end(), std::size_t{0}));
+}
 
 CpeCounters CpeCluster::total() const {
   CpeCounters t;

@@ -4,6 +4,9 @@
 #include <functional>
 #include <vector>
 
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "robustness/fault.hpp"
 #include "sunway/arch.hpp"
 #include "sunway/cost_model.hpp"
 #include "sunway/ldm.hpp"
@@ -14,6 +17,13 @@
 // every logical CPE. The numerics are produced on the host; the counters
 // feed the cost model, which converts them into modeled Sunway time per
 // optimization variant.
+//
+// Fault tolerance: DMA transfers retry on injected engine failures
+// (sunway.dma.fail, bounded, each failed attempt still charged), and a CPE
+// killed by sunway.cpe.death stays dead for the cluster's lifetime — its
+// logical work is adopted by the surviving CPEs through the Algorithm-1
+// greedy balancer, so results are unchanged and the cost model sees the
+// survivors' extra load.
 
 namespace swraman::sunway {
 
@@ -49,8 +59,11 @@ class CpeContext {
   [[nodiscard]] CpeCounters& counters() { return counters_; }
 
   // Async-style DMA: copies now (functional), charges one transaction.
+  // An injected engine failure (sunway.dma.fail) is retried — the failed
+  // attempt still occupied the DMA engine, so it is charged too.
   template <typename T>
   void dma_get(T* dst_ldm, const T* src_mem, std::size_t n) {
+    dma_fault_check("dma_get");
     std::memcpy(dst_ldm, src_mem, n * sizeof(T));
     counters_.dma_bytes += static_cast<double>(n * sizeof(T));
     counters_.dma_transfers += 1.0;
@@ -58,6 +71,7 @@ class CpeContext {
 
   template <typename T>
   void dma_put(const T* src_ldm, T* dst_mem, std::size_t n) {
+    dma_fault_check("dma_put");
     std::memcpy(dst_mem, src_ldm, n * sizeof(T));
     counters_.dma_bytes += static_cast<double>(n * sizeof(T));
     counters_.dma_transfers += 1.0;
@@ -82,6 +96,23 @@ class CpeContext {
   void finish() { counters_.ldm_peak = ldm_.peak(); }
 
  private:
+  static constexpr int kMaxDmaRetries = 8;
+
+  void dma_fault_check(const char* op) {
+    if (!fault::FaultInjector::instance().armed()) return;
+    for (int attempt = 1; fault::should_fire(fault::kDmaFail); ++attempt) {
+      counters_.dma_transfers += 1.0;  // failed attempt occupied the engine
+      log::warn("fault ", fault::kDmaFail, ": CPE ", id_, " ", op,
+                " transfer failed, retry ", attempt, "/", kMaxDmaRetries);
+      if (attempt >= kMaxDmaRetries) {
+        throw TimeoutError(std::string("CPE DMA: ") + op + " on CPE " +
+                           std::to_string(id_) + " failed " +
+                           std::to_string(attempt) +
+                           " consecutive times; giving up");
+      }
+    }
+  }
+
   int id_;
   int n_cpes_;
   LdmArena ldm_;
@@ -93,10 +124,15 @@ class CpeCluster {
   explicit CpeCluster(ArchParams arch) : arch_(std::move(arch)) {}
 
   // Runs the kernel body once per logical CPE; counters accumulate across
-  // run() calls until reset().
+  // run() calls until reset(). A CPE the injector kills (sunway.cpe.death)
+  // is skipped permanently; its logical runs are adopted by survivors and
+  // charged to the adopter's counters.
   void run(const std::function<void(CpeContext&)>& kernel);
 
   void reset();
+
+  // CPEs lost to injected deaths so far (they stay dead until reset()).
+  [[nodiscard]] int n_dead() const;
 
   [[nodiscard]] const ArchParams& arch() const { return arch_; }
   [[nodiscard]] const std::vector<CpeCounters>& per_cpe() const {
@@ -114,6 +150,7 @@ class CpeCluster {
  private:
   ArchParams arch_;
   std::vector<CpeCounters> counters_;
+  std::vector<char> dead_;  // sticky per-CPE death flags
 };
 
 }  // namespace swraman::sunway

@@ -1,17 +1,32 @@
 #include "sunway/rma_reduce.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
+#include "robustness/fault.hpp"
 
 namespace swraman::sunway {
+
+namespace {
+
+std::string index_error(const char* fn, std::size_t index,
+                        std::size_t size) {
+  return std::string(fn) + ": Contribution::index " + std::to_string(index) +
+         " out of range for target array of size " + std::to_string(size);
+}
+
+}  // namespace
 
 void serial_array_reduction(
     const std::vector<std::vector<Contribution>>& contributions,
     std::vector<double>& arr) {
   for (const std::vector<Contribution>& list : contributions) {
     for (const Contribution& c : list) {
-      SWRAMAN_REQUIRE(c.index < arr.size(), "reduction: index out of range");
+      SWRAMAN_REQUIRE(
+          c.index < arr.size(),
+          index_error("serial_array_reduction", c.index, arr.size()));
       arr[c.index] += c.value;
     }
   }
@@ -41,32 +56,46 @@ RmaReduceStats rma_array_reduction(
 
   // Step 1+2: every CPE sorts its contributions into per-destination send
   // buffers; a full buffer becomes one RMA message. Messages are collected
-  // into per-owner inboxes (the receive buffers R0..R63).
+  // into per-owner inboxes (the receive buffers R0..R63). Delivery is
+  // acknowledged: a message the injector drops is retransmitted (bounded),
+  // with every attempt charged against the mesh.
+  constexpr int kMaxRmaAttempts = 8;
   std::vector<std::vector<Contribution>> inbox(n_cpes);
+  const auto deliver = [&](std::size_t src, std::size_t dst,
+                           std::vector<Contribution>& buf) {
+    for (int attempt = 1;; ++attempt) {
+      stats.rma_messages += 1.0;
+      stats.rma_bytes +=
+          static_cast<double>(buf.size() * sizeof(Contribution));
+      if (!fault::should_fire(fault::kRmaDrop)) break;
+      stats.rma_retransmits += 1.0;
+      log::warn("fault ", fault::kRmaDrop, ": RMA message CPE ", src,
+                " -> ", dst, " (", buf.size(),
+                " entries) dropped, retransmit attempt ", attempt, "/",
+                kMaxRmaAttempts - 1);
+      if (attempt >= kMaxRmaAttempts) {
+        fault::FaultInjector::raise(fault::kRmaDrop);
+      }
+    }
+    inbox[dst].insert(inbox[dst].end(), buf.begin(), buf.end());
+    buf.clear();
+  };
   std::vector<std::vector<Contribution>> send_buf(n_cpes);
   for (std::size_t src = 0; src < n_cpes; ++src) {
     for (auto& buf : send_buf) buf.clear();
     for (const Contribution& c : contributions[src]) {
-      SWRAMAN_REQUIRE(c.index < n, "rma_array_reduction: index out of range");
+      SWRAMAN_REQUIRE(c.index < n,
+                      index_error("rma_array_reduction", c.index, n));
       const std::size_t dst = owner_of(c.index);
       std::vector<Contribution>& buf = send_buf[dst];
       buf.push_back(c);
       if (buf.size() >= options.send_buffer_entries) {
-        stats.rma_messages += 1.0;
-        stats.rma_bytes +=
-            static_cast<double>(buf.size() * sizeof(Contribution));
-        inbox[dst].insert(inbox[dst].end(), buf.begin(), buf.end());
-        buf.clear();
+        deliver(src, dst, buf);
       }
     }
     // Flush remaining partial buffers at the end of the pass.
     for (std::size_t dst = 0; dst < n_cpes; ++dst) {
-      if (send_buf[dst].empty()) continue;
-      stats.rma_messages += 1.0;
-      stats.rma_bytes += static_cast<double>(send_buf[dst].size() *
-                                             sizeof(Contribution));
-      inbox[dst].insert(inbox[dst].end(), send_buf[dst].begin(),
-                        send_buf[dst].end());
+      if (!send_buf[dst].empty()) deliver(src, dst, send_buf[dst]);
     }
   }
 

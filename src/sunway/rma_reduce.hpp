@@ -33,6 +33,10 @@ struct RmaReduceStats {
   double dma_block_transfers = 0.0;
   double dma_bytes = 0.0;
   double updates = 0.0;
+  // Messages the injector dropped (sunway.rma.drop) and the mesh resent;
+  // the dropped attempts are also counted in rma_messages/rma_bytes since
+  // they consumed mesh bandwidth.
+  double rma_retransmits = 0.0;
 };
 
 // Reduces contributions[cpe] into arr (accumulating). Functionally exact

@@ -1,0 +1,139 @@
+#include "raman/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace swraman::raman {
+namespace {
+
+std::vector<grid::AtomSite> water() {
+  return {{8, {0.0, 0.0, 0.2217}},
+          {1, {0.0, 1.4309, -0.8867}},
+          {1, {0.0, -1.4309, -0.8867}}};
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+GeometryRecord sample_record(double base) {
+  GeometryRecord r;
+  for (std::size_t i = 0; i < 9; ++i) {
+    // Awkward non-representable values exercise the %.17g round-trip.
+    r.alpha[i] = base + static_cast<double>(i) / 3.0;
+  }
+  r.dipole = {base * 0.1, -base * 0.2, base / 7.0};
+  return r;
+}
+
+TEST(Checkpoint, InactiveByDefault) {
+  Checkpoint ckpt;
+  EXPECT_FALSE(ckpt.active());
+  EXPECT_EQ(ckpt.lookup(0, +1), nullptr);
+  ckpt.record(0, +1, sample_record(1.0));  // no-op, no crash
+  EXPECT_EQ(ckpt.size(), 0u);
+}
+
+TEST(Checkpoint, RoundTripsRecordsAtFullPrecision) {
+  const std::string path = temp_path("ckpt_roundtrip.txt");
+  std::remove(path.c_str());
+  const auto atoms = water();
+  {
+    Checkpoint ckpt(path, atoms, 0.01);
+    EXPECT_TRUE(ckpt.active());
+    EXPECT_EQ(ckpt.size(), 0u);
+    ckpt.record(0, +1, sample_record(1.0));
+    ckpt.record(0, -1, sample_record(-2.0));
+    ckpt.record(7, +1, sample_record(0.125));
+  }
+  Checkpoint resumed(path, atoms, 0.01);
+  EXPECT_EQ(resumed.size(), 3u);
+  EXPECT_EQ(resumed.lookup(1, +1), nullptr);
+  EXPECT_EQ(resumed.lookup(7, -1), nullptr);
+  const GeometryRecord* rec = resumed.lookup(0, -1);
+  ASSERT_NE(rec, nullptr);
+  const GeometryRecord expect = sample_record(-2.0);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(rec->alpha[i], expect.alpha[i]) << "alpha " << i;
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rec->dipole[i], expect.dipole[i]) << "dipole " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsDifferentGeometryOrDisplacement) {
+  const std::string path = temp_path("ckpt_mismatch.txt");
+  std::remove(path.c_str());
+  const auto atoms = water();
+  { Checkpoint ckpt(path, atoms, 0.01); }
+
+  // Different displacement step.
+  EXPECT_THROW(Checkpoint(path, atoms, 0.02), CheckpointError);
+  // Moved atom.
+  auto moved = atoms;
+  moved[1].pos[2] += 0.1;
+  EXPECT_THROW(Checkpoint(path, moved, 0.01), CheckpointError);
+  // Different element.
+  auto mutated = atoms;
+  mutated[0].z = 7;
+  EXPECT_THROW(Checkpoint(path, mutated, 0.01), CheckpointError);
+  // Different atom count.
+  auto fewer = atoms;
+  fewer.pop_back();
+  EXPECT_THROW(Checkpoint(path, fewer, 0.01), CheckpointError);
+  // Original configuration still resumes fine.
+  EXPECT_NO_THROW(Checkpoint(path, atoms, 0.01));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsForeignOrFutureFiles) {
+  const std::string path = temp_path("ckpt_foreign.txt");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "not a checkpoint at all\n";
+  }
+  EXPECT_THROW(Checkpoint(path, water(), 0.01), CheckpointError);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "swraman-raman-checkpoint 999\nsystem 9 0.01 0\n";
+  }
+  EXPECT_THROW(Checkpoint(path, water(), 0.01), CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ToleratesTruncatedTrailingRecord) {
+  const std::string path = temp_path("ckpt_truncated.txt");
+  std::remove(path.c_str());
+  const auto atoms = water();
+  {
+    Checkpoint ckpt(path, atoms, 0.01);
+    ckpt.record(2, +1, sample_record(3.0));
+    ckpt.record(2, -1, sample_record(4.0));
+  }
+  {
+    // Simulate a crash mid-append: a half-written record at the tail.
+    std::ofstream out(path, std::ios::app);
+    out << "geom 3 + 1.5 2.5";
+  }
+  Checkpoint resumed(path, atoms, 0.01);
+  EXPECT_EQ(resumed.size(), 2u);
+  EXPECT_NE(resumed.lookup(2, +1), nullptr);
+  EXPECT_EQ(resumed.lookup(3, +1), nullptr);  // truncated record dropped
+  // Recording over a truncated tail keeps the file parseable.
+  resumed.record(3, +1, sample_record(5.0));
+  Checkpoint again(path, atoms, 0.01);
+  EXPECT_EQ(again.size(), 3u);
+  ASSERT_NE(again.lookup(3, +1), nullptr);
+  EXPECT_EQ(again.lookup(3, +1)->alpha[0], sample_record(5.0).alpha[0]);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swraman::raman

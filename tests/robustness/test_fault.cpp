@@ -1,0 +1,147 @@
+#include "robustness/fault.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace swraman::fault {
+namespace {
+
+std::vector<bool> sequence(FaultInjector& inj, const char* site, int n) {
+  std::vector<bool> seq;
+  seq.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) seq.push_back(inj.should_fire(site));
+  return seq;
+}
+
+int fires(const std::vector<bool>& seq) {
+  int n = 0;
+  for (const bool f : seq) n += f ? 1 : 0;
+  return n;
+}
+
+TEST(FaultInjector, UnarmedNeverFires) {
+  ScopedFaults guard;
+  EXPECT_FALSE(FaultInjector::instance().armed());
+  EXPECT_FALSE(should_fire(kDmaFail));
+  EXPECT_FALSE(should_fire(kCpeDeath));
+}
+
+TEST(FaultInjector, SameSeedReplaysTheSameSequence) {
+  ScopedFaults guard;
+  FaultInjector& inj = FaultInjector::instance();
+  inj.set_seed(42);
+  FaultSpec spec;
+  spec.probability = 0.3;
+  inj.configure(kDmaFail, spec);
+  const std::vector<bool> a = sequence(inj, kDmaFail, 200);
+  inj.set_seed(42);  // replay from the beginning of the site's stream
+  const std::vector<bool> b = sequence(inj, kDmaFail, 200);
+  EXPECT_EQ(a, b);
+  // The rate is roughly Binomial(200, 0.3).
+  EXPECT_GT(fires(a), 25);
+  EXPECT_LT(fires(a), 110);
+  // A different seed yields a different stream.
+  inj.set_seed(43);
+  EXPECT_NE(a, sequence(inj, kDmaFail, 200));
+}
+
+TEST(FaultInjector, SitesAreInterleavingIndependent) {
+  ScopedFaults guard;
+  FaultInjector& inj = FaultInjector::instance();
+  inj.set_seed(7);
+  FaultSpec spec;
+  spec.probability = 0.5;
+  inj.configure(kDmaFail, spec);
+  inj.configure(kRmaDrop, spec);
+  const std::vector<bool> alone = sequence(inj, kDmaFail, 100);
+  inj.set_seed(7);
+  std::vector<bool> interleaved;
+  for (int i = 0; i < 100; ++i) {
+    interleaved.push_back(inj.should_fire(kDmaFail));
+    (void)inj.should_fire(kRmaDrop);  // extra visits to another site
+    (void)inj.should_fire(kRmaDrop);
+  }
+  // kDmaFail's per-site stream does not see kRmaDrop's draws.
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST(FaultInjector, FireAtTriggersExactlyOnThatVisit) {
+  ScopedFaults guard;
+  FaultInjector& inj = FaultInjector::instance();
+  FaultSpec spec;
+  spec.fire_at = 5;
+  inj.configure(kCpeDeath, spec);
+  for (int visit = 1; visit <= 10; ++visit) {
+    EXPECT_EQ(inj.should_fire(kCpeDeath), visit == 5) << "visit " << visit;
+  }
+  const SiteStats s = inj.stats(kCpeDeath);
+  EXPECT_EQ(s.visits, 10u);
+  EXPECT_EQ(s.fires, 1u);
+}
+
+TEST(FaultInjector, MaxCapsTotalFires) {
+  ScopedFaults guard;
+  FaultInjector& inj = FaultInjector::instance();
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.max_fires = 3;
+  inj.configure(kScfDiverge, spec);
+  const std::vector<bool> seq = sequence(inj, kScfDiverge, 10);
+  EXPECT_EQ(fires(seq), 3);
+  EXPECT_TRUE(seq[0] && seq[1] && seq[2]);
+  EXPECT_FALSE(seq[3]);
+}
+
+TEST(FaultInjector, ParsesTheSpecGrammar) {
+  ScopedFaults guard;
+  FaultInjector& inj = FaultInjector::instance();
+  inj.configure_from_string(
+      "sunway.dma.fail:p=1.0,max=2;scf.diverge:at=2");
+  EXPECT_TRUE(inj.armed());
+  EXPECT_TRUE(inj.should_fire(kDmaFail));
+  EXPECT_TRUE(inj.should_fire(kDmaFail));
+  EXPECT_FALSE(inj.should_fire(kDmaFail));  // max=2 reached
+  EXPECT_FALSE(inj.should_fire(kScfDiverge));
+  EXPECT_TRUE(inj.should_fire(kScfDiverge));  // at=2
+  EXPECT_FALSE(inj.should_fire(kScfDiverge));  // at implies max=1
+}
+
+TEST(FaultInjector, RejectsMalformedSpecs) {
+  ScopedFaults guard;
+  FaultInjector& inj = FaultInjector::instance();
+  EXPECT_THROW(inj.configure_from_string("no-colon-here"), Error);
+  EXPECT_THROW(inj.configure_from_string("site:novalue"), Error);
+  EXPECT_THROW(inj.configure_from_string("site:bogus=1"), Error);
+  EXPECT_THROW(inj.configure_from_string(":p=0.5"), Error);
+  FaultSpec bad;
+  bad.probability = 1.5;
+  EXPECT_THROW(inj.configure("site", bad), Error);
+}
+
+TEST(FaultInjector, RaiseThrowsFaultInjected) {
+  EXPECT_THROW(FaultInjector::raise(kRamanKill), FaultInjected);
+  EXPECT_THROW(FaultInjector::raise(kRamanKill), Error);  // derives from Error
+  try {
+    FaultInjector::raise(kRamanKill);
+  } catch (const FaultInjected& e) {
+    EXPECT_NE(std::string(e.what()).find(kRamanKill), std::string::npos);
+  }
+}
+
+TEST(FaultInjector, ScopedFaultsClearsOnExit) {
+  {
+    ScopedFaults guard;
+    FaultSpec spec;
+    spec.probability = 1.0;
+    FaultInjector::instance().configure(kDmaFail, spec);
+    EXPECT_TRUE(FaultInjector::instance().armed());
+  }
+  EXPECT_FALSE(FaultInjector::instance().armed());
+  EXPECT_FALSE(should_fire(kDmaFail));
+}
+
+}  // namespace
+}  // namespace swraman::fault

@@ -102,5 +102,53 @@ TEST(RmaReduce, RejectsOutOfRangeIndex) {
   EXPECT_THROW(serial_array_reduction(c, arr), Error);
 }
 
+TEST(RmaReduce, IndexValidationReportsIndexAndSize) {
+  // Regression: the error must name the offending index and the target
+  // size so a corrupted contribution stream is diagnosable from the log.
+  std::vector<std::vector<Contribution>> c(1);
+  c[0].push_back({42, 1.0});
+  std::vector<double> arr(7, 0.0);
+  const auto check_message = [](const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("42"), std::string::npos) << what;
+    EXPECT_NE(what.find("7"), std::string::npos) << what;
+  };
+  try {
+    rma_array_reduction(c, arr);
+    FAIL() << "rma_array_reduction accepted an out-of-range index";
+  } catch (const Error& e) {
+    check_message(e);
+  }
+  try {
+    serial_array_reduction(c, arr);
+    FAIL() << "serial_array_reduction accepted an out-of-range index";
+  } catch (const Error& e) {
+    check_message(e);
+  }
+}
+
+TEST(RmaReduce, IndexValidationBoundaries) {
+  // index == size is the first invalid value; size - 1 is the last valid.
+  std::vector<std::vector<Contribution>> bad(1);
+  bad[0].push_back({5, 1.0});
+  std::vector<double> arr(5, 0.0);
+  EXPECT_THROW(rma_array_reduction(bad, arr), Error);
+  EXPECT_THROW(serial_array_reduction(bad, arr), Error);
+
+  std::vector<std::vector<Contribution>> good(1);
+  good[0].push_back({4, 2.5});
+  std::vector<double> a(5, 0.0);
+  std::vector<double> b(5, 0.0);
+  rma_array_reduction(good, a);
+  serial_array_reduction(good, b);
+  EXPECT_DOUBLE_EQ(a[4], 2.5);
+  EXPECT_DOUBLE_EQ(b[4], 2.5);
+
+  // Any contribution against an empty target array is invalid.
+  std::vector<double> empty;
+  EXPECT_THROW(rma_array_reduction(good, empty), Error);
+  EXPECT_THROW(serial_array_reduction(good, empty), Error);
+}
+
 }  // namespace
 }  // namespace swraman::sunway
