@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atomic/atom_solver.cpp" "src/atomic/CMakeFiles/swraman_atomic.dir/atom_solver.cpp.o" "gcc" "src/atomic/CMakeFiles/swraman_atomic.dir/atom_solver.cpp.o.d"
+  "/root/repo/src/atomic/pseudo.cpp" "src/atomic/CMakeFiles/swraman_atomic.dir/pseudo.cpp.o" "gcc" "src/atomic/CMakeFiles/swraman_atomic.dir/pseudo.cpp.o.d"
+  "/root/repo/src/atomic/radial_solver.cpp" "src/atomic/CMakeFiles/swraman_atomic.dir/radial_solver.cpp.o" "gcc" "src/atomic/CMakeFiles/swraman_atomic.dir/radial_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/swraman_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xc/CMakeFiles/swraman_xc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_atomic.dir/atom_solver.cpp.o"
+  "CMakeFiles/swraman_atomic.dir/atom_solver.cpp.o.d"
+  "CMakeFiles/swraman_atomic.dir/pseudo.cpp.o"
+  "CMakeFiles/swraman_atomic.dir/pseudo.cpp.o.d"
+  "CMakeFiles/swraman_atomic.dir/radial_solver.cpp.o"
+  "CMakeFiles/swraman_atomic.dir/radial_solver.cpp.o.d"
+  "libswraman_atomic.a"
+  "libswraman_atomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

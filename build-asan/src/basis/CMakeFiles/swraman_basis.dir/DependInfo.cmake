@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/basis/basis_set.cpp" "src/basis/CMakeFiles/swraman_basis.dir/basis_set.cpp.o" "gcc" "src/basis/CMakeFiles/swraman_basis.dir/basis_set.cpp.o.d"
+  "/root/repo/src/basis/species.cpp" "src/basis/CMakeFiles/swraman_basis.dir/species.cpp.o" "gcc" "src/basis/CMakeFiles/swraman_basis.dir/species.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/atomic/CMakeFiles/swraman_atomic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/grid/CMakeFiles/swraman_grid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/swraman_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xc/CMakeFiles/swraman_xc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

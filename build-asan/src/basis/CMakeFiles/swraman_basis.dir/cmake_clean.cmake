@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_basis.dir/basis_set.cpp.o"
+  "CMakeFiles/swraman_basis.dir/basis_set.cpp.o.d"
+  "CMakeFiles/swraman_basis.dir/species.cpp.o"
+  "CMakeFiles/swraman_basis.dir/species.cpp.o.d"
+  "libswraman_basis.a"
+  "libswraman_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

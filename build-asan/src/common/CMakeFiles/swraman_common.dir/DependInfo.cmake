@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/elements.cpp" "src/common/CMakeFiles/swraman_common.dir/elements.cpp.o" "gcc" "src/common/CMakeFiles/swraman_common.dir/elements.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/swraman_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/swraman_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/quadrature.cpp" "src/common/CMakeFiles/swraman_common.dir/quadrature.cpp.o" "gcc" "src/common/CMakeFiles/swraman_common.dir/quadrature.cpp.o.d"
+  "/root/repo/src/common/radial_mesh.cpp" "src/common/CMakeFiles/swraman_common.dir/radial_mesh.cpp.o" "gcc" "src/common/CMakeFiles/swraman_common.dir/radial_mesh.cpp.o.d"
+  "/root/repo/src/common/spline.cpp" "src/common/CMakeFiles/swraman_common.dir/spline.cpp.o" "gcc" "src/common/CMakeFiles/swraman_common.dir/spline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_common.dir/elements.cpp.o"
+  "CMakeFiles/swraman_common.dir/elements.cpp.o.d"
+  "CMakeFiles/swraman_common.dir/logging.cpp.o"
+  "CMakeFiles/swraman_common.dir/logging.cpp.o.d"
+  "CMakeFiles/swraman_common.dir/quadrature.cpp.o"
+  "CMakeFiles/swraman_common.dir/quadrature.cpp.o.d"
+  "CMakeFiles/swraman_common.dir/radial_mesh.cpp.o"
+  "CMakeFiles/swraman_common.dir/radial_mesh.cpp.o.d"
+  "CMakeFiles/swraman_common.dir/spline.cpp.o"
+  "CMakeFiles/swraman_common.dir/spline.cpp.o.d"
+  "libswraman_common.a"
+  "libswraman_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

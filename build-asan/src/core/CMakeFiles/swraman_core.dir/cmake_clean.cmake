@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_core.dir/molecules.cpp.o"
+  "CMakeFiles/swraman_core.dir/molecules.cpp.o.d"
+  "CMakeFiles/swraman_core.dir/reference.cpp.o"
+  "CMakeFiles/swraman_core.dir/reference.cpp.o.d"
+  "CMakeFiles/swraman_core.dir/workload.cpp.o"
+  "CMakeFiles/swraman_core.dir/workload.cpp.o.d"
+  "CMakeFiles/swraman_core.dir/xyz.cpp.o"
+  "CMakeFiles/swraman_core.dir/xyz.cpp.o.d"
+  "libswraman_core.a"
+  "libswraman_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_dfpt.dir/dfpt_engine.cpp.o"
+  "CMakeFiles/swraman_dfpt.dir/dfpt_engine.cpp.o.d"
+  "libswraman_dfpt.a"
+  "libswraman_dfpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_dfpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

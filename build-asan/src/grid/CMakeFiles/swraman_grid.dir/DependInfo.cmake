@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/angular.cpp" "src/grid/CMakeFiles/swraman_grid.dir/angular.cpp.o" "gcc" "src/grid/CMakeFiles/swraman_grid.dir/angular.cpp.o.d"
+  "/root/repo/src/grid/atom_grid.cpp" "src/grid/CMakeFiles/swraman_grid.dir/atom_grid.cpp.o" "gcc" "src/grid/CMakeFiles/swraman_grid.dir/atom_grid.cpp.o.d"
+  "/root/repo/src/grid/batch.cpp" "src/grid/CMakeFiles/swraman_grid.dir/batch.cpp.o" "gcc" "src/grid/CMakeFiles/swraman_grid.dir/batch.cpp.o.d"
+  "/root/repo/src/grid/loadbalance.cpp" "src/grid/CMakeFiles/swraman_grid.dir/loadbalance.cpp.o" "gcc" "src/grid/CMakeFiles/swraman_grid.dir/loadbalance.cpp.o.d"
+  "/root/repo/src/grid/ylm.cpp" "src/grid/CMakeFiles/swraman_grid.dir/ylm.cpp.o" "gcc" "src/grid/CMakeFiles/swraman_grid.dir/ylm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

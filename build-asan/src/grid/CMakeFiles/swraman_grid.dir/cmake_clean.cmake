@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_grid.dir/angular.cpp.o"
+  "CMakeFiles/swraman_grid.dir/angular.cpp.o.d"
+  "CMakeFiles/swraman_grid.dir/atom_grid.cpp.o"
+  "CMakeFiles/swraman_grid.dir/atom_grid.cpp.o.d"
+  "CMakeFiles/swraman_grid.dir/batch.cpp.o"
+  "CMakeFiles/swraman_grid.dir/batch.cpp.o.d"
+  "CMakeFiles/swraman_grid.dir/loadbalance.cpp.o"
+  "CMakeFiles/swraman_grid.dir/loadbalance.cpp.o.d"
+  "CMakeFiles/swraman_grid.dir/ylm.cpp.o"
+  "CMakeFiles/swraman_grid.dir/ylm.cpp.o.d"
+  "libswraman_grid.a"
+  "libswraman_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

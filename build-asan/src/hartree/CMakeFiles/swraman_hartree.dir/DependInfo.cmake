@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hartree/ewald.cpp" "src/hartree/CMakeFiles/swraman_hartree.dir/ewald.cpp.o" "gcc" "src/hartree/CMakeFiles/swraman_hartree.dir/ewald.cpp.o.d"
+  "/root/repo/src/hartree/multipole.cpp" "src/hartree/CMakeFiles/swraman_hartree.dir/multipole.cpp.o" "gcc" "src/hartree/CMakeFiles/swraman_hartree.dir/multipole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/grid/CMakeFiles/swraman_grid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

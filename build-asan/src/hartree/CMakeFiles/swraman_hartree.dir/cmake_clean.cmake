@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_hartree.dir/ewald.cpp.o"
+  "CMakeFiles/swraman_hartree.dir/ewald.cpp.o.d"
+  "CMakeFiles/swraman_hartree.dir/multipole.cpp.o"
+  "CMakeFiles/swraman_hartree.dir/multipole.cpp.o.d"
+  "libswraman_hartree.a"
+  "libswraman_hartree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_hartree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/swraman_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/swraman_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/swraman_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/swraman_linalg.dir/lu.cpp.o"
+  "CMakeFiles/swraman_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/swraman_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/swraman_linalg.dir/matrix.cpp.o.d"
+  "libswraman_linalg.a"
+  "libswraman_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_parallel.dir/comm.cpp.o"
+  "CMakeFiles/swraman_parallel.dir/comm.cpp.o.d"
+  "libswraman_parallel.a"
+  "libswraman_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

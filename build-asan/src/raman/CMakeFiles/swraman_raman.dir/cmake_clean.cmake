@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_raman.dir/checkpoint.cpp.o"
+  "CMakeFiles/swraman_raman.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/swraman_raman.dir/raman.cpp.o"
+  "CMakeFiles/swraman_raman.dir/raman.cpp.o.d"
+  "CMakeFiles/swraman_raman.dir/relax.cpp.o"
+  "CMakeFiles/swraman_raman.dir/relax.cpp.o.d"
+  "CMakeFiles/swraman_raman.dir/thermochemistry.cpp.o"
+  "CMakeFiles/swraman_raman.dir/thermochemistry.cpp.o.d"
+  "CMakeFiles/swraman_raman.dir/vibrations.cpp.o"
+  "CMakeFiles/swraman_raman.dir/vibrations.cpp.o.d"
+  "libswraman_raman.a"
+  "libswraman_raman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_raman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_robustness.dir/fault.cpp.o"
+  "CMakeFiles/swraman_robustness.dir/fault.cpp.o.d"
+  "libswraman_robustness.a"
+  "libswraman_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaling/simulator.cpp" "src/scaling/CMakeFiles/swraman_scaling.dir/simulator.cpp.o" "gcc" "src/scaling/CMakeFiles/swraman_scaling.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sunway/CMakeFiles/swraman_sunway.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hartree/CMakeFiles/swraman_hartree.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/grid/CMakeFiles/swraman_grid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simd/CMakeFiles/swraman_simd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/robustness/CMakeFiles/swraman_robustness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_scaling.dir/simulator.cpp.o"
+  "CMakeFiles/swraman_scaling.dir/simulator.cpp.o.d"
+  "libswraman_scaling.a"
+  "libswraman_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scf/analysis.cpp" "src/scf/CMakeFiles/swraman_scf.dir/analysis.cpp.o" "gcc" "src/scf/CMakeFiles/swraman_scf.dir/analysis.cpp.o.d"
+  "/root/repo/src/scf/scf_engine.cpp" "src/scf/CMakeFiles/swraman_scf.dir/scf_engine.cpp.o" "gcc" "src/scf/CMakeFiles/swraman_scf.dir/scf_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/basis/CMakeFiles/swraman_basis.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hartree/CMakeFiles/swraman_hartree.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/grid/CMakeFiles/swraman_grid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xc/CMakeFiles/swraman_xc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/swraman_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/robustness/CMakeFiles/swraman_robustness.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/atomic/CMakeFiles/swraman_atomic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

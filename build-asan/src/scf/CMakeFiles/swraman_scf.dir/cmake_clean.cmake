@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_scf.dir/analysis.cpp.o"
+  "CMakeFiles/swraman_scf.dir/analysis.cpp.o.d"
+  "CMakeFiles/swraman_scf.dir/scf_engine.cpp.o"
+  "CMakeFiles/swraman_scf.dir/scf_engine.cpp.o.d"
+  "libswraman_scf.a"
+  "libswraman_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_simd.dir/vec8d.cpp.o"
+  "CMakeFiles/swraman_simd.dir/vec8d.cpp.o.d"
+  "libswraman_simd.a"
+  "libswraman_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sunway/arch.cpp" "src/sunway/CMakeFiles/swraman_sunway.dir/arch.cpp.o" "gcc" "src/sunway/CMakeFiles/swraman_sunway.dir/arch.cpp.o.d"
+  "/root/repo/src/sunway/cost_model.cpp" "src/sunway/CMakeFiles/swraman_sunway.dir/cost_model.cpp.o" "gcc" "src/sunway/CMakeFiles/swraman_sunway.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sunway/cpe_cluster.cpp" "src/sunway/CMakeFiles/swraman_sunway.dir/cpe_cluster.cpp.o" "gcc" "src/sunway/CMakeFiles/swraman_sunway.dir/cpe_cluster.cpp.o.d"
+  "/root/repo/src/sunway/double_buffer.cpp" "src/sunway/CMakeFiles/swraman_sunway.dir/double_buffer.cpp.o" "gcc" "src/sunway/CMakeFiles/swraman_sunway.dir/double_buffer.cpp.o.d"
+  "/root/repo/src/sunway/kernels.cpp" "src/sunway/CMakeFiles/swraman_sunway.dir/kernels.cpp.o" "gcc" "src/sunway/CMakeFiles/swraman_sunway.dir/kernels.cpp.o.d"
+  "/root/repo/src/sunway/rma_reduce.cpp" "src/sunway/CMakeFiles/swraman_sunway.dir/rma_reduce.cpp.o" "gcc" "src/sunway/CMakeFiles/swraman_sunway.dir/rma_reduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/hartree/CMakeFiles/swraman_hartree.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/grid/CMakeFiles/swraman_grid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simd/CMakeFiles/swraman_simd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/robustness/CMakeFiles/swraman_robustness.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

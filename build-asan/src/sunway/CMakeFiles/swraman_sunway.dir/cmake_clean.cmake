@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_sunway.dir/arch.cpp.o"
+  "CMakeFiles/swraman_sunway.dir/arch.cpp.o.d"
+  "CMakeFiles/swraman_sunway.dir/cost_model.cpp.o"
+  "CMakeFiles/swraman_sunway.dir/cost_model.cpp.o.d"
+  "CMakeFiles/swraman_sunway.dir/cpe_cluster.cpp.o"
+  "CMakeFiles/swraman_sunway.dir/cpe_cluster.cpp.o.d"
+  "CMakeFiles/swraman_sunway.dir/double_buffer.cpp.o"
+  "CMakeFiles/swraman_sunway.dir/double_buffer.cpp.o.d"
+  "CMakeFiles/swraman_sunway.dir/kernels.cpp.o"
+  "CMakeFiles/swraman_sunway.dir/kernels.cpp.o.d"
+  "CMakeFiles/swraman_sunway.dir/rma_reduce.cpp.o"
+  "CMakeFiles/swraman_sunway.dir/rma_reduce.cpp.o.d"
+  "libswraman_sunway.a"
+  "libswraman_sunway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_sunway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swraman_xc.dir/lda.cpp.o"
+  "CMakeFiles/swraman_xc.dir/lda.cpp.o.d"
+  "libswraman_xc.a"
+  "libswraman_xc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swraman_xc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomic.dir/atomic/test_atom_solver.cpp.o"
+  "CMakeFiles/test_atomic.dir/atomic/test_atom_solver.cpp.o.d"
+  "CMakeFiles/test_atomic.dir/atomic/test_pseudo.cpp.o"
+  "CMakeFiles/test_atomic.dir/atomic/test_pseudo.cpp.o.d"
+  "CMakeFiles/test_atomic.dir/atomic/test_radial_solver.cpp.o"
+  "CMakeFiles/test_atomic.dir/atomic/test_radial_solver.cpp.o.d"
+  "test_atomic"
+  "test_atomic.pdb"
+  "test_atomic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

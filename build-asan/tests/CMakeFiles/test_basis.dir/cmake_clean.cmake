@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basis.dir/basis/test_basis_set.cpp.o"
+  "CMakeFiles/test_basis.dir/basis/test_basis_set.cpp.o.d"
+  "CMakeFiles/test_basis.dir/basis/test_species.cpp.o"
+  "CMakeFiles/test_basis.dir/basis/test_species.cpp.o.d"
+  "test_basis"
+  "test_basis.pdb"
+  "test_basis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_elements.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_elements.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_logging.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_logging.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_quadrature.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_quadrature.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_radial_mesh.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_radial_mesh.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_spline.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_spline.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_vec3.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_vec3.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfpt.dir/dfpt/test_dfpt_engine.cpp.o"
+  "CMakeFiles/test_dfpt.dir/dfpt/test_dfpt_engine.cpp.o.d"
+  "test_dfpt"
+  "test_dfpt.pdb"
+  "test_dfpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid.dir/grid/test_angular.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_angular.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_atom_grid.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_atom_grid.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_batch.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_batch.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_loadbalance.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_loadbalance.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_ylm.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_ylm.cpp.o.d"
+  "test_grid"
+  "test_grid.pdb"
+  "test_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

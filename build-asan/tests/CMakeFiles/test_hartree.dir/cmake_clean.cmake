@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hartree.dir/hartree/test_ewald.cpp.o"
+  "CMakeFiles/test_hartree.dir/hartree/test_ewald.cpp.o.d"
+  "CMakeFiles/test_hartree.dir/hartree/test_multipole.cpp.o"
+  "CMakeFiles/test_hartree.dir/hartree/test_multipole.cpp.o.d"
+  "test_hartree"
+  "test_hartree.pdb"
+  "test_hartree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hartree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raman.dir/raman/test_raman.cpp.o"
+  "CMakeFiles/test_raman.dir/raman/test_raman.cpp.o.d"
+  "CMakeFiles/test_raman.dir/raman/test_relax.cpp.o"
+  "CMakeFiles/test_raman.dir/raman/test_relax.cpp.o.d"
+  "CMakeFiles/test_raman.dir/raman/test_thermochemistry.cpp.o"
+  "CMakeFiles/test_raman.dir/raman/test_thermochemistry.cpp.o.d"
+  "CMakeFiles/test_raman.dir/raman/test_vibrations.cpp.o"
+  "CMakeFiles/test_raman.dir/raman/test_vibrations.cpp.o.d"
+  "test_raman"
+  "test_raman.pdb"
+  "test_raman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robustness.dir/robustness/test_checkpoint.cpp.o"
+  "CMakeFiles/test_robustness.dir/robustness/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_robustness.dir/robustness/test_comm_faults.cpp.o"
+  "CMakeFiles/test_robustness.dir/robustness/test_comm_faults.cpp.o.d"
+  "CMakeFiles/test_robustness.dir/robustness/test_fault.cpp.o"
+  "CMakeFiles/test_robustness.dir/robustness/test_fault.cpp.o.d"
+  "CMakeFiles/test_robustness.dir/robustness/test_pipeline_faults.cpp.o"
+  "CMakeFiles/test_robustness.dir/robustness/test_pipeline_faults.cpp.o.d"
+  "test_robustness"
+  "test_robustness.pdb"
+  "test_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

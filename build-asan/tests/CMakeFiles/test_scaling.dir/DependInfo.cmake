@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scaling/test_simulator.cpp" "tests/CMakeFiles/test_scaling.dir/scaling/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_scaling.dir/scaling/test_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/swraman_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/raman/CMakeFiles/swraman_raman.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/scaling/CMakeFiles/swraman_scaling.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dfpt/CMakeFiles/swraman_dfpt.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/scf/CMakeFiles/swraman_scf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/basis/CMakeFiles/swraman_basis.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/atomic/CMakeFiles/swraman_atomic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xc/CMakeFiles/swraman_xc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sunway/CMakeFiles/swraman_sunway.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hartree/CMakeFiles/swraman_hartree.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/grid/CMakeFiles/swraman_grid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/parallel/CMakeFiles/swraman_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simd/CMakeFiles/swraman_simd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/swraman_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/robustness/CMakeFiles/swraman_robustness.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/swraman_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

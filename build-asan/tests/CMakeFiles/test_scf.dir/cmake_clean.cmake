@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scf.dir/scf/test_analysis.cpp.o"
+  "CMakeFiles/test_scf.dir/scf/test_analysis.cpp.o.d"
+  "CMakeFiles/test_scf.dir/scf/test_invariance.cpp.o"
+  "CMakeFiles/test_scf.dir/scf/test_invariance.cpp.o.d"
+  "CMakeFiles/test_scf.dir/scf/test_parallel_scf.cpp.o"
+  "CMakeFiles/test_scf.dir/scf/test_parallel_scf.cpp.o.d"
+  "CMakeFiles/test_scf.dir/scf/test_pseudized.cpp.o"
+  "CMakeFiles/test_scf.dir/scf/test_pseudized.cpp.o.d"
+  "CMakeFiles/test_scf.dir/scf/test_scf_engine.cpp.o"
+  "CMakeFiles/test_scf.dir/scf/test_scf_engine.cpp.o.d"
+  "test_scf"
+  "test_scf.pdb"
+  "test_scf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

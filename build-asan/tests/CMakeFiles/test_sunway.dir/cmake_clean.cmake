@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sunway.dir/sunway/test_arch.cpp.o"
+  "CMakeFiles/test_sunway.dir/sunway/test_arch.cpp.o.d"
+  "CMakeFiles/test_sunway.dir/sunway/test_double_buffer.cpp.o"
+  "CMakeFiles/test_sunway.dir/sunway/test_double_buffer.cpp.o.d"
+  "CMakeFiles/test_sunway.dir/sunway/test_kernels.cpp.o"
+  "CMakeFiles/test_sunway.dir/sunway/test_kernels.cpp.o.d"
+  "CMakeFiles/test_sunway.dir/sunway/test_ldm_cost.cpp.o"
+  "CMakeFiles/test_sunway.dir/sunway/test_ldm_cost.cpp.o.d"
+  "CMakeFiles/test_sunway.dir/sunway/test_rma_reduce.cpp.o"
+  "CMakeFiles/test_sunway.dir/sunway/test_rma_reduce.cpp.o.d"
+  "test_sunway"
+  "test_sunway.pdb"
+  "test_sunway[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sunway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_grid[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_simd[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_xc[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_scf[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_dfpt[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_scaling[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sunway[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_raman[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_hartree[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_basis[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_atomic[1]_include.cmake")
