@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate a swraman_perf.json report (and optionally a Chrome trace).
+
+Usage: check_perf_json.py PERF_JSON [CHROME_TRACE_JSON]
+
+Exits non-zero with a diagnostic if the file does not conform to the
+"swraman-perf-v1" schema emitted by src/obs/report.cpp.  Used by
+scripts/tier1.sh after the traced smoke run.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_perf_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_perf(path: str) -> None:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+
+    if doc.get("schema") != "swraman-perf-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected 'swraman-perf-v1'")
+    if not isinstance(doc.get("total_wall_s"), (int, float)) or doc["total_wall_s"] <= 0:
+        fail(f"{path}: total_wall_s must be a positive number")
+    if not isinstance(doc.get("spans"), int) or doc["spans"] <= 0:
+        fail(f"{path}: spans must be a positive integer")
+
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        fail(f"{path}: phases must be a non-empty array")
+    for i, p in enumerate(phases):
+        for key in ("path", "name", "depth", "count", "wall_s", "self_s"):
+            if key not in p:
+                fail(f"{path}: phases[{i}] missing {key!r}")
+        if p["wall_s"] < 0 or p["self_s"] < 0:
+            fail(f"{path}: phases[{i}] has negative wall_s/self_s")
+        if p["self_s"] > p["wall_s"] + 1e-9:
+            fail(f"{path}: phases[{i}] self_s exceeds wall_s")
+        if p["count"] < 1:
+            fail(f"{path}: phases[{i}] count must be >= 1")
+        # Non-root phases must appear after their parent (DFS order).
+        parent = p["path"].rsplit("/", 1)[0] if "/" in p["path"] else None
+        if parent is not None:
+            earlier = {q["path"] for q in phases[:i]}
+            if parent not in earlier:
+                fail(f"{path}: phases[{i}] parent {parent!r} not listed before it")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(f"{path}: metrics must be an object")
+    for group in ("counters", "gauges", "histograms"):
+        if group not in metrics:
+            fail(f"{path}: metrics missing {group!r}")
+
+    print(f"check_perf_json: {path}: OK "
+          f"({len(phases)} phases, {doc['spans']} spans, "
+          f"{len(metrics['counters'])} counters)")
+
+
+def check_trace(path: str) -> None:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty array")
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: traceEvents[{i}] missing {key!r}")
+        if e["ph"] not in ("X", "i"):
+            fail(f"{path}: traceEvents[{i}] unexpected ph {e['ph']!r}")
+        if e["ph"] == "X" and "dur" not in e:
+            fail(f"{path}: traceEvents[{i}] complete event missing 'dur'")
+    print(f"check_perf_json: {path}: OK ({len(events)} trace events)")
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: check_perf_json.py PERF_JSON [CHROME_TRACE_JSON]")
+    check_perf(sys.argv[1])
+    if len(sys.argv) > 2:
+        check_trace(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

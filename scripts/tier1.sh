@@ -14,6 +14,16 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
+echo "== tier-1: traced smoke run (SWRAMAN_TRACE=1) =="
+SMOKE_DIR="build/trace-smoke"
+mkdir -p "${SMOKE_DIR}"
+SWRAMAN_TRACE=1 \
+  SWRAMAN_PERF_FILE="${SMOKE_DIR}/swraman_perf.json" \
+  SWRAMAN_TRACE_FILE="${SMOKE_DIR}/swraman_trace.json" \
+  ./build/bench/bench_fig15_allreduce >/dev/null
+python3 scripts/check_perf_json.py \
+  "${SMOKE_DIR}/swraman_perf.json" "${SMOKE_DIR}/swraman_trace.json"
+
 if [ "${SANITIZER}" != "none" ]; then
   echo "== tier-1: robustness suite under -fsanitize=${SANITIZER} =="
   cmake -B "build-${SANITIZER}" -S . \

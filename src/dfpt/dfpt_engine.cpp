@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "linalg/lu.hpp"
+#include "obs/obs.hpp"
 #include "robustness/fault.hpp"
 
 namespace swraman::dfpt {
@@ -47,11 +48,20 @@ DfptEngine::DfptEngine(const scf::ScfEngine& scf,
 
 ResponseResult DfptEngine::solve_response(int axis) {
   SWRAMAN_REQUIRE(axis >= 0 && axis < 3, "solve_response: axis in [0,3)");
+  SWRAMAN_TRACE_SPAN(span, "dfpt.response");
+  if (span.active()) span.attr("axis", static_cast<double>(axis));
   const int attempts = std::max(1, options_.recovery_attempts);
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     bool diverged = false;
     ResponseResult res = solve_response_attempt(axis, attempt, &diverged);
-    if (!diverged) return res;
+    if (!diverged) {
+      if (span.active()) {
+        span.attr("iterations", static_cast<double>(res.iterations));
+        span.attr("converged", res.converged ? 1.0 : 0.0);
+      }
+      return res;
+    }
+    obs::count("dfpt.recoveries");
     if (attempt < attempts) {
       log::warn("dfpt.recovery: axis ", axis, " response diverged (attempt ",
                 attempt, "/", attempts, ") — halving mixing to ",
@@ -98,43 +108,49 @@ ResponseResult DfptEngine::solve_response_attempt(int axis, int attempt,
   Timer timer;
 
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    SWRAMAN_TRACE_SPAN(iter_span, "dfpt.iter");
     res.iterations = iter;
     ++times_.cycles;
+    obs::count("dfpt.iterations");
 
     // --- Sternheimer / CPKS update in matrix form:
     //   U_ai = f_i G_ai / (eps_i - eps_a),  W = C_vir U,
     //   P1 = W C_occ^T + C_occ W^T.
     timer.reset();
-    const linalg::Matrix g = linalg::at_b(c, h1 * c);
-    const double omega = options_.frequency;
-    linalg::Matrix u(vir.size(), occ.size());
-    for (std::size_t a = 0; a < vir.size(); ++a) {
+    linalg::Matrix p1_new;
+    {
+      SWRAMAN_TRACE_SCOPE("dfpt.sternheimer");
+      const linalg::Matrix g = linalg::at_b(c, h1 * c);
+      const double omega = options_.frequency;
+      linalg::Matrix u(vir.size(), occ.size());
+      for (std::size_t a = 0; a < vir.size(); ++a) {
+        for (std::size_t i = 0; i < occ.size(); ++i) {
+          const double delta =
+              gs_.eigenvalues[occ[i]] - gs_.eigenvalues[vir[a]];
+          // Static: 1/delta. Dynamic: delta/(delta^2 - omega^2), the
+          // symmetric (cos wt) response amplitude of real orbitals.
+          const double denom2 = delta * delta - omega * omega;
+          if (std::abs(delta) < 1e-8 || std::abs(denom2) < 1e-10) continue;
+          u(a, i) =
+              g(vir[a], occ[i]) * delta / denom2 * gs_.occupations[occ[i]];
+        }
+      }
+      linalg::Matrix c_vir(nbf, vir.size());
+      for (std::size_t a = 0; a < vir.size(); ++a) {
+        for (std::size_t mu = 0; mu < nbf; ++mu) {
+          c_vir(mu, a) = c(mu, vir[a]);
+        }
+      }
+      linalg::Matrix c_occ(nbf, occ.size());
       for (std::size_t i = 0; i < occ.size(); ++i) {
-        const double delta =
-            gs_.eigenvalues[occ[i]] - gs_.eigenvalues[vir[a]];
-        // Static: 1/delta. Dynamic: delta/(delta^2 - omega^2), the
-        // symmetric (cos wt) response amplitude of real orbitals.
-        const double denom2 = delta * delta - omega * omega;
-        if (std::abs(delta) < 1e-8 || std::abs(denom2) < 1e-10) continue;
-        u(a, i) =
-            g(vir[a], occ[i]) * delta / denom2 * gs_.occupations[occ[i]];
+        for (std::size_t mu = 0; mu < nbf; ++mu) {
+          c_occ(mu, i) = c(mu, occ[i]);
+        }
       }
+      const linalg::Matrix w = c_vir * u;
+      p1_new = linalg::a_bt(w, c_occ);
+      p1_new += p1_new.transposed();
     }
-    linalg::Matrix c_vir(nbf, vir.size());
-    for (std::size_t a = 0; a < vir.size(); ++a) {
-      for (std::size_t mu = 0; mu < nbf; ++mu) {
-        c_vir(mu, a) = c(mu, vir[a]);
-      }
-    }
-    linalg::Matrix c_occ(nbf, occ.size());
-    for (std::size_t i = 0; i < occ.size(); ++i) {
-      for (std::size_t mu = 0; mu < nbf; ++mu) {
-        c_occ(mu, i) = c(mu, occ[i]);
-      }
-    }
-    const linalg::Matrix w = c_vir * u;
-    linalg::Matrix p1_new = linalg::a_bt(w, c_occ);
-    p1_new += p1_new.transposed();
     times_.sternheimer += timer.seconds();
 
     if (fault::should_fire(fault::kDfptDiverge)) {
@@ -145,6 +161,10 @@ ResponseResult DfptEngine::solve_response_attempt(int axis, int attempt,
     }
 
     const double dp = (p1_new - res.p1).max_abs();
+    if (iter_span.active()) {
+      iter_span.attr("dp", dp);
+      obs::observe("dfpt.sternheimer.residual", dp);
+    }
     if (!std::isfinite(dp) || has_non_finite(p1_new)) {
       log::warn("dfpt: non-finite response step at axis ", axis, " iter ",
                 iter, " — aborting cycle for recovery");
@@ -204,20 +224,31 @@ ResponseResult DfptEngine::solve_response_attempt(int axis, int attempt,
 
     // --- Kernel n1: response density on the grid.
     timer.reset();
-    const std::vector<double> n1 = scf_.density_on_grid(res.p1);
+    std::vector<double> n1;
+    {
+      SWRAMAN_TRACE_SCOPE("dfpt.n1");
+      n1 = scf_.density_on_grid(res.p1);
+    }
     times_.n1 += timer.seconds();
 
     // --- Kernel V1: response potential (multipole Poisson + fxc n1).
     timer.reset();
-    std::vector<double> v1 = scf_.poisson().solve_on_grid(n1);
-    for (std::size_t p = 0; p < v1.size(); ++p) {
-      v1[p] += fxc_[p] * n1[p];
+    std::vector<double> v1;
+    {
+      SWRAMAN_TRACE_SCOPE("dfpt.v1");
+      v1 = scf_.poisson().solve_on_grid(n1);
+      for (std::size_t p = 0; p < v1.size(); ++p) {
+        v1[p] += fxc_[p] * n1[p];
+      }
     }
     times_.v1 += timer.seconds();
 
     // --- Kernel H1: response Hamiltonian.
     timer.reset();
-    h1 = d + scf_.integrate_matrix(v1);
+    {
+      SWRAMAN_TRACE_SCOPE("dfpt.h1");
+      h1 = d + scf_.integrate_matrix(v1);
+    }
     times_.h1 += timer.seconds();
 
     log::debug("DFPT axis ", axis, " iter ", iter, ": dP1 = ", dp);
@@ -226,6 +257,7 @@ ResponseResult DfptEngine::solve_response_attempt(int axis, int attempt,
 }
 
 linalg::Matrix DfptEngine::polarizability() {
+  SWRAMAN_TRACE_SCOPE("dfpt.polarizability");
   linalg::Matrix alpha(3, 3);
   for (int j = 0; j < 3; ++j) {
     const ResponseResult res = solve_response(j);

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace swraman::grid {
 
@@ -50,8 +51,14 @@ Vec3 principal_axis(const std::vector<Vec3>& points,
 std::vector<Batch> make_batches(const MolecularGrid& grid,
                                 const BatchingOptions& options) {
   SWRAMAN_REQUIRE(options.target_batch_size >= 1, "batch: target size >= 1");
+  SWRAMAN_TRACE_SPAN(span, "grid.make_batches");
   std::vector<Batch> batches;
   if (grid.points.empty()) return batches;
+  if (span.active()) {
+    span.attr("points", static_cast<double>(grid.points.size()));
+    span.attr("target_batch_size",
+              static_cast<double>(options.target_batch_size));
+  }
 
   const std::size_t limit = static_cast<std::size_t>(
       std::ceil(options.slack * static_cast<double>(options.target_batch_size)));
@@ -97,6 +104,7 @@ std::vector<Batch> make_batches(const MolecularGrid& grid,
     work.push_back(std::move(lo));
     work.push_back(std::move(hi));
   }
+  if (span.active()) span.attr("batches", static_cast<double>(batches.size()));
   return batches;
 }
 

@@ -4,6 +4,7 @@
 #include <random>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace swraman::grid {
 
@@ -61,11 +62,18 @@ BatchAssignment balance_batches(const std::vector<Batch>& batches,
   for (std::size_t i = 0; i < batches.size(); ++i) {
     weights[i] = batches[i].size();
   }
+  SWRAMAN_TRACE_SPAN(span, "grid.balance_batches");
   BatchAssignment a;
   a.owner = assign_greedy(weights, n_processes);
   a.points_per_process.assign(n_processes, 0);
   for (std::size_t i = 0; i < batches.size(); ++i) {
     a.points_per_process[a.owner[i]] += weights[i];
+  }
+  if (span.active()) {
+    span.attr("batches", static_cast<double>(batches.size()));
+    span.attr("processes", static_cast<double>(n_processes));
+    span.attr("imbalance", a.imbalance());
+    obs::gauge_set("grid.imbalance", a.imbalance());
   }
   return a;
 }

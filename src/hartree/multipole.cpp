@@ -6,6 +6,7 @@
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "grid/ylm.hpp"
+#include "obs/obs.hpp"
 
 namespace swraman::hartree {
 
@@ -41,7 +42,12 @@ MultipolePotential MultipoleSolver::solve(
     const std::vector<double>& density) const {
   SWRAMAN_REQUIRE(density.size() == grid_.size(),
                   "MultipoleSolver::solve: density size mismatch");
+  SWRAMAN_TRACE_SPAN(span, "hartree.multipole");
   const std::size_t n_atoms = grid_.atoms.size();
+  if (span.active()) {
+    span.attr("atoms", static_cast<double>(n_atoms));
+    span.attr("lmax", static_cast<double>(lmax_));
+  }
 
   MultipolePotential pot;
   pot.lmax_ = lmax_;
@@ -140,6 +146,7 @@ MultipolePotential MultipoleSolver::solve(
 
 std::vector<double> MultipoleSolver::solve_on_grid(
     const std::vector<double>& density) const {
+  SWRAMAN_TRACE_SCOPE("hartree.poisson");
   const MultipolePotential pot = solve(density);
   std::vector<double> v(grid_.size());
   for (std::size_t p = 0; p < grid_.size(); ++p) {

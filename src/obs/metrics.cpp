@@ -1,0 +1,79 @@
+#include "obs/metrics.hpp"
+
+namespace swraman::obs {
+
+void Histogram::observe(double v) {
+  const std::scoped_lock lock(mutex_);
+  if (s_.count == 0) {
+    s_.min = v;
+    s_.max = v;
+  } else {
+    if (v < s_.min) s_.min = v;
+    if (v > s_.max) s_.max = v;
+  }
+  ++s_.count;
+  s_.sum += v;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return s_;
+}
+
+Registry& Registry::instance() {
+  // Leaked: exporters may run from atexit after other statics are gone.
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::map<std::string, double> Registry::counter_values() const {
+  const std::scoped_lock lock(mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, double> Registry::gauge_values() const {
+  const std::scoped_lock lock(mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
+std::map<std::string, Histogram::Snapshot> Registry::histogram_values()
+    const {
+  const std::scoped_lock lock(mutex_);
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, h] : histograms_) out[name] = h->snapshot();
+  return out;
+}
+
+void Registry::reset_for_testing() {
+  const std::scoped_lock lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace swraman::obs

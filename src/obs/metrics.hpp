@@ -1,0 +1,111 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.hpp"
+
+// Metrics registry (DESIGN.md S8): named counters, gauges, and summary
+// histograms, accumulated across threads and exported into the perf
+// report. Instrument names follow the span taxonomy: "scf.iterations",
+// "comm.allreduce.bytes", "fault.injected", "checkpoint.bytes_written".
+//
+// Instrument handles returned by the registry are stable for the process
+// lifetime, so hot paths look a name up once and update lock-free
+// afterwards. The obs::count/gauge_set/observe helpers additionally gate
+// on obs::enabled(), making dormant instrumentation a single relaxed load.
+
+namespace swraman::obs {
+
+class Counter {
+ public:
+  void add(double v = 1.0) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Summary histogram: count / sum / min / max (enough to export mean and
+// extremes of residuals and payload sizes without binning policy).
+class Histogram {
+ public:
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  void observe(double v);
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot s_;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // Find-or-create; references stay valid for the process lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Export snapshots (copies, safe to read while instruments update).
+  [[nodiscard]] std::map<std::string, double> counter_values() const;
+  [[nodiscard]] std::map<std::string, double> gauge_values() const;
+  [[nodiscard]] std::map<std::string, Histogram::Snapshot> histogram_values()
+      const;
+
+  // Drops every instrument (tests).
+  void reset_for_testing();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// enabled()-gated conveniences for instrumentation sites.
+inline void count(const char* name, double v = 1.0) {
+  if (enabled()) Registry::instance().counter(name).add(v);
+}
+inline void gauge_set(const char* name, double v) {
+  if (enabled()) Registry::instance().gauge(name).set(v);
+}
+inline void observe(const char* name, double v) {
+  if (enabled()) Registry::instance().histogram(name).observe(v);
+}
+
+}  // namespace swraman::obs

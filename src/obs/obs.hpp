@@ -1,0 +1,8 @@
+#pragma once
+
+// Umbrella header for the observability subsystem (DESIGN.md S8):
+// hierarchical span tracing, metrics, and report exporters.
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/obs.hpp"
 #include "robustness/fault.hpp"
 
 namespace swraman::parallel {
@@ -160,6 +161,7 @@ void Communicator::send(std::size_t dest, const std::vector<double>& data,
                          std::to_string(attempt + 1) +
                          " times; retry budget exhausted");
     }
+    obs::count("comm.send.retransmits");
     log::warn("fault ", fault::kCommSendDrop, ": rank ", rank_, " -> ",
               dest, " tag ", tag, " message dropped, retransmit attempt ",
               attempt + 1, "/", cfg.send_retries, " after ", backoff, " s");
@@ -180,6 +182,7 @@ std::vector<double> Communicator::recv(std::size_t src, int tag) {
   double timeout = cfg.recv_timeout_s;
   for (int attempt = 0; attempt <= cfg.recv_retries; ++attempt) {
     if (ctx_->take(src, rank_, tag, timeout, data)) return data;
+    obs::count("comm.recv.timeouts");
     if (attempt < cfg.recv_retries) {
       log::warn("recv: rank ", rank_, " <- ", src, " tag ", tag,
                 " timed out after ", timeout, " s, retry ", attempt + 1,
@@ -204,9 +207,39 @@ void Communicator::broadcast(std::vector<double>& data, std::size_t root) {
   }
 }
 
+namespace {
+
+const char* allreduce_algorithm_name(AllreduceAlgorithm a) {
+  switch (a) {
+    case AllreduceAlgorithm::Linear:
+      return "linear";
+    case AllreduceAlgorithm::Ring:
+      return "ring";
+    case AllreduceAlgorithm::RecursiveDoubling:
+      return "recursive_doubling";
+    case AllreduceAlgorithm::ReduceScatterAllgather:
+      return "rsag";
+    case AllreduceAlgorithm::CpePipelined:
+      return "cpe_pipelined";
+  }
+  return "?";
+}
+
+}  // namespace
+
 void Communicator::allreduce(std::vector<double>& data,
                              AllreduceAlgorithm algorithm) {
   if (size() == 1) return;
+  SWRAMAN_TRACE_SPAN(span, "comm.allreduce");
+  if (span.active()) {
+    const double bytes = static_cast<double>(data.size() * sizeof(double));
+    span.attr("algorithm", allreduce_algorithm_name(algorithm));
+    span.attr("bytes", bytes);
+    span.attr("ranks", static_cast<double>(size()));
+    span.attr("rank", static_cast<double>(rank_));
+    obs::count("comm.allreduce.calls");
+    obs::count("comm.allreduce.bytes", bytes);
+  }
   switch (algorithm) {
     case AllreduceAlgorithm::Linear:
       allreduce_linear(data);

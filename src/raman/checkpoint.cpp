@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/obs.hpp"
 
 namespace swraman::raman {
 
@@ -152,14 +153,19 @@ void Checkpoint::append_record(const std::pair<std::size_t, int>& key,
   if (!out) {
     throw CheckpointError("Checkpoint: cannot append to " + path_);
   }
-  out << "geom " << key.first << " " << (key.second > 0 ? '+' : '-');
-  for (const double v : rec.alpha) out << " " << format_double(v);
-  for (const double v : rec.dipole) out << " " << format_double(v);
-  out << "\n";
+  std::ostringstream line;
+  line << "geom " << key.first << " " << (key.second > 0 ? '+' : '-');
+  for (const double v : rec.alpha) line << " " << format_double(v);
+  for (const double v : rec.dipole) line << " " << format_double(v);
+  line << "\n";
+  const std::string text = line.str();
+  out << text;
   out.flush();
   if (!out) {
     throw CheckpointError("Checkpoint: write to " + path_ + " failed");
   }
+  obs::count("checkpoint.bytes_written", static_cast<double>(text.size()));
+  obs::instant("checkpoint.write", "bytes", static_cast<double>(text.size()));
 }
 
 const GeometryRecord* Checkpoint::lookup(std::size_t coord,

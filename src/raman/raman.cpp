@@ -7,6 +7,7 @@
 #include "common/elements.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/obs.hpp"
 #include "raman/checkpoint.hpp"
 #include "robustness/fault.hpp"
 
@@ -31,6 +32,11 @@ linalg::Matrix RamanCalculator::polarizability_at(
 
 GeometryRecord RamanCalculator::evaluate_geometry(std::size_t coord,
                                                   int sign) {
+  SWRAMAN_TRACE_SPAN(span, "raman.geometry");
+  if (span.active()) {
+    span.attr("coord", static_cast<double>(coord));
+    span.attr("sign", static_cast<double>(sign));
+  }
   std::vector<grid::AtomSite> geometry = atoms_;
   geometry[coord / 3].pos[static_cast<int>(coord % 3)] +=
       sign * options_.alpha_displacement;
@@ -57,7 +63,9 @@ GeometryRecord RamanCalculator::evaluate_geometry(std::size_t coord,
 }
 
 linalg::Matrix RamanCalculator::polarizability_derivatives() {
+  SWRAMAN_TRACE_SPAN(span, "raman.dalpha");
   const std::size_t n = 3 * atoms_.size();
+  if (span.active()) span.attr("coords", static_cast<double>(n));
   const double d = options_.alpha_displacement;
   linalg::Matrix deriv(n, 9);
   dmu_ = linalg::Matrix(n, 3);
@@ -71,8 +79,10 @@ linalg::Matrix RamanCalculator::polarizability_derivatives() {
       const int sign = s == 0 ? +1 : -1;
       if (const GeometryRecord* stored = ckpt.lookup(coord, sign)) {
         rec[s] = *stored;
+        obs::count("checkpoint.hits");
         continue;
       }
+      obs::count("checkpoint.misses");
       rec[s] = evaluate_geometry(coord, sign);
       ckpt.record(coord, sign, rec[s]);
       // Simulated mid-pipeline process death: fires only on freshly
@@ -94,8 +104,15 @@ linalg::Matrix RamanCalculator::polarizability_derivatives() {
 }
 
 RamanSpectrum RamanCalculator::compute() {
+  SWRAMAN_TRACE_SPAN(span, "raman.compute");
+  if (span.active()) span.attr("atoms", static_cast<double>(atoms_.size()));
+
   // Step 1: Hessian and normal modes.
-  const linalg::Matrix hess = energy_hessian(atoms_, options_.vibrations);
+  linalg::Matrix hess;
+  {
+    SWRAMAN_TRACE_SCOPE("raman.hessian");
+    hess = energy_hessian(atoms_, options_.vibrations);
+  }
   const NormalModes modes = normal_modes(
       atoms_, hess, options_.vibrations.project_rigid_body);
 
@@ -103,6 +120,7 @@ RamanSpectrum RamanCalculator::compute() {
   const linalg::Matrix dalpha = polarizability_derivatives();
 
   // Step 3 + 4: contract with mode eigenvectors, form activities.
+  SWRAMAN_TRACE_SCOPE("raman.spectrum");
   const std::size_t n = 3 * atoms_.size();
   RamanSpectrum spec;
   spec.n_polarizabilities = n_polarizabilities_;

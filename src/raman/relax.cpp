@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/obs.hpp"
 
 namespace swraman::raman {
 
@@ -32,6 +33,7 @@ std::vector<grid::AtomSite> displaced_all(
 std::vector<double> energy_gradient(const std::vector<grid::AtomSite>& atoms,
                                     const scf::ScfOptions& options,
                                     double step) {
+  SWRAMAN_TRACE_SCOPE("relax.gradient");
   const std::size_t n = 3 * atoms.size();
   std::vector<double> g(n);
   for (std::size_t c = 0; c < n; ++c) {
@@ -48,6 +50,8 @@ std::vector<double> energy_gradient(const std::vector<grid::AtomSite>& atoms,
 RelaxResult relax_geometry(std::vector<grid::AtomSite> atoms,
                            const RelaxOptions& options) {
   SWRAMAN_REQUIRE(!atoms.empty(), "relax_geometry: no atoms");
+  SWRAMAN_TRACE_SPAN(span, "relax");
+  if (span.active()) span.attr("atoms", static_cast<double>(atoms.size()));
   const std::size_t n = 3 * atoms.size();
 
   RelaxResult res;
@@ -62,7 +66,9 @@ RelaxResult relax_geometry(std::vector<grid::AtomSite> atoms,
       energy_gradient(res.atoms, options.scf, options.gradient_step);
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    SWRAMAN_TRACE_SPAN(iter_span, "relax.iter");
     res.iterations = iter;
+    obs::count("relax.iterations");
     res.max_force = 0.0;
     for (double v : g) res.max_force = std::max(res.max_force, std::abs(v));
     if (res.max_force < options.force_tol) {
@@ -128,6 +134,7 @@ RelaxResult relax_geometry(std::vector<grid::AtomSite> atoms,
     res.atoms = std::move(trial);
     res.energy = e_new;
     g = g_new;
+    if (iter_span.active()) iter_span.attr("max_force", res.max_force);
     log::debug("relax iter ", iter, ": E = ", res.energy,
                " max|F| = ", res.max_force);
   }

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/obs.hpp"
 
 namespace swraman::fault {
 
@@ -131,7 +132,12 @@ bool FaultInjector::should_fire(const std::string& site) {
     std::uniform_real_distribution<double> uniform(0.0, 1.0);
     fire = (uniform(s.rng) < s.spec.probability) || fire;
   }
-  if (fire) ++s.stats.fires;
+  if (fire) {
+    ++s.stats.fires;
+    // obs never takes the fault mutex, so emitting under our lock is safe.
+    obs::instant("fault.injected", "site", site);
+    obs::count("fault.injected");
+  }
   return fire;
 }
 

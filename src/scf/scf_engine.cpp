@@ -10,6 +10,7 @@
 #include "common/logging.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/lu.hpp"
+#include "obs/obs.hpp"
 #include "robustness/fault.hpp"
 
 namespace swraman::scf {
@@ -77,7 +78,13 @@ void ScfEngine::reduce_matrix(linalg::Matrix& m) const {
 }
 
 void ScfEngine::build_matrices() {
+  SWRAMAN_TRACE_SPAN(span, "scf.build_matrices");
   const std::size_t nbf = basis_.size();
+  if (span.active()) {
+    span.attr("nbf", static_cast<double>(nbf));
+    span.attr("batches", static_cast<double>(batches_.size()));
+    span.attr("grid_points", static_cast<double>(grid_.size()));
+  }
   s_ = linalg::Matrix(nbf, nbf);
   t_ = linalg::Matrix(nbf, nbf);
   v_ext_.assign(grid_.size(), 0.0);
@@ -258,11 +265,20 @@ void ScfEngine::solve_eigenproblem(const linalg::Matrix& h,
 }
 
 GroundState ScfEngine::solve(const linalg::Matrix* initial_density) {
+  SWRAMAN_TRACE_SPAN(span, "scf.solve");
   const int attempts = std::max(1, options_.recovery_attempts);
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     bool diverged = false;
     GroundState gs = solve_attempt(initial_density, attempt, &diverged);
-    if (!diverged) return gs;
+    if (!diverged) {
+      if (span.active()) {
+        span.attr("attempts", static_cast<double>(attempt));
+        span.attr("iterations", static_cast<double>(gs.iterations));
+        span.attr("converged", gs.converged ? 1.0 : 0.0);
+      }
+      return gs;
+    }
+    obs::count("scf.recoveries");
     if (attempt < attempts) {
       log::warn("scf.recovery: divergence detected (attempt ", attempt, "/",
                 attempts, "): halving mixing to ",
@@ -324,7 +340,9 @@ GroundState ScfEngine::solve_attempt(const linalg::Matrix* initial_density,
   std::vector<double> v_eff(grid_.size());
 
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    SWRAMAN_TRACE_SPAN(iter_span, "scf.iter");
     gs.iterations = iter;
+    obs::count("scf.iterations");
 
     // Forced-divergence injection: poison the density the way a blown-up
     // mixing step or corrupted reduction would.
@@ -335,17 +353,20 @@ GroundState ScfEngine::solve_attempt(const linalg::Matrix* initial_density,
     }
 
     // Effective potential from the current density.
-    const std::vector<double> v_h = poisson_.solve_on_grid(n);
     double e_h = 0.0;
     double e_xc = 0.0;
     double e_vxc = 0.0;
-    for (std::size_t p = 0; p < grid_.size(); ++p) {
-      const xc::XcPoint xcp = xc::evaluate(options_.functional, n[p]);
-      v_eff[p] = v_ext_[p] + v_h[p] + xcp.v + v_field[p];
-      const double wn = grid_.weights[p] * n[p];
-      e_h += 0.5 * wn * v_h[p];
-      e_xc += wn * xcp.eps;
-      e_vxc += wn * xcp.v;
+    {
+      SWRAMAN_TRACE_SCOPE("scf.veff");
+      const std::vector<double> v_h = poisson_.solve_on_grid(n);
+      for (std::size_t p = 0; p < grid_.size(); ++p) {
+        const xc::XcPoint xcp = xc::evaluate(options_.functional, n[p]);
+        v_eff[p] = v_ext_[p] + v_h[p] + xcp.v + v_field[p];
+        const double wn = grid_.weights[p] * n[p];
+        e_h += 0.5 * wn * v_h[p];
+        e_xc += wn * xcp.eps;
+        e_vxc += wn * xcp.v;
+      }
     }
     // Divergence check before anything reaches the eigensolver: e_h sums
     // every grid point, so any non-finite density or potential lands here.
@@ -356,7 +377,11 @@ GroundState ScfEngine::solve_attempt(const linalg::Matrix* initial_density,
       return gs;
     }
 
-    linalg::Matrix h = t_ + integrate_matrix(v_eff);
+    linalg::Matrix h(nbf, nbf);
+    {
+      SWRAMAN_TRACE_SCOPE("scf.hamiltonian");
+      h = t_ + integrate_matrix(v_eff);
+    }
 
     // Pulay DIIS on the Hamiltonian with commutator residuals.
     if (gs.iterations > 1) {
@@ -396,7 +421,10 @@ GroundState ScfEngine::solve_attempt(const linalg::Matrix* initial_density,
 
     std::vector<double> eps;
     linalg::Matrix c;
-    solve_eigenproblem(h, eps, c);
+    {
+      SWRAMAN_TRACE_SCOPE("scf.eigensolve");
+      solve_eigenproblem(h, eps, c);
+    }
 
     double fermi = 0.0;
     const std::vector<double> occ = fermi_occupations(eps, n_elec, &fermi);
@@ -442,7 +470,11 @@ GroundState ScfEngine::solve_attempt(const linalg::Matrix* initial_density,
     // right electron count); damp the grid density in the first iterations
     // until DIIS has history.
     p_old = p_new;
-    const std::vector<double> n_new = density_on_grid(p_old);
+    std::vector<double> n_new;
+    {
+      SWRAMAN_TRACE_SCOPE("scf.density");
+      n_new = density_on_grid(p_old);
+    }
     const double beta = (iter <= damped_iterations) ? mixing : 1.0;
     for (std::size_t p = 0; p < grid_.size(); ++p) {
       n[p] = (1.0 - beta) * n[p] + beta * n_new[p];
@@ -456,6 +488,11 @@ GroundState ScfEngine::solve_attempt(const linalg::Matrix* initial_density,
 
     log::debug("SCF iter ", iter, ": E = ", gs.total_energy, " dP = ", dp,
                " dE = ", de);
+    if (iter_span.active()) {
+      iter_span.attr("dp", dp);
+      iter_span.attr("de", de);
+      obs::observe("scf.residual.dp", dp);
+    }
     if (iter > 3 && dp < options_.density_tol && de < options_.energy_tol) {
       gs.converged = true;
       break;

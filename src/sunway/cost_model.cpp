@@ -114,6 +114,13 @@ double modeled_time(const KernelWorkload& w, const ArchParams& arch,
   return 0.0;
 }
 
+double modeled_cycles(const KernelWorkload& w, const ArchParams& arch,
+                      Variant variant) {
+  const double freq_ghz =
+      variant == Variant::MpeScalar ? arch.mpe_freq_ghz : arch.pe_freq_ghz;
+  return modeled_time(w, arch, variant) * freq_ghz * kGiga;
+}
+
 double modeled_cpu_time(const KernelWorkload& w, const ArchParams& arch) {
   if (w.elements == 0.0) return 0.0;
   const double vec_speed =

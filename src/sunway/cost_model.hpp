@@ -57,6 +57,13 @@ const char* variant_name(Variant v);
 double modeled_time(const KernelWorkload& w, const ArchParams& arch,
                     Variant variant);
 
+// Modeled core cycles of the same execution: modeled_time converted at the
+// clock of the core that runs the kernel (MPE for MpeScalar, PE for the CPE
+// variants). This is the machine-time attribute attached to kernel trace
+// spans, so profiles compare runs across hosts of different speeds.
+double modeled_cycles(const KernelWorkload& w, const ArchParams& arch,
+                      Variant variant);
+
 // Modeled time on a cache-based multicore CPU (all cores, vectorized) —
 // the Fig. 14 Xeon baseline path.
 double modeled_cpu_time(const KernelWorkload& w, const ArchParams& arch);

@@ -6,9 +6,52 @@
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "grid/ylm.hpp"
+#include "obs/obs.hpp"
 #include "simd/vec8d.hpp"
 
 namespace swraman::sunway {
+
+namespace {
+
+// Attaches the cost model's view of a kernel execution to its trace span:
+// the counter deltas the run produced (flops, DMA traffic, RMA traffic) and
+// the modeled machine time — cycles at the executing core's clock — for the
+// baseline and the fully optimized variant. Only evaluated when tracing is
+// on; the cost model itself never runs on the disabled path.
+void attach_kernel_attrs(obs::ScopedSpan& span, const CpeCluster& cluster,
+                         const CpeCounters& before, double elements,
+                         double vectorizable_fraction) {
+  if (!span.active()) return;
+  const CpeCounters after = cluster.total();
+  const double flops = after.flops - before.flops;
+  const double dma_bytes = after.dma_bytes - before.dma_bytes;
+  const double dma_transfers = after.dma_transfers - before.dma_transfers;
+  const double rma_bytes = after.rma_bytes - before.rma_bytes;
+  span.attr("elements", elements);
+  span.attr("flops", flops);
+  span.attr("dma_bytes", dma_bytes);
+  span.attr("dma_transfers", dma_transfers);
+  if (rma_bytes > 0.0) span.attr("rma_bytes", rma_bytes);
+  obs::count("sunway.dma.bytes", dma_bytes);
+  obs::count("sunway.kernel.flops", flops);
+  if (elements <= 0.0) return;
+  KernelWorkload w;
+  w.elements = elements;
+  w.flops_per_element = flops / elements;
+  w.stream_bytes_per_element = dma_bytes / elements;
+  w.irregular_bytes_per_element =
+      (after.direct_mem_accesses - before.direct_mem_accesses) *
+      sizeof(double) / elements;
+  w.vectorizable_fraction = vectorizable_fraction;
+  span.attr("modeled_cycles_mpe",
+            modeled_cycles(w, cluster.arch(), Variant::MpeScalar));
+  span.attr("modeled_cycles_cpe",
+            modeled_cycles(w, cluster.arch(), Variant::CpeTiledDbSimd));
+  span.attr("modeled_time_cpe_s",
+            modeled_time(w, cluster.arch(), Variant::CpeTiledDbSimd));
+}
+
+}  // namespace
 
 std::size_t CsiTables::coeff_bytes() const {
   std::size_t b = 0;
@@ -119,6 +162,8 @@ void real_space_potential(const CsiTables& tables, const Vec3* points,
 void real_space_potential_cpe(CpeCluster& cluster, const CsiTables& tables,
                               const Vec3* points, std::size_t n, double* out,
                               ExecMode mode) {
+  SWRAMAN_TRACE_SPAN(span, "sunway.kernel1");
+  const CpeCounters before = cluster.total();
   cluster.run([&](CpeContext& ctx) {
     const auto [lo, hi] = ctx.my_slice(n);
     if (lo >= hi) return;
@@ -150,6 +195,10 @@ void real_space_potential_cpe(CpeCluster& cluster, const CsiTables& tables,
       ctx.dma_put(vout, out + base, count);
     }
   });
+  if (span.active()) {
+    span.attr("variant", mode == ExecMode::Simd ? "simd" : "scalar");
+    attach_kernel_attrs(span, cluster, before, static_cast<double>(n), 0.9);
+  }
 }
 
 ReciprocalTables build_reciprocal_tables(const hartree::Ewald& ewald) {
@@ -195,6 +244,8 @@ void reciprocal_potential(const ReciprocalTables& tables, const Vec3* points,
 void reciprocal_potential_cpe(CpeCluster& cluster,
                               const ReciprocalTables& tables,
                               const Vec3* points, std::size_t n, double* out) {
+  SWRAMAN_TRACE_SPAN(span, "sunway.kernel2");
+  const CpeCounters before = cluster.total();
   const std::size_t m = tables.g.size();
   cluster.run([&](CpeContext& ctx) {
     const auto [lo, hi] = ctx.my_slice(n);
@@ -238,10 +289,13 @@ void reciprocal_potential_cpe(CpeCluster& cluster,
       out[p] = v;
     }
   });
+  attach_kernel_attrs(span, cluster, before, static_cast<double>(n), 0.9);
 }
 
 KernelWorkload run_density_batches(CpeCluster& cluster,
                                    const std::vector<BatchShape>& batches) {
+  SWRAMAN_TRACE_SPAN(span, "sunway.n1");
+  const CpeCounters before = cluster.total();
   double elements = 0.0;
   cluster.run([&](CpeContext& ctx) {
     for (std::size_t b = ctx.id(); b < batches.size();
@@ -270,11 +324,14 @@ KernelWorkload run_density_batches(CpeCluster& cluster,
   for (const BatchShape& sh : batches) {
     elements += static_cast<double>(sh.n_points);
   }
+  attach_kernel_attrs(span, cluster, before, elements, 0.85);
   return cluster.workload("n1", elements, 0.85);
 }
 
 KernelWorkload run_hamiltonian_batches(CpeCluster& cluster,
                                        const std::vector<BatchShape>& batches) {
+  SWRAMAN_TRACE_SPAN(span, "sunway.h1");
+  const CpeCounters before = cluster.total();
   double elements = 0.0;
   cluster.run([&](CpeContext& ctx) {
     for (std::size_t b = ctx.id(); b < batches.size();
@@ -304,6 +361,7 @@ KernelWorkload run_hamiltonian_batches(CpeCluster& cluster,
   for (const BatchShape& sh : batches) {
     elements += static_cast<double>(sh.n_points);
   }
+  attach_kernel_attrs(span, cluster, before, elements, 0.9);
   return cluster.workload("H1", elements, 0.9);
 }
 

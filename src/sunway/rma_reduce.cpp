@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/obs.hpp"
 #include "robustness/fault.hpp"
 
 namespace swraman::sunway {
@@ -41,6 +42,11 @@ RmaReduceStats rma_array_reduction(
                       options.ldm_block_doubles >= 1,
                   "rma_array_reduction: invalid options");
   const std::size_t n = arr.size();
+  SWRAMAN_TRACE_SPAN(span, "sunway.rma_reduce");
+  if (span.active()) {
+    span.attr("cpes", static_cast<double>(n_cpes));
+    span.attr("array_size", static_cast<double>(n));
+  }
   RmaReduceStats stats;
 
   // Ownership ranges: CPE o owns [o*n/n_cpes, (o+1)*n/n_cpes).
@@ -136,6 +142,16 @@ RmaReduceStats rma_array_reduction(
       stats.updates += 1.0;
     }
     flush();
+  }
+  if (span.active()) {
+    span.attr("rma_messages", stats.rma_messages);
+    span.attr("rma_bytes", stats.rma_bytes);
+    span.attr("rma_retransmits", stats.rma_retransmits);
+    span.attr("dma_block_transfers", stats.dma_block_transfers);
+    span.attr("dma_bytes", stats.dma_bytes);
+    span.attr("updates", stats.updates);
+    obs::count("sunway.rma.bytes", stats.rma_bytes);
+    obs::count("sunway.rma.retransmits", stats.rma_retransmits);
   }
   return stats;
 }

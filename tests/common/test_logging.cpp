@@ -28,6 +28,50 @@ TEST(Log, SuppressedBelowLevel) {
   log::set_level(saved);
 }
 
+TEST(Log, TimestampFormatIsIso8601Utc) {
+  const std::string ts = log::timestamp_utc_now();
+  // 2026-08-07T12:34:56.789Z — fixed-width, millisecond precision.
+  ASSERT_EQ(ts.size(), 24u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[16], ':');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts.back(), 'Z');
+  for (const std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    EXPECT_TRUE(ts[i] >= '0' && ts[i] <= '9') << "position " << i;
+  }
+}
+
+TEST(Log, TimestampToggleRoundTrip) {
+  const bool saved = log::timestamps();
+  log::set_timestamps(true);
+  EXPECT_TRUE(log::timestamps());
+  log::set_timestamps(false);
+  EXPECT_FALSE(log::timestamps());
+  log::set_timestamps(saved);
+}
+
+TEST(Log, RankPrefixRoundTrip) {
+  const int saved = log::rank();
+  EXPECT_LT(saved, 0);  // default: no rank prefix
+  log::set_rank(3);
+  EXPECT_EQ(log::rank(), 3);
+  log::info("rank-prefixed line");  // must not crash with the prefix on
+  log::set_rank(saved);
+}
+
+TEST(Timer, NanosecondsIsMonotonic) {
+  Timer t;
+  const std::uint64_t a = t.nanoseconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const std::uint64_t b = t.nanoseconds();
+  EXPECT_GE(b, a + 1000000u);  // at least 1 ms advanced
+  EXPECT_NEAR(t.seconds(), 1e-9 * static_cast<double>(t.nanoseconds()),
+              1e-3);
+}
+
 TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   std::this_thread::sleep_for(std::chrono::milliseconds(20));

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace swraman::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    Registry::instance().reset_for_testing();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::instance().reset_for_testing();
+  }
+};
+
+TEST_F(MetricsTest, SameNameReturnsSameInstrument) {
+  Counter& a = Registry::instance().counter("scf.iterations");
+  Counter& b = Registry::instance().counter("scf.iterations");
+  EXPECT_EQ(&a, &b);
+  a.add(2.0);
+  EXPECT_DOUBLE_EQ(b.value(), 2.0);
+}
+
+TEST_F(MetricsTest, CountersAccumulateAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 1000;
+  Counter& c = Registry::instance().counter("comm.allreduce.bytes");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.add(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(c.value(), kThreads * kAddsPerThread);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  Gauge& g = Registry::instance().gauge("grid.imbalance");
+  g.set(1.5);
+  g.set(1.2);
+  EXPECT_DOUBLE_EQ(g.value(), 1.2);
+}
+
+TEST_F(MetricsTest, HistogramTracksSummary) {
+  Histogram& h = Registry::instance().histogram("dfpt.sternheimer.residual");
+  h.observe(1e-3);
+  h.observe(1e-5);
+  h.observe(1e-4);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1e-5);
+  EXPECT_DOUBLE_EQ(s.max, 1e-3);
+  EXPECT_NEAR(s.mean(), (1e-3 + 1e-5 + 1e-4) / 3.0, 1e-18);
+}
+
+TEST_F(MetricsTest, GatedHelpersRespectEnabledFlag) {
+  set_enabled(false);
+  count("never.recorded");
+  gauge_set("never.recorded.gauge", 1.0);
+  observe("never.recorded.histogram", 1.0);
+  EXPECT_TRUE(Registry::instance().counter_values().empty());
+  EXPECT_TRUE(Registry::instance().gauge_values().empty());
+  EXPECT_TRUE(Registry::instance().histogram_values().empty());
+
+  set_enabled(true);
+  count("fault.injected");
+  count("fault.injected");
+  const auto counters = Registry::instance().counter_values();
+  ASSERT_EQ(counters.count("fault.injected"), 1u);
+  EXPECT_DOUBLE_EQ(counters.at("fault.injected"), 2.0);
+}
+
+}  // namespace
+}  // namespace swraman::obs
