@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Repo lint gate for swraman (tier-1 stage).
+
+Three repo-specific rules that clang-tidy cannot express, plus an
+optional clang-tidy pass over compile_commands.json when the binary is
+available (the gate skips that stage gracefully when it is not):
+
+  1. Every CpeCluster.run(...) kernel lambda in src/sunway must call
+     ctx.charge_flops(...) before the context is finished — a kernel
+     that forgets to charge flops silently corrupts the cost model the
+     paper's scaling figures are built on.
+  2. No raw memcpy outside src/sunway/. Host-side code must go through
+     typed copies/std::copy; raw memcpy is reserved for the DMA engine
+     model where the checker can see it.
+  3. No std::endl in src/ — it flushes, and the obs/trace hot paths are
+     called per-DMA. Use '\\n'.
+
+Exit status: 0 clean, 1 violations, 2 usage/setup error.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+SUNWAY = SRC / "sunway"
+
+
+def fail(violations: list[str]) -> None:
+    for v in violations:
+        print(f"lint: {v}", file=sys.stderr)
+
+
+def cpp_sources(root: Path) -> list[Path]:
+    return sorted(
+        p for p in root.rglob("*")
+        if p.suffix in {".cpp", ".hpp", ".h", ".cc"} and p.is_file()
+    )
+
+
+def strip_comments(text: str) -> str:
+    """Remove // and /* */ comments, preserving newlines for line numbers."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == '"' and (i == 0 or text[i - 1] != "\\"):
+            # String literal: copy verbatim until the closing quote.
+            j = i + 1
+            while j < n and not (text[j] == '"' and text[j - 1] != "\\"):
+                j += 1
+            out.append(text[i:j + 1])
+            i = j + 1
+        elif text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lambda_body(text: str, open_brace: int) -> str:
+    """Return the brace-balanced body starting at text[open_brace] == '{'."""
+    depth = 0
+    for j in range(open_brace, len(text)):
+        if text[j] == "{":
+            depth += 1
+        elif text[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_brace:j + 1]
+    return text[open_brace:]
+
+
+RUN_CALL = re.compile(r"\.run\s*\(")
+
+
+def check_charge_flops() -> list[str]:
+    """Rule 1: every .run(...) kernel body in src/sunway charges flops."""
+    violations: list[str] = []
+    for path in cpp_sources(SUNWAY):
+        text = strip_comments(path.read_text())
+        for m in RUN_CALL.finditer(text):
+            # Find the lambda introducer within the call's argument list.
+            lam = text.find("[", m.end())
+            if lam < 0:
+                continue
+            brace = text.find("{", lam)
+            if brace < 0:
+                continue
+            body = lambda_body(text, brace)
+            if "charge_flops" not in body:
+                line = text.count("\n", 0, m.start()) + 1
+                rel = path.relative_to(REPO)
+                violations.append(
+                    f"{rel}:{line}: kernel run() lambda never calls "
+                    "ctx.charge_flops(...) — the cost model will "
+                    "undercount this kernel")
+    return violations
+
+
+def check_raw_memcpy() -> list[str]:
+    """Rule 2: no raw memcpy in src/ outside src/sunway/."""
+    violations: list[str] = []
+    pat = re.compile(r"\bmemcpy\s*\(")
+    for path in cpp_sources(SRC):
+        if SUNWAY in path.parents or path.parent == SUNWAY:
+            continue
+        text = strip_comments(path.read_text())
+        for m in pat.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            rel = path.relative_to(REPO)
+            violations.append(
+                f"{rel}:{line}: raw memcpy outside src/sunway/ — use a "
+                "typed copy (std::copy) so the type system and the "
+                "checker can see it")
+    return violations
+
+
+def check_std_endl() -> list[str]:
+    """Rule 3: no std::endl in src/ (it flushes; hot paths log per-DMA)."""
+    violations: list[str] = []
+    pat = re.compile(r"std::endl\b")
+    for path in cpp_sources(SRC):
+        text = strip_comments(path.read_text())
+        for m in pat.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            rel = path.relative_to(REPO)
+            violations.append(
+                f"{rel}:{line}: std::endl flushes on every call — "
+                "use '\\n'")
+    return violations
+
+
+def run_clang_tidy(build_dir: Path) -> int:
+    """Optional clang-tidy pass; returns violation count. Skips when the
+    binary or compile_commands.json is unavailable."""
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        print("lint: clang-tidy not found — skipping static-analysis "
+              "stage (repo rules still enforced)")
+        return 0
+    ccdb = build_dir / "compile_commands.json"
+    if not ccdb.exists():
+        print(f"lint: {ccdb} missing — configure with CMake first; "
+              "skipping clang-tidy stage")
+        return 0
+    entries = json.loads(ccdb.read_text())
+    files = sorted({e["file"] for e in entries
+                    if str(SRC) in e["file"] and e["file"].endswith(".cpp")})
+    if not files:
+        return 0
+    print(f"lint: clang-tidy over {len(files)} translation units")
+    proc = subprocess.run(
+        [tidy, "-p", str(build_dir), "--quiet", *files],
+        capture_output=True, text=True, check=False)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        return 1
+    # clang-tidy exits 0 even with warnings; count them explicitly.
+    warnings = proc.stdout.count(" warning: ")
+    return warnings
+
+
+def main(argv: list[str]) -> int:
+    build_dir = Path(argv[1]) if len(argv) > 1 else REPO / "build"
+    if not SRC.is_dir():
+        print(f"lint: source tree {SRC} not found", file=sys.stderr)
+        return 2
+    violations = (check_charge_flops() + check_raw_memcpy()
+                  + check_std_endl())
+    fail(violations)
+    tidy_count = run_clang_tidy(build_dir)
+    total = len(violations) + tidy_count
+    if total:
+        print(f"lint: FAILED ({total} violation(s))", file=sys.stderr)
+        return 1
+    print("lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification (ROADMAP.md): full build + ctest, then the
-# robustness/fault-injection suite rebuilt and re-run under a sanitizer
-# (address by default; set SWRAMAN_SANITIZE=undefined for UBSan, or
-# SWRAMAN_SANITIZE=none to skip the instrumented pass).
+# Tier-1 verification (ROADMAP.md): full build + ctest, the repo lint
+# gate, a fully checked (SWRAMAN_CHECK=1) run of the sunway suites, then
+# instrumented passes — the robustness/fault-injection suite under
+# ASan/UBSan and the obs + parallel suites under TSan (the metrics
+# registry claims lock-free counters; this is where we prove it).
+# Set SWRAMAN_SANITIZE=undefined to swap the robustness pass to UBSan,
+# or SWRAMAN_SANITIZE=none to skip every instrumented pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +16,26 @@ echo "== tier-1: plain build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo "== tier-1: repo lint gate (scripts/lint.py) =="
+python3 scripts/lint.py build
+
+echo "== tier-1: checked execution (SWRAMAN_CHECK=1) =="
+CHECK_DIR="build/check-smoke"
+mkdir -p "${CHECK_DIR}"
+SWRAMAN_CHECK=1 \
+  SWRAMAN_CHECK_FILE="${CHECK_DIR}/swraman_check.json" \
+  ./build/tests/test_sunway_check
+SWRAMAN_CHECK=1 ./build/tests/test_sunway >/dev/null
+python3 - "${CHECK_DIR}/swraman_check.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    s = json.load(f)
+assert s["schema"] == "swraman-check-v1", s
+assert s["enabled"] is True, s
+print(f"checked run: {s['violations']} violation(s) "
+      f"(all seeded and caught)")
+EOF
 
 echo "== tier-1: traced smoke run (SWRAMAN_TRACE=1) =="
 SMOKE_DIR="build/trace-smoke"
@@ -32,6 +55,14 @@ if [ "${SANITIZER}" != "none" ]; then
   cmake --build "build-${SANITIZER}" -j "${JOBS}" --target \
         test_robustness
   "./build-${SANITIZER}/tests/test_robustness"
+
+  echo "== tier-1: obs + parallel suites under -fsanitize=thread =="
+  cmake -B build-thread -S . \
+        -DSWRAMAN_SANITIZE=thread \
+        -DSWRAMAN_BUILD_BENCH=OFF -DSWRAMAN_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-thread -j "${JOBS}" --target test_obs test_parallel
+  ./build-thread/tests/test_obs
+  ./build-thread/tests/test_parallel
 fi
 
 echo "tier-1: OK"

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 // Error handling: SWRAMAN_REQUIRE for precondition checks on public
 // interfaces (always on), SWRAMAN_ASSERT for internal invariants (on unless
@@ -47,6 +48,24 @@ class CheckpointError : public Error {
 class FaultInjected : public Error {
  public:
   explicit FaultInjected(const std::string& what) : Error(what) {}
+};
+
+// Raised by the swcheck shadow-state checker (sunway/check) when a
+// kernel violates the Sunway execution protocol it models — an LDM tile
+// overrun, a read of an un-waited DMA transfer, an RMA mailbox left
+// unconsumed. These are programming errors in the kernel under test,
+// not recoverable runtime conditions; callers other than the checker's
+// own tests should let them propagate.
+class CheckViolation : public Error {
+ public:
+  CheckViolation(std::string rule, const std::string& what)
+      : Error(what), rule_(std::move(rule)) {}
+
+  // Canonical rule name (check::kRule*) that fired.
+  [[nodiscard]] const std::string& rule() const { return rule_; }
+
+ private:
+  std::string rule_;
 };
 
 namespace detail {

@@ -8,6 +8,11 @@
 namespace swraman::sunway {
 
 void CpeCluster::run(const std::function<void(CpeContext&)>& kernel) {
+  run("kernel", kernel);
+}
+
+void CpeCluster::run(const char* name,
+                     const std::function<void(CpeContext&)>& kernel) {
   const std::size_t n = static_cast<std::size_t>(arch_.n_pes);
   if (counters_.empty()) counters_.resize(n);
   if (dead_.empty()) dead_.assign(n, 0);
@@ -52,7 +57,7 @@ void CpeCluster::run(const std::function<void(CpeContext&)>& kernel) {
   }
 
   const auto execute = [&](std::size_t logical_id, std::size_t charge_to) {
-    CpeContext ctx(static_cast<int>(logical_id), arch_.n_pes, arch_);
+    CpeContext ctx(static_cast<int>(logical_id), arch_.n_pes, arch_, name);
     kernel(ctx);
     ctx.finish();
     counters_[charge_to] += ctx.counters();

@@ -2,12 +2,14 @@
 
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "robustness/fault.hpp"
 #include "sunway/arch.hpp"
+#include "sunway/check/shadow.hpp"
 #include "sunway/cost_model.hpp"
 #include "sunway/ldm.hpp"
 
@@ -50,19 +52,35 @@ struct CpeCounters {
 
 class CpeContext {
  public:
-  CpeContext(int id, int n_cpes, const ArchParams& arch)
-      : id_(id), n_cpes_(n_cpes), ldm_(arch.ldm_bytes) {}
+  CpeContext(int id, int n_cpes, const ArchParams& arch,
+             const char* kernel_name = "kernel")
+      : id_(id), n_cpes_(n_cpes), ldm_(arch.ldm_bytes) {
+    if (check::enabled()) {
+      shadow_ = std::make_unique<check::CpeShadow>(id, kernel_name,
+                                                   ldm_.shadow());
+    }
+  }
 
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] int n_cpes() const { return n_cpes_; }
   [[nodiscard]] LdmArena& ldm() { return ldm_; }
   [[nodiscard]] CpeCounters& counters() { return counters_; }
 
+  // In-flight DMA shadow state; null unless checked mode was on at
+  // construction (SWRAMAN_CHECK=1 / check::set_enabled).
+  [[nodiscard]] check::CpeShadow* shadow() { return shadow_.get(); }
+  [[nodiscard]] bool checked() const { return shadow_ != nullptr; }
+
   // Async-style DMA: copies now (functional), charges one transaction.
   // An injected engine failure (sunway.dma.fail) is retried — the failed
-  // attempt still occupied the DMA engine, so it is charged too.
+  // attempt still occupied the DMA engine, so it is charged too. Checked
+  // mode validates the LDM range (tile bounds, use-after-reset, overlap
+  // with in-flight transfers) before the copy.
   template <typename T>
   void dma_get(T* dst_ldm, const T* src_mem, std::size_t n) {
+    if (shadow_) {
+      shadow_->check_sync_dma(dst_ldm, n * sizeof(T), true, "dma_get");
+    }
     dma_fault_check("dma_get");
     std::memcpy(dst_ldm, src_mem, n * sizeof(T));
     counters_.dma_bytes += static_cast<double>(n * sizeof(T));
@@ -71,10 +89,37 @@ class CpeContext {
 
   template <typename T>
   void dma_put(const T* src_ldm, T* dst_mem, std::size_t n) {
+    if (shadow_) {
+      shadow_->check_sync_dma(src_ldm, n * sizeof(T), false, "dma_put");
+    }
     dma_fault_check("dma_put");
     std::memcpy(dst_mem, src_ldm, n * sizeof(T));
     counters_.dma_bytes += static_cast<double>(n * sizeof(T));
     counters_.dma_transfers += 1.0;
+  }
+
+  // Charges an async DMA issue: the fault-injection retry loop plus the
+  // byte/transfer counters, without the copy. Deferred (checked-mode)
+  // transfers go through here exactly once — an injected sunway.dma.fail
+  // retry charges the engine again but must not re-register the
+  // in-flight record.
+  void dma_charge_async(const char* op, std::size_t bytes) {
+    dma_fault_check(op);
+    counters_.dma_bytes += static_cast<double>(bytes);
+    counters_.dma_transfers += 1.0;
+  }
+
+  // Compute-access annotations for LDM tiles: free in unchecked mode; in
+  // checked mode they catch reads of un-waited in-flight data and tile
+  // overruns from kernel loops (the combine ops of Algorithm 3 call
+  // these).
+  void check_ldm_read(const void* p, std::size_t bytes,
+                      const char* what = "ldm read") {
+    if (shadow_) shadow_->check_access(p, bytes, false, what);
+  }
+  void check_ldm_write(const void* p, std::size_t bytes,
+                       const char* what = "ldm write") {
+    if (shadow_) shadow_->check_access(p, bytes, true, what);
   }
 
   void charge_flops(double n) { counters_.flops += n; }
@@ -93,7 +138,12 @@ class CpeContext {
     return {lo, hi};
   }
 
-  void finish() { counters_.ldm_peak = ldm_.peak(); }
+  void finish() {
+    // Checked mode: a transfer still in flight here means its dma_wait
+    // never ran — report before the context (and its shadow) dies.
+    if (shadow_) shadow_->verify_quiesced();
+    counters_.ldm_peak = ldm_.peak();
+  }
 
  private:
   static constexpr int kMaxDmaRetries = 8;
@@ -117,6 +167,7 @@ class CpeContext {
   int n_cpes_;
   LdmArena ldm_;
   CpeCounters counters_;
+  std::unique_ptr<check::CpeShadow> shadow_;
 };
 
 class CpeCluster {
@@ -127,7 +178,10 @@ class CpeCluster {
   // run() calls until reset(). A CPE the injector kills (sunway.cpe.death)
   // is skipped permanently; its logical runs are adopted by survivors and
   // charged to the adopter's counters.
+  // The named overload attributes checker violations to `name` (kernel1,
+  // kernel2, n1, H1, ...).
   void run(const std::function<void(CpeContext&)>& kernel);
+  void run(const char* name, const std::function<void(CpeContext&)>& kernel);
 
   void reset();
 

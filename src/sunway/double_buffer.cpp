@@ -4,6 +4,22 @@
 
 namespace swraman::sunway {
 
+namespace {
+
+// Algorithm 3's combine touches two LDM ranges; annotate them so checked
+// mode catches a combine racing an un-waited transfer (the classic
+// missing-dma_wait pipeline bug). Unchecked cost: one predicted branch.
+void checked_combine(CpeContext& ctx, const CombineOp& op, double* dst,
+                     const double* src, std::size_t n) {
+  if (ctx.checked()) {
+    ctx.check_ldm_write(dst, n * sizeof(double), "combine dst");
+    ctx.check_ldm_read(src, n * sizeof(double), "combine src");
+  }
+  op(dst, src, n);
+}
+
+}  // namespace
+
 std::size_t reduce_local_pipelined(CpeContext& ctx, double* dst,
                                    const double* src, std::size_t count,
                                    std::size_t ldm_buf_doubles,
@@ -43,7 +59,7 @@ std::size_t reduce_local_pipelined(CpeContext& ctx, double* dst,
     const double* tmpsrc = src + transferred;
     dma_get_async(ctx, next, tmpdst, blk, reply);           // line 21
     dma_get_async(ctx, next + blk, tmpsrc, blk, reply);     // line 22
-    op(cur, cur + blk, blk);                                // line 23
+    checked_combine(ctx, op, cur, cur + blk, blk);          // line 23
     dma_put_async(ctx, cur, dst + transferred - blk, blk, reply);  // 24
     transferred += blk;
     ++i;
@@ -54,7 +70,7 @@ std::size_t reduce_local_pipelined(CpeContext& ctx, double* dst,
   // Epilogue (lines 30-37): combine and flush the last full block.
   if (blks > 0) {
     dma_wait(reply, 3 * i - 1);
-    op(cur, cur + blk, blk);
+    checked_combine(ctx, op, cur, cur + blk, blk);
     ctx.dma_put(cur, dst + transferred - blk, blk);
     ++stages;
   }
@@ -65,7 +81,7 @@ std::size_t reduce_local_pipelined(CpeContext& ctx, double* dst,
   if (tail > 0) {
     ctx.dma_get(buf_a, dst + blks * blk, tail);
     ctx.dma_get(buf_a + blk, src + blks * blk, tail);
-    op(buf_a, buf_a + blk, tail);
+    checked_combine(ctx, op, buf_a, buf_a + blk, tail);
     ctx.dma_put(buf_a, dst + blks * blk, tail);
     ++stages;
   }

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <functional>
+#include <string>
 
 #include "sunway/cpe_cluster.hpp"
 
@@ -22,11 +24,23 @@ struct ReplyWord {
   int value = 0;
 };
 
-// Asynchronous copy with reply accounting (completes immediately in the
-// functional model but is charged as one DMA transaction).
+// Asynchronous copy with reply accounting. Unchecked: completes
+// immediately (functional model) but is charged as one DMA transaction.
+// Checked mode (SWRAMAN_CHECK=1): the transfer is genuinely deferred —
+// an in-flight record is enqueued (validated against the tile registry
+// and every other pending transfer) and the copy materializes only when
+// dma_wait reaches it, so a missing wait produces a hard checker error
+// here instead of silent corruption on hardware.
 template <typename T>
 void dma_get_async(CpeContext& ctx, T* dst_ldm, const T* src_mem,
                    std::size_t n, ReplyWord& reply) {
+  if (check::CpeShadow* sh = ctx.shadow()) {
+    ctx.dma_charge_async("dma_get", n * sizeof(T));
+    sh->enqueue(true, dst_ldm, n * sizeof(T), reply, [dst_ldm, src_mem, n] {
+      std::memcpy(dst_ldm, src_mem, n * sizeof(T));
+    });
+    return;
+  }
   ctx.dma_get(dst_ldm, src_mem, n);
   ++reply.value;
 }
@@ -34,15 +48,33 @@ void dma_get_async(CpeContext& ctx, T* dst_ldm, const T* src_mem,
 template <typename T>
 void dma_put_async(CpeContext& ctx, const T* src_ldm, T* dst_mem,
                    std::size_t n, ReplyWord& reply) {
+  if (check::CpeShadow* sh = ctx.shadow()) {
+    ctx.dma_charge_async("dma_put", n * sizeof(T));
+    sh->enqueue(false, src_ldm, n * sizeof(T), reply, [src_ldm, dst_mem, n] {
+      std::memcpy(dst_mem, src_ldm, n * sizeof(T));
+    });
+    return;
+  }
   ctx.dma_put(src_ldm, dst_mem, n);
   ++reply.value;
 }
 
-inline void dma_wait(const ReplyWord& reply, int expected) {
+inline void dma_wait(ReplyWord& reply, int expected) {
+  // Checked mode: materialize deferred transfers up to `expected`, flag
+  // an over-incremented reply word (value > expected — a stale wait) and
+  // a wait no pending transfer can ever satisfy.
+  if (check::enabled()) {
+    if (check::CpeShadow* sh = check::CpeShadow::current()) {
+      sh->wait(reply, expected);
+      return;
+    }
+  }
   // Hardware: spin on the reply word. Functional: transfers are already
   // complete; assert the protocol was respected.
   SWRAMAN_REQUIRE(reply.value >= expected,
-                  "dma_wait: reply word behind schedule — pipeline bug");
+                  "dma_wait: reply word behind schedule (value=" +
+                      std::to_string(reply.value) + ", expected=" +
+                      std::to_string(expected) + ") — pipeline bug");
 }
 
 // Element-wise combine used by the reduction (Op in Algorithm 3).

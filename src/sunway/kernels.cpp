@@ -164,7 +164,7 @@ void real_space_potential_cpe(CpeCluster& cluster, const CsiTables& tables,
                               ExecMode mode) {
   SWRAMAN_TRACE_SPAN(span, "sunway.kernel1");
   const CpeCounters before = cluster.total();
-  cluster.run([&](CpeContext& ctx) {
+  cluster.run("kernel1", [&](CpeContext& ctx) {
     const auto [lo, hi] = ctx.my_slice(n);
     if (lo >= hi) return;
     // Tile the point slice through LDM: coordinates in, potentials out.
@@ -247,7 +247,7 @@ void reciprocal_potential_cpe(CpeCluster& cluster,
   SWRAMAN_TRACE_SPAN(span, "sunway.kernel2");
   const CpeCounters before = cluster.total();
   const std::size_t m = tables.g.size();
-  cluster.run([&](CpeContext& ctx) {
+  cluster.run("kernel2", [&](CpeContext& ctx) {
     const auto [lo, hi] = ctx.my_slice(n);
     if (lo >= hi) return;
     ctx.ldm().reset();
@@ -297,7 +297,7 @@ KernelWorkload run_density_batches(CpeCluster& cluster,
   SWRAMAN_TRACE_SPAN(span, "sunway.n1");
   const CpeCounters before = cluster.total();
   double elements = 0.0;
-  cluster.run([&](CpeContext& ctx) {
+  cluster.run("n1", [&](CpeContext& ctx) {
     for (std::size_t b = ctx.id(); b < batches.size();
          b += static_cast<std::size_t>(ctx.n_cpes())) {
       const BatchShape& sh = batches[b];
@@ -333,7 +333,7 @@ KernelWorkload run_hamiltonian_batches(CpeCluster& cluster,
   SWRAMAN_TRACE_SPAN(span, "sunway.h1");
   const CpeCounters before = cluster.total();
   double elements = 0.0;
-  cluster.run([&](CpeContext& ctx) {
+  cluster.run("H1", [&](CpeContext& ctx) {
     for (std::size_t b = ctx.id(); b < batches.size();
          b += static_cast<std::size_t>(ctx.n_cpes())) {
       const BatchShape& sh = batches[b];

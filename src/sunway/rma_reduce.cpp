@@ -1,12 +1,14 @@
 #include "sunway/rma_reduce.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "obs/obs.hpp"
 #include "robustness/fault.hpp"
+#include "sunway/check/shadow.hpp"
 
 namespace swraman::sunway {
 
@@ -49,6 +51,14 @@ RmaReduceStats rma_array_reduction(
   }
   RmaReduceStats stats;
 
+  // Checked mode: account every mailbox send against the owner's drain
+  // so a message delivered but never consumed — silently lost updates on
+  // hardware — is reported at the end.
+  std::unique_ptr<check::RmaMeshChecker> mesh;
+  if (check::enabled()) {
+    mesh = std::make_unique<check::RmaMeshChecker>(n_cpes);
+  }
+
   // Ownership ranges: CPE o owns [o*n/n_cpes, (o+1)*n/n_cpes).
   const auto range_lo = [&](std::size_t o) { return o * n / n_cpes; };
   const auto owner_of = [&](std::size_t idx) {
@@ -82,6 +92,9 @@ RmaReduceStats rma_array_reduction(
       if (attempt >= kMaxRmaAttempts) {
         fault::FaultInjector::raise(fault::kRmaDrop);
       }
+    }
+    if (mesh) {
+      mesh->record_send(src, dst, buf.size() * sizeof(Contribution));
     }
     inbox[dst].insert(inbox[dst].end(), buf.begin(), buf.end());
     buf.clear();
@@ -142,7 +155,9 @@ RmaReduceStats rma_array_reduction(
       stats.updates += 1.0;
     }
     flush();
+    if (mesh) mesh->record_drain(o);
   }
+  if (mesh) mesh->verify("rma_array_reduction");
   if (span.active()) {
     span.attr("rma_messages", stats.rma_messages);
     span.attr("rma_bytes", stats.rma_bytes);

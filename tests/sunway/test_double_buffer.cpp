@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "sunway/check/check.hpp"
 
 namespace swraman::sunway {
 namespace {
@@ -82,11 +83,24 @@ TEST(Pipeline, ReplyWordProtocol) {
   ctx.ldm().reset();
   double* tile = ctx.ldm().allocate<double>(8);
   dma_get_async(ctx, tile, host.data(), 8, reply);
-  EXPECT_EQ(reply.value, 1);
-  EXPECT_NO_THROW(dma_wait(reply, 1));
-  EXPECT_THROW(dma_wait(reply, 2), Error);
-  dma_put_async(ctx, tile, host.data(), 8, reply);
-  EXPECT_EQ(reply.value, 2);
+  if (check::enabled()) {
+    // Checked mode (SWRAMAN_CHECK=1) genuinely defers: the reply word
+    // advances when dma_wait materializes the transfer, and a wait that
+    // exceeds the issued count is an unreachable-wait violation.
+    EXPECT_EQ(reply.value, 0);
+    EXPECT_NO_THROW(dma_wait(reply, 1));
+    EXPECT_EQ(reply.value, 1);
+    EXPECT_THROW(dma_wait(reply, 2), Error);
+    dma_put_async(ctx, tile, host.data(), 8, reply);
+    EXPECT_NO_THROW(dma_wait(reply, 2));
+    EXPECT_EQ(reply.value, 2);
+  } else {
+    EXPECT_EQ(reply.value, 1);
+    EXPECT_NO_THROW(dma_wait(reply, 1));
+    EXPECT_THROW(dma_wait(reply, 2), Error);
+    dma_put_async(ctx, tile, host.data(), 8, reply);
+    EXPECT_EQ(reply.value, 2);
+  }
 }
 
 }  // namespace
