@@ -2,8 +2,13 @@
 // kernels on this host — the vectorized CSI polynomial evaluation (paper
 // Fig. 7), the Allreduce algorithm variants on the thread-rank runtime,
 // and the RMA distributed array reduction vs the serial baseline.
+//
+// --json <file> writes the results as google-benchmark JSON (shorthand for
+// --benchmark_out=<file> --benchmark_out_format=json).
 
+#include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -47,16 +52,23 @@ void BM_Allreduce(benchmark::State& state) {
   const auto algo =
       static_cast<parallel::AllreduceAlgorithm>(state.range(0));
   const std::size_t n = static_cast<std::size_t>(state.range(1));
+  parallel::CommConfig cfg;
+  cfg.node_size = 2;  // 4 ranks -> two node groups on the hierarchical path
   for (auto _ : state) {
-    parallel::run_spmd(4, [&](parallel::Communicator& comm) {
-      std::vector<double> data(n, static_cast<double>(comm.rank()));
-      comm.allreduce(data, algo);
-      benchmark::DoNotOptimize(data.data());
-    });
+    parallel::run_spmd(
+        4,
+        [&](parallel::Communicator& comm) {
+          std::vector<double> data(n, static_cast<double>(comm.rank()));
+          comm.allreduce(data, algo);
+          benchmark::DoNotOptimize(data.data());
+        },
+        cfg);
   }
 }
+// All AllreduceAlgorithm values: Linear, Ring, RecursiveDoubling,
+// ReduceScatterAllgather, CpePipelined, Hierarchical, Auto.
 BENCHMARK(BM_Allreduce)
-    ->ArgsProduct({{0, 1, 2, 3, 4}, {1024, 65536}})
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {1024, 65536}})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_RmaReduction(benchmark::State& state) {
@@ -101,4 +113,28 @@ BENCHMARK(BM_SerialReduction)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Translate --json <file> into google-benchmark's output flags before
+  // Initialize() consumes the argument vector.
+  std::vector<char*> args;
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[i + 1];
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int n_args = static_cast<int>(args.size());
+  benchmark::Initialize(&n_args, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n_args, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

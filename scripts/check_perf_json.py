@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Validate a swraman_perf.json report (and optionally a Chrome trace).
+"""Validate a swraman perf/bench JSON report (and optionally a Chrome trace).
 
-Usage: check_perf_json.py PERF_JSON [CHROME_TRACE_JSON]
+Usage: check_perf_json.py JSON_FILE [CHROME_TRACE_JSON]
 
-Exits non-zero with a diagnostic if the file does not conform to the
-"swraman-perf-v1" schema emitted by src/obs/report.cpp.  Used by
-scripts/tier1.sh after the traced smoke run.
+The schema is autodetected from the top-level "schema" field:
+  swraman-perf-v1    the tracing report emitted by src/obs/report.cpp
+  swraman-bench-v1   benchmark series emitted by bench/*.cpp --json
+
+Exits non-zero with a diagnostic on any violation.  Used by
+scripts/tier1.sh after the traced smoke run and the bench smoke run.
 """
 
 import json
@@ -17,12 +20,40 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def check_bench(path: str, doc: dict) -> None:
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail(f"{path}: bench must be a non-empty string")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        fail(f"{path}: records must be a non-empty array")
+    series = set()
+    for i, r in enumerate(records):
+        if not isinstance(r.get("series"), str) or not r["series"]:
+            fail(f"{path}: records[{i}] series must be a non-empty string")
+        series.add(r["series"])
+        if not isinstance(r.get("ranks"), int) or r["ranks"] < 1:
+            fail(f"{path}: records[{i}] ranks must be a positive integer")
+        for key in ("bytes", "seconds"):
+            if not isinstance(r.get(key), (int, float)) or r[key] < 0:
+                fail(f"{path}: records[{i}] {key} must be a non-negative number")
+        if "cycles" in r and (not isinstance(r["cycles"], (int, float))
+                              or r["cycles"] < 0):
+            fail(f"{path}: records[{i}] cycles must be a non-negative number")
+    print(f"check_perf_json: {path}: OK "
+          f"(bench {doc['bench']!r}, {len(records)} records, "
+          f"{len(series)} series)")
+
+
 def check_perf(path: str) -> None:
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
 
+    if doc.get("schema") == "swraman-bench-v1":
+        check_bench(path, doc)
+        return
     if doc.get("schema") != "swraman-perf-v1":
-        fail(f"{path}: schema is {doc.get('schema')!r}, expected 'swraman-perf-v1'")
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected "
+             f"'swraman-perf-v1' or 'swraman-bench-v1'")
     if not isinstance(doc.get("total_wall_s"), (int, float)) or doc["total_wall_s"] <= 0:
         fail(f"{path}: total_wall_s must be a positive number")
     if not isinstance(doc.get("spans"), int) or doc["spans"] <= 0:

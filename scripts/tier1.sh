@@ -47,6 +47,16 @@ SWRAMAN_TRACE=1 \
 python3 scripts/check_perf_json.py \
   "${SMOKE_DIR}/swraman_perf.json" "${SMOKE_DIR}/swraman_trace.json"
 
+echo "== tier-1: bench smoke (fig15 acceptance gate + JSON) =="
+# The bench itself enforces the hierarchical-allreduce acceptance criteria
+# (>= 1.5x over flat RSAG, >= 50% overlap-hidden) and exits non-zero on
+# regression; the emitted swraman-bench-v1 series is validated and kept as
+# the repo's reference curve.
+./build/bench/bench_fig15_allreduce --json "${SMOKE_DIR}/BENCH_fig15.json" \
+  >/dev/null
+python3 scripts/check_perf_json.py "${SMOKE_DIR}/BENCH_fig15.json"
+cp "${SMOKE_DIR}/BENCH_fig15.json" BENCH_fig15.json
+
 if [ "${SANITIZER}" != "none" ]; then
   echo "== tier-1: robustness suite under -fsanitize=${SANITIZER} =="
   cmake -B "build-${SANITIZER}" -S . \

@@ -35,11 +35,20 @@ DfptEngine::DfptEngine(const scf::ScfEngine& scf,
                        DfptOptions options)
     : scf_(scf), gs_(ground_state), options_(options) {
   SWRAMAN_REQUIRE(gs_.converged, "DfptEngine: ground state not converged");
+  // Pipelined setup: axis k's cross-rank reduction runs while axis k+1's
+  // local integration executes, and the ground-state density reduction
+  // overlaps all three dipole waits.
+  std::function<void()> wait_dipole[3];
   for (int axis = 0; axis < 3; ++axis) {
-    dipole_[static_cast<std::size_t>(axis)] = scf_.dipole_matrix(axis);
+    wait_dipole[axis] = scf_.dipole_matrix_async(
+        axis, &dipole_[static_cast<std::size_t>(axis)]);
   }
+  std::vector<double> n;
+  const std::function<void()> wait_n =
+      scf_.density_on_grid_async(gs_.density, &n);
+  for (auto& wait : wait_dipole) wait();
+  wait_n();
   // XC response kernel at the ground-state density.
-  const std::vector<double> n = scf_.density_on_grid(gs_.density);
   fxc_.resize(n.size());
   for (std::size_t p = 0; p < n.size(); ++p) {
     fxc_[p] = xc::evaluate(scf_.options().functional, n[p]).f;
@@ -103,6 +112,20 @@ ResponseResult DfptEngine::solve_response_attempt(int axis, int attempt,
   res.p1 = linalg::Matrix(nbf, nbf);
   linalg::Matrix h1 = d;  // first cycle: bare perturbation
 
+  // Occupied/virtual coefficient blocks are iteration-invariant.
+  linalg::Matrix c_vir(nbf, vir.size());
+  for (std::size_t a = 0; a < vir.size(); ++a) {
+    for (std::size_t mu = 0; mu < nbf; ++mu) {
+      c_vir(mu, a) = c(mu, vir[a]);
+    }
+  }
+  linalg::Matrix c_occ(nbf, occ.size());
+  for (std::size_t i = 0; i < occ.size(); ++i) {
+    for (std::size_t mu = 0; mu < nbf; ++mu) {
+      c_occ(mu, i) = c(mu, occ[i]);
+    }
+  }
+
   std::deque<linalg::Matrix> hist_p;
   std::deque<linalg::Matrix> hist_r;
   Timer timer;
@@ -133,18 +156,6 @@ ResponseResult DfptEngine::solve_response_attempt(int axis, int attempt,
           if (std::abs(delta) < 1e-8 || std::abs(denom2) < 1e-10) continue;
           u(a, i) =
               g(vir[a], occ[i]) * delta / denom2 * gs_.occupations[occ[i]];
-        }
-      }
-      linalg::Matrix c_vir(nbf, vir.size());
-      for (std::size_t a = 0; a < vir.size(); ++a) {
-        for (std::size_t mu = 0; mu < nbf; ++mu) {
-          c_vir(mu, a) = c(mu, vir[a]);
-        }
-      }
-      linalg::Matrix c_occ(nbf, occ.size());
-      for (std::size_t i = 0; i < occ.size(); ++i) {
-        for (std::size_t mu = 0; mu < nbf; ++mu) {
-          c_occ(mu, i) = c(mu, occ[i]);
         }
       }
       const linalg::Matrix w = c_vir * u;
@@ -243,11 +254,17 @@ ResponseResult DfptEngine::solve_response_attempt(int axis, int attempt,
     }
     times_.v1 += timer.seconds();
 
-    // --- Kernel H1: response Hamiltonian.
+    // --- Kernel H1: response Hamiltonian. The matrix-element reduction is
+    // started first; rebuilding h1 from the bare perturbation overlaps it.
     timer.reset();
     {
       SWRAMAN_TRACE_SCOPE("dfpt.h1");
-      h1 = d + scf_.integrate_matrix(v1);
+      linalg::Matrix m1;
+      const std::function<void()> wait_m1 =
+          scf_.integrate_matrix_async(v1, &m1);
+      h1 = d;
+      wait_m1();
+      h1 += m1;
     }
     times_.h1 += timer.seconds();
 

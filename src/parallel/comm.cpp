@@ -1,23 +1,61 @@
 #include "parallel/comm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <chrono>
 #include <exception>
 #include <thread>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "obs/obs.hpp"
+#include "parallel/allreduce_select.hpp"
 #include "robustness/fault.hpp"
+#include "sunway/check/check.hpp"
+#include "sunway/rma_reduce.hpp"
 
 namespace swraman::parallel {
 
+namespace {
+
+// Tag layout of one collective operation: every collective draws a tag
+// base on the calling thread and adds a small per-message offset, so
+// concurrently running collectives (blocking + any number of in-flight
+// iallreduce operations) never share a mailbox key. Bases stride by 2^15,
+// offsets stay below it, and every derived tag is negative — user tags
+// (>= 0 by convention) are untouched.
+constexpr int kTagStride = 1 << 15;
+constexpr int kOffBroadcast = 0;
+constexpr int kOffLinearGather = 1;
+constexpr int kOffRdFold = 2;
+constexpr int kOffRdUnfold = 3;
+constexpr int kOffGatherFallback = 4;
+constexpr int kOffHierGather = 5;
+constexpr int kOffHierBcast = 6;
+constexpr int kOffRdMask = 200;    // + log2(mask)
+constexpr int kOffRsagHalve = 300; // + log2(mask)
+constexpr int kOffRsagDouble = 400;
+constexpr int kOffRing = 1000;     // + step (reduce-scatter), + p-1 (gather)
+
+int bit_index(std::size_t mask) {
+  return std::countr_zero(mask);
+}
+
+void sleep_s(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
 // Shared state of one communicator: mailboxes keyed by (src, dst, tag),
-// a generation-counting barrier, and scratch used by split().
+// a generation-counting barrier, per-rank collective sequence counters,
+// and scratch used by split().
 class CommContext {
  public:
   explicit CommContext(std::size_t n, CommConfig config = {})
-      : n_(n), config_(config), split_colors_(n, 0) {}
+      : n_(n), config_(config), split_colors_(n, 0), op_seq_(n, 0) {}
 
   [[nodiscard]] std::size_t size() const { return n_; }
   [[nodiscard]] const CommConfig& config() const { return config_; }
@@ -60,6 +98,15 @@ class CommContext {
     }
   }
 
+  // Per-rank collective-operation counter. Called only from the rank's own
+  // (calling) thread — never from iallreduce communication threads — so
+  // every rank assigns the same sequence number to the same collective as
+  // long as collectives are issued in identical program order.
+  int next_tag_base(std::size_t rank) {
+    const std::uint64_t seq = op_seq_[rank]++;
+    return -static_cast<int>(1 + seq % 60000) * kTagStride;
+  }
+
   // Collective split: every rank posts its color; the call returns the
   // shared child context plus this rank's position within its color group.
   std::pair<std::shared_ptr<CommContext>, std::size_t> split(
@@ -70,9 +117,7 @@ class CommContext {
     if (++split_count_ == n_) {
       split_children_.clear();
       for (std::size_t r = 0; r < n_; ++r) {
-        auto& group = split_children_[split_colors_[r]];
-        if (group.ctx == nullptr) group.ctx = nullptr;  // created below
-        group.members.push_back(r);
+        split_children_[split_colors_[r]].members.push_back(r);
       }
       for (auto& [c, group] : split_children_) {
         group.ctx =
@@ -92,10 +137,14 @@ class CommContext {
   }
 
  private:
+  // Collision-free packing for < 65536 ranks and any 32-bit tag. (The
+  // previous XOR packing aliased tag bits 16..31 into the dst field, which
+  // the per-operation tag bases introduced for concurrent collectives
+  // would trip over.)
   static std::uint64_t key(std::size_t src, std::size_t dst, int tag) {
-    return (static_cast<std::uint64_t>(src) << 40) ^
-           (static_cast<std::uint64_t>(dst) << 16) ^
-           static_cast<std::uint64_t>(static_cast<unsigned>(tag));
+    return ((static_cast<std::uint64_t>(src) & 0xFFFF) << 48) |
+           ((static_cast<std::uint64_t>(dst) & 0xFFFF) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
   }
 
   struct SplitGroup {
@@ -114,6 +163,21 @@ class CommContext {
   std::size_t split_count_ = 0;
   std::size_t split_gen_ = 0;
   std::map<int, SplitGroup> split_children_;
+  std::vector<std::uint64_t> op_seq_;
+};
+
+// Cached two-level topology (DESIGN.md S10): the node group of
+// config().node_size consecutive ranks this rank belongs to, and the
+// cross-node communicator of the group leaders. Built collectively by
+// ensure_hierarchy() on the calling thread; iallreduce communication
+// threads only reuse it.
+struct Hierarchy {
+  std::size_t node_size = 1;
+  std::size_t node = 0;
+  bool leader = false;
+  std::size_t n_groups = 1;
+  Communicator intra;    // ranks of my node group (leader = intra rank 0)
+  Communicator leaders;  // group leaders (meaningful only when leader)
 };
 
 Communicator::Communicator(std::shared_ptr<CommContext> ctx, std::size_t rank)
@@ -123,13 +187,7 @@ std::size_t Communicator::size() const { return ctx_->size(); }
 
 const CommConfig& Communicator::config() const { return ctx_->config(); }
 
-namespace {
-
-void sleep_s(double seconds) {
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-}
-
-}  // namespace
+int Communicator::next_tag_base() { return ctx_->next_tag_base(rank_); }
 
 void Communicator::barrier() {
   // Injected rank stall: this rank arrives late; the others tolerate the
@@ -196,18 +254,22 @@ std::vector<double> Communicator::recv(std::size_t src, int tag) {
                      std::to_string(cfg.recv_retries + 1) + " waits");
 }
 
-void Communicator::broadcast(std::vector<double>& data, std::size_t root) {
+void Communicator::broadcast_with_tag(std::vector<double>& data,
+                                      std::size_t root, int tag) {
   if (size() == 1) return;
   if (rank_ == root) {
     for (std::size_t r = 0; r < size(); ++r) {
-      if (r != root) send(r, data, -101);
+      if (r != root) send(r, data, tag);
     }
   } else {
-    data = recv(root, -101);
+    data = recv(root, tag);
   }
 }
 
-namespace {
+void Communicator::broadcast(std::vector<double>& data, std::size_t root) {
+  if (size() == 1) return;
+  broadcast_with_tag(data, root, next_tag_base() + kOffBroadcast);
+}
 
 const char* allreduce_algorithm_name(AllreduceAlgorithm a) {
   switch (a) {
@@ -221,18 +283,52 @@ const char* allreduce_algorithm_name(AllreduceAlgorithm a) {
       return "rsag";
     case AllreduceAlgorithm::CpePipelined:
       return "cpe_pipelined";
+    case AllreduceAlgorithm::Hierarchical:
+      return "hierarchical";
+    case AllreduceAlgorithm::Auto:
+      return "auto";
   }
   return "?";
 }
 
-}  // namespace
+AllreduceAlgorithm Communicator::resolve_algorithm(AllreduceAlgorithm a,
+                                                   std::size_t n) const {
+  if (a != AllreduceAlgorithm::Auto) return a;
+  // The selection inputs (payload, rank count, node_size, static arch
+  // parameters) are identical on every rank, so every rank resolves Auto
+  // to the same concrete algorithm without communicating.
+  const AllreduceChoice choice = select_allreduce(
+      static_cast<double>(n * sizeof(double)), size(), config().node_size);
+  return choice.algorithm;
+}
+
+void Communicator::ensure_hierarchy() {
+  const std::size_t p = size();
+  const std::size_t m = std::clamp<std::size_t>(config().node_size, 1, p);
+  if (hierarchy_ != nullptr && hierarchy_->node_size == m) return;
+  // Collective: both split() calls must be reached by every rank.
+  Communicator intra = split(static_cast<int>(rank_ / m));
+  const bool leader = intra.rank() == 0;
+  Communicator leaders = split(leader ? 0 : 1);
+  hierarchy_ = std::make_shared<Hierarchy>(
+      Hierarchy{m, rank_ / m, leader, (p + m - 1) / m, std::move(intra),
+                std::move(leaders)});
+}
 
 void Communicator::allreduce(std::vector<double>& data,
                              AllreduceAlgorithm algorithm) {
-  if (size() == 1) return;
+  if (size() == 1 || data.empty()) return;
+  const AllreduceAlgorithm chosen = resolve_algorithm(algorithm, data.size());
+  if (chosen == AllreduceAlgorithm::Hierarchical) ensure_hierarchy();
+  allreduce_with_base(data, chosen, next_tag_base());
+}
+
+void Communicator::allreduce_with_base(std::vector<double>& data,
+                                       AllreduceAlgorithm algorithm,
+                                       int tag_base) {
   SWRAMAN_TRACE_SPAN(span, "comm.allreduce");
+  const double bytes = static_cast<double>(data.size() * sizeof(double));
   if (span.active()) {
-    const double bytes = static_cast<double>(data.size() * sizeof(double));
     span.attr("algorithm", allreduce_algorithm_name(algorithm));
     span.attr("bytes", bytes);
     span.attr("ranks", static_cast<double>(size()));
@@ -242,20 +338,36 @@ void Communicator::allreduce(std::vector<double>& data,
   }
   switch (algorithm) {
     case AllreduceAlgorithm::Linear:
-      allreduce_linear(data);
+      allreduce_linear(data, tag_base);
       break;
     case AllreduceAlgorithm::Ring:
-      allreduce_ring(data);
+      allreduce_ring(data, tag_base);
       break;
     case AllreduceAlgorithm::RecursiveDoubling:
-      allreduce_recursive_doubling(data);
+      allreduce_recursive_doubling(data, tag_base);
       break;
     case AllreduceAlgorithm::ReduceScatterAllgather:
-      allreduce_rsag(data, false);
+      allreduce_rsag(data, false, tag_base);
       break;
     case AllreduceAlgorithm::CpePipelined:
-      allreduce_rsag(data, true);
+      allreduce_rsag(data, true, tag_base);
       break;
+    case AllreduceAlgorithm::Hierarchical:
+      allreduce_hierarchical(data, tag_base);
+      break;
+    case AllreduceAlgorithm::Auto:
+      // Resolved by the caller; reaching here is a logic error.
+      SWRAMAN_REQUIRE(false, "allreduce: Auto must be resolved before dispatch");
+      break;
+  }
+  if (obs::enabled()) {
+    // Machine-time accounting: what this exchange costs on the modeled
+    // SW26010Pro network, in whole MPE cycles (integer-valued so counter
+    // sums stay exact and run-to-run deterministic).
+    const double cycles = modeled_allreduce_cycles(
+        algorithm, bytes, size(), config().node_size);
+    obs::count("comm.allreduce.modeled_cycles", cycles);
+    if (span.active()) span.attr("modeled_cycles", cycles);
   }
 }
 
@@ -283,24 +395,27 @@ void reduce_into_pipelined(std::vector<double>& acc,
 
 }  // namespace
 
-void Communicator::allreduce_linear(std::vector<double>& data) {
+// Reduction order: rank 0 folds contributions in ascending rank order
+// (((x0 + x1) + x2) + ...), bitwise identical to a serial loop over ranks
+// — the reference order the property suite pins the other algorithms to.
+void Communicator::allreduce_linear(std::vector<double>& data, int tag_base) {
+  const int tag = tag_base + kOffLinearGather;
   if (rank_ == 0) {
     for (std::size_t r = 1; r < size(); ++r) {
-      reduce_into(data, recv(r, -201));
+      reduce_into(data, recv(r, tag));
     }
   } else {
-    send(0, data, -201);
+    send(0, data, tag);
   }
-  broadcast(data, 0);
+  broadcast_with_tag(data, 0, tag_base + kOffBroadcast);
 }
 
-void Communicator::allreduce_ring(std::vector<double>& data) {
+void Communicator::allreduce_ring(std::vector<double>& data, int tag_base) {
   const std::size_t p = size();
   const std::size_t n = data.size();
-  if (n == 0) {
-    barrier();
-    return;
-  }
+  if (n == 0) return;  // empty allreduce is a no-op, not a barrier
+  SWRAMAN_REQUIRE(kOffRing + 2 * p < static_cast<std::size_t>(kTagStride),
+                  "allreduce_ring: rank count exceeds tag window");
   // Chunk boundaries.
   const auto lo = [&](std::size_t c) { return c * n / p; };
   const auto hi = [&](std::size_t c) { return (c + 1) * n / p; };
@@ -312,11 +427,11 @@ void Communicator::allreduce_ring(std::vector<double>& data) {
   for (std::size_t step = 0; step < p - 1; ++step) {
     const std::size_t send_chunk = (rank_ + p - step) % p;
     const std::size_t recv_chunk = (rank_ + p - step - 1) % p;
+    const int tag = tag_base + kOffRing + static_cast<int>(step);
     std::vector<double> out(data.begin() + static_cast<long>(lo(send_chunk)),
                             data.begin() + static_cast<long>(hi(send_chunk)));
-    send(next, out, -300 - static_cast<int>(step));
-    const std::vector<double> in =
-        recv(prev, -300 - static_cast<int>(step));
+    send(next, out, tag);
+    const std::vector<double> in = recv(prev, tag);
     for (std::size_t i = 0; i < in.size(); ++i) {
       data[lo(recv_chunk) + i] += in[i];
     }
@@ -325,17 +440,19 @@ void Communicator::allreduce_ring(std::vector<double>& data) {
   for (std::size_t step = 0; step < p - 1; ++step) {
     const std::size_t send_chunk = (rank_ + 1 + p - step) % p;
     const std::size_t recv_chunk = (rank_ + p - step) % p;
+    const int tag =
+        tag_base + kOffRing + static_cast<int>(p - 1 + step);
     std::vector<double> out(data.begin() + static_cast<long>(lo(send_chunk)),
                             data.begin() + static_cast<long>(hi(send_chunk)));
-    send(next, out, -400 - static_cast<int>(step));
-    const std::vector<double> in =
-        recv(prev, -400 - static_cast<int>(step));
+    send(next, out, tag);
+    const std::vector<double> in = recv(prev, tag);
     std::copy(in.begin(), in.end(),
               data.begin() + static_cast<long>(lo(recv_chunk)));
   }
 }
 
-void Communicator::allreduce_recursive_doubling(std::vector<double>& data) {
+void Communicator::allreduce_recursive_doubling(std::vector<double>& data,
+                                                int tag_base) {
   const std::size_t p = size();
   // Fold the non-power-of-two remainder into the lower ranks first.
   std::size_t pof2 = 1;
@@ -345,10 +462,10 @@ void Communicator::allreduce_recursive_doubling(std::vector<double>& data) {
   long my_id = -1;  // id within the power-of-two group, -1 = folded out
   if (rank_ < 2 * rem) {
     if (rank_ % 2 == 0) {
-      send(rank_ + 1, data, -500);
+      send(rank_ + 1, data, tag_base + kOffRdFold);
       my_id = -1;
     } else {
-      reduce_into(data, recv(rank_ - 1, -500));
+      reduce_into(data, recv(rank_ - 1, tag_base + kOffRdFold));
       my_id = static_cast<long>(rank_ / 2);
     }
   } else {
@@ -362,22 +479,23 @@ void Communicator::allreduce_recursive_doubling(std::vector<double>& data) {
       const std::size_t partner_rank = partner_id < rem
                                            ? 2 * partner_id + 1
                                            : partner_id + rem;
-      send(partner_rank, data, -600 - static_cast<int>(mask));
-      reduce_into(data, recv(partner_rank, -600 - static_cast<int>(mask)));
+      const int tag = tag_base + kOffRdMask + bit_index(mask);
+      send(partner_rank, data, tag);
+      reduce_into(data, recv(partner_rank, tag));
     }
   }
 
   if (rank_ < 2 * rem) {
     if (rank_ % 2 == 1) {
-      send(rank_ - 1, data, -700);
+      send(rank_ - 1, data, tag_base + kOffRdUnfold);
     } else {
-      data = recv(rank_ + 1, -700);
+      data = recv(rank_ + 1, tag_base + kOffRdUnfold);
     }
   }
 }
 
 void Communicator::allreduce_rsag(std::vector<double>& data,
-                                  bool pipelined_local) {
+                                  bool pipelined_local, int tag_base) {
   const std::size_t p = size();
   const std::size_t n = data.size();
   const auto combine = pipelined_local ? reduce_into_pipelined : reduce_into;
@@ -390,12 +508,13 @@ void Communicator::allreduce_rsag(std::vector<double>& data,
   if (pof2 != p || n < p) {
     // Same communication volume class; local reductions go through the
     // (possibly pipelined) combine.
+    const int tag = tag_base + kOffGatherFallback;
     if (rank_ == 0) {
-      for (std::size_t r = 1; r < p; ++r) combine(data, recv(r, -801));
+      for (std::size_t r = 1; r < p; ++r) combine(data, recv(r, tag));
     } else {
-      send(0, data, -801);
+      send(0, data, tag);
     }
-    broadcast(data, 0);
+    broadcast_with_tag(data, 0, tag_base + kOffBroadcast);
     return;
   }
 
@@ -408,11 +527,11 @@ void Communicator::allreduce_rsag(std::vector<double>& data,
     const bool keep_low = (rank_ & mask) == 0;
     const std::size_t send_lo = keep_low ? mid : lo;
     const std::size_t send_hi = keep_low ? hi : mid;
+    const int tag = tag_base + kOffRsagHalve + bit_index(mask);
     std::vector<double> out(data.begin() + static_cast<long>(send_lo),
                             data.begin() + static_cast<long>(send_hi));
-    send(partner, out, -900 - static_cast<int>(mask));
-    const std::vector<double> in =
-        recv(partner, -900 - static_cast<int>(mask));
+    send(partner, out, tag);
+    const std::vector<double> in = recv(partner, tag);
     const std::size_t keep_lo = keep_low ? lo : mid;
     std::vector<double> window(data.begin() + static_cast<long>(keep_lo),
                                data.begin() +
@@ -430,11 +549,11 @@ void Communicator::allreduce_rsag(std::vector<double>& data,
   // Recursive doubling allgather: windows merge back.
   for (std::size_t mask = 1; mask < p; mask <<= 1) {
     const std::size_t partner = rank_ ^ mask;
+    const int tag = tag_base + kOffRsagDouble + bit_index(mask);
     std::vector<double> out(data.begin() + static_cast<long>(lo),
                             data.begin() + static_cast<long>(hi));
-    send(partner, out, -1000 - static_cast<int>(mask));
-    const std::vector<double> in =
-        recv(partner, -1000 - static_cast<int>(mask));
+    send(partner, out, tag);
+    const std::vector<double> in = recv(partner, tag);
     if ((rank_ & mask) == 0) {
       // Partner owned the upper half adjacent to ours.
       std::copy(in.begin(), in.end(), data.begin() + static_cast<long>(hi));
@@ -445,6 +564,191 @@ void Communicator::allreduce_rsag(std::vector<double>& data,
       lo -= in.size();
     }
   }
+}
+
+// Two-level topology-aware allreduce (paper Sec. 3.4 / Fig. 15, DESIGN.md
+// S10). Stage 1: every node group reduces onto its leader through the CPE
+// RMA mesh path — each member's vector becomes one mesh lane of
+// (index, value) contributions, and rma_array_reduction applies them
+// through its chunked LDM block-cache pipeline. Stage 2: the leaders run
+// Rabenseifner reduce-scatter + allgather (CPE-pipelined local combine)
+// across node groups. Stage 3: each leader broadcasts the global sum
+// inside its node. Reduction order therefore differs from Linear; results
+// agree within floating-point reassociation error.
+void Communicator::allreduce_hierarchical(std::vector<double>& data,
+                                          int tag_base) {
+  SWRAMAN_REQUIRE(hierarchy_ != nullptr,
+                  "allreduce_hierarchical: topology not built (Hierarchical "
+                  "dispatched without ensure_hierarchy)");
+  Hierarchy& h = *hierarchy_;
+  const std::size_t m = h.intra.size();
+  const std::size_t n = data.size();
+  const double bytes = static_cast<double>(n * sizeof(double));
+
+  // Stage 1: intra-node gather + RMA-mesh reduction onto the leader.
+  if (m > 1) {
+    const int tag = tag_base + kOffHierGather;
+    if (h.leader) {
+      std::vector<std::vector<sunway::Contribution>> lanes(m - 1);
+      for (std::size_t r = 1; r < m; ++r) {
+        const std::vector<double> in = h.intra.recv(r, tag);
+        SWRAMAN_REQUIRE(in.size() == n, "allreduce: size mismatch");
+        auto& lane = lanes[r - 1];
+        lane.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          lane[i] = sunway::Contribution{i, in[i]};
+        }
+      }
+      const sunway::RmaReduceStats stats =
+          sunway::rma_array_reduction(lanes, data);
+      if (obs::enabled()) {
+        // Both directions of intra-node traffic are charged by the leader
+        // (gather now, broadcast below) — integer byte counts, so the
+        // counters stay deterministic.
+        obs::count("comm.allreduce.intra.bytes",
+                   2.0 * static_cast<double>(m - 1) * bytes);
+        obs::count("comm.allreduce.intra.rma_messages", stats.rma_messages);
+        obs::count("comm.allreduce.intra.rma_bytes", stats.rma_bytes);
+      }
+    } else {
+      h.intra.send(0, data, tag);
+    }
+  }
+
+  // Stage 2: leaders reduce across node groups (Rabenseifner with the
+  // CPE-pipelined local combine — the paper's optimized inter-node path).
+  if (h.leader && h.leaders.size() > 1) {
+    h.leaders.allreduce_rsag(data, true, tag_base);
+    if (obs::enabled()) {
+      // Rabenseifner wire volume per rank: 2 (g-1)/g * payload.
+      const double g = static_cast<double>(h.leaders.size());
+      obs::count("comm.allreduce.inter.bytes",
+                 std::floor(2.0 * (g - 1.0) / g * bytes + 0.5));
+    }
+  }
+
+  // Stage 3: intra-node broadcast of the global sum.
+  if (m > 1) {
+    h.intra.broadcast_with_tag(data, 0, tag_base + kOffHierBcast);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Non-blocking allreduce.
+
+struct AllreduceRequest::State {
+  std::vector<double> data;
+  AllreduceAlgorithm algorithm = AllreduceAlgorithm::Linear;
+  std::thread worker;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> comm_done_ns{0};
+  std::uint64_t start_ns = 0;
+  std::exception_ptr error;
+  bool waited = false;
+
+  ~State() {
+    // The owning handle joins before releasing its reference (wait() or
+    // abandon()), so this is a backstop only — and it can never run on the
+    // worker thread, because the worker's own captured reference is
+    // released before join() returns.
+    if (worker.joinable()) worker.join();
+  }
+};
+
+void AllreduceRequest::abandon() noexcept {
+  if (state_ == nullptr || state_->waited) return;
+  // Always complete the exchange — peers block on our messages — then flag
+  // the protocol violation: a request that was never waited on threw its
+  // reduced data away. This runs on the owner thread so the violation is
+  // visible as soon as the handle is gone.
+  if (state_->worker.joinable()) state_->worker.join();
+  state_->waited = true;
+  obs::count("comm.iallreduce.abandoned");
+  if (state_->error != nullptr) {
+    log::warn("iallreduce: abandoned request also failed on its "
+              "communication thread; error dropped");
+  }
+  if (sunway::check::enabled()) {
+    sunway::check::note(sunway::check::kRuleCollAbandoned,
+                        "iallreduce request destroyed without wait(); "
+                        "algorithm=" +
+                            std::string(allreduce_algorithm_name(
+                                state_->algorithm)) +
+                            " payload_doubles=" +
+                            std::to_string(state_->data.size()));
+  }
+}
+
+AllreduceRequest::~AllreduceRequest() { abandon(); }
+
+AllreduceRequest& AllreduceRequest::operator=(
+    AllreduceRequest&& other) noexcept {
+  if (this != &other) {
+    abandon();
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+bool AllreduceRequest::test() const {
+  SWRAMAN_REQUIRE(state_ != nullptr, "AllreduceRequest::test: empty request");
+  return state_->done.load(std::memory_order_acquire);
+}
+
+std::vector<double> AllreduceRequest::wait() {
+  SWRAMAN_REQUIRE(state_ != nullptr, "AllreduceRequest::wait: empty request");
+  const std::shared_ptr<State> st = std::move(state_);
+  st->waited = true;
+  const std::uint64_t wait_begin_ns = obs::now_ns();
+  if (st->worker.joinable()) st->worker.join();
+  if (st->error != nullptr) std::rethrow_exception(st->error);
+  if (obs::enabled()) {
+    // Overlap = communication time that ran while the caller was doing
+    // other work; wait = time the caller stalled here. Wall-clock values,
+    // hence the _ns suffix — excluded from determinism comparisons.
+    const std::uint64_t done_ns =
+        std::max(st->comm_done_ns.load(std::memory_order_relaxed),
+                 st->start_ns);
+    const std::uint64_t overlap_end = std::min(done_ns, wait_begin_ns);
+    if (overlap_end > st->start_ns) {
+      obs::count("comm.allreduce.overlap_ns",
+                 static_cast<double>(overlap_end - st->start_ns));
+    }
+    if (done_ns > wait_begin_ns) {
+      obs::count("comm.allreduce.wait_ns",
+                 static_cast<double>(done_ns - wait_begin_ns));
+    }
+  }
+  return std::move(st->data);
+}
+
+AllreduceRequest Communicator::iallreduce(std::vector<double> data,
+                                          AllreduceAlgorithm algorithm) {
+  auto st = std::make_shared<AllreduceRequest::State>();
+  st->data = std::move(data);
+  st->algorithm = resolve_algorithm(algorithm, st->data.size());
+  st->start_ns = obs::now_ns();
+  obs::count("comm.iallreduce.calls");
+  if (size() == 1 || st->data.empty()) {
+    st->comm_done_ns.store(st->start_ns, std::memory_order_relaxed);
+    st->done.store(true, std::memory_order_release);
+    return AllreduceRequest(std::move(st));
+  }
+  // Collective-ordering work happens here, on the calling thread: Auto is
+  // already resolved, the hierarchy is built (two split()s), and the tag
+  // base is drawn. The communication thread only moves messages.
+  if (st->algorithm == AllreduceAlgorithm::Hierarchical) ensure_hierarchy();
+  const int tag_base = next_tag_base();
+  st->worker = std::thread([st, self = *this, tag_base]() mutable {
+    try {
+      self.allreduce_with_base(st->data, st->algorithm, tag_base);
+    } catch (...) {
+      st->error = std::current_exception();
+    }
+    st->comm_done_ns.store(obs::now_ns(), std::memory_order_relaxed);
+    st->done.store(true, std::memory_order_release);
+  });
+  return AllreduceRequest(std::move(st));
 }
 
 Communicator Communicator::split(int color) {

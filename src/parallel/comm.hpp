@@ -13,8 +13,9 @@
 // (DESIGN.md S4). Ranks are threads sharing a CommContext of mailboxes;
 // the API mirrors the MPI subset the paper's code needs: point-to-point,
 // barrier, broadcast, communicator split (the geometry-level sub-groups of
-// Fig. 4), and Allreduce in five algorithm variants including the paper's
-// "Reduce-Scatter followed by Allgather" (Sec. 3.4).
+// Fig. 4), and Allreduce in several algorithm variants including the
+// paper's "Reduce-Scatter followed by Allgather" (Sec. 3.4) and the
+// two-level topology-aware Hierarchical scheme (DESIGN.md S10).
 //
 // Fault tolerance: the transport models acknowledged delivery, so a send
 // whose message the injector drops (fault site comm.send.drop) is detected
@@ -22,6 +23,13 @@
 // a bounded timeout instead of blocking forever on a lost peer and throws
 // TimeoutError once its retry budget is spent. All collectives are built on
 // send/recv and inherit both behaviours.
+//
+// Concurrency: collectives may overlap. Every collective call draws a
+// per-rank operation sequence number on the calling thread and derives all
+// of its internal message tags from it, so a blocking allreduce can run
+// while non-blocking iallreduce operations are still in flight without tag
+// collisions — as long as every rank issues its collective calls in the
+// same program order (the usual MPI requirement).
 
 namespace swraman::parallel {
 
@@ -34,6 +42,10 @@ struct CommConfig {
   double backoff_base_s = 1e-4;   // first retransmit backoff; doubles
   double backoff_max_s = 0.05;    // backoff ceiling
   double stall_s = 1e-3;          // injected delay for comm.stall / delay
+  // Ranks per node group for AllreduceAlgorithm::Hierarchical: consecutive
+  // ranks [k*node_size, (k+1)*node_size) share one "node" whose intra
+  // reduction runs over the CPE RMA mesh (clamped to [1, size()]).
+  std::size_t node_size = 4;
 };
 
 enum class AllreduceAlgorithm {
@@ -42,9 +54,54 @@ enum class AllreduceAlgorithm {
   RecursiveDoubling,       // log2(P) pairwise exchanges
   ReduceScatterAllgather,  // Rabenseifner (the paper's baseline optimized)
   CpePipelined,            // same pattern, local reduce via chunked pipeline
+  Hierarchical,            // two-level: intra-node RMA mesh, leaders RSAG
+  Auto,                    // cost-model-driven pick among the concrete ones
 };
 
+const char* allreduce_algorithm_name(AllreduceAlgorithm a);
+
 class CommContext;
+struct Hierarchy;
+
+// Handle of a non-blocking allreduce started with Communicator::iallreduce.
+// Exactly one of wait() must consume the handle; destroying a live request
+// without wait() still completes the collective (so peers cannot deadlock)
+// but is reported as the swcheck violation "coll.abandoned_request" and
+// counted under comm.iallreduce.abandoned — the reduced data is lost.
+class AllreduceRequest {
+ public:
+  AllreduceRequest() = default;
+  AllreduceRequest(AllreduceRequest&&) noexcept = default;
+  AllreduceRequest& operator=(AllreduceRequest&& other) noexcept;
+  AllreduceRequest(const AllreduceRequest&) = delete;
+  AllreduceRequest& operator=(const AllreduceRequest&) = delete;
+  // Destroying a live handle still completes the exchange (peers block on
+  // our messages) but reports check::kRuleCollAbandoned — the reduced data
+  // was thrown away.
+  ~AllreduceRequest();
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  // Non-blocking completion probe.
+  [[nodiscard]] bool test() const;
+
+  // Blocks until the collective finished, rethrows any error raised on the
+  // communication thread, and returns the reduced data. Consumes the
+  // handle. Records comm.allreduce.overlap_ns (communication time that ran
+  // concurrently with the caller) and comm.allreduce.wait_ns (time the
+  // caller stalled here).
+  std::vector<double> wait();
+
+ private:
+  friend class Communicator;
+  struct State;
+  explicit AllreduceRequest(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  // Joins the worker and files the abandonment violation if the handle is
+  // live and un-waited. Runs on the owner thread, never the worker.
+  void abandon() noexcept;
+  std::shared_ptr<State> state_;
+};
 
 class Communicator {
  public:
@@ -69,9 +126,22 @@ class Communicator {
   // Root's data is copied to everyone.
   void broadcast(std::vector<double>& data, std::size_t root = 0);
 
-  // Element-wise sum across ranks; result available on every rank.
+  // Element-wise sum across ranks; result available on every rank. All
+  // ranks must pass the same number of elements. An empty payload is a
+  // no-op on every rank (NOT a synchronization point).
   void allreduce(std::vector<double>& data,
                  AllreduceAlgorithm algorithm = AllreduceAlgorithm::Ring);
+
+  // Non-blocking allreduce: takes ownership of the payload, runs the
+  // exchange on a communication thread, and returns a handle whose wait()
+  // yields the reduced vector. Collective-order rules are as for
+  // allreduce(): every rank must start its iallreduce calls (and any other
+  // collectives) in the same program order. Auto resolution and (for
+  // Hierarchical) topology construction happen on the calling thread, so
+  // the background thread never issues collective-ordering operations.
+  [[nodiscard]] AllreduceRequest iallreduce(
+      std::vector<double> data,
+      AllreduceAlgorithm algorithm = AllreduceAlgorithm::Auto);
 
   // Collective: every rank calls with its color; returns a communicator
   // over the ranks sharing the color (ranks ordered by parent rank).
@@ -80,11 +150,29 @@ class Communicator {
  private:
   std::shared_ptr<CommContext> ctx_;
   std::size_t rank_;
+  // Cached two-level topology for Hierarchical (built collectively on
+  // first use; shared with iallreduce communication threads).
+  std::shared_ptr<Hierarchy> hierarchy_;
 
-  void allreduce_linear(std::vector<double>& data);
-  void allreduce_ring(std::vector<double>& data);
-  void allreduce_recursive_doubling(std::vector<double>& data);
-  void allreduce_rsag(std::vector<double>& data, bool pipelined_local);
+  // Draws this rank's next collective-operation tag base (calling thread
+  // only — never from a communication thread).
+  int next_tag_base();
+  // Resolves Auto against the calibrated sunway cost model.
+  [[nodiscard]] AllreduceAlgorithm resolve_algorithm(AllreduceAlgorithm a,
+                                                     std::size_t n) const;
+  // Collectively builds (or reuses) the node-group topology.
+  void ensure_hierarchy();
+
+  void allreduce_with_base(std::vector<double>& data,
+                           AllreduceAlgorithm algorithm, int tag_base);
+  void broadcast_with_tag(std::vector<double>& data, std::size_t root,
+                          int tag);
+  void allreduce_linear(std::vector<double>& data, int tag_base);
+  void allreduce_ring(std::vector<double>& data, int tag_base);
+  void allreduce_recursive_doubling(std::vector<double>& data, int tag_base);
+  void allreduce_rsag(std::vector<double>& data, bool pipelined_local,
+                      int tag_base);
+  void allreduce_hierarchical(std::vector<double>& data, int tag_base);
 };
 
 // Launches fn on n_ranks threads, each receiving its Communicator. Any

@@ -77,6 +77,20 @@ void ScfEngine::reduce_matrix(linalg::Matrix& m) const {
   reduce(m.data(), m.rows() * m.cols());
 }
 
+std::function<void()> ScfEngine::reduce_async(double* data,
+                                              std::size_t n) const {
+  if (!partition_.active() || n == 0) return [] {};
+  if (partition_.iallreduce) return partition_.iallreduce(data, n);
+  // No non-blocking hook: complete the collective now so the returned
+  // functor never touches partition state after the caller moved on.
+  partition_.allreduce(data, n);
+  return [] {};
+}
+
+std::function<void()> ScfEngine::reduce_matrix_async(linalg::Matrix& m) const {
+  return reduce_async(m.data(), m.rows() * m.cols());
+}
+
 void ScfEngine::build_matrices() {
   SWRAMAN_TRACE_SPAN(span, "scf.build_matrices");
   const std::size_t nbf = basis_.size();
@@ -139,8 +153,12 @@ void ScfEngine::build_matrices() {
       }
     }
   }
-  reduce_matrix(s_);
-  reduce_matrix(t_);
+  // Both reductions in flight at once: T's exchange overlaps S's (and the
+  // orthogonalizer below only needs S once its wait returns).
+  const std::function<void()> wait_s = reduce_matrix_async(s_);
+  const std::function<void()> wait_t = reduce_matrix_async(t_);
+  wait_s();
+  wait_t();
   s_.symmetrize();
   t_.symmetrize();
 
@@ -167,32 +185,57 @@ void ScfEngine::build_matrices() {
 
 std::vector<double> ScfEngine::density_on_grid(
     const linalg::Matrix& density_matrix) const {
-  std::vector<double> n(grid_.size(), 0.0);
-  for (const BatchData& data : batch_data_) {
-    const std::size_t nloc = data.fn_ids.size();
-    if (nloc == 0) continue;  // also skips batches owned by other ranks
-    const linalg::Matrix p_loc = local_block(density_matrix, data.fn_ids);
-    // tmp = P_loc * values; n_p = sum_a values(a,p) tmp(a,p).
-    const linalg::Matrix tmp = p_loc * data.values;
-    for (std::size_t k = 0; k < data.pt_ids.size(); ++k) {
-      double acc = 0.0;
-      for (std::size_t a = 0; a < nloc; ++a) {
-        acc += data.values(a, k) * tmp(a, k);
+  std::vector<double> n;
+  density_on_grid_async(density_matrix, &n)();
+  return n;
+}
+
+std::function<void()> ScfEngine::density_on_grid_async(
+    const linalg::Matrix& density_matrix, std::vector<double>* out) const {
+  SWRAMAN_REQUIRE(out != nullptr, "density_on_grid_async: null output");
+  std::vector<double>& n = *out;
+  n.assign(grid_.size(), 0.0);
+  // The local compute runs slice-by-slice (balanced contiguous batch runs)
+  // — the granularity at which communication for earlier work pipelines
+  // under later slices.
+  const std::vector<grid::BatchSlice> slices =
+      grid::slice_batches(batches_, 4);
+  for (const grid::BatchSlice& slice : slices) {
+    for (std::size_t b = slice.first; b < slice.last; ++b) {
+      const BatchData& data = batch_data_[b];
+      const std::size_t nloc = data.fn_ids.size();
+      if (nloc == 0) continue;  // also skips batches owned by other ranks
+      const linalg::Matrix p_loc = local_block(density_matrix, data.fn_ids);
+      // tmp = P_loc * values; n_p = sum_a values(a,p) tmp(a,p).
+      const linalg::Matrix tmp = p_loc * data.values;
+      for (std::size_t k = 0; k < data.pt_ids.size(); ++k) {
+        double acc = 0.0;
+        for (std::size_t a = 0; a < nloc; ++a) {
+          acc += data.values(a, k) * tmp(a, k);
+        }
+        n[data.pt_ids[k]] = acc;
       }
-      n[data.pt_ids[k]] = acc;
     }
   }
   // Ranks fill disjoint point subsets; the sum assembles the full density.
-  reduce(n.data(), n.size());
-  return n;
+  return reduce_async(n.data(), n.size());
 }
 
 linalg::Matrix ScfEngine::integrate_matrix(
     const std::vector<double>& potential_on_grid) const {
+  linalg::Matrix m;
+  integrate_matrix_async(potential_on_grid, &m)();
+  return m;
+}
+
+std::function<void()> ScfEngine::integrate_matrix_async(
+    const std::vector<double>& potential_on_grid, linalg::Matrix* out) const {
   SWRAMAN_REQUIRE(potential_on_grid.size() == grid_.size(),
                   "integrate_matrix: potential size mismatch");
+  SWRAMAN_REQUIRE(out != nullptr, "integrate_matrix_async: null output");
   const std::size_t nbf = basis_.size();
-  linalg::Matrix m(nbf, nbf);
+  linalg::Matrix& m = *out;
+  m = linalg::Matrix(nbf, nbf);
   linalg::Matrix scaled;
   for (const BatchData& data : batch_data_) {
     const std::size_t nloc = data.fn_ids.size();
@@ -211,17 +254,23 @@ linalg::Matrix ScfEngine::integrate_matrix(
       for (std::size_t b = 0; b < nloc; ++b)
         m(data.fn_ids[a], data.fn_ids[b]) += 0.5 * (m_loc(a, b) + m_loc(b, a));
   }
-  reduce_matrix(m);
-  return m;
+  return reduce_matrix_async(m);
 }
 
 linalg::Matrix ScfEngine::dipole_matrix(int axis) const {
+  linalg::Matrix m;
+  dipole_matrix_async(axis, &m)();
+  return m;
+}
+
+std::function<void()> ScfEngine::dipole_matrix_async(
+    int axis, linalg::Matrix* out) const {
   SWRAMAN_REQUIRE(axis >= 0 && axis < 3, "dipole_matrix: axis in [0,3)");
   std::vector<double> coord(grid_.size());
   for (std::size_t p = 0; p < grid_.size(); ++p) {
     coord[p] = grid_.points[p][axis];
   }
-  return integrate_matrix(coord);
+  return integrate_matrix_async(coord, out);
 }
 
 std::vector<double> ScfEngine::fermi_occupations(
@@ -442,6 +491,21 @@ GroundState ScfEngine::solve_attempt(const linalg::Matrix* initial_density,
       }
     }
 
+    const double dp = (p_new - p_old).max_abs();
+
+    // Full step in P (the initial free-atom density already carries the
+    // right electron count). The next-iteration grid density is started
+    // here so its cross-rank reduction runs while the energy bookkeeping
+    // below executes — the paper's communication/compute overlap applied
+    // to the SCF density mixing.
+    p_old = p_new;
+    std::vector<double> n_new;
+    std::function<void()> wait_density;
+    {
+      SWRAMAN_TRACE_SCOPE("scf.density");
+      wait_density = density_on_grid_async(p_old, &n_new);
+    }
+
     double band = 0.0;
     for (std::size_t j = 0; j < eps.size(); ++j) band += occ[j] * eps[j];
 
@@ -456,28 +520,17 @@ GroundState ScfEngine::solve_attempt(const linalg::Matrix* initial_density,
     gs.band_energy = band;
     gs.total_energy = band - e_h - e_vxc + e_xc + gs.nuclear_repulsion;
 
-    const double dp = (p_new - p_old).max_abs();
     const double de = std::abs(gs.total_energy - e_prev);
     e_prev = gs.total_energy;
     if (!std::isfinite(dp) || !std::isfinite(gs.total_energy)) {
+      // Every rank reaches the same verdict (all inputs are reduced
+      // quantities), so everyone abandons the cycle together — but the
+      // in-flight reduction must still be drained first.
+      wait_density();
       log::warn("scf: non-finite energy/density step at iteration ", iter,
                 " — aborting cycle for recovery");
       *diverged = true;
       return gs;
-    }
-
-    // Full step in P (the initial free-atom density already carries the
-    // right electron count); damp the grid density in the first iterations
-    // until DIIS has history.
-    p_old = p_new;
-    std::vector<double> n_new;
-    {
-      SWRAMAN_TRACE_SCOPE("scf.density");
-      n_new = density_on_grid(p_old);
-    }
-    const double beta = (iter <= damped_iterations) ? mixing : 1.0;
-    for (std::size_t p = 0; p < grid_.size(); ++p) {
-      n[p] = (1.0 - beta) * n[p] + beta * n_new[p];
     }
 
     gs.eigenvalues = eps;
@@ -485,6 +538,15 @@ GroundState ScfEngine::solve_attempt(const linalg::Matrix* initial_density,
     gs.coefficients = c;
     gs.density = p_old;
     gs.fermi_level = fermi;
+
+    {
+      SWRAMAN_TRACE_SCOPE("scf.density.wait");
+      wait_density();
+    }
+    const double beta = (iter <= damped_iterations) ? mixing : 1.0;
+    for (std::size_t p = 0; p < grid_.size(); ++p) {
+      n[p] = (1.0 - beta) * n[p] + beta * n_new[p];
+    }
 
     log::debug("SCF iter ", iter, ": E = ", gs.total_energy, " dP = ", dp,
                " dE = ", de);

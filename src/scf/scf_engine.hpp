@@ -56,6 +56,14 @@ struct GridPartition {
   std::size_t n_ranks = 1;
   // Element-wise sum of the buffer across ranks (collective).
   std::function<void(double*, std::size_t)> allreduce;
+  // Optional non-blocking variant: starts the collective and returns a wait
+  // functor; the buffer must not be read or written until that functor has
+  // run (it fills the buffer with the reduced values). When absent, the
+  // engine's *_async entry points fall back to completing the blocking
+  // allreduce at start time. Collective-ordering rules follow
+  // Communicator::iallreduce: every rank must start its reductions in the
+  // same program order.
+  std::function<std::function<void()>(double*, std::size_t)> iallreduce;
 
   [[nodiscard]] bool active() const { return n_ranks > 1; }
 };
@@ -123,6 +131,21 @@ class ScfEngine {
   // Dipole integrals D^axis_uv = integral chi_u r_axis chi_v d3r.
   [[nodiscard]] linalg::Matrix dipole_matrix(int axis) const;
 
+  // --- overlapped (non-blocking-reduction) variants ---
+  //
+  // Each computes this rank's local contribution into *out, starts the
+  // cross-rank reduction through GridPartition::iallreduce, and returns a
+  // wait functor. *out must stay alive and untouched until the functor has
+  // run; after it, *out holds the same result the blocking variant returns.
+  // With no partition (or no iallreduce hook) the returned functor is a
+  // cheap no-op and *out is already final — callers need no special case.
+  [[nodiscard]] std::function<void()> density_on_grid_async(
+      const linalg::Matrix& density_matrix, std::vector<double>* out) const;
+  [[nodiscard]] std::function<void()> integrate_matrix_async(
+      const std::vector<double>& potential_on_grid, linalg::Matrix* out) const;
+  [[nodiscard]] std::function<void()> dipole_matrix_async(
+      int axis, linalg::Matrix* out) const;
+
   // External (nuclear / ionic) potential on the grid points.
   [[nodiscard]] const std::vector<double>& external_potential() const {
     return v_ext_;
@@ -150,6 +173,12 @@ class ScfEngine {
   void build_matrices();  // S, T, v_ext, batch caches
   void reduce(double* data, std::size_t n) const;
   void reduce_matrix(linalg::Matrix& m) const;
+  // Starts a non-blocking reduction when the partition provides one
+  // (blocking-at-start otherwise); the returned functor completes it.
+  [[nodiscard]] std::function<void()> reduce_async(double* data,
+                                                   std::size_t n) const;
+  [[nodiscard]] std::function<void()> reduce_matrix_async(
+      linalg::Matrix& m) const;
 
   // One full SCF cycle. `attempt` (1-based) scales the recovery response:
   // linear mixing is halved and the damped warm-up lengthened per retry.

@@ -65,7 +65,10 @@ void set_enabled(bool on) {
   detail::g_check_enabled.store(on, std::memory_order_relaxed);
 }
 
-void report(const char* rule, const std::string& context) {
+namespace {
+
+// Shared recording path of report()/note(): tally, counter, instant, log.
+std::string record_violation(const char* rule, const std::string& context) {
   {
     Tally& t = tally();
     const std::scoped_lock lock(t.mutex);
@@ -80,7 +83,17 @@ void report(const char* rule, const std::string& context) {
   const std::string what =
       std::string("swcheck[") + rule + "]: " + context;
   log::error(what);
-  throw CheckViolation(rule, what);
+  return what;
+}
+
+}  // namespace
+
+void report(const char* rule, const std::string& context) {
+  throw CheckViolation(rule, record_violation(rule, context));
+}
+
+void note(const char* rule, const std::string& context) {
+  record_violation(rule, context);
 }
 
 std::map<std::string, std::uint64_t> violation_counts() {

@@ -53,11 +53,17 @@ inline constexpr const char* kRuleDmaReplyOverrun = "dma.reply_overrun";
 inline constexpr const char* kRuleDmaUnwaited = "dma.unwaited_at_finish";
 inline constexpr const char* kRuleRmaUnconsumed = "rma.unconsumed";
 inline constexpr const char* kRuleRmaDeadlock = "rma.deadlock";
+inline constexpr const char* kRuleCollAbandoned = "coll.abandoned_request";
 
 // Records the violation (tally + obs instant + check.violations counter)
 // and throws CheckViolation. `context` should already carry kernel name,
 // CPE id, and tile provenance; report() prefixes the rule.
 [[noreturn]] void report(const char* rule, const std::string& context);
+
+// Same recording as report() but does not throw — for violations detected
+// on paths that must not unwind (destructors, communication threads). The
+// caller decides what, if anything, to do next.
+void note(const char* rule, const std::string& context);
 
 // Process-wide tally of reported violations by rule (includes thrown
 // ones — recording happens before the throw).

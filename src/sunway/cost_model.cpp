@@ -136,6 +136,24 @@ double modeled_cpu_time(const KernelWorkload& w, const ArchParams& arch) {
   return std::max(compute, mem);
 }
 
+namespace {
+
+// Local reduction throughput: scalar MPE loop (two reads + one write at
+// single-core stream bandwidth) vs the CPE-pipelined variant of paper
+// Algorithm 3 (double-buffered LDM blocks on all CPEs at DMA bandwidth).
+double mpe_reduce_bw(const ArchParams& a) {
+  return a.mpe_mem_bw_gbs * kGiga / 3.0;
+}
+double cpe_reduce_bw(const ArchParams& a) {
+  return std::min(a.dma_bw_gbs, a.node_mem_bw_gbs) * kGiga / 1.5;
+}
+
+// Synchronous MPE orchestration costs a scheduling gap per step (the
+// idleness the paper calls out in Sec. 3.4).
+constexpr double kMpeSched = 30e-6;
+
+}  // namespace
+
 double modeled_allreduce_time(double bytes, std::size_t n_ranks,
                               const ArchParams& arch,
                               const AllreduceModel& model) {
@@ -147,15 +165,9 @@ double modeled_allreduce_time(double bytes, std::size_t n_ranks,
   const double alpha = arch.net_latency_us * 1e-6;
   const double beta = arch.net_bw_gbs * kGiga;
 
-  // Local reduction throughput: scalar MPE loop (two reads + one write at
-  // single-core stream bandwidth) vs the CPE-pipelined variant of paper
-  // Algorithm 3 (double-buffered LDM blocks on all CPEs at DMA bandwidth).
-  const double mpe_reduce_bw = arch.mpe_mem_bw_gbs * kGiga / 3.0;
-  const double cpe_reduce_bw =
-      std::min(arch.dma_bw_gbs, arch.node_mem_bw_gbs) * kGiga / 1.5;
-  // Synchronous MPE orchestration costs a scheduling gap per step (the
-  // idleness the paper calls out in Sec. 3.4).
-  const double mpe_sched = 30e-6;
+  const double mpe_reduce_bw = sunway::mpe_reduce_bw(arch);
+  const double cpe_reduce_bw = sunway::cpe_reduce_bw(arch);
+  const double mpe_sched = kMpeSched;
 
   const double wire = 2.0 * (p - 1.0) / p * bytes / beta;
   const double reduced = (p - 1.0) / p * bytes;
@@ -175,6 +187,85 @@ double modeled_allreduce_time(double bytes, std::size_t n_ranks,
   // ("after"): the reduction hides under the wire time.
   return 2.0 * log2p * alpha +
          std::max(wire, reduced / cpe_reduce_bw);
+}
+
+double modeled_linear_allreduce_time(double bytes, std::size_t n_ranks,
+                                     const ArchParams& arch) {
+  SWRAMAN_REQUIRE(bytes >= 0.0 && n_ranks >= 1,
+                  "modeled_linear_allreduce_time: invalid arguments");
+  if (n_ranks == 1) return 0.0;
+  const double p = static_cast<double>(n_ranks);
+  const double alpha = arch.net_latency_us * 1e-6;
+  const double beta = arch.net_bw_gbs * kGiga;
+  // Root serially receives, reduces, and rebroadcasts full payloads.
+  return 2.0 * (p - 1.0) * (alpha + bytes / beta) +
+         (p - 1.0) * bytes / mpe_reduce_bw(arch) + (p - 1.0) * kMpeSched;
+}
+
+double modeled_ring_allreduce_time(double bytes, std::size_t n_ranks,
+                                   const ArchParams& arch) {
+  SWRAMAN_REQUIRE(bytes >= 0.0 && n_ranks >= 1,
+                  "modeled_ring_allreduce_time: invalid arguments");
+  if (n_ranks == 1) return 0.0;
+  const double p = static_cast<double>(n_ranks);
+  const double alpha = arch.net_latency_us * 1e-6;
+  const double beta = arch.net_bw_gbs * kGiga;
+  // 2(p-1) latency-bound steps moving B/p chunks; bandwidth-optimal wire
+  // volume but linear latency and per-step scheduling.
+  return 2.0 * (p - 1.0) * alpha +
+         2.0 * (p - 1.0) / p * bytes / beta +
+         (p - 1.0) / p * bytes / mpe_reduce_bw(arch) +
+         (p - 1.0) * kMpeSched;
+}
+
+double modeled_recursive_doubling_allreduce_time(double bytes,
+                                                 std::size_t n_ranks,
+                                                 const ArchParams& arch) {
+  SWRAMAN_REQUIRE(bytes >= 0.0 && n_ranks >= 1,
+                  "modeled_recursive_doubling_allreduce_time: invalid "
+                  "arguments");
+  if (n_ranks == 1) return 0.0;
+  const double p = static_cast<double>(n_ranks);
+  const double log2p = std::log2(p);
+  const double alpha = arch.net_latency_us * 1e-6;
+  const double beta = arch.net_bw_gbs * kGiga;
+  // log2(P) full-payload exchanges, each followed by a full local reduce.
+  return log2p * (alpha + bytes / beta + bytes / mpe_reduce_bw(arch) +
+                  kMpeSched);
+}
+
+double modeled_hierarchical_allreduce_time(
+    double bytes, std::size_t n_ranks, const ArchParams& arch,
+    const HierarchicalAllreduceModel& model) {
+  SWRAMAN_REQUIRE(bytes >= 0.0 && n_ranks >= 1,
+                  "modeled_hierarchical_allreduce_time: invalid arguments");
+  if (n_ranks == 1) return 0.0;
+  const std::size_t m =
+      std::clamp<std::size_t>(model.node_size, 1, n_ranks);
+  const std::size_t g = (n_ranks + m - 1) / m;
+  const double members = static_cast<double>(m);
+  const double rma_bw = arch.rma_bw_gbs * kGiga;
+  const double rma_latency_s =
+      arch.rma_latency_cycles / (arch.pe_freq_ghz * kGiga);
+
+  double t = 0.0;
+  if (m > 1) {
+    // Stage 1: node members stream their vectors to the leader over the
+    // CPE RMA mesh while the leader's chunked LDM pipeline folds them in;
+    // wire and reduce overlap, latency is per-member.
+    t += std::max((members - 1.0) * bytes / rma_bw,
+                  (members - 1.0) * bytes / cpe_reduce_bw(arch)) +
+         (members - 1.0) * rma_latency_s;
+    // Stage 3: leader broadcasts the global sum back over the mesh.
+    t += bytes / rma_bw + rma_latency_s;
+  }
+  // Stage 2: leaders run the CPE-offloaded Rabenseifner exchange over the
+  // (much smaller) inter-node network.
+  t += modeled_allreduce_time(bytes, g, arch,
+                              AllreduceModel{true, true});
+  // Orchestration: the MPE schedules the level transitions.
+  t += 2.0 * kMpeSched;
+  return t;
 }
 
 }  // namespace swraman::sunway

@@ -80,4 +80,27 @@ double modeled_allreduce_time(double bytes, std::size_t n_ranks,
                               const ArchParams& arch,
                               const AllreduceModel& model);
 
+// Flat-algorithm companions of modeled_allreduce_time, matching the other
+// Communicator algorithm variants (local reductions on the MPE). The Auto
+// selector (parallel/allreduce_select) minimizes over these.
+double modeled_linear_allreduce_time(double bytes, std::size_t n_ranks,
+                                     const ArchParams& arch);
+double modeled_ring_allreduce_time(double bytes, std::size_t n_ranks,
+                                   const ArchParams& arch);
+double modeled_recursive_doubling_allreduce_time(double bytes,
+                                                 std::size_t n_ranks,
+                                                 const ArchParams& arch);
+
+// Two-level topology-aware Allreduce (paper Sec. 3.4 / Fig. 15): groups of
+// node_size consecutive ranks reduce onto a leader over the intra-node RMA
+// mesh (CPE-pipelined), leaders run the CPE-offloaded Rabenseifner
+// exchange across groups, then each leader broadcasts inside its node.
+struct HierarchicalAllreduceModel {
+  std::size_t node_size = 4;  // ranks per node group (clamped to [1, P])
+};
+
+double modeled_hierarchical_allreduce_time(
+    double bytes, std::size_t n_ranks, const ArchParams& arch,
+    const HierarchicalAllreduceModel& model);
+
 }  // namespace swraman::sunway

@@ -1,0 +1,135 @@
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "raman/raman.hpp"
+
+// Golden-reference regression: the water Raman spectrum (frequencies,
+// activities, depolarization ratios) is pinned to a checked-in snapshot.
+// Any change to the SCF, DFPT, grid, Hessian, or collectives layers that
+// shifts a peak beyond the stated tolerances fails here — including
+// "harmless" reassociation bugs that every per-layer test is too local to
+// see.
+//
+// Regenerate deliberately (after verifying the physics) with
+//   SWRAMAN_GOLDEN_REGEN=1 ./test_golden
+// and commit the diff of tests/golden/golden_water_raman.txt.
+
+namespace swraman::raman {
+namespace {
+
+// Tolerances are intentionally explicit and asymmetric in kind: absolute
+// for positions (instrument-like resolution), relative for intensities.
+constexpr double kFreqTolCm = 1.0;     // cm^-1, absolute
+constexpr double kActivityRelTol = 0.02;  // 2 percent
+constexpr double kDepolTol = 0.02;     // dimensionless, absolute
+
+std::string golden_path() {
+  return std::string(SWRAMAN_GOLDEN_DIR) + "/golden_water_raman.txt";
+}
+
+// Fixed geometry, spelled out rather than taken from core/molecules so an
+// (intentional) change to the library geometry cannot silently move the
+// golden. This is molecules::water() BFGS-relaxed at exactly the golden
+// numerics below (then symmetrized to C2v): harmonic analysis is only
+// meaningful at a stationary point of the calculated surface, and pinning
+// the relaxed coordinates keeps the 163-solve relaxation out of the test.
+std::vector<grid::AtomSite> water_atoms() {
+  return {{8, {0.0, 0.0, 0.3268247149}},
+          {1, {1.2518316921, 0.0, 0.9437281316}},
+          {1, {-1.2518316921, 0.0, 0.9437281316}}};
+}
+
+// Reduced-cost numerics: a coarse but fully converged grid keeps the 6N
+// displaced-geometry pipeline at test-suite speed. The golden pins the
+// result OF THESE settings; they are part of the reference definition.
+RamanOptions golden_options() {
+  RamanOptions opt;
+  opt.vibrations.scf.grid.n_radial = 16;
+  opt.vibrations.scf.grid.angular_order = 7;
+  return opt;
+}
+
+struct GoldenMode {
+  double frequency_cm = 0.0;
+  double activity = 0.0;
+  double depolarization = 0.0;
+};
+
+std::vector<GoldenMode> load_golden() {
+  std::ifstream in(golden_path());
+  SWRAMAN_REQUIRE(in.good(), "golden file missing: " + golden_path());
+  std::vector<GoldenMode> modes;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    GoldenMode m;
+    SWRAMAN_REQUIRE(static_cast<bool>(ss >> m.frequency_cm >> m.activity >>
+                                      m.depolarization),
+                    "golden file: malformed line '" + line + "'");
+    modes.push_back(m);
+  }
+  return modes;
+}
+
+void write_golden(const RamanSpectrum& spec) {
+  std::ofstream out(golden_path());
+  out << "# Water Raman golden reference (geometry + numerics pinned in\n"
+      << "# tests/golden/test_golden_spectrum.cpp). Columns:\n"
+      << "# frequency_cm activity_A4_amu depolarization\n";
+  out << std::setprecision(12);
+  for (const RamanMode& m : spec.modes) {
+    out << m.frequency_cm << " " << m.activity << " " << m.depolarization
+        << "\n";
+  }
+}
+
+TEST(GoldenSpectrum, WaterRamanPeaksMatchSnapshot) {
+  RamanCalculator calc(water_atoms(), golden_options());
+  const RamanSpectrum spec = calc.compute();
+
+  if (std::getenv("SWRAMAN_GOLDEN_REGEN") != nullptr) {
+    write_golden(spec);
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  const std::vector<GoldenMode> golden = load_golden();
+  ASSERT_EQ(spec.modes.size(), golden.size())
+      << "mode count changed — water must keep its 3 vibrational modes";
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    SCOPED_TRACE("mode " + std::to_string(i));
+    EXPECT_NEAR(spec.modes[i].frequency_cm, golden[i].frequency_cm,
+                kFreqTolCm);
+    EXPECT_NEAR(spec.modes[i].activity, golden[i].activity,
+                kActivityRelTol * std::abs(golden[i].activity));
+    EXPECT_NEAR(spec.modes[i].depolarization, golden[i].depolarization,
+                kDepolTol);
+  }
+}
+
+TEST(GoldenSpectrum, WaterModesAreTheExpectedBands) {
+  // Sanity constraints independent of the snapshot: water has the bend
+  // around the lowest frequency and two O-H stretches above it, and the
+  // symmetric stretch is strongly polarized.
+  const std::vector<GoldenMode> golden = load_golden();
+  ASSERT_EQ(golden.size(), 3u);
+  EXPECT_LT(golden[0].frequency_cm, golden[1].frequency_cm);
+  EXPECT_LT(golden[1].frequency_cm, golden[2].frequency_cm);
+  for (const GoldenMode& m : golden) {
+    EXPECT_GT(m.frequency_cm, 100.0);
+    EXPECT_GT(m.activity, 0.0);
+    EXPECT_GE(m.depolarization, 0.0);
+    EXPECT_LE(m.depolarization, 0.75 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace swraman::raman

@@ -1,0 +1,241 @@
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/allreduce_select.hpp"
+#include "parallel/comm.hpp"
+#include "robustness/fault.hpp"
+
+// Property-based sweep over the whole collectives surface: every
+// AllreduceAlgorithm × rank counts {1, 2, 3, 4, 7, 8} × payload sizes
+// {0 (empty), 1, 31 (prime), 1000 (not divisible by most P), 20011
+// (large prime)} on seeded random vectors.
+//
+// Correctness contract (comm.hpp): Linear reduces in ascending rank order
+// and must match a serial fold bitwise; the other algorithms reassociate
+// the sum, so they are held to a reassociation bound of a few ulp per
+// combining level instead.
+
+namespace swraman::parallel {
+namespace {
+
+constexpr AllreduceAlgorithm kAll[] = {
+    AllreduceAlgorithm::Linear,
+    AllreduceAlgorithm::Ring,
+    AllreduceAlgorithm::RecursiveDoubling,
+    AllreduceAlgorithm::ReduceScatterAllgather,
+    AllreduceAlgorithm::CpePipelined,
+    AllreduceAlgorithm::Hierarchical,
+    AllreduceAlgorithm::Auto,
+};
+
+constexpr std::size_t kRankCounts[] = {1, 2, 3, 4, 7, 8};
+constexpr std::size_t kSizes[] = {0, 1, 31, 1000};
+
+// Seeded per-(rank, size) input — every rank regenerates the full set, so
+// the expected serial fold needs no communication.
+std::vector<double> rank_input(std::uint32_t seed, std::size_t rank,
+                               std::size_t n) {
+  std::mt19937 rng(seed + 1000003u * static_cast<std::uint32_t>(rank));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+// The documented Linear reduction order: ascending ranks, left fold.
+std::vector<double> serial_fold(std::uint32_t seed, std::size_t p,
+                                std::size_t n) {
+  std::vector<double> acc = rank_input(seed, 0, n);
+  for (std::size_t r = 1; r < p; ++r) {
+    const std::vector<double> in = rank_input(seed, r, n);
+    for (std::size_t i = 0; i < n; ++i) acc[i] += in[i];
+  }
+  return acc;
+}
+
+// Reassociation bound: |x - ref| for a reordered p-term sum is at most a
+// few ulp of the intermediate magnitudes per combining level. Inputs are
+// in [-1, 1], so intermediates are bounded by p and eps * p * log2(p) * C
+// with a small constant covers every tree shape the algorithms use.
+double reassociation_tol(std::size_t p, double ref) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double levels = std::ceil(std::log2(static_cast<double>(p) + 1.0));
+  const double magnitude =
+      std::max(std::abs(ref), static_cast<double>(p));
+  return 8.0 * eps * magnitude * (levels + 1.0);
+}
+
+void check_algorithm(AllreduceAlgorithm alg, std::size_t p, std::size_t n,
+                     std::uint32_t seed, std::size_t node_size) {
+  CommConfig cfg;
+  cfg.node_size = node_size;
+  const std::vector<double> expected = serial_fold(seed, p, n);
+  run_spmd(
+      p,
+      [&](Communicator& comm) {
+        std::vector<double> data = rank_input(seed, comm.rank(), n);
+        comm.allreduce(data, alg);
+        ASSERT_EQ(data.size(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (alg == AllreduceAlgorithm::Linear) {
+            // Bitwise: documented ascending-rank reduction order.
+            ASSERT_EQ(data[i], expected[i])
+                << "linear mismatch at element " << i << " (P=" << p
+                << ", n=" << n << ")";
+          } else {
+            ASSERT_NEAR(data[i], expected[i],
+                        reassociation_tol(p, expected[i]))
+                << allreduce_algorithm_name(alg) << " at element " << i
+                << " (P=" << p << ", n=" << n
+                << ", node_size=" << node_size << ")";
+          }
+        }
+      },
+      cfg);
+}
+
+TEST(AllreduceProperty, AllAlgorithmsAllRankCountsAllSizes) {
+  std::uint32_t seed = 42;
+  for (const AllreduceAlgorithm alg : kAll) {
+    for (const std::size_t p : kRankCounts) {
+      for (const std::size_t n : kSizes) {
+        SCOPED_TRACE(testing::Message()
+                     << allreduce_algorithm_name(alg) << " P=" << p
+                     << " n=" << n);
+        check_algorithm(alg, p, n, seed++, /*node_size=*/4);
+      }
+    }
+  }
+}
+
+TEST(AllreduceProperty, LargePayloadNonDivisibleByRanks) {
+  // 20011 is prime: no rank count divides it, exercising every uneven
+  // chunking path (ring chunks, rsag windows, hierarchical groups).
+  std::uint32_t seed = 1234;
+  for (const AllreduceAlgorithm alg : kAll) {
+    for (const std::size_t p : {std::size_t{3}, std::size_t{8}}) {
+      SCOPED_TRACE(testing::Message()
+                   << allreduce_algorithm_name(alg) << " P=" << p);
+      check_algorithm(alg, p, 20011, seed++, /*node_size=*/4);
+    }
+  }
+}
+
+TEST(AllreduceProperty, HierarchicalNodeSizeSweep) {
+  // node_size 1 (every rank a leader — degenerates to the leader rsag),
+  // equal to P, larger than P (clamped), and non-divisors of P.
+  std::uint32_t seed = 777;
+  for (const std::size_t node_size :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+        std::size_t{9}}) {
+    for (const std::size_t p : {std::size_t{4}, std::size_t{7}}) {
+      SCOPED_TRACE(testing::Message()
+                   << "node_size=" << node_size << " P=" << p);
+      check_algorithm(AllreduceAlgorithm::Hierarchical, p, 257, seed++,
+                      node_size);
+    }
+  }
+}
+
+TEST(AllreduceProperty, EmptyPayloadIsANoOpNotABarrier) {
+  // Regression for the old Ring behaviour, which turned an empty allreduce
+  // into a barrier — deadlocking any rank pair whose collective schedules
+  // diverge on empty payloads (and corrupting generation counts when
+  // issued from iallreduce communication threads).
+  for (const AllreduceAlgorithm alg : kAll) {
+    run_spmd(3, [alg](Communicator& comm) {
+      std::vector<double> empty;
+      comm.allreduce(empty, alg);  // must return immediately on every rank
+      EXPECT_TRUE(empty.empty());
+    });
+  }
+}
+
+TEST(AllreduceProperty, SingleRankIsIdentity) {
+  for (const AllreduceAlgorithm alg : kAll) {
+    run_spmd(1, [alg](Communicator& comm) {
+      std::vector<double> data = {1.5, -2.25, 3.125};
+      const std::vector<double> orig = data;
+      comm.allreduce(data, alg);
+      EXPECT_EQ(data, orig);
+    });
+  }
+}
+
+TEST(AllreduceProperty, AutoResolvesIdenticallyOnEveryRank) {
+  // Auto must be a pure function of (bytes, P, node_size): all ranks pick
+  // the same algorithm, and the pick is reported by the selector.
+  const AllreduceChoice choice =
+      select_allreduce(1000 * sizeof(double), 7, 4);
+  EXPECT_NE(choice.algorithm, AllreduceAlgorithm::Auto);
+  EXPECT_GT(choice.modeled_seconds, 0.0);
+  const AllreduceChoice again =
+      select_allreduce(1000 * sizeof(double), 7, 4);
+  EXPECT_EQ(choice.algorithm, again.algorithm);
+  EXPECT_EQ(choice.modeled_seconds, again.modeled_seconds);
+}
+
+TEST(AllreduceProperty, SelectorPrefersHierarchicalAtScale) {
+  // The acceptance regime of the bench: >= 16 ranks, >= 1 MB payloads.
+  const AllreduceChoice choice = select_allreduce(1 << 20, 16, 4);
+  EXPECT_EQ(choice.algorithm, AllreduceAlgorithm::Hierarchical);
+}
+
+TEST(AllreducePropertyFaults, SurvivesInjectedDropsAllAlgorithms) {
+  CommConfig cfg;
+  cfg.recv_timeout_s = 0.25;
+  cfg.recv_retries = 2;
+  cfg.send_retries = 10;
+  cfg.backoff_base_s = 1e-5;
+  cfg.backoff_max_s = 1e-3;
+  cfg.node_size = 2;
+
+  std::uint32_t seed = 5150;
+  for (const AllreduceAlgorithm alg : kAll) {
+    fault::ScopedFaults guard;
+    fault::FaultInjector::instance().set_seed(17);
+    fault::FaultSpec spec;
+    spec.probability = 0.1;  // retry budget 10 makes exhaustion negligible
+    fault::FaultInjector::instance().configure(fault::kCommSendDrop, spec);
+
+    const std::size_t p = 4;
+    const std::size_t n = 129;
+    const std::vector<double> expected = serial_fold(seed, p, n);
+    run_spmd(
+        p,
+        [&](Communicator& comm) {
+          std::vector<double> data = rank_input(seed, comm.rank(), n);
+          comm.allreduce(data, alg);
+          for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_NEAR(data[i], expected[i],
+                        reassociation_tol(p, expected[i]))
+                << allreduce_algorithm_name(alg) << " under drops, element "
+                << i;
+          }
+        },
+        cfg);
+    ++seed;
+  }
+}
+
+TEST(AllreduceProperty, RepeatedMixedAlgorithmCallsStayIsolated) {
+  // Back-to-back collectives with different algorithms on one communicator:
+  // per-operation tag bases must keep their message namespaces disjoint.
+  run_spmd(4, [](Communicator& comm) {
+    for (int round = 0; round < 3; ++round) {
+      for (const AllreduceAlgorithm alg : kAll) {
+        std::vector<double> data = {static_cast<double>(comm.rank() + 1)};
+        comm.allreduce(data, alg);
+        EXPECT_DOUBLE_EQ(data[0], 10.0);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace swraman::parallel

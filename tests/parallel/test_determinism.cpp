@@ -1,0 +1,117 @@
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/molecules.hpp"
+#include "obs/obs.hpp"
+#include "parallel/comm.hpp"
+#include "scf/scf_engine.hpp"
+
+// Determinism of the performance accounting: two runs of the same SCF +
+// allreduce workload — same seed and inputs, but freely different thread
+// interleavings — must produce bit-identical modeled-cycle and event
+// counters. Wall-clock counters cannot be deterministic by nature; by
+// convention they carry a "_ns" suffix and are excluded. Everything else
+// (calls, bytes, iterations, modeled cycles) is integer-valued, and
+// integer-valued doubles summed in any order through the counters' CAS
+// loop are exact, so the comparison is equality, not tolerance.
+//
+// This suite runs under the TSan stage of scripts/tier1.sh (test_parallel),
+// so the interleaving claim is exercised under an instrumented scheduler.
+
+namespace swraman::parallel {
+namespace {
+
+bool is_wall_clock(const std::string& name) {
+  return name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+}
+
+std::map<std::string, double> deterministic_counters() {
+  std::map<std::string, double> out;
+  for (const auto& [name, value] :
+       obs::Registry::instance().counter_values()) {
+    if (!is_wall_clock(name)) out[name] = value;
+  }
+  return out;
+}
+
+// One fixed SCF + allreduce workload: 3 ranks, hierarchical blocking
+// reductions plus non-blocking density reductions, capped iterations.
+void run_workload() {
+  const auto mol = molecules::h2();
+  scf::ScfOptions options;
+  options.max_iterations = 6;  // fixed work, convergence not required
+  run_spmd(3, [&](Communicator& comm) {
+    scf::GridPartition part;
+    part.rank = comm.rank();
+    part.n_ranks = comm.size();
+    part.allreduce = [&comm](double* data, std::size_t n) {
+      std::vector<double> buf(data, data + n);
+      comm.allreduce(buf, AllreduceAlgorithm::Hierarchical);
+      std::copy(buf.begin(), buf.end(), data);
+    };
+    part.iallreduce = [&comm](double* data, std::size_t n) {
+      std::vector<double> buf(data, data + n);
+      auto req = std::make_shared<AllreduceRequest>(
+          comm.iallreduce(std::move(buf), AllreduceAlgorithm::Auto));
+      return [req, data]() {
+        const std::vector<double> out = req->wait();
+        std::copy(out.begin(), out.end(), data);
+      };
+    };
+    scf::ScfEngine engine(mol, options, part);
+    (void)engine.solve();
+  });
+}
+
+TEST(Determinism, CountersIdenticalAcrossRuns) {
+  obs::Registry::instance().reset_for_testing();
+  obs::set_enabled(true);
+
+  run_workload();
+  const std::map<std::string, double> first = deterministic_counters();
+
+  obs::Registry::instance().reset_for_testing();
+  run_workload();
+  const std::map<std::string, double> second = deterministic_counters();
+
+  obs::set_enabled(false);
+  obs::Registry::instance().reset_for_testing();
+
+  // The workload must actually have exercised the paths under test.
+  ASSERT_TRUE(first.count("comm.allreduce.calls"));
+  ASSERT_TRUE(first.count("comm.allreduce.modeled_cycles"));
+  ASSERT_TRUE(first.count("comm.iallreduce.calls"));
+  ASSERT_GT(first.at("comm.allreduce.modeled_cycles"), 0.0);
+
+  ASSERT_EQ(first.size(), second.size());
+  for (const auto& [name, value] : first) {
+    ASSERT_TRUE(second.count(name)) << "counter missing in run 2: " << name;
+    // Bitwise equality — the determinism contract.
+    EXPECT_EQ(value, second.at(name)) << "counter diverged: " << name;
+  }
+}
+
+TEST(Determinism, ModeledCyclesAreIntegerValued) {
+  obs::Registry::instance().reset_for_testing();
+  obs::set_enabled(true);
+  run_spmd(4, [](Communicator& comm) {
+    std::vector<double> data(1000, static_cast<double>(comm.rank()));
+    comm.allreduce(data, AllreduceAlgorithm::Hierarchical);
+    comm.allreduce(data, AllreduceAlgorithm::ReduceScatterAllgather);
+  });
+  obs::set_enabled(false);
+  const auto counters = obs::Registry::instance().counter_values();
+  obs::Registry::instance().reset_for_testing();
+  const double cycles = counters.at("comm.allreduce.modeled_cycles");
+  EXPECT_EQ(cycles, std::floor(cycles))
+      << "modeled cycles must be whole so counter sums stay exact";
+  EXPECT_GT(cycles, 0.0);
+}
+
+}  // namespace
+}  // namespace swraman::parallel
