@@ -5,13 +5,53 @@
 // Paper: 9.70x / 8.38x / 7.84x, declining as per-process work shrinks and
 // the Sunway-side fixed costs (MPE-serial phases, collectives, kernel
 // launches) gain weight.
+//
+// --json PATH emits a swraman-bench-v1 report (one record per machine
+// per task count, plus a "speedup" series) for scripts/check_perf_json.py.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/swraman.hpp"
 
-int main() {
+namespace {
+
+struct Record {
+  std::string series;
+  std::size_t ranks;
+  double bytes;
+  double seconds;
+};
+
+void write_json(const std::string& path, const std::vector<Record>& records) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"swraman-bench-v1\",\n"
+      << "  \"bench\": \"fig14_rbd_dfpt\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    out << "    {\"series\": \"" << r.series << "\", \"ranks\": " << r.ranks
+        << ", \"bytes\": " << static_cast<long long>(r.bytes)
+        << ", \"seconds\": " << r.seconds << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace swraman;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
 
   const scaling::RamanJob job = core::make_dfpt_job(core::rbd_protein());
 
@@ -30,6 +70,7 @@ int main() {
                           targets.fig14_speedup_at_128,
                           targets.fig14_speedup_at_256};
 
+  std::vector<Record> records;
   std::printf("=== Fig. 14: RBD (3006 atoms) DFPT time per iteration ===\n");
   std::printf("%10s %14s %14s %10s %10s\n", "MPI tasks", "Xeon (s)",
               "Sunway (s)", "speedup", "paper");
@@ -41,6 +82,9 @@ int main() {
     const double t_xe = xe_sim.dfpt_iteration_time(p);
     std::printf("%10zu %14.4f %14.4f %9.2fx %9.2fx\n", p, t_xe, t_sw,
                 t_xe / t_sw, paper[k++]);
+    records.push_back({"xeon_e5_2692v2", p, job.allreduce_bytes, t_xe});
+    records.push_back({"sw26010pro", p, job.allreduce_bytes, t_sw});
+    records.push_back({"speedup", p, 0.0, t_xe / t_sw});
   }
 
   std::printf("\nPer-kernel share of the Sunway iteration at 256 tasks:\n");
@@ -55,5 +99,7 @@ int main() {
   std::printf("  allreduce %7.4f s   MPE-serial %7.4f s\n",
               modeled_allreduce_time(job.allreduce_bytes, 256, sw, {}),
               job.mpe_serial_seconds);
+
+  if (!json_path.empty()) write_json(json_path, records);
   return 0;
 }

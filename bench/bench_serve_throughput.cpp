@@ -1,0 +1,184 @@
+// Serving-throughput benchmark (DESIGN.md S11): replays the synthetic
+// mixed-tenant trace — RBD-scale fragments, Table-1 silicon cases, and
+// water-scale interactive jobs, roughly two thirds of them duplicate
+// submissions — through two service configurations:
+//
+//   fifo    1 worker, no stealing, no dedup cache: the naive sequential
+//           baseline every submission pays for itself.
+//   serve   the full service: work-stealing pool + content-addressed
+//           displacement cache + weighted fair share.
+//
+// Reports throughput (nominal displacement tasks/s — both modes are
+// credited with the same nominal work, so dedup shows up as speedup) and
+// per-job latency percentiles. Acceptance: serve >= 2x fifo throughput
+// with a non-zero cache hit ratio; --json writes the swraman-bench-v1
+// serve records consumed by scripts/check_perf_json.py.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "serve/service.hpp"
+#include "serve/trace.hpp"
+
+namespace {
+
+using namespace swraman;
+using namespace swraman::serve;
+
+struct RunStats {
+  std::string series;
+  std::size_t jobs = 0;
+  std::size_t nominal_tasks = 0;
+  std::size_t executed_tasks = 0;
+  double seconds = 0.0;
+  double throughput_per_s = 0.0;  // nominal tasks / wall second
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double cache_hit_ratio = 0.0;
+};
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+RunStats run_mode(const std::string& series, const std::vector<JobSpec>& trace,
+                  ServiceOptions options) {
+  options.start_paused = true;
+  RamanService service(options);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(trace.size());
+  for (const JobSpec& spec : trace) {
+    const SubmitResult res = service.submit(spec);
+    if (!res.accepted) {
+      std::printf("  (rejected '%s': %s)\n", spec.name.c_str(),
+                  res.reason.c_str());
+      continue;
+    }
+    ids.push_back(res.job_id);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  service.start();
+  std::vector<double> latencies;
+  latencies.reserve(ids.size());
+  for (std::uint64_t id : ids) {
+    const JobResult result = service.wait(id);
+    if (result.status != JobStatus::Completed) {
+      std::printf("  job %llu FAILED: %s\n",
+                  static_cast<unsigned long long>(id), result.error.c_str());
+      continue;
+    }
+    latencies.push_back(result.latency_s);
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const ServiceStats stats = service.stats();
+
+  RunStats out;
+  out.series = series;
+  out.jobs = ids.size();
+  out.nominal_tasks = trace_nominal_tasks(trace);
+  out.executed_tasks = stats.tasks_executed;
+  out.seconds = wall;
+  out.throughput_per_s = static_cast<double>(out.nominal_tasks) / wall;
+  out.p50_s = percentile(latencies, 0.50);
+  out.p95_s = percentile(latencies, 0.95);
+  out.p99_s = percentile(latencies, 0.99);
+  out.cache_hit_ratio = stats.cache_hit_ratio;
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<RunStats>& runs,
+                double speedup) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"swraman-bench-v1\",\n"
+      << "  \"bench\": \"serve_throughput\",\n  \"records\": [\n";
+  for (const RunStats& r : runs) {
+    out << "    {\"series\": \"" << r.series << "\", \"jobs\": " << r.jobs
+        << ", \"tasks\": " << r.nominal_tasks
+        << ", \"executed_tasks\": " << r.executed_tasks
+        << ", \"seconds\": " << r.seconds
+        << ", \"throughput_per_s\": " << r.throughput_per_s
+        << ", \"p50_s\": " << r.p50_s << ", \"p95_s\": " << r.p95_s
+        << ", \"p99_s\": " << r.p99_s
+        << ", \"cache_hit_ratio\": " << r.cache_hit_ratio << "},\n";
+  }
+  out << "    {\"series\": \"speedup\", \"value\": " << speedup << "}\n"
+      << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void print_stats(const RunStats& r) {
+  std::printf(
+      "%-6s  %3zu jobs  %4zu nominal / %4zu executed tasks  %7.3f s  "
+      "%8.1f tasks/s  p50 %.3f  p95 %.3f  p99 %.3f  hit %.2f\n",
+      r.series.c_str(), r.jobs, r.nominal_tasks, r.executed_tasks, r.seconds,
+      r.throughput_per_s, r.p50_s, r.p95_s, r.p99_s, r.cache_hit_ratio);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  log::set_level(log::Level::Warn);
+  std::string json_path;
+  std::size_t n_workers = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      n_workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    }
+  }
+
+  const std::vector<JobSpec> trace = mixed_tenant_trace({});
+  std::printf("bench_serve_throughput: %zu jobs, %zu nominal tasks\n\n",
+              trace.size(), trace_nominal_tasks(trace));
+
+  ServiceOptions fifo;
+  fifo.n_workers = 1;
+  fifo.work_stealing = false;
+  fifo.use_cache = false;
+  const RunStats base = run_mode("fifo", trace, fifo);
+  print_stats(base);
+
+  ServiceOptions full;
+  full.n_workers = n_workers;
+  const RunStats serve = run_mode("serve", trace, full);
+  print_stats(serve);
+
+  const double speedup = serve.throughput_per_s / base.throughput_per_s;
+  std::printf("\nspeedup (serve/fifo): %.2fx, cache hit ratio %.2f\n",
+              speedup, serve.cache_hit_ratio);
+
+  if (!json_path.empty()) write_json(json_path, {base, serve}, speedup);
+
+  // Acceptance: dedup + stealing must at least double throughput on the
+  // duplicate-heavy trace, with a demonstrably non-trivial hit ratio.
+  bool ok = true;
+  if (speedup < 2.0) {
+    std::printf("bench_serve_throughput: FAIL speedup %.2f < 2.0\n", speedup);
+    ok = false;
+  }
+  if (serve.cache_hit_ratio <= 0.0) {
+    std::printf("bench_serve_throughput: FAIL cache hit ratio is zero\n");
+    ok = false;
+  }
+  if (serve.executed_tasks >= base.executed_tasks) {
+    std::printf("bench_serve_throughput: FAIL dedup executed no fewer tasks\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

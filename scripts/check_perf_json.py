@@ -12,12 +12,45 @@ scripts/tier1.sh after the traced smoke run and the bench smoke run.
 """
 
 import json
+import math
 import sys
 
 
 def fail(msg: str) -> None:
     print(f"check_perf_json: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def _finite_nonneg(path: str, where: str, r: dict, key: str) -> float:
+    v = r.get(key)
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        fail(f"{path}: {where} {key} must be a number")
+    if not math.isfinite(v):
+        fail(f"{path}: {where} {key} must be finite (got {v!r})")
+    if v < 0:
+        fail(f"{path}: {where} {key} must be non-negative (got {v!r})")
+    return float(v)
+
+
+def check_serve_record(path: str, i: int, r: dict) -> None:
+    """One record of the serve-throughput bench: job counts plus wall time,
+    throughput, latency percentiles, and the dedup-cache hit ratio."""
+    where = f"records[{i}]"
+    for key in ("jobs", "tasks", "executed_tasks"):
+        if isinstance(r.get(key), bool) or not isinstance(r.get(key), int) \
+                or r[key] < 0:
+            fail(f"{path}: {where} {key} must be a non-negative integer")
+    for key in ("seconds", "throughput_per_s", "p50_s", "p95_s", "p99_s"):
+        _finite_nonneg(path, where, r, key)
+    if not (r["p50_s"] <= r["p95_s"] <= r["p99_s"]):
+        fail(f"{path}: {where} latency percentiles must be ordered "
+             f"p50 <= p95 <= p99 (got {r['p50_s']}, {r['p95_s']}, "
+             f"{r['p99_s']})")
+    ratio = _finite_nonneg(path, where, r, "cache_hit_ratio")
+    if ratio > 1.0:
+        fail(f"{path}: {where} cache_hit_ratio must be <= 1 (got {ratio})")
+    if r["executed_tasks"] > r["tasks"]:
+        fail(f"{path}: {where} executed_tasks exceeds tasks")
 
 
 def check_bench(path: str, doc: dict) -> None:
@@ -31,14 +64,20 @@ def check_bench(path: str, doc: dict) -> None:
         if not isinstance(r.get("series"), str) or not r["series"]:
             fail(f"{path}: records[{i}] series must be a non-empty string")
         series.add(r["series"])
+        if "throughput_per_s" in r:
+            # serve-throughput shape (bench_serve_throughput --json)
+            check_serve_record(path, i, r)
+            continue
+        if "value" in r and "ranks" not in r:
+            # scalar summary record, e.g. the serve bench's speedup line
+            _finite_nonneg(path, f"records[{i}]", r, "value")
+            continue
         if not isinstance(r.get("ranks"), int) or r["ranks"] < 1:
             fail(f"{path}: records[{i}] ranks must be a positive integer")
         for key in ("bytes", "seconds"):
-            if not isinstance(r.get(key), (int, float)) or r[key] < 0:
-                fail(f"{path}: records[{i}] {key} must be a non-negative number")
-        if "cycles" in r and (not isinstance(r["cycles"], (int, float))
-                              or r["cycles"] < 0):
-            fail(f"{path}: records[{i}] cycles must be a non-negative number")
+            _finite_nonneg(path, f"records[{i}]", r, key)
+        if "cycles" in r:
+            _finite_nonneg(path, f"records[{i}]", r, "cycles")
     print(f"check_perf_json: {path}: OK "
           f"(bench {doc['bench']!r}, {len(records)} records, "
           f"{len(series)} series)")

@@ -14,6 +14,11 @@ available (the gate skips that stage gracefully when it is not):
      model where the checker can see it.
   3. No std::endl in src/ — it flushes, and the obs/trace hot paths are
      called per-DMA. Use '\\n'.
+  4. No detached or ad-hoc threads in src/. Calling .detach() on a
+     thread orphans work the serve shutdown path and the sanitizer
+     runs cannot see; constructing std::thread directly is reserved
+     for the two sanctioned homes (the serve worker pool and the SPMD
+     comm runtime), everything else must submit to the serve pool.
 
 Exit status: 0 clean, 1 violations, 2 usage/setup error.
 """
@@ -145,6 +150,42 @@ def check_std_endl() -> list[str]:
     return violations
 
 
+# The only files allowed to construct std::thread directly: the serve
+# worker pool (owns lifecycle, joins in stop()) and the SPMD comm
+# runtime (rank threads joined by the harness).
+THREAD_HOMES = {
+    SRC / "serve" / "pool.cpp",
+    SRC / "serve" / "pool.hpp",
+    SRC / "parallel" / "comm.cpp",
+}
+
+
+def check_threads() -> list[str]:
+    """Rule 4: no .detach(), and std::thread construction only in the
+    sanctioned homes (serve pool, SPMD comm runtime)."""
+    violations: list[str] = []
+    detach = re.compile(r"\.\s*detach\s*\(")
+    ctor = re.compile(r"\bstd::(?:jthread|thread)\b(?!\s*(?:&|\*|>|::))")
+    for path in cpp_sources(SRC):
+        text = strip_comments(path.read_text())
+        rel = path.relative_to(REPO)
+        for m in detach.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            violations.append(
+                f"{rel}:{line}: thread .detach() — detached threads "
+                "outlive shutdown and escape TSan; join them (see "
+                "serve/pool.cpp)")
+        if path in THREAD_HOMES:
+            continue
+        for m in ctor.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            violations.append(
+                f"{rel}:{line}: raw std::thread outside the sanctioned "
+                "homes (src/serve/pool.*, src/parallel/comm.cpp) — "
+                "submit work to the serve worker pool instead")
+    return violations
+
+
 def run_clang_tidy(build_dir: Path) -> int:
     """Optional clang-tidy pass; returns violation count. Skips when the
     binary or compile_commands.json is unavailable."""
@@ -182,7 +223,7 @@ def main(argv: list[str]) -> int:
         print(f"lint: source tree {SRC} not found", file=sys.stderr)
         return 2
     violations = (check_charge_flops() + check_raw_memcpy()
-                  + check_std_endl())
+                  + check_std_endl() + check_threads())
     fail(violations)
     tidy_count = run_clang_tidy(build_dir)
     total = len(violations) + tidy_count

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification (ROADMAP.md): full build + ctest, the repo lint
-# gate, a fully checked (SWRAMAN_CHECK=1) run of the sunway suites, then
+# gate, a fully checked (SWRAMAN_CHECK=1) run of the sunway suites, the
+# serve throughput gate (>= 2x over naive FIFO with dedup hits), then
 # instrumented passes — the robustness/fault-injection suite under
-# ASan/UBSan and the obs + parallel suites under TSan (the metrics
-# registry claims lock-free counters; this is where we prove it).
+# ASan/UBSan and the obs + parallel + serve suites under TSan (the
+# metrics registry claims lock-free counters and the serve pool claims
+# race-free work stealing; this is where we prove both).
 # Set SWRAMAN_SANITIZE=undefined to swap the robustness pass to UBSan,
 # or SWRAMAN_SANITIZE=none to skip every instrumented pass.
 set -euo pipefail
@@ -57,6 +59,16 @@ echo "== tier-1: bench smoke (fig15 acceptance gate + JSON) =="
 python3 scripts/check_perf_json.py "${SMOKE_DIR}/BENCH_fig15.json"
 cp "${SMOKE_DIR}/BENCH_fig15.json" BENCH_fig15.json
 
+echo "== tier-1: serve smoke + throughput gate (SWRAMAN_CHECK=1) =="
+# The serve bench runs the mixed-tenant trace twice (naive FIFO vs the
+# full scheduler) and exits non-zero unless the DAG/dedup path is >= 2x
+# faster with a non-zero cache hit ratio; running it under SWRAMAN_CHECK=1
+# keeps the shadow-state checker live across the whole service stack.
+SWRAMAN_CHECK=1 ./build/bench/bench_serve_throughput \
+  --json "${SMOKE_DIR}/BENCH_serve.json" >/dev/null
+python3 scripts/check_perf_json.py "${SMOKE_DIR}/BENCH_serve.json"
+cp "${SMOKE_DIR}/BENCH_serve.json" BENCH_serve.json
+
 if [ "${SANITIZER}" != "none" ]; then
   echo "== tier-1: robustness suite under -fsanitize=${SANITIZER} =="
   cmake -B "build-${SANITIZER}" -S . \
@@ -66,13 +78,18 @@ if [ "${SANITIZER}" != "none" ]; then
         test_robustness
   "./build-${SANITIZER}/tests/test_robustness"
 
-  echo "== tier-1: obs + parallel suites under -fsanitize=thread =="
+  echo "== tier-1: obs + parallel + serve suites under -fsanitize=thread =="
   cmake -B build-thread -S . \
         -DSWRAMAN_SANITIZE=thread \
         -DSWRAMAN_BUILD_BENCH=OFF -DSWRAMAN_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build build-thread -j "${JOBS}" --target test_obs test_parallel
+  cmake --build build-thread -j "${JOBS}" --target test_obs test_parallel \
+        test_serve
   ./build-thread/tests/test_obs
   ./build-thread/tests/test_parallel
+  # The serve pool/cache/scheduler run their full modeled-engine suite
+  # under TSan; the RealEngine end-to-end tests are excluded only for
+  # time (SCF under TSan is ~20x slower), not correctness.
+  ./build-thread/tests/test_serve --gtest_filter=-ServeRealEngine.*
 fi
 
 echo "tier-1: OK"

@@ -38,6 +38,8 @@
 #include "robustness/fault.hpp"
 #include "raman/thermochemistry.hpp"
 #include "scaling/simulator.hpp"
+#include "serve/service.hpp"
+#include "serve/trace.hpp"
 #include "scf/analysis.hpp"
 #include "scf/scf_engine.hpp"
 #include "sunway/cost_model.hpp"

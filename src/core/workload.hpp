@@ -37,6 +37,13 @@ struct SiCase {
 };
 const std::vector<SiCase>& table1_cases();
 
+// DFPT polarizability evaluations of one full Raman job at N atoms: the
+// 6N displaced geometries of the central-difference d(alpha)/dR loop plus
+// the equilibrium reference (paper Sec. 2.3).
+constexpr std::size_t n_raman_polarizabilities(std::size_t n_atoms) {
+  return 6 * n_atoms + 1;
+}
+
 // Builds the three DFPT kernel workloads (n1, v1, h1) for one geometry of
 // the given system scale, with per-element costs matching the implemented
 // kernels' operation counts.

@@ -121,9 +121,23 @@ RamanSpectrum RamanCalculator::compute() {
 
   // Step 3 + 4: contract with mode eigenvectors, form activities.
   SWRAMAN_TRACE_SCOPE("raman.spectrum");
-  const std::size_t n = 3 * atoms_.size();
-  RamanSpectrum spec;
+  RamanSpectrum spec = assemble_spectrum(atoms_, modes, dalpha, dmu_,
+                                         options_.mode_floor_cm);
   spec.n_polarizabilities = n_polarizabilities_;
+  return spec;
+}
+
+RamanSpectrum assemble_spectrum(const std::vector<grid::AtomSite>& atoms,
+                                const NormalModes& modes,
+                                const linalg::Matrix& dalpha,
+                                const linalg::Matrix& dmu,
+                                double mode_floor_cm) {
+  const std::size_t n = 3 * atoms.size();
+  SWRAMAN_REQUIRE(dalpha.rows() == n && dalpha.cols() == 9,
+                  "assemble_spectrum: dalpha must be 3N x 9");
+  SWRAMAN_REQUIRE(dmu.rows() == n && dmu.cols() == 3,
+                  "assemble_spectrum: dmu must be 3N x 3");
+  RamanSpectrum spec;
 
   // Unit conversions: d(alpha)/dQ in Bohr^2/sqrt(amu) -> A^2/sqrt(amu)
   // wait: alpha [Bohr^3], dQ [sqrt(amu) Bohr] -> Bohr^2/sqrt(amu);
@@ -131,7 +145,7 @@ RamanSpectrum RamanCalculator::compute() {
   const double unit = std::pow(kAngstromPerBohr, 4);
 
   for (std::size_t p = 0; p < n; ++p) {
-    if (modes.frequencies_cm[p] < options_.mode_floor_cm) continue;
+    if (modes.frequencies_cm[p] < mode_floor_cm) continue;
 
     // dalpha/dQ_p = sum_I (dalpha/dx_I) e_{I,p} / sqrt(m_I); the stored
     // cartesian_modes are already x = q / sqrt(m) with q normalized, so
@@ -172,7 +186,7 @@ RamanSpectrum RamanCalculator::compute() {
     for (std::size_t i = 0; i < 3; ++i) {
       double v = 0.0;
       for (std::size_t coord = 0; coord < n; ++coord) {
-        v += dmu_(coord, i) * modes.cartesian_modes(coord, p);
+        v += dmu(coord, i) * modes.cartesian_modes(coord, p);
       }
       dmu_q2 += v * v;
     }

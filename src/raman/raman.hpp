@@ -93,6 +93,18 @@ class RamanCalculator {
   int n_polarizabilities_ = 0;
 };
 
+// Steps 3 + 4 of the pipeline as a free function: contract d(alpha)/dR
+// (3N x 9) and d(mu)/dR (3N x 3) with the normal modes into activities,
+// depolarization ratios, and IR intensities. RamanCalculator::compute
+// uses it after its own displacement loop; the serve subsystem's assembly
+// task feeds it the DAG-collected derivatives — both paths share one
+// implementation of the paper's Eq. 5 contraction.
+RamanSpectrum assemble_spectrum(const std::vector<grid::AtomSite>& atoms,
+                                const NormalModes& modes,
+                                const linalg::Matrix& dalpha,
+                                const linalg::Matrix& dmu,
+                                double mode_floor_cm);
+
 // Observed Stokes Raman intensity from the activity: the standard
 // (nu0 - nu)^4 / nu frequency factor with the thermal Boltzmann
 // population, for laser wavenumber nu0 (default 532 nm) at temperature T.

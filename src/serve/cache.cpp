@@ -1,0 +1,75 @@
+#include "serve/cache.hpp"
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace swraman::serve {
+
+namespace {
+
+raman::GeometryRecord map_record(const raman::GeometryRecord& canonical,
+                                 const AxisTransform& from_canonical) {
+  raman::GeometryRecord out;
+  out.alpha = apply_tensor(from_canonical, canonical.alpha);
+  out.dipole = apply_vector(from_canonical, canonical.dipole);
+  return out;
+}
+
+}  // namespace
+
+DisplacementCache::Ref DisplacementCache::reference(
+    std::uint64_t key, const CacheWaiter& waiter,
+    raman::GeometryRecord* record) {
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (inserted) {
+    ++misses_;
+    obs::count("serve.cache.misses");
+    return Ref::Owner;
+  }
+  ++hits_;
+  obs::count("serve.cache.hits");
+  if (it->second.done) {
+    if (record != nullptr) {
+      *record = map_record(it->second.canonical, waiter.from_canonical);
+    }
+    return Ref::Hit;
+  }
+  it->second.waiters.push_back(waiter);
+  return Ref::Wait;
+}
+
+std::vector<CacheWaiter> DisplacementCache::complete(
+    std::uint64_t key, const raman::GeometryRecord& canonical,
+    std::vector<raman::GeometryRecord>* records) {
+  // Lenient on a missing or finished entry: when an owner's job fails
+  // while its displacement is still in flight, fail() already dropped the
+  // entry — and a resubmission may even have re-created (and finished) it.
+  // The late result is then simply recorded (or ignored) with no waiters.
+  auto it = entries_.try_emplace(key).first;
+  if (it->second.done) {
+    if (records != nullptr) records->clear();
+    return {};
+  }
+  it->second.done = true;
+  it->second.canonical = canonical;
+  std::vector<CacheWaiter> waiters = std::move(it->second.waiters);
+  it->second.waiters.clear();
+  if (records != nullptr) {
+    records->clear();
+    records->reserve(waiters.size());
+    for (const CacheWaiter& w : waiters) {
+      records->push_back(map_record(canonical, w.from_canonical));
+    }
+  }
+  return waiters;
+}
+
+std::vector<CacheWaiter> DisplacementCache::fail(std::uint64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  std::vector<CacheWaiter> waiters = std::move(it->second.waiters);
+  entries_.erase(it);
+  return waiters;
+}
+
+}  // namespace swraman::serve

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "raman/checkpoint.hpp"
+#include "serve/job.hpp"
+
+// Content-addressed displacement-result cache (DESIGN.md S11). Entries
+// are keyed by canonical_key(geometry, settings): the first submission
+// that references a key becomes the entry's *owner* and will evaluate it;
+// every later reference — a duplicate submission from any tenant, or a
+// symmetry-equivalent displacement of the same job — attaches as a waiter
+// and receives the owner's result mapped through its own axis transform.
+//
+// Ownership is assigned at submission time (submissions are serialized by
+// the service lock), so the set of evaluated keys — and with it the
+// serve.cache.* counters and every job's spectrum — is independent of
+// worker timing: a fixed trace always executes the same evaluations.
+//
+// The cache is bookkeeping only and does no locking itself; the service
+// calls it under its own mutex.
+
+namespace swraman::serve {
+
+// A waiter: node `node` of job `job` wants the entry's canonical record
+// mapped back through from_canonical.
+struct CacheWaiter {
+  std::uint64_t job = 0;
+  std::size_t node = 0;
+  AxisTransform from_canonical;  // inverse of the waiter's to_canonical
+};
+
+class DisplacementCache {
+ public:
+  enum class Ref {
+    Owner,  // caller must evaluate and complete() the key
+    Hit,    // record already available (record() output filled)
+    Wait,   // owner still in flight; caller was attached as waiter
+  };
+
+  // References `key` on behalf of (job, node). For Hit, `record` receives
+  // the canonical result mapped through from_canonical.
+  Ref reference(std::uint64_t key, const CacheWaiter& waiter,
+                raman::GeometryRecord* record);
+
+  // Stores the owner's result (already mapped *to* the canonical frame)
+  // and returns the waiters to release; each waiter's record is mapped
+  // into its own frame in `records` (same order). Tolerates a key that
+  // fail() dropped while the owner was still evaluating.
+  std::vector<CacheWaiter> complete(std::uint64_t key,
+                                    const raman::GeometryRecord& canonical,
+                                    std::vector<raman::GeometryRecord>* records);
+
+  // Owner failed permanently: drop the entry so a later submission can
+  // retry, and return the waiters to fail alongside it.
+  std::vector<CacheWaiter> fail(std::uint64_t key);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double hit_ratio() const {
+    const double total = static_cast<double>(hits_ + misses_);
+    return total == 0.0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+ private:
+  struct Entry {
+    bool done = false;
+    raman::GeometryRecord canonical;
+    std::vector<CacheWaiter> waiters;
+  };
+
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t hits_ = 0;    // references served without a new evaluation
+  std::uint64_t misses_ = 0;  // references that created an owner
+};
+
+}  // namespace swraman::serve

@@ -1,0 +1,74 @@
+#include "serve/dag.hpp"
+
+#include "common/error.hpp"
+
+namespace swraman::serve {
+
+const char* task_kind_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::Displacement: return "displacement";
+    case TaskKind::Row: return "row";
+    case TaskKind::Hessian: return "hessian";
+    case TaskKind::Assemble: return "assemble";
+  }
+  return "?";
+}
+
+JobDag::JobDag(std::size_t n_coords, bool with_hessian)
+    : n_coords_(n_coords), with_hessian_(with_hessian) {
+  SWRAMAN_REQUIRE(n_coords > 0 && n_coords % 3 == 0,
+                  "JobDag: n_coords must be a positive multiple of 3");
+  nodes_.resize(3 * n_coords + (with_hessian ? 1 : 0) + 1);
+  records.resize(2 * n_coords);
+  for (std::size_t c = 0; c < n_coords; ++c) {
+    nodes_[displacement_id(c, +1)] = {TaskKind::Displacement, c, +1, 0, false};
+    nodes_[displacement_id(c, -1)] = {TaskKind::Displacement, c, -1, 0, false};
+    nodes_[row_id(c)] = {TaskKind::Row, c, +1, 2, false};
+  }
+  if (with_hessian) {
+    nodes_[hessian_id()] = {TaskKind::Hessian, 0, +1, 0, false};
+  }
+  nodes_[assemble_id()] = {
+      TaskKind::Assemble, 0, +1,
+      static_cast<int>(n_coords + (with_hessian ? 1 : 0)), false};
+}
+
+std::vector<std::size_t> JobDag::roots() const {
+  std::vector<std::size_t> out;
+  out.reserve(2 * n_coords_ + 1);
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].deps_pending == 0 && !nodes_[id].done) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::size_t> JobDag::successors(std::size_t id) const {
+  const TaskNode& n = nodes_[id];
+  switch (n.kind) {
+    case TaskKind::Displacement:
+      return {row_id(n.coord)};
+    case TaskKind::Row:
+    case TaskKind::Hessian:
+      return {assemble_id()};
+    case TaskKind::Assemble:
+      return {};
+  }
+  return {};
+}
+
+std::vector<std::size_t> JobDag::complete(std::size_t id) {
+  TaskNode& n = nodes_[id];
+  SWRAMAN_REQUIRE(!n.done && n.deps_pending == 0,
+                  "JobDag::complete: node not runnable");
+  n.done = true;
+  ++n_done_;
+  std::vector<std::size_t> ready;
+  for (std::size_t s : successors(id)) {
+    TaskNode& succ = nodes_[s];
+    SWRAMAN_ASSERT(succ.deps_pending > 0, "JobDag: dependency underflow");
+    if (--succ.deps_pending == 0) ready.push_back(s);
+  }
+  return ready;
+}
+
+}  // namespace swraman::serve

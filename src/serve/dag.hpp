@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "raman/checkpoint.hpp"
+#include "serve/job.hpp"
+
+// Per-job dependency DAG (DESIGN.md S11). One Raman job decomposes into
+//
+//   6N displacement tasks   (independent DFPT polarizabilities, paper
+//                            Sec. 2.3 — the geometry level of Fig. 4)
+//   3N row tasks            (central-difference d(alpha)/dR_c from the
+//                            +d / -d pair of coordinate c)
+//   1 optional Hessian task (with_modes: finite-difference normal modes,
+//                            independent of every displacement)
+//   1 assembly task         (rows [+ modes] -> derivatives / spectrum)
+//
+// Node ids are dense and deterministic: displacement (coord, sign) at
+// 2*coord + (sign < 0), rows at 6N + coord, then Hessian, then assembly.
+// The graph only tracks dependency counts; results live beside it so the
+// assembly task reads them in fixed index order regardless of the order
+// workers finished in — that is what makes job output bitwise independent
+// of scheduling.
+
+namespace swraman::serve {
+
+enum class TaskKind : std::uint8_t { Displacement, Row, Hessian, Assemble };
+
+const char* task_kind_name(TaskKind k);
+
+struct TaskNode {
+  TaskKind kind = TaskKind::Displacement;
+  std::size_t coord = 0;  // Displacement / Row
+  int sign = +1;          // Displacement
+  int deps_pending = 0;   // remaining unfinished dependencies
+  bool done = false;
+};
+
+class JobDag {
+ public:
+  // n_coords = 3N; with_hessian adds the normal-mode task.
+  JobDag() = default;
+  JobDag(std::size_t n_coords, bool with_hessian);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t n_coords() const { return n_coords_; }
+  [[nodiscard]] bool with_hessian() const { return with_hessian_; }
+  [[nodiscard]] const TaskNode& node(std::size_t id) const {
+    return nodes_[id];
+  }
+
+  [[nodiscard]] std::size_t displacement_id(std::size_t coord,
+                                            int sign) const {
+    return 2 * coord + (sign < 0 ? 1 : 0);
+  }
+  [[nodiscard]] std::size_t row_id(std::size_t coord) const {
+    return 2 * n_coords_ + coord;
+  }
+  [[nodiscard]] std::size_t hessian_id() const {
+    return 3 * n_coords_;  // valid only when with_hessian()
+  }
+  [[nodiscard]] std::size_t assemble_id() const {
+    return 3 * n_coords_ + (with_hessian_ ? 1 : 0);
+  }
+
+  // Roots: every node with no dependencies (displacements + Hessian).
+  [[nodiscard]] std::vector<std::size_t> roots() const;
+
+  // Marks `id` done and returns the successors that became ready.
+  std::vector<std::size_t> complete(std::size_t id);
+
+  [[nodiscard]] std::size_t n_done() const { return n_done_; }
+  [[nodiscard]] bool all_done() const { return n_done_ == nodes_.size(); }
+
+  // Result slots, written by task execution, read by later tasks in fixed
+  // index order.
+  std::vector<raman::GeometryRecord> records;  // per displacement node
+  linalg::Matrix hessian;                      // Hessian task output
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> successors(std::size_t id) const;
+
+  std::size_t n_coords_ = 0;
+  bool with_hessian_ = false;
+  std::vector<TaskNode> nodes_;
+  std::size_t n_done_ = 0;
+};
+
+}  // namespace swraman::serve

@@ -1,0 +1,100 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dfpt/dfpt_engine.hpp"
+#include "obs/obs.hpp"
+#include "scf/scf_engine.hpp"
+
+namespace swraman::serve {
+
+raman::GeometryRecord RealEngine::evaluate(const TaskContext& ctx) {
+  const JobSpec& spec = *ctx.spec;
+  SWRAMAN_REQUIRE(ctx.coord < 3 * spec.atoms.size(),
+                  "RealEngine: coordinate out of range");
+  std::vector<grid::AtomSite> geometry = spec.atoms;
+  geometry[ctx.coord / 3].pos[static_cast<int>(ctx.coord % 3)] +=
+      ctx.sign * spec.options.alpha_displacement;
+
+  scf::ScfEngine engine(geometry, spec.options.vibrations.scf);
+  const scf::GroundState gs = engine.solve();
+  if (!gs.converged) {
+    throw ConvergenceError("serve: displaced SCF did not converge");
+  }
+  dfpt::DfptEngine dfpt(engine, gs, spec.options.dfpt);
+  const linalg::Matrix alpha = dfpt.polarizability();
+
+  raman::GeometryRecord rec;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) rec.alpha[3 * i + j] = alpha(i, j);
+    rec.dipole[i] = gs.dipole[static_cast<int>(i)];
+  }
+  return rec;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+double unit_double(std::uint64_t bits) {
+  // [0, 1) from the top 53 bits.
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ModeledEngine::ModeledEngine(ModeledEngineOptions options)
+    : options_(options) {}
+
+raman::GeometryRecord ModeledEngine::evaluate(const TaskContext& ctx) {
+  // The synthetic record is a pure function of (canonical key, seed): two
+  // evaluations of the same content — whatever job, tenant, or schedule
+  // asked for them — agree bitwise, which is what lets the bench assert
+  // dedup changes nothing.
+  std::uint64_t state = ctx.canonical_key ^ options_.seed;
+  raman::GeometryRecord canonical;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = i; j < 3; ++j) {
+      const double v = i == j ? 4.0 + 2.0 * unit_double(splitmix64(state))
+                              : 0.4 * (unit_double(splitmix64(state)) - 0.5);
+      canonical.alpha[3 * i + j] = v;
+      canonical.alpha[3 * j + i] = v;  // symmetric, like the real tensor
+    }
+    canonical.dipole[i] = 0.2 * (unit_double(splitmix64(state)) - 0.5);
+  }
+
+  // Burn CPU proportional to the task's modeled cost so the scheduler
+  // bench contends over paper-shaped work. Iteration-counted (not
+  // wall-clocked): the amount of work is deterministic.
+  const double target =
+      ctx.cost_seconds * options_.iterations_per_modeled_second;
+  const std::uint64_t iters = std::clamp(
+      static_cast<std::uint64_t>(target), options_.min_iterations,
+      options_.max_iterations);
+  double acc = 0.0;
+  std::uint64_t x = state | 1u;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    acc += static_cast<double>(x & 0xffff);
+  }
+  sink_.store(acc, std::memory_order_relaxed);
+
+  // Own frame = inverse(to_canonical) applied to the canonical tensor, so
+  // the service's map back to the canonical frame is an exact round trip.
+  const AxisTransform from = inverse(ctx.to_canonical);
+  raman::GeometryRecord rec;
+  rec.alpha = apply_tensor(from, canonical.alpha);
+  rec.dipole = apply_vector(from, canonical.dipole);
+  return rec;
+}
+
+}  // namespace swraman::serve

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "serve/job.hpp"
+
+// Displacement-task execution backends. The service hands a backend one
+// task at a time:
+//
+//   RealEngine     SCF + DFPT on the actual displaced molecule — the same
+//                  solve RamanCalculator::polarizability_at performs, so a
+//                  served job reproduces the single-job pipeline.
+//   ModeledEngine  deterministic synthetic evaluation for machine-scale
+//                  systems (RBD, Table-1 silicon): the result is a pure
+//                  function of (canonical key, seed) and the engine burns
+//                  a calibrated amount of CPU proportional to the task's
+//                  sunway-cost-model seconds, so scheduler benchmarks
+//                  exercise real contention with paper-shaped costs.
+
+namespace swraman::serve {
+
+struct TaskContext {
+  const JobSpec* spec = nullptr;
+  std::size_t coord = 0;
+  int sign = +1;
+  std::uint64_t canonical_key = 0;
+  AxisTransform to_canonical;    // canonical frame = T(own frame)
+  double cost_seconds = 0.0;     // modeled cost of this evaluation
+};
+
+class DisplacementEngine {
+ public:
+  virtual ~DisplacementEngine() = default;
+  // Polarizability + dipole of the displaced geometry, in the task's own
+  // frame. May throw (ConvergenceError, TimeoutError, injected faults);
+  // the service owns the bounded retry.
+  virtual raman::GeometryRecord evaluate(const TaskContext& ctx) = 0;
+};
+
+class RealEngine : public DisplacementEngine {
+ public:
+  raman::GeometryRecord evaluate(const TaskContext& ctx) override;
+};
+
+struct ModeledEngineOptions {
+  std::uint64_t seed = 12345;
+  // Spin iterations burned per modeled second. Trace jobs model at
+  // roughly 1-2.5 s/task, so the default maps a displacement to ~1 ms of
+  // real CPU (the xorshift loop retires ~1e9 iterations/s): long enough
+  // to dominate scheduling overhead, short enough for second-scale
+  // benches. Clamped to keep outliers bounded.
+  double iterations_per_modeled_second = 400000.0;
+  std::uint64_t min_iterations = 2000;
+  std::uint64_t max_iterations = 5000000;
+};
+
+class ModeledEngine : public DisplacementEngine {
+ public:
+  explicit ModeledEngine(ModeledEngineOptions options = {});
+  raman::GeometryRecord evaluate(const TaskContext& ctx) override;
+
+ private:
+  ModeledEngineOptions options_;
+  // Spin-kernel results land here so the work cannot be optimized away.
+  std::atomic<double> sink_{0.0};
+};
+
+// splitmix64: the deterministic stream behind modeled results.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace swraman::serve

@@ -1,0 +1,578 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/obs.hpp"
+#include "raman/vibrations.hpp"
+#include "robustness/fault.hpp"
+
+namespace swraman::serve {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+struct RamanService::JobState {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  JobEstimate est;
+  std::uint64_t settings_fp = 0;
+  JobDag dag;
+  // Per displacement node (ids 0..6N-1): content address + ownership.
+  std::vector<NodeKey> keys;
+  std::unique_ptr<raman::Checkpoint> checkpoint;
+  JobStatus status = JobStatus::Queued;
+  JobResult result;
+  double submit_time = 0.0;
+  bool released = false;  // admission charge given back exactly once
+};
+
+RamanService::RamanService(ServiceOptions options)
+    : options_(std::move(options)),
+      real_engine_(std::make_unique<RealEngine>()),
+      modeled_engine_(std::make_unique<ModeledEngine>(options_.modeled)),
+      scheduler_(options_.admission) {
+  WorkerPool::Options pool_opts;
+  pool_opts.n_workers = std::max<std::size_t>(1, options_.n_workers);
+  pool_opts.steal = options_.work_stealing;
+  pool_opts.pull_target_seconds = options_.pull_target_seconds;
+  pool_opts.pull_max_tasks = options_.pull_max_tasks;
+  pool_ = std::make_unique<WorkerPool>(
+      pool_opts,
+      [this](std::size_t worker, TaskRef ref) { execute(worker, ref); },
+      [this](double target, std::size_t max_tasks, std::vector<TaskRef>* out) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return scheduler_.take(out, target, max_tasks);
+      },
+      [this](const std::vector<TaskRef>& orphans) {
+        // A dying worker's deque is re-queued centrally: the tasks run
+        // again on a surviving worker (work adoption, DESIGN.md S7/S11).
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const TaskRef& ref : orphans) {
+          auto it = jobs_.find(ref.job);
+          if (it == jobs_.end()) continue;
+          JobState& job = *it->second;
+          if (job.status != JobStatus::Running) continue;
+          scheduler_.push(job.spec.client, job.spec.priority,
+                          node_cost(job, ref.node), ref);
+        }
+      });
+  if (!options_.start_paused) pool_->start();
+}
+
+RamanService::~RamanService() { pool_->stop(); }
+
+void RamanService::start() { pool_->start(); }
+
+SubmitResult RamanService::submit(const JobSpec& spec) {
+  SWRAMAN_TRACE_SPAN(span, "serve.submit");
+  if (spec.engine == EngineKind::Real) {
+    SWRAMAN_REQUIRE(!spec.atoms.empty(), "serve: Real job without atoms");
+  } else {
+    SWRAMAN_REQUIRE(spec.scale.n_atoms > 0,
+                    "serve: Modeled job without a system scale");
+    SWRAMAN_REQUIRE(!spec.with_modes,
+                    "serve: with_modes requires the Real engine");
+  }
+  SWRAMAN_REQUIRE(spec.weight > 0.0, "serve: non-positive tenant weight");
+
+  const JobEstimate est = estimate_job(spec);
+  if (span.active()) {
+    span.attr("tasks", static_cast<double>(est.n_tasks));
+    span.attr("modeled_seconds", est.total_seconds);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++tallies_.jobs_submitted;
+
+  const AdmissionDecision decision = scheduler_.admit(spec, est);
+  if (!decision.admitted) {
+    ++tallies_.jobs_rejected;
+    obs::count("serve.jobs.rejected");
+    SubmitResult res;
+    res.accepted = false;
+    res.reason = decision.reason;
+    // Retry-after hint: the modeled backlog divided over live workers is
+    // roughly when today's queue has drained.
+    const double workers =
+        static_cast<double>(std::max<std::size_t>(1, pool_->alive()));
+    res.retry_after_s =
+        (decision.outstanding_seconds + est.per_task_seconds) / workers;
+    log::warn("serve: rejected job '", spec.name, "' of tenant '",
+              spec.client, "' (", decision.reason, "), retry after ",
+              res.retry_after_s, " s");
+    return res;
+  }
+
+  ++tallies_.jobs_accepted;
+  obs::count("serve.jobs.accepted");
+  const std::uint64_t id = next_job_id_++;
+  auto owned = std::make_unique<JobState>();
+  JobState& job = *owned;
+  job.id = id;
+  job.spec = spec;
+  job.est = est;
+  job.settings_fp = settings_fingerprint(spec);
+  job.submit_time = now_seconds();
+  job.status = JobStatus::Running;
+  job.result.status = JobStatus::Running;
+
+  const std::size_t n = 3 * spec.n_atoms();
+  const bool with_hessian = spec.engine == EngineKind::Real && spec.with_modes;
+  job.dag = JobDag(n, with_hessian);
+  job.result.dalpha = linalg::Matrix(n, 9);
+  job.result.dmu = linalg::Matrix(n, 3);
+
+  // Content addresses for every displacement node. Real jobs hash the
+  // actual displaced geometry (canonicalized under the axis group);
+  // modeled jobs hash (scale fingerprint, coord, sign) — symmetry-blind
+  // but still dedup-identical across repeated submissions.
+  job.keys.resize(2 * n);
+  for (std::size_t coord = 0; coord < n; ++coord) {
+    for (int s = 0; s < 2; ++s) {
+      const int sign = s == 0 ? +1 : -1;
+      const std::size_t node = job.dag.displacement_id(coord, sign);
+      if (spec.engine == EngineKind::Real) {
+        std::vector<grid::AtomSite> geometry = spec.atoms;
+        geometry[coord / 3].pos[static_cast<int>(coord % 3)] +=
+            sign * spec.options.alpha_displacement;
+        const CanonicalKey ck =
+            canonical_key(geometry, job.settings_fp, options_.use_symmetry);
+        job.keys[node].key = ck.key;
+        job.keys[node].to_canonical = ck.to_canonical;
+      } else {
+        Hash64 h;
+        h.u64(job.settings_fp);
+        h.u64(coord);
+        h.u64(static_cast<std::uint64_t>(sign + 2));
+        job.keys[node].key = h.value();
+      }
+    }
+  }
+
+  // Checkpoint restart: records finished by a previous incarnation of
+  // this job complete their nodes before anything is queued.
+  if (spec.engine == EngineKind::Real &&
+      !spec.options.checkpoint_path.empty()) {
+    job.checkpoint = std::make_unique<raman::Checkpoint>(
+        spec.options.checkpoint_path, spec.atoms,
+        spec.options.alpha_displacement);
+  }
+
+  jobs_.emplace(id, std::move(owned));
+
+  std::vector<std::size_t> pending_roots;
+  for (std::size_t node_id : job.dag.roots()) {
+    const TaskNode& node = job.dag.node(node_id);
+    if (node.kind == TaskKind::Displacement && job.checkpoint != nullptr) {
+      if (const raman::GeometryRecord* rec =
+              job.checkpoint->lookup(node.coord, node.sign)) {
+        job.dag.records[node_id] = *rec;
+        ++tallies_.checkpoint_hits;
+        obs::count("serve.checkpoint.hits");
+        complete_node(kNoWorker, job, node_id);
+        continue;
+      }
+    }
+    pending_roots.push_back(node_id);
+  }
+
+  for (std::size_t node_id : pending_roots) {
+    const TaskNode& node = job.dag.node(node_id);
+    if (node.kind == TaskKind::Displacement && options_.use_cache) {
+      raman::GeometryRecord rec;
+      CacheWaiter waiter;
+      waiter.job = id;
+      waiter.node = node_id;
+      waiter.from_canonical = inverse(job.keys[node_id].to_canonical);
+      switch (cache_.reference(job.keys[node_id].key, waiter, &rec)) {
+        case DisplacementCache::Ref::Owner:
+          job.keys[node_id].owner = true;
+          dispatch_ready(kNoWorker, job, node_id);
+          break;
+        case DisplacementCache::Ref::Hit:
+          job.dag.records[node_id] = rec;
+          complete_node(kNoWorker, job, node_id);
+          break;
+        case DisplacementCache::Ref::Wait:
+          break;  // released when the owner completes
+      }
+    } else {
+      dispatch_ready(kNoWorker, job, node_id);
+    }
+  }
+  pool_->notify();
+
+  SubmitResult res;
+  res.accepted = true;
+  res.job_id = id;
+  return res;
+}
+
+double RamanService::node_cost(const JobState& job, std::size_t node) const {
+  switch (job.dag.node(node).kind) {
+    case TaskKind::Displacement:
+      return job.est.per_task_seconds;
+    case TaskKind::Hessian:
+      // (1 + 6N + O(N^2)) extra SCF solves; charge quadratically in the
+      // coordinate count relative to one displacement.
+      return job.est.per_task_seconds *
+             static_cast<double>(job.dag.n_coords() * job.dag.n_coords()) /
+             6.0;
+    case TaskKind::Row:
+    case TaskKind::Assemble:
+      return job.est.per_task_seconds * 0.01;  // bookkeeping-sized
+  }
+  return job.est.per_task_seconds;
+}
+
+void RamanService::dispatch_ready(std::size_t worker, JobState& job,
+                                  std::size_t node) {
+  const TaskRef ref{job.id, node};
+  if (worker != kNoWorker && pool_->started()) {
+    // Continuation: depth-first onto the finishing worker's own deque.
+    pool_->push_local(worker, ref);
+  } else {
+    scheduler_.push(job.spec.client, job.spec.priority, node_cost(job, node),
+                    ref);
+  }
+}
+
+void RamanService::complete_node(std::size_t worker, JobState& job,
+                                 std::size_t node) {
+  for (std::size_t succ : job.dag.complete(node)) {
+    dispatch_ready(worker, job, succ);
+  }
+  if (job.dag.all_done()) {
+    finish_job(job, JobStatus::Completed, {});
+  }
+}
+
+void RamanService::finish_job(JobState& job, JobStatus status,
+                              const std::string& error) {
+  job.status = status;
+  job.result.status = status;
+  job.result.error = error;
+  job.result.latency_s = now_seconds() - job.submit_time;
+  if (!job.released) {
+    job.released = true;
+    scheduler_.release(job.est);
+  }
+  if (status == JobStatus::Completed) {
+    ++tallies_.jobs_completed;
+    obs::count("serve.jobs.completed");
+  } else {
+    ++tallies_.jobs_failed;
+    obs::count("serve.jobs.failed");
+  }
+  obs::observe(("serve.latency." + job.spec.client).c_str(),
+               job.result.latency_s);
+  obs::observe("serve.latency", job.result.latency_s);
+  cv_.notify_all();
+}
+
+void RamanService::fail_job_locked(std::uint64_t job_id,
+                                   const std::string& error) {
+  // Failure cascades along dedup edges: waiters of this job's unfinished
+  // owned keys fail with it (their entries are dropped so a resubmission
+  // can retry cleanly).
+  std::vector<std::pair<std::uint64_t, std::string>> worklist;
+  worklist.emplace_back(job_id, error);
+  while (!worklist.empty()) {
+    auto [id, why] = std::move(worklist.back());
+    worklist.pop_back();
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    JobState& job = *it->second;
+    if (job.status != JobStatus::Running) continue;
+    log::warn("serve: job '", job.spec.name, "' (tenant '", job.spec.client,
+              "') failed: ", why);
+    finish_job(job, JobStatus::Failed, why);
+    if (!options_.use_cache) continue;
+    for (std::size_t node = 0; node < job.keys.size(); ++node) {
+      if (!job.keys[node].owner || job.dag.node(node).done) continue;
+      for (const CacheWaiter& w : cache_.fail(job.keys[node].key)) {
+        if (w.job == id) continue;
+        worklist.emplace_back(
+            w.job, "dedup owner job " + std::to_string(id) + " failed: " + why);
+      }
+    }
+  }
+}
+
+bool RamanService::evaluate_with_retry(JobState& job, const TaskContext& ctx,
+                                       raman::GeometryRecord* rec) {
+  DisplacementEngine& engine = job.spec.engine == EngineKind::Real
+                                   ? *real_engine_
+                                   : *modeled_engine_;
+  const int attempts = std::max(1, job.spec.attempts);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (fault::should_fire(kFaultTaskFail)) {
+        throw TimeoutError("serve: injected displacement-task failure");
+      }
+      *rec = engine.evaluate(ctx);
+      return true;
+    } catch (const FaultInjected&) {
+      throw;  // simulated hard process death must propagate
+    } catch (const Error& e) {
+      if (attempt >= attempts) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fail_job_locked(job.id, e.what());
+        return false;
+      }
+      ++tallies_.task_retries;
+      obs::count("serve.tasks.retried");
+      log::warn("serve: task of job '", job.spec.name, "' failed on attempt ",
+                attempt, "/", attempts, " (", e.what(), ") — retrying");
+    }
+  }
+}
+
+void RamanService::execute(std::size_t worker, TaskRef ref) {
+  JobState* job = nullptr;
+  TaskNode node;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(ref.job);
+    if (it == jobs_.end()) return;
+    if (it->second->status != JobStatus::Running) return;  // failed: skip
+    job = it->second.get();
+    node = job->dag.node(ref.node);
+  }
+  SWRAMAN_TRACE_SPAN(span, "serve.task");
+  if (span.active()) {
+    span.attr("job", static_cast<double>(ref.job));
+    span.attr("node", static_cast<double>(ref.node));
+  }
+  switch (node.kind) {
+    case TaskKind::Displacement:
+      run_displacement(worker, *job, ref.node);
+      break;
+    case TaskKind::Hessian:
+      run_hessian(worker, *job, ref.node);
+      break;
+    case TaskKind::Row:
+      run_row(worker, *job, ref.node);
+      break;
+    case TaskKind::Assemble:
+      run_assemble(worker, *job, ref.node);
+      break;
+  }
+}
+
+void RamanService::run_displacement(std::size_t worker, JobState& job,
+                                    std::size_t node_id) {
+  const TaskNode node = job.dag.node(node_id);
+  TaskContext ctx;
+  ctx.spec = &job.spec;
+  ctx.coord = node.coord;
+  ctx.sign = node.sign;
+  ctx.canonical_key = job.keys[node_id].key;
+  ctx.to_canonical = job.keys[node_id].to_canonical;
+  ctx.cost_seconds = job.est.per_task_seconds;
+
+  const double t0 = now_seconds();
+  raman::GeometryRecord rec;
+  if (!evaluate_with_retry(job, ctx, &rec)) return;
+  obs::observe("serve.task.seconds", now_seconds() - t0);
+
+  // Durable before visible: the checkpoint append happens before the DAG
+  // learns of the completion, so a crash never loses an acknowledged
+  // geometry (same ordering the raman pipeline uses).
+  if (job.checkpoint != nullptr) {
+    std::lock_guard<std::mutex> ckpt_lock(checkpoint_mutex_);
+    job.checkpoint->record(node.coord, node.sign, rec);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (job.status != JobStatus::Running) {
+    // The job failed while this task was in flight; still publish the
+    // result so cross-job waiters of an owned key are not stranded.
+    if (options_.use_cache && job.keys[node_id].owner) {
+      raman::GeometryRecord canonical;
+      canonical.alpha = apply_tensor(job.keys[node_id].to_canonical, rec.alpha);
+      canonical.dipole =
+          apply_vector(job.keys[node_id].to_canonical, rec.dipole);
+      std::vector<raman::GeometryRecord> waiter_records;
+      const std::vector<CacheWaiter> waiters =
+          cache_.complete(job.keys[node_id].key, canonical, &waiter_records);
+      for (std::size_t i = 0; i < waiters.size(); ++i) {
+        auto it = jobs_.find(waiters[i].job);
+        if (it == jobs_.end() || it->second->status != JobStatus::Running) {
+          continue;
+        }
+        it->second->dag.records[waiters[i].node] = waiter_records[i];
+        complete_node(worker, *it->second, waiters[i].node);
+      }
+    }
+    return;
+  }
+
+  ++tallies_.tasks_executed;
+  ++job.result.tasks_executed;
+  job.dag.records[node_id] = rec;
+
+  if (options_.use_cache && job.keys[node_id].owner) {
+    raman::GeometryRecord canonical;
+    canonical.alpha = apply_tensor(job.keys[node_id].to_canonical, rec.alpha);
+    canonical.dipole =
+        apply_vector(job.keys[node_id].to_canonical, rec.dipole);
+    std::vector<raman::GeometryRecord> waiter_records;
+    const std::vector<CacheWaiter> waiters =
+        cache_.complete(job.keys[node_id].key, canonical, &waiter_records);
+    for (std::size_t i = 0; i < waiters.size(); ++i) {
+      auto it = jobs_.find(waiters[i].job);
+      if (it == jobs_.end()) continue;
+      JobState& wjob = *it->second;
+      if (wjob.status != JobStatus::Running) continue;
+      wjob.dag.records[waiters[i].node] = waiter_records[i];
+      if (wjob.checkpoint != nullptr) {
+        // Keep the waiter job's checkpoint as complete as if it had run
+        // the evaluation itself (append under the service lock is fine:
+        // checkpoint_mutex_ only orders appends against each other).
+        const TaskNode& wnode = wjob.dag.node(waiters[i].node);
+        std::lock_guard<std::mutex> ckpt_lock(checkpoint_mutex_);
+        wjob.checkpoint->record(wnode.coord, wnode.sign,
+                                waiter_records[i]);
+      }
+      complete_node(worker, wjob, waiters[i].node);
+    }
+  }
+  complete_node(worker, job, node_id);
+}
+
+void RamanService::run_hessian(std::size_t worker, JobState& job,
+                               std::size_t node_id) {
+  linalg::Matrix hess;
+  try {
+    if (fault::should_fire(kFaultTaskFail)) {
+      throw TimeoutError("serve: injected Hessian-task failure");
+    }
+    SWRAMAN_TRACE_SCOPE("serve.hessian");
+    hess = raman::energy_hessian(job.spec.atoms, job.spec.options.vibrations);
+  } catch (const FaultInjected&) {
+    throw;
+  } catch (const Error& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fail_job_locked(job.id, e.what());
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (job.status != JobStatus::Running) return;
+  ++tallies_.tasks_executed;
+  ++job.result.tasks_executed;
+  job.dag.hessian = std::move(hess);
+  complete_node(worker, job, node_id);
+}
+
+void RamanService::run_row(std::size_t worker, JobState& job,
+                           std::size_t node_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (job.status != JobStatus::Running) return;
+  const TaskNode node = job.dag.node(node_id);
+  const std::size_t coord = node.coord;
+  const raman::GeometryRecord& plus =
+      job.dag.records[job.dag.displacement_id(coord, +1)];
+  const raman::GeometryRecord& minus =
+      job.dag.records[job.dag.displacement_id(coord, -1)];
+  const double d = job.spec.options.alpha_displacement;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      job.result.dalpha(coord, 3 * i + j) =
+          (plus.alpha[3 * i + j] - minus.alpha[3 * i + j]) / (2.0 * d);
+    }
+    job.result.dmu(coord, i) = (plus.dipole[i] - minus.dipole[i]) / (2.0 * d);
+  }
+  complete_node(worker, job, node_id);
+}
+
+void RamanService::run_assemble(std::size_t worker, JobState& job,
+                                std::size_t node_id) {
+  // Spectrum assembly happens outside the lock on copies: the inputs are
+  // frozen (every dependency is done) and potentially expensive to
+  // contract for large molecules.
+  raman::RamanSpectrum spectrum;
+  raman::BroadenedSpectrum broadened;
+  if (job.dag.with_hessian()) {
+    linalg::Matrix hess;
+    linalg::Matrix dalpha;
+    linalg::Matrix dmu;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job.status != JobStatus::Running) return;
+      hess = job.dag.hessian;
+      dalpha = job.result.dalpha;
+      dmu = job.result.dmu;
+    }
+    try {
+      SWRAMAN_TRACE_SCOPE("serve.assemble");
+      const raman::NormalModes modes = raman::normal_modes(
+          job.spec.atoms, hess, job.spec.options.vibrations.project_rigid_body);
+      spectrum = raman::assemble_spectrum(job.spec.atoms, modes, dalpha, dmu,
+                                          job.spec.options.mode_floor_cm);
+      // 5 cm^-1 Lorentzian on the paper's Fig. 19 plotting grid.
+      broadened = raman::broaden(spectrum.modes, 5.0, 100.0, 4500.0, 2.0);
+    } catch (const Error& e) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      fail_job_locked(job.id, e.what());
+      return;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (job.status != JobStatus::Running) return;
+  job.result.spectrum = std::move(spectrum);
+  job.result.broadened = std::move(broadened);
+  complete_node(worker, job, node_id);
+}
+
+JobResult RamanService::wait(std::uint64_t job_id) {
+  if (options_.start_paused) pool_->start();
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(job_id);
+  SWRAMAN_REQUIRE(it != jobs_.end(), "serve: wait on unknown job id");
+  JobState& job = *it->second;
+  cv_.wait(lock, [&job] {
+    return job.status == JobStatus::Completed ||
+           job.status == JobStatus::Failed;
+  });
+  return job.result;
+}
+
+void RamanService::drain() {
+  if (options_.start_paused) pool_->start();
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] {
+    for (const auto& [id, job] : jobs_) {
+      if (job->status == JobStatus::Running ||
+          job->status == JobStatus::Queued) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+ServiceStats RamanService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats s = tallies_;
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_hit_ratio = cache_.hit_ratio();
+  s.queue_depth = scheduler_.queued();
+  s.modeled_bytes = scheduler_.modeled_bytes();
+  s.workers_alive = pool_->alive();
+  return s;
+}
+
+}  // namespace swraman::serve

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/cache.hpp"
+#include "serve/dag.hpp"
+#include "serve/engine.hpp"
+#include "serve/pool.hpp"
+#include "serve/scheduler.hpp"
+
+// RamanService (DESIGN.md S11): the multi-tenant job service over the
+// existing Raman stack. submit() admits or rejects a JobSpec (bounded
+// queues + modeled-memory backpressure), decomposes admitted jobs into
+// the displacement DAG, deduplicates displacement evaluations through
+// the content-addressed cache, and lets the work-stealing pool drain the
+// weighted fair-share scheduler. wait()/drain() deliver results.
+//
+// Determinism contract: submissions are serialized under the service
+// lock, cache ownership and admission decisions are made at submit time,
+// and every derivative/spectrum is assembled from per-node result slots
+// in fixed index order — so a fixed (trace, seed, limits) produces
+// bitwise-identical job results and dedup/admission counters regardless
+// of worker count or interleaving. Only timing-shaped metrics (latency
+// histograms, steal counts) vary.
+
+namespace swraman::serve {
+
+// Fault site: one displacement/Hessian evaluation fails transiently
+// (thrown as TimeoutError, consumed by the bounded per-task retry).
+inline constexpr const char* kFaultTaskFail = "serve.task.fail";
+
+struct ServiceOptions {
+  std::size_t n_workers = 2;
+  bool work_stealing = true;   // false: no stealing between deques
+  bool use_cache = true;       // content-addressed displacement dedup
+  bool use_symmetry = true;    // canonicalize under the 48 axis transforms
+  // Construct paused: submissions queue deterministically, start() (or
+  // the first wait()/drain()) launches the workers.
+  bool start_paused = false;
+  AdmissionLimits admission;
+  ModeledEngineOptions modeled;        // seed of the modeled engine
+  double pull_target_seconds = 0.05;   // central-pull batch, modeled cost
+  std::size_t pull_max_tasks = 64;
+};
+
+struct SubmitResult {
+  bool accepted = false;
+  std::uint64_t job_id = 0;     // valid when accepted
+  std::string reason;           // "queue-depth" / "modeled-memory"
+  double retry_after_s = 0.0;   // backpressure hint when rejected
+};
+
+struct ServiceStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_accepted = 0;
+  std::uint64_t jobs_rejected = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t tasks_executed = 0;   // engine evaluations actually run
+  std::uint64_t task_retries = 0;
+  std::uint64_t checkpoint_hits = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_ratio = 0.0;
+  std::size_t queue_depth = 0;
+  double modeled_bytes = 0.0;
+  std::size_t workers_alive = 0;
+};
+
+class RamanService {
+ public:
+  explicit RamanService(ServiceOptions options = {});
+  ~RamanService();
+  RamanService(const RamanService&) = delete;
+  RamanService& operator=(const RamanService&) = delete;
+
+  // Admission-controlled, non-blocking. Rejected jobs are not queued; the
+  // caller should retry after retry_after_s.
+  SubmitResult submit(const JobSpec& spec);
+
+  // Launches the worker pool (idempotent; no-op when not start_paused).
+  void start();
+
+  // Blocks until the job completed or failed; returns its result.
+  JobResult wait(std::uint64_t job_id);
+
+  // Blocks until every accepted job completed or failed.
+  void drain();
+
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  struct NodeKey {
+    std::uint64_t key = 0;
+    AxisTransform to_canonical;
+    bool owner = false;
+  };
+  struct JobState;
+  static constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+
+  void execute(std::size_t worker, TaskRef ref);
+  void run_displacement(std::size_t worker, JobState& job, std::size_t node);
+  void run_hessian(std::size_t worker, JobState& job, std::size_t node);
+  void run_row(std::size_t worker, JobState& job, std::size_t node);
+  void run_assemble(std::size_t worker, JobState& job, std::size_t node);
+  // Evaluation with bounded retry; returns false after failing the job.
+  bool evaluate_with_retry(JobState& job, const TaskContext& ctx,
+                           raman::GeometryRecord* rec);
+
+  // All four below require mutex_ held.
+  double node_cost(const JobState& job, std::size_t node) const;
+  void dispatch_ready(std::size_t worker, JobState& job, std::size_t node);
+  void complete_node(std::size_t worker, JobState& job, std::size_t node);
+  void finish_job(JobState& job, JobStatus status, const std::string& error);
+  void fail_job_locked(std::uint64_t job_id, const std::string& error);
+
+  ServiceOptions options_;
+  std::unique_ptr<DisplacementEngine> real_engine_;
+  std::unique_ptr<DisplacementEngine> modeled_engine_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::unique_ptr<JobState>> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  DisplacementCache cache_;
+  FairShareScheduler scheduler_;
+  ServiceStats tallies_;
+
+  std::mutex checkpoint_mutex_;  // serializes checkpoint file appends
+
+  std::unique_ptr<WorkerPool> pool_;  // constructed last, stopped first
+};
+
+}  // namespace swraman::serve

@@ -1,0 +1,85 @@
+#include "serve/trace.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "common/error.hpp"
+#include "core/workload.hpp"
+
+namespace swraman::serve {
+
+std::vector<JobSpec> mixed_tenant_trace(const TraceOptions& options) {
+  SWRAMAN_REQUIRE(options.water_unique > 0 && options.rbd_atoms > 0,
+                  "mixed_tenant_trace: degenerate options");
+  std::vector<JobSpec> trace;
+
+  // Tenant "screening-a": heavy RBD-fragment re-submissions, double
+  // fair-share weight (it paid for the big allocation).
+  core::SystemScale rbd = core::rbd_protein();
+  rbd.n_atoms = options.rbd_atoms;
+  for (std::size_t k = 0; k < options.rbd_submissions; ++k) {
+    JobSpec spec;
+    spec.client = "screening-a";
+    spec.name = "rbd-fragment/" + std::to_string(k);
+    spec.weight = 2.0;
+    spec.engine = EngineKind::Modeled;
+    spec.scale = rbd;  // identical scale: duplicates after the first
+    trace.push_back(std::move(spec));
+  }
+
+  // Tenant "screening-b": the Table-1 silicon cases, each submitted
+  // several times (parameter-sweep restarts).
+  const auto& cases = core::table1_cases();
+  const std::size_t n_cases = std::min(options.silicon_cases, cases.size());
+  for (std::size_t c = 0; c < n_cases; ++c) {
+    core::SystemScale si;
+    si.n_atoms = std::max<std::size_t>(2, cases[c].n_basis / 13);
+    si.points_per_atom = static_cast<double>(cases[c].grid_points) /
+                         static_cast<double>(si.n_atoms);
+    si.basis_per_atom = static_cast<double>(cases[c].n_basis) /
+                        static_cast<double>(si.n_atoms);
+    si.points_per_batch = static_cast<double>(cases[c].points_per_batch);
+    si.local_fns_per_batch = static_cast<double>(cases[c].n_basis);
+    for (std::size_t k = 0; k < options.silicon_submissions; ++k) {
+      JobSpec spec;
+      spec.client = "screening-b";
+      spec.name = std::string("si-") + cases[c].name + "/" +
+                  std::to_string(k);
+      spec.engine = EngineKind::Modeled;
+      spec.scale = si;
+      trace.push_back(std::move(spec));
+    }
+  }
+
+  // Tenant "interactive": small water-scale jobs at high priority —
+  // water_unique distinct variants cycled over water_submissions, so
+  // later submissions duplicate earlier ones.
+  for (std::size_t k = 0; k < options.water_submissions; ++k) {
+    const std::size_t variant = k % options.water_unique;
+    JobSpec spec;
+    spec.client = "interactive";
+    spec.name = "water-scan/" + std::to_string(variant) + "/" +
+                std::to_string(k);
+    spec.priority = 5;
+    spec.engine = EngineKind::Modeled;
+    spec.scale.n_atoms = 3;
+    spec.scale.points_per_atom = 1400.0 + 25.0 * static_cast<double>(variant);
+    spec.scale.basis_per_atom = 8.0;
+    spec.scale.points_per_batch = 100.0;
+    spec.scale.local_fns_per_batch = 24.0;
+    trace.push_back(std::move(spec));
+  }
+
+  // Interleave tenants the way independent clients would arrive.
+  std::mt19937_64 rng(options.seed);
+  std::shuffle(trace.begin(), trace.end(), rng);
+  return trace;
+}
+
+std::size_t trace_nominal_tasks(const std::vector<JobSpec>& trace) {
+  std::size_t n = 0;
+  for (const JobSpec& spec : trace) n += 6 * spec.n_atoms();
+  return n;
+}
+
+}  // namespace swraman::serve

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/job.hpp"
+
+// Synthetic mixed-tenant submission trace for the serving bench and the
+// determinism tests: a seeded, shuffled stream of modeled jobs shaped
+// like the paper's workloads —
+//
+//   * RBD-scale fragments (the protein substitution of Sec. 4), repeated
+//     submissions of one geometry (screening re-runs),
+//   * Table-1 silicon cases, each submitted several times,
+//   * small water-scale jobs, a few unique variants with duplicates
+//     (interactive parameter scans).
+//
+// About two thirds of the stream duplicates an earlier submission, so a
+// dedup-enabled service should evaluate roughly one third of the
+// displacement tasks the trace nominally contains — the effect the
+// throughput bench measures against the naive FIFO baseline.
+
+namespace swraman::serve {
+
+struct TraceOptions {
+  std::uint64_t seed = 2026;
+  // RBD fragment: rbd_protein() densities at a reduced atom count so the
+  // modeled evaluations stay bench-sized.
+  std::size_t rbd_atoms = 24;
+  std::size_t rbd_submissions = 3;
+  std::size_t silicon_submissions = 3;  // per Table-1 case
+  std::size_t silicon_cases = 3;        // first K of Table 1
+  std::size_t water_submissions = 12;
+  std::size_t water_unique = 4;  // distinct water-scale variants
+};
+
+// The full shuffled trace. Deterministic for a fixed options struct.
+std::vector<JobSpec> mixed_tenant_trace(const TraceOptions& options = {});
+
+// Nominal displacement-task count of the trace (before dedup).
+std::size_t trace_nominal_tasks(const std::vector<JobSpec>& trace);
+
+}  // namespace swraman::serve

@@ -17,6 +17,52 @@ TEST(Workload, Table1CasesMatchPaper) {
   EXPECT_EQ(cases[5].points_per_batch, 300u);
 }
 
+TEST(Workload, Table1CaseInvariants) {
+  // Every Table-1 case must be internally consistent: positive sizes and
+  // a batch that fits inside its own grid.
+  for (const SiCase& c : table1_cases()) {
+    EXPECT_GT(c.grid_points, 0u) << c.name;
+    EXPECT_GT(c.n_basis, 0u) << c.name;
+    EXPECT_GT(c.points_per_batch, 0u) << c.name;
+    EXPECT_LE(c.points_per_batch, c.grid_points) << c.name;
+  }
+}
+
+TEST(Workload, NRamanPolarizabilitiesIs6NPlus1) {
+  EXPECT_EQ(n_raman_polarizabilities(1), 7u);
+  EXPECT_EQ(n_raman_polarizabilities(3), 19u);   // water
+  EXPECT_EQ(n_raman_polarizabilities(3006), 18037u);  // RBD protein
+}
+
+TEST(Workload, MakeDfptJobInvariantsAcrossScales) {
+  for (std::size_t n_atoms : {std::size_t{3}, std::size_t{96},
+                              std::size_t{3006}}) {
+    SystemScale scale;
+    scale.n_atoms = n_atoms;
+    const scaling::RamanJob job = make_dfpt_job(scale);
+    EXPECT_GE(job.n_batches, 1u);
+    EXPECT_GT(job.points_per_batch, 0.0);
+    // Batch decomposition covers the grid: batches x points/batch equals
+    // the scale's total point count (up to the truncated final batch).
+    const double points =
+        static_cast<double>(scale.n_atoms) * scale.points_per_atom;
+    EXPECT_LE(static_cast<double>(job.n_batches) * job.points_per_batch,
+              points + job.points_per_batch);
+    EXPECT_GE(static_cast<double>(job.n_batches + 1) * job.points_per_batch,
+              points);
+    // One DFPT iteration's kernels all sweep work and cost something.
+    for (const sunway::KernelWorkload* w : {&job.n1, &job.v1, &job.h1}) {
+      EXPECT_GT(w->elements, 0.0);
+      EXPECT_GT(w->total_flops(), 0.0);
+    }
+    EXPECT_GT(job.scf_iterations, 0.0);
+    EXPECT_GT(job.dfpt_iterations, 0.0);
+    EXPECT_DOUBLE_EQ(job.response_directions, 3.0);
+    EXPECT_GT(job.allreduce_bytes, 0.0);
+    EXPECT_GT(job.mpe_serial_seconds, 0.0);
+  }
+}
+
 TEST(Workload, RbdJobScale) {
   const scaling::RamanJob job = make_dfpt_job(rbd_protein());
   // 3006 atoms at light-grid density: millions of points, paper-scale

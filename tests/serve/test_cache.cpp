@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "serve/cache.hpp"
+
+namespace swraman::serve {
+namespace {
+
+raman::GeometryRecord make_record(double base) {
+  raman::GeometryRecord rec;
+  for (int i = 0; i < 9; ++i) rec.alpha[i] = base + i;
+  for (int i = 0; i < 3; ++i) rec.dipole[i] = -base - i;
+  return rec;
+}
+
+TEST(DisplacementCache, FirstReferenceOwnsLaterOnesWaitThenHit) {
+  DisplacementCache cache;
+  raman::GeometryRecord rec;
+  EXPECT_EQ(cache.reference(42, {1, 0, {}}, &rec),
+            DisplacementCache::Ref::Owner);
+  EXPECT_EQ(cache.reference(42, {2, 5, {}}, &rec),
+            DisplacementCache::Ref::Wait);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  std::vector<raman::GeometryRecord> records;
+  const auto waiters = cache.complete(42, make_record(1.0), &records);
+  ASSERT_EQ(waiters.size(), 1u);
+  EXPECT_EQ(waiters[0].job, 2u);
+  EXPECT_EQ(waiters[0].node, 5u);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].alpha, make_record(1.0).alpha);
+
+  // After completion a reference is an immediate hit.
+  EXPECT_EQ(cache.reference(42, {3, 1, {}}, &rec),
+            DisplacementCache::Ref::Hit);
+  EXPECT_EQ(rec.alpha, make_record(1.0).alpha);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_NEAR(cache.hit_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DisplacementCache, HitMapsThroughWaiterFrame) {
+  DisplacementCache cache;
+  raman::GeometryRecord rec;
+  ASSERT_EQ(cache.reference(7, {1, 0, {}}, &rec),
+            DisplacementCache::Ref::Owner);
+  cache.complete(7, make_record(2.0), nullptr);
+
+  // A waiter whose frame is a swap of x and y sees the mapped tensor.
+  AxisTransform swap_xy;
+  swap_xy.perm = {1, 0, 2};
+  CacheWaiter w{2, 0, swap_xy};
+  ASSERT_EQ(cache.reference(7, w, &rec), DisplacementCache::Ref::Hit);
+  EXPECT_EQ(rec.alpha, apply_tensor(swap_xy, make_record(2.0).alpha));
+  EXPECT_EQ(rec.dipole, apply_vector(swap_xy, make_record(2.0).dipole));
+}
+
+TEST(DisplacementCache, FailDropsEntryAndReturnsWaiters) {
+  DisplacementCache cache;
+  raman::GeometryRecord rec;
+  ASSERT_EQ(cache.reference(9, {1, 0, {}}, &rec),
+            DisplacementCache::Ref::Owner);
+  ASSERT_EQ(cache.reference(9, {2, 3, {}}, &rec),
+            DisplacementCache::Ref::Wait);
+  const auto waiters = cache.fail(9);
+  ASSERT_EQ(waiters.size(), 1u);
+  EXPECT_EQ(waiters[0].job, 2u);
+  // The key is free again: a resubmission becomes a fresh owner.
+  EXPECT_EQ(cache.reference(9, {4, 0, {}}, &rec),
+            DisplacementCache::Ref::Owner);
+}
+
+TEST(DisplacementCache, LateCompleteAfterFailIsHarmless) {
+  DisplacementCache cache;
+  raman::GeometryRecord rec;
+  ASSERT_EQ(cache.reference(5, {1, 0, {}}, &rec),
+            DisplacementCache::Ref::Owner);
+  cache.fail(5);
+  // The owner's in-flight evaluation lands after the failure dropped the
+  // entry: it must not throw, and it re-publishes the result.
+  std::vector<raman::GeometryRecord> records;
+  EXPECT_TRUE(cache.complete(5, make_record(3.0), &records).empty());
+  EXPECT_EQ(cache.reference(5, {2, 0, {}}, &rec),
+            DisplacementCache::Ref::Hit);
+  EXPECT_EQ(rec.alpha, make_record(3.0).alpha);
+}
+
+}  // namespace
+}  // namespace swraman::serve

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "serve/dag.hpp"
+
+namespace swraman::serve {
+namespace {
+
+TEST(JobDag, LayoutForWaterSizedJob) {
+  const std::size_t n = 9;  // 3 atoms
+  JobDag dag(n, false);
+  EXPECT_EQ(dag.size(), 3 * n + 1);
+  EXPECT_EQ(dag.displacement_id(0, +1), 0u);
+  EXPECT_EQ(dag.displacement_id(0, -1), 1u);
+  EXPECT_EQ(dag.displacement_id(n - 1, -1), 2 * n - 1);
+  EXPECT_EQ(dag.row_id(0), 2 * n);
+  EXPECT_EQ(dag.assemble_id(), 3 * n);
+  EXPECT_EQ(dag.records.size(), 2 * n);
+
+  JobDag with_modes(n, true);
+  EXPECT_EQ(with_modes.size(), 3 * n + 2);
+  EXPECT_EQ(with_modes.hessian_id(), 3 * n);
+  EXPECT_EQ(with_modes.assemble_id(), 3 * n + 1);
+}
+
+TEST(JobDag, RootsAreDisplacementsAndHessian) {
+  JobDag dag(6, true);
+  const auto roots = dag.roots();
+  EXPECT_EQ(roots.size(), 2 * 6 + 1);
+  for (std::size_t id : roots) {
+    const TaskKind k = dag.node(id).kind;
+    EXPECT_TRUE(k == TaskKind::Displacement || k == TaskKind::Hessian);
+  }
+}
+
+TEST(JobDag, RowReadyAfterBothSignsAssembleLast) {
+  const std::size_t n = 3;
+  JobDag dag(n, false);
+  // Completing +d alone does not unlock the row.
+  EXPECT_TRUE(dag.complete(dag.displacement_id(0, +1)).empty());
+  auto ready = dag.complete(dag.displacement_id(0, -1));
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], dag.row_id(0));
+  EXPECT_EQ(dag.node(ready[0]).kind, TaskKind::Row);
+
+  // Finish everything; the assembly must unlock exactly once, last.
+  EXPECT_TRUE(dag.complete(dag.row_id(0)).empty());
+  for (std::size_t c = 1; c < n; ++c) {
+    dag.complete(dag.displacement_id(c, +1));
+    auto r = dag.complete(dag.displacement_id(c, -1));
+    ASSERT_EQ(r.size(), 1u);
+    auto after_row = dag.complete(r[0]);
+    if (c + 1 < n) {
+      EXPECT_TRUE(after_row.empty());
+    } else {
+      ASSERT_EQ(after_row.size(), 1u);
+      EXPECT_EQ(after_row[0], dag.assemble_id());
+    }
+  }
+  EXPECT_FALSE(dag.all_done());
+  EXPECT_TRUE(dag.complete(dag.assemble_id()).empty());
+  EXPECT_TRUE(dag.all_done());
+}
+
+TEST(JobDag, HessianGatesAssembly) {
+  const std::size_t n = 3;
+  JobDag dag(n, true);
+  for (std::size_t c = 0; c < n; ++c) {
+    dag.complete(dag.displacement_id(c, +1));
+    for (std::size_t r : dag.complete(dag.displacement_id(c, -1))) {
+      const auto unlocked = dag.complete(r);
+      // All rows done but the Hessian outstanding: assembly stays locked.
+      EXPECT_TRUE(unlocked.empty());
+    }
+  }
+  auto ready = dag.complete(dag.hessian_id());
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], dag.assemble_id());
+}
+
+}  // namespace
+}  // namespace swraman::serve

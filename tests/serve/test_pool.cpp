@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "robustness/fault.hpp"
+#include "serve/pool.hpp"
+
+namespace swraman::serve {
+namespace {
+
+// Minimal central queue standing in for the fair-share scheduler.
+struct CentralQueue {
+  std::mutex mutex;
+  std::vector<TaskRef> tasks;
+
+  std::size_t refill(std::size_t max_tasks, std::vector<TaskRef>* out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    std::size_t n = 0;
+    while (n < max_tasks && !tasks.empty()) {
+      out->push_back(tasks.back());
+      tasks.pop_back();
+      ++n;
+    }
+    return n;
+  }
+
+  void requeue(const std::vector<TaskRef>& orphans) {
+    std::lock_guard<std::mutex> lock(mutex);
+    tasks.insert(tasks.end(), orphans.begin(), orphans.end());
+  }
+};
+
+void wait_for(const std::atomic<std::size_t>& counter, std::size_t target) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (counter.load() < target) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(WorkerPool, DrainsCentralQueueAcrossWorkers) {
+  fault::ScopedFaults guard;
+  CentralQueue queue;
+  const std::size_t n = 200;
+  for (std::size_t i = 0; i < n; ++i) queue.tasks.push_back({1, i});
+  std::atomic<std::size_t> done{0};
+  std::vector<std::atomic<bool>> seen(n);
+
+  WorkerPool::Options options;
+  options.n_workers = 3;
+  WorkerPool pool(
+      options,
+      [&](std::size_t, TaskRef ref) {
+        EXPECT_FALSE(seen[ref.node].exchange(true)) << "task ran twice";
+        done.fetch_add(1);
+      },
+      [&](double, std::size_t max_tasks, std::vector<TaskRef>* out) {
+        return queue.refill(max_tasks, out);
+      },
+      [&](const std::vector<TaskRef>& orphans) { queue.requeue(orphans); });
+  pool.start();
+  wait_for(done, n);
+  pool.stop();
+  EXPECT_EQ(done.load(), n);
+}
+
+TEST(WorkerPool, PushLocalRunsContinuationsDepthFirst) {
+  fault::ScopedFaults guard;
+  std::atomic<std::size_t> done{0};
+  WorkerPool::Options options;
+  options.n_workers = 1;
+  WorkerPool* pool_ptr = nullptr;
+  WorkerPool pool(
+      options,
+      [&](std::size_t worker, TaskRef ref) {
+        if (ref.node == 0) pool_ptr->push_local(worker, {ref.job, 1});
+        done.fetch_add(1);
+      },
+      [&](double, std::size_t, std::vector<TaskRef>*) {
+        return std::size_t{0};
+      },
+      [](const std::vector<TaskRef>&) {});
+  pool_ptr = &pool;
+  pool.start();
+  pool.push_local(0, {7, 0});
+  wait_for(done, 2);  // the seed task and its continuation both ran
+  pool.stop();
+}
+
+TEST(WorkerPool, DyingWorkerHandsDequeToSurvivors) {
+  fault::ScopedFaults guard;
+  fault::FaultSpec spec;
+  spec.fire_at = 1;  // the first task pickup anywhere dies
+  fault::FaultInjector::instance().configure(kFaultWorkerDeath, spec);
+
+  CentralQueue queue;
+  const std::size_t n = 64;
+  for (std::size_t i = 0; i < n; ++i) queue.tasks.push_back({1, i});
+  std::atomic<std::size_t> done{0};
+  std::vector<std::atomic<bool>> seen(n);
+
+  WorkerPool::Options options;
+  options.n_workers = 2;
+  WorkerPool pool(
+      options,
+      [&](std::size_t, TaskRef ref) {
+        EXPECT_FALSE(seen[ref.node].exchange(true)) << "task ran twice";
+        done.fetch_add(1);
+      },
+      [&](double, std::size_t max_tasks, std::vector<TaskRef>* out) {
+        return queue.refill(max_tasks, out);
+      },
+      [&](const std::vector<TaskRef>& orphans) { queue.requeue(orphans); });
+  pool.start();
+  wait_for(done, n);
+  pool.stop();
+  EXPECT_EQ(done.load(), n);
+  EXPECT_EQ(pool.alive(), 1u) << "exactly one worker should have died";
+}
+
+TEST(WorkerPool, LastSurvivorShrugsOffDeathFault) {
+  fault::ScopedFaults guard;
+  fault::FaultSpec spec;
+  spec.probability = 1.0;  // every pickup tries to kill the worker
+  fault::FaultInjector::instance().configure(kFaultWorkerDeath, spec);
+
+  CentralQueue queue;
+  const std::size_t n = 16;
+  for (std::size_t i = 0; i < n; ++i) queue.tasks.push_back({1, i});
+  std::atomic<std::size_t> done{0};
+
+  WorkerPool::Options options;
+  options.n_workers = 1;
+  WorkerPool pool(
+      options, [&](std::size_t, TaskRef) { done.fetch_add(1); },
+      [&](double, std::size_t max_tasks, std::vector<TaskRef>* out) {
+        return queue.refill(max_tasks, out);
+      },
+      [&](const std::vector<TaskRef>& orphans) { queue.requeue(orphans); });
+  pool.start();
+  wait_for(done, n);
+  pool.stop();
+  EXPECT_EQ(done.load(), n);
+  EXPECT_EQ(pool.alive(), 1u);
+}
+
+}  // namespace
+}  // namespace swraman::serve

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "serve/scheduler.hpp"
+
+namespace swraman::serve {
+namespace {
+
+JobSpec spec_for(const std::string& client, double weight = 1.0,
+                 int priority = 0) {
+  JobSpec s;
+  s.client = client;
+  s.weight = weight;
+  s.priority = priority;
+  s.engine = EngineKind::Modeled;
+  s.scale.n_atoms = 3;
+  return s;
+}
+
+JobEstimate estimate(std::size_t n_tasks, double total_s, double bytes) {
+  JobEstimate e;
+  e.n_tasks = n_tasks;
+  e.per_task_seconds = total_s / static_cast<double>(n_tasks);
+  e.total_seconds = total_s;
+  e.modeled_bytes = bytes;
+  return e;
+}
+
+TEST(Admission, QueueDepthBoundRejectsWithBacklogHint) {
+  AdmissionLimits limits;
+  limits.max_queued_tasks = 10;
+  FairShareScheduler sched(limits);
+  EXPECT_TRUE(sched.admit(spec_for("a"), estimate(8, 4.0, 100.0)).admitted);
+  const AdmissionDecision d = sched.admit(spec_for("b"),
+                                          estimate(3, 1.0, 100.0));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, "queue-depth");
+  EXPECT_DOUBLE_EQ(d.outstanding_seconds, 4.0);
+  // Nothing was charged for the rejected job.
+  EXPECT_EQ(sched.outstanding_tasks(), 8u);
+  // Release frees the budget again.
+  sched.release(estimate(8, 4.0, 100.0));
+  EXPECT_TRUE(sched.admit(spec_for("b"), estimate(3, 1.0, 100.0)).admitted);
+}
+
+TEST(Admission, ModeledMemoryBoundRejects) {
+  AdmissionLimits limits;
+  limits.max_modeled_bytes = 1000.0;
+  FairShareScheduler sched(limits);
+  EXPECT_TRUE(sched.admit(spec_for("a"), estimate(2, 1.0, 800.0)).admitted);
+  const AdmissionDecision d =
+      sched.admit(spec_for("a"), estimate(2, 1.0, 300.0));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, "modeled-memory");
+}
+
+TEST(FairShare, EqualWeightsAlternateByCost) {
+  FairShareScheduler sched;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sched.push("a", 0, 1.0, {1, i});
+    sched.push("b", 0, 1.0, {2, i});
+  }
+  // Take one task at a time: tenants must alternate (a then b or b then
+  // a, repeating), because each dispatch advances the served clock.
+  std::vector<std::uint64_t> order;
+  std::vector<TaskRef> out;
+  while (sched.take(&out, 0.1, 1) > 0) {
+    order.push_back(out.back().job);
+  }
+  ASSERT_EQ(order.size(), 6u);
+  for (std::size_t i = 2; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], order[i - 2]) << "tenants must alternate";
+  }
+  EXPECT_NE(order[0], order[1]);
+}
+
+TEST(FairShare, WeightsSkewTheShare) {
+  FairShareScheduler sched;
+  JobSpec heavy = spec_for("heavy", 2.0);
+  JobSpec light = spec_for("light", 1.0);
+  sched.admit(heavy, estimate(1, 1.0, 1.0));
+  sched.admit(light, estimate(1, 1.0, 1.0));
+  for (std::size_t i = 0; i < 30; ++i) {
+    sched.push("heavy", 0, 1.0, {1, i});
+    sched.push("light", 0, 1.0, {2, i});
+  }
+  std::size_t first_heavy = 0;
+  std::vector<TaskRef> out;
+  for (std::size_t i = 0; i < 30; ++i) {
+    out.clear();
+    ASSERT_EQ(sched.take(&out, 0.1, 1), 1u);
+    if (out[0].job == 1) ++first_heavy;
+  }
+  // Weight 2 vs 1: the heavy tenant gets about two thirds of the slots.
+  EXPECT_GE(first_heavy, 18u);
+  EXPECT_LE(first_heavy, 22u);
+}
+
+TEST(FairShare, PriorityDrainsFirstWithinTenant) {
+  FairShareScheduler sched;
+  sched.push("a", 0, 1.0, {1, 0});
+  sched.push("a", 5, 1.0, {2, 0});
+  sched.push("a", 5, 1.0, {2, 1});
+  std::vector<TaskRef> out;
+  ASSERT_EQ(sched.take(&out, 10.0, 3), 3u);
+  EXPECT_EQ(out[0].job, 2u);
+  EXPECT_EQ(out[0].node, 0u);
+  EXPECT_EQ(out[1].job, 2u);
+  EXPECT_EQ(out[1].node, 1u);
+  EXPECT_EQ(out[2].job, 1u);
+}
+
+TEST(FairShare, BatchStopsAtTargetSeconds) {
+  FairShareScheduler sched;
+  for (std::size_t i = 0; i < 10; ++i) sched.push("a", 0, 0.4, {1, i});
+  std::vector<TaskRef> out;
+  // 0.4 + 0.4 <= 1.0 < 0.4 * 3: two tasks per pull.
+  EXPECT_EQ(sched.take(&out, 1.0, 64), 2u);
+  // An expensive task still moves (always at least one).
+  FairShareScheduler big;
+  big.push("a", 0, 99.0, {1, 0});
+  out.clear();
+  EXPECT_EQ(big.take(&out, 1.0, 64), 1u);
+}
+
+TEST(FairShare, ReturningTenantDoesNotBankIdleCredit) {
+  FairShareScheduler sched;
+  std::vector<TaskRef> out;
+  // Tenant a runs alone for a long stretch.
+  for (std::size_t i = 0; i < 50; ++i) sched.push("a", 0, 1.0, {1, i});
+  for (std::size_t i = 0; i < 50; ++i) sched.take(&out, 0.1, 1);
+  // b arrives late; it must share from now on, not monopolize until it
+  // has "caught up" 50 virtual seconds.
+  for (std::size_t i = 0; i < 4; ++i) {
+    sched.push("a", 0, 1.0, {1, 100 + i});
+    sched.push("b", 0, 1.0, {2, i});
+  }
+  std::size_t from_a = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    out.clear();
+    ASSERT_EQ(sched.take(&out, 0.1, 1), 1u);
+    if (out[0].job == 1) ++from_a;
+  }
+  EXPECT_GE(from_a, 1u) << "late tenant must not monopolize the pool";
+}
+
+}  // namespace
+}  // namespace swraman::serve

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/molecules.hpp"
+#include "raman/raman.hpp"
+#include "robustness/fault.hpp"
+#include "serve/service.hpp"
+#include "serve/trace.hpp"
+
+namespace swraman::serve {
+namespace {
+
+TraceOptions small_trace_options() {
+  TraceOptions t;
+  t.rbd_atoms = 4;
+  t.rbd_submissions = 2;
+  t.silicon_cases = 2;
+  t.silicon_submissions = 2;
+  t.water_submissions = 4;
+  t.water_unique = 2;
+  return t;
+}
+
+ServiceOptions fast_options() {
+  ServiceOptions options;
+  options.n_workers = 2;
+  options.start_paused = true;
+  // Keep the spin kernel tiny: these tests exercise scheduling, not burn.
+  options.modeled.iterations_per_modeled_second = 100.0;
+  options.modeled.min_iterations = 50;
+  options.modeled.max_iterations = 500;
+  return options;
+}
+
+struct RunOutcome {
+  std::vector<JobResult> results;
+  ServiceStats stats;
+};
+
+RunOutcome run_trace(const std::vector<JobSpec>& trace,
+                     ServiceOptions options) {
+  RamanService service(options);
+  std::vector<std::uint64_t> ids;
+  for (const JobSpec& spec : trace) {
+    const SubmitResult res = service.submit(spec);
+    EXPECT_TRUE(res.accepted) << res.reason;
+    if (res.accepted) ids.push_back(res.job_id);
+  }
+  service.start();
+  RunOutcome out;
+  for (std::uint64_t id : ids) out.results.push_back(service.wait(id));
+  out.stats = service.stats();
+  return out;
+}
+
+TEST(ServeService, MixedTenantTraceCompletesWithDedup) {
+  fault::ScopedFaults guard;
+  const auto trace = mixed_tenant_trace(small_trace_options());
+  const RunOutcome run = run_trace(trace, fast_options());
+  ASSERT_EQ(run.results.size(), trace.size());
+  for (const JobResult& r : run.results) {
+    EXPECT_EQ(r.status, JobStatus::Completed) << r.error;
+    EXPECT_GT(r.latency_s, 0.0);
+    EXPECT_EQ(r.dalpha.rows(), r.dmu.rows());
+  }
+  EXPECT_EQ(run.stats.jobs_completed, trace.size());
+  EXPECT_EQ(run.stats.jobs_failed, 0u);
+  // Roughly half the trace duplicates an earlier submission.
+  EXPECT_GT(run.stats.cache_hits, 0u);
+  EXPECT_LT(run.stats.tasks_executed,
+            static_cast<std::uint64_t>(trace_nominal_tasks(trace)));
+  EXPECT_GT(run.stats.cache_hit_ratio, 0.0);
+  EXPECT_LT(run.stats.cache_hit_ratio, 1.0);
+}
+
+TEST(ServeService, DeterministicAcrossSeededRuns) {
+  fault::ScopedFaults guard;
+  const auto trace = mixed_tenant_trace(small_trace_options());
+  const RunOutcome a = run_trace(trace, fast_options());
+  const RunOutcome b = run_trace(trace, fast_options());
+  // Dedup bookkeeping is decided at submission time, so the counters are
+  // exactly reproducible, not merely close.
+  EXPECT_EQ(a.stats.tasks_executed, b.stats.tasks_executed);
+  EXPECT_EQ(a.stats.cache_hits, b.stats.cache_hits);
+  EXPECT_EQ(a.stats.cache_misses, b.stats.cache_misses);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t k = 0; k < a.results.size(); ++k) {
+    const linalg::Matrix& da = a.results[k].dalpha;
+    const linalg::Matrix& db = b.results[k].dalpha;
+    ASSERT_EQ(da.rows(), db.rows());
+    for (std::size_t i = 0; i < da.rows(); ++i) {
+      for (std::size_t j = 0; j < da.cols(); ++j) {
+        // Bitwise: scheduling may not perturb a single ulp.
+        EXPECT_EQ(da(i, j), db(i, j)) << "job " << k;
+      }
+      for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(a.results[k].dmu(i, j), b.results[k].dmu(i, j));
+      }
+    }
+  }
+}
+
+TEST(ServeService, WorkStealingOffMatchesOnBitwise) {
+  fault::ScopedFaults guard;
+  const auto trace = mixed_tenant_trace(small_trace_options());
+  ServiceOptions no_steal = fast_options();
+  no_steal.work_stealing = false;
+  no_steal.n_workers = 1;
+  const RunOutcome a = run_trace(trace, fast_options());
+  const RunOutcome b = run_trace(trace, no_steal);
+  EXPECT_EQ(a.stats.tasks_executed, b.stats.tasks_executed);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t k = 0; k < a.results.size(); ++k) {
+    for (std::size_t i = 0; i < a.results[k].dalpha.rows(); ++i) {
+      for (std::size_t j = 0; j < 9; ++j) {
+        EXPECT_EQ(a.results[k].dalpha(i, j), b.results[k].dalpha(i, j));
+      }
+    }
+  }
+}
+
+TEST(ServeService, BackpressureRejectsWithRetryAfterThenRecovers) {
+  fault::ScopedFaults guard;
+  ServiceOptions options = fast_options();
+  options.admission.max_queued_tasks = 30;
+
+  JobSpec spec;
+  spec.engine = EngineKind::Modeled;
+  spec.scale.n_atoms = 3;  // 28 DAG tasks
+  spec.name = "first";
+
+  RamanService service(options);
+  const SubmitResult first = service.submit(spec);
+  ASSERT_TRUE(first.accepted);
+  spec.name = "second";
+  const SubmitResult second = service.submit(spec);
+  EXPECT_FALSE(second.accepted);
+  EXPECT_EQ(second.reason, "queue-depth");
+  EXPECT_GT(second.retry_after_s, 0.0);
+
+  service.start();
+  EXPECT_EQ(service.wait(first.job_id).status, JobStatus::Completed);
+  // The first job released its admission charge: the retry is admitted.
+  const SubmitResult retry = service.submit(spec);
+  EXPECT_TRUE(retry.accepted);
+  EXPECT_EQ(service.wait(retry.job_id).status, JobStatus::Completed);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_rejected, 1u);
+  EXPECT_EQ(stats.jobs_completed, 2u);
+  // The retried duplicate was served from the cache.
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
+TEST(ServeService, TransientTaskFaultIsRetriedToCompletion) {
+  fault::ScopedFaults guard;
+  fault::FaultSpec fs;
+  fs.fire_at = 1;  // first displacement evaluation fails once
+  fault::FaultInjector::instance().configure(kFaultTaskFail, fs);
+
+  JobSpec spec;
+  spec.engine = EngineKind::Modeled;
+  spec.scale.n_atoms = 2;
+  spec.attempts = 2;
+  RamanService service(fast_options());
+  const SubmitResult res = service.submit(spec);
+  ASSERT_TRUE(res.accepted);
+  EXPECT_EQ(service.wait(res.job_id).status, JobStatus::Completed);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.task_retries, 1u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+}
+
+TEST(ServeService, ExhaustedRetriesFailJobAndCascadeToWaiters) {
+  fault::ScopedFaults guard;
+  fault::FaultSpec fs;
+  fs.probability = 1.0;
+  fs.max_fires = 2;  // both attempts of the first task fail, then quiet
+  fault::FaultInjector::instance().configure(kFaultTaskFail, fs);
+
+  JobSpec spec;
+  spec.engine = EngineKind::Modeled;
+  spec.scale.n_atoms = 2;
+  spec.attempts = 2;
+
+  ServiceOptions options = fast_options();
+  options.n_workers = 1;  // deterministic: the owner task runs first
+  RamanService service(options);
+  const SubmitResult owner = service.submit(spec);
+  const SubmitResult waiter = service.submit(spec);  // full duplicate
+  ASSERT_TRUE(owner.accepted);
+  ASSERT_TRUE(waiter.accepted);
+  service.start();
+  const JobResult owner_result = service.wait(owner.job_id);
+  const JobResult waiter_result = service.wait(waiter.job_id);
+  EXPECT_EQ(owner_result.status, JobStatus::Failed);
+  EXPECT_FALSE(owner_result.error.empty());
+  EXPECT_EQ(waiter_result.status, JobStatus::Failed);
+  EXPECT_NE(waiter_result.error.find("dedup owner"), std::string::npos)
+      << waiter_result.error;
+
+  // The poisoned cache entry was dropped: a fresh submission succeeds.
+  const SubmitResult again = service.submit(spec);
+  ASSERT_TRUE(again.accepted);
+  EXPECT_EQ(service.wait(again.job_id).status, JobStatus::Completed);
+  EXPECT_EQ(service.stats().jobs_failed, 2u);
+}
+
+TEST(ServeService, WorkerDeathIsAbsorbedByAdoption) {
+  fault::ScopedFaults guard;
+  fault::FaultSpec fs;
+  fs.fire_at = 3;
+  fault::FaultInjector::instance().configure(kFaultWorkerDeath, fs);
+
+  const auto trace = mixed_tenant_trace(small_trace_options());
+  const RunOutcome run = run_trace(trace, fast_options());
+  for (const JobResult& r : run.results) {
+    EXPECT_EQ(r.status, JobStatus::Completed) << r.error;
+  }
+  EXPECT_EQ(run.stats.workers_alive, 1u);
+}
+
+TEST(ServeRealEngine, MatchesRamanCalculatorBitwiseWithoutSymmetry) {
+  fault::ScopedFaults guard;
+  const auto mol = molecules::h2();
+  raman::RamanOptions raman_options;
+  raman::RamanCalculator calc(mol, raman_options);
+  const linalg::Matrix want_dalpha = calc.polarizability_derivatives();
+  const linalg::Matrix& want_dmu = calc.dipole_derivatives();
+
+  ServiceOptions options;
+  options.n_workers = 2;
+  options.use_symmetry = false;  // every displaced geometry solved fresh
+  RamanService service(options);
+  JobSpec spec;
+  spec.engine = EngineKind::Real;
+  spec.atoms = mol;
+  spec.options = raman_options;
+  const SubmitResult res = service.submit(spec);
+  ASSERT_TRUE(res.accepted);
+  const JobResult result = service.wait(res.job_id);
+  ASSERT_EQ(result.status, JobStatus::Completed) << result.error;
+
+  // Same displacement arithmetic, same SCF, same DFPT: the DAG route must
+  // reproduce the monolithic pipeline exactly.
+  ASSERT_EQ(result.dalpha.rows(), want_dalpha.rows());
+  for (std::size_t i = 0; i < want_dalpha.rows(); ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      EXPECT_EQ(result.dalpha(i, j), want_dalpha(i, j)) << i << "," << j;
+    }
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(result.dmu(i, j), want_dmu(i, j));
+    }
+  }
+}
+
+TEST(ServeRealEngine, SymmetryDedupStaysWithinConvergenceTolerance) {
+  fault::ScopedFaults guard;
+  const auto mol = molecules::h2();
+  raman::RamanOptions raman_options;
+  raman::RamanCalculator calc(mol, raman_options);
+  const linalg::Matrix want = calc.polarizability_derivatives();
+
+  RamanService service(ServiceOptions{});  // symmetry + cache on
+  JobSpec spec;
+  spec.engine = EngineKind::Real;
+  spec.atoms = mol;
+  spec.options = raman_options;
+  const SubmitResult res = service.submit(spec);
+  ASSERT_TRUE(res.accepted);
+  const JobResult result = service.wait(res.job_id);
+  ASSERT_EQ(result.status, JobStatus::Completed) << result.error;
+  const ServiceStats stats = service.stats();
+  // H2 on the z axis: the 12 displacements collapse to a handful of
+  // symmetry classes.
+  EXPECT_LT(stats.tasks_executed, 12u);
+  EXPECT_GT(stats.cache_hits, 0u);
+  for (std::size_t i = 0; i < want.rows(); ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      // Symmetry-mapped records replace independently converged solves;
+      // agreement is bounded by the SCF/DFPT tolerances, amplified by the
+      // 1/(2d) finite-difference factor.
+      EXPECT_NEAR(result.dalpha(i, j), want(i, j), 2e-3) << i << "," << j;
+    }
+  }
+}
+
+TEST(ServeRealEngine, CheckpointMakesResubmissionFree) {
+  fault::ScopedFaults guard;
+  const std::string path = ::testing::TempDir() + "serve_ckpt_h2.txt";
+  std::remove(path.c_str());
+
+  JobSpec spec;
+  spec.engine = EngineKind::Real;
+  spec.atoms = molecules::h2();
+  spec.options.checkpoint_path = path;
+
+  linalg::Matrix first_dalpha;
+  {
+    RamanService service(ServiceOptions{});
+    const SubmitResult res = service.submit(spec);
+    ASSERT_TRUE(res.accepted);
+    const JobResult result = service.wait(res.job_id);
+    ASSERT_EQ(result.status, JobStatus::Completed) << result.error;
+    EXPECT_GT(service.stats().tasks_executed, 0u);
+    first_dalpha = result.dalpha;
+  }
+  {
+    // A fresh service (cold cache) resumes entirely from the checkpoint.
+    RamanService service(ServiceOptions{});
+    const SubmitResult res = service.submit(spec);
+    ASSERT_TRUE(res.accepted);
+    const JobResult result = service.wait(res.job_id);
+    ASSERT_EQ(result.status, JobStatus::Completed) << result.error;
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.tasks_executed, 0u);
+    EXPECT_GT(stats.checkpoint_hits, 0u);
+    for (std::size_t i = 0; i < first_dalpha.rows(); ++i) {
+      for (std::size_t j = 0; j < 9; ++j) {
+        EXPECT_EQ(result.dalpha(i, j), first_dalpha(i, j));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swraman::serve
