@@ -53,6 +53,37 @@ def check_serve_record(path: str, i: int, r: dict) -> None:
         fail(f"{path}: {where} executed_tasks exceeds tasks")
 
 
+def check_chaos_record(path: str, i: int, r: dict) -> None:
+    """One record of the serve-chaos bench: recovered-job counts, failover
+    latency percentiles, and the two hard durability gates (no lost
+    accepted jobs, no bitwise spectrum drift vs the fault-free run)."""
+    where = f"records[{i}]"
+    for key in ("jobs", "kills", "recovered_jobs", "replayed_tasks",
+                "failovers", "lost_jobs", "bitwise_mismatches"):
+        if isinstance(r.get(key), bool) or not isinstance(r.get(key), int) \
+                or r[key] < 0:
+            fail(f"{path}: {where} {key} must be a non-negative integer")
+    for key in ("failover_p50_s", "failover_p95_s", "failover_p99_s"):
+        _finite_nonneg(path, where, r, key)
+    if not (r["failover_p50_s"] <= r["failover_p95_s"]
+            <= r["failover_p99_s"]):
+        fail(f"{path}: {where} failover percentiles must be ordered "
+             f"p50 <= p95 <= p99")
+    frac = _finite_nonneg(path, where, r, "replayed_fraction")
+    if frac > 1.0:
+        fail(f"{path}: {where} replayed_fraction must be <= 1 (got {frac})")
+    if r["kills"] < 1 or r["recovered_jobs"] < 1:
+        fail(f"{path}: {where} chaos run must kill at least one shard and "
+             f"replay at least one job (kills={r['kills']}, "
+             f"recovered_jobs={r['recovered_jobs']})")
+    if r["lost_jobs"] != 0:
+        fail(f"{path}: {where} {r['lost_jobs']} accepted job(s) lost — "
+             f"the WAL durability contract is broken")
+    if r["bitwise_mismatches"] != 0:
+        fail(f"{path}: {where} {r['bitwise_mismatches']} spectra differ "
+             f"bitwise from the fault-free run")
+
+
 def check_bench(path: str, doc: dict) -> None:
     if not isinstance(doc.get("bench"), str) or not doc["bench"]:
         fail(f"{path}: bench must be a non-empty string")
@@ -64,6 +95,10 @@ def check_bench(path: str, doc: dict) -> None:
         if not isinstance(r.get("series"), str) or not r["series"]:
             fail(f"{path}: records[{i}] series must be a non-empty string")
         series.add(r["series"])
+        if "recovered_jobs" in r:
+            # serve-chaos shape (bench_serve_chaos --json)
+            check_chaos_record(path, i, r)
+            continue
         if "throughput_per_s" in r:
             # serve-throughput shape (bench_serve_throughput --json)
             check_serve_record(path, i, r)

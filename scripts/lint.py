@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo lint gate for swraman (tier-1 stage).
 
-Three repo-specific rules that clang-tidy cannot express, plus an
+Five repo-specific rules that clang-tidy cannot express, plus an
 optional clang-tidy pass over compile_commands.json when the binary is
 available (the gate skips that stage gracefully when it is not):
 
@@ -17,8 +17,15 @@ available (the gate skips that stage gracefully when it is not):
   4. No detached or ad-hoc threads in src/. Calling .detach() on a
      thread orphans work the serve shutdown path and the sanitizer
      runs cannot see; constructing std::thread directly is reserved
-     for the two sanctioned homes (the serve worker pool and the SPMD
-     comm runtime), everything else must submit to the serve pool.
+     for the sanctioned homes (the serve worker pool, the SPMD comm
+     runtime, and the remote-cache server threads), everything else
+     must submit to the serve pool.
+  5. No unflushed durability writes in src/serve/. The write-ahead job
+     log's log-before-ack contract only holds if every byte it promises
+     is fsync'd before the acknowledgment, so file *output* in the
+     serve tier is confined to the WAL writer (serve/wal.cpp), which in
+     turn must pair its writes with fflush + fsync. An ofstream or bare
+     fwrite elsewhere in serve/ is a durability promise nobody keeps.
 
 Exit status: 0 clean, 1 violations, 2 usage/setup error.
 """
@@ -157,6 +164,10 @@ THREAD_HOMES = {
     SRC / "serve" / "pool.cpp",
     SRC / "serve" / "pool.hpp",
     SRC / "parallel" / "comm.cpp",
+    # Cross-shard cache server threads: owned by RemoteCacheFabric,
+    # joined in stop()/the destructor, covered by the TSan pass.
+    SRC / "serve" / "remote_cache.cpp",
+    SRC / "serve" / "remote_cache.hpp",
 }
 
 
@@ -181,8 +192,44 @@ def check_threads() -> list[str]:
             line = text.count("\n", 0, m.start()) + 1
             violations.append(
                 f"{rel}:{line}: raw std::thread outside the sanctioned "
-                "homes (src/serve/pool.*, src/parallel/comm.cpp) — "
-                "submit work to the serve worker pool instead")
+                "homes (src/serve/pool.*, src/parallel/comm.cpp, "
+                "src/serve/remote_cache.cpp) — submit work to the serve "
+                "worker pool instead")
+    return violations
+
+
+# The one file allowed to write files in the serve tier: the fsync'd
+# WAL writer. Everything durable must go through it.
+WAL_WRITER = SRC / "serve" / "wal.cpp"
+
+FILE_OUTPUT = re.compile(
+    r"\bstd::ofstream\b|\bstd::fstream\b|\bfwrite\s*\(|"
+    r"\bfopen\s*\(|\bfprintf\s*\(")
+
+
+def check_wal_durability() -> list[str]:
+    """Rule 5: file output in src/serve only via the fsync'd WAL writer."""
+    violations: list[str] = []
+    for path in cpp_sources(SRC / "serve"):
+        text = strip_comments(path.read_text())
+        rel = path.relative_to(REPO)
+        if path == WAL_WRITER:
+            # The writer itself must keep the durability pairing: a WAL
+            # that writes without flushing + fsyncing acknowledges jobs
+            # it cannot replay.
+            if "fwrite" in text and ("fsync" not in text
+                                     or "fflush" not in text):
+                violations.append(
+                    f"{rel}: WAL writer writes without fflush + fsync — "
+                    "log-before-ack is broken")
+            continue
+        for m in FILE_OUTPUT.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            violations.append(
+                f"{rel}:{line}: file output outside the WAL writer "
+                "(serve/wal.cpp) — durability writes must go through "
+                "the fsync'd JobLog, everything else is an unkept "
+                "durability promise")
     return violations
 
 
@@ -223,7 +270,8 @@ def main(argv: list[str]) -> int:
         print(f"lint: source tree {SRC} not found", file=sys.stderr)
         return 2
     violations = (check_charge_flops() + check_raw_memcpy()
-                  + check_std_endl() + check_threads())
+                  + check_std_endl() + check_threads()
+                  + check_wal_durability())
     fail(violations)
     tidy_count = run_clang_tidy(build_dir)
     total = len(violations) + tidy_count

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification (ROADMAP.md): full build + ctest, the repo lint
 # gate, a fully checked (SWRAMAN_CHECK=1) run of the sunway suites, the
-# serve throughput gate (>= 2x over naive FIFO with dedup hits), then
-# instrumented passes — the robustness/fault-injection suite under
+# serve throughput gate (>= 2x over naive FIFO with dedup hits), the
+# serve chaos gate (shard kills + WAL replay, zero lost jobs, bitwise
+# spectra), then instrumented passes — the robustness/fault-injection suite under
 # ASan/UBSan and the obs + parallel + serve suites under TSan (the
 # metrics registry claims lock-free counters and the serve pool claims
 # race-free work stealing; this is where we prove both).
@@ -69,6 +70,16 @@ SWRAMAN_CHECK=1 ./build/bench/bench_serve_throughput \
 python3 scripts/check_perf_json.py "${SMOKE_DIR}/BENCH_serve.json"
 cp "${SMOKE_DIR}/BENCH_serve.json" BENCH_serve.json
 
+echo "== tier-1: serve chaos gate (kills + WAL replay, SWRAMAN_CHECK=1) =="
+# The chaos harness replays the short mixed-tenant trace through the
+# sharded tier twice (fault-free vs shard kills + torn WAL + remote-cache
+# timeouts) and exits non-zero unless every accepted job survives with a
+# bitwise-identical spectrum; the chaos record is validated and kept.
+(cd "${SMOKE_DIR}" && SWRAMAN_CHECK=1 ../../build/bench/bench_serve_chaos \
+  --short --json BENCH_chaos.json >/dev/null)
+python3 scripts/check_perf_json.py "${SMOKE_DIR}/BENCH_chaos.json"
+cp "${SMOKE_DIR}/BENCH_chaos.json" BENCH_chaos.json
+
 if [ "${SANITIZER}" != "none" ]; then
   echo "== tier-1: robustness suite under -fsanitize=${SANITIZER} =="
   cmake -B "build-${SANITIZER}" -S . \
@@ -79,17 +90,20 @@ if [ "${SANITIZER}" != "none" ]; then
   "./build-${SANITIZER}/tests/test_robustness"
 
   echo "== tier-1: obs + parallel + serve suites under -fsanitize=thread =="
+  # Bench stays ON here (only the chaos target is built): the sharded
+  # tier's kill/replay interleavings are exactly what TSan must see.
   cmake -B build-thread -S . \
         -DSWRAMAN_SANITIZE=thread \
-        -DSWRAMAN_BUILD_BENCH=OFF -DSWRAMAN_BUILD_EXAMPLES=OFF >/dev/null
+        -DSWRAMAN_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-thread -j "${JOBS}" --target test_obs test_parallel \
-        test_serve
+        test_serve bench_serve_chaos
   ./build-thread/tests/test_obs
   ./build-thread/tests/test_parallel
   # The serve pool/cache/scheduler run their full modeled-engine suite
   # under TSan; the RealEngine end-to-end tests are excluded only for
   # time (SCF under TSan is ~20x slower), not correctness.
   ./build-thread/tests/test_serve --gtest_filter=-ServeRealEngine.*
+  (cd build-thread && ./bench/bench_serve_chaos --short --shards 2)
 fi
 
 echo "tier-1: OK"

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/backoff.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "obs/obs.hpp"
@@ -204,7 +205,16 @@ void Communicator::send(std::size_t dest, const std::vector<double>& data,
                         int tag) {
   SWRAMAN_REQUIRE(dest < size(), "send: destination rank out of range");
   const CommConfig& cfg = config();
-  double backoff = cfg.backoff_base_s;
+  BackoffOptions bo;
+  bo.base_s = cfg.backoff_base_s;
+  bo.cap_s = cfg.backoff_max_s;
+  bo.decorrelated = cfg.backoff_jitter;
+  // Deterministic per-edge jitter stream: retries of distinct (src, dst,
+  // tag) edges decorrelate, yet a fixed seed replays a fixed timeline.
+  bo.seed = cfg.backoff_seed ^ (static_cast<std::uint64_t>(rank_) << 40) ^
+            (static_cast<std::uint64_t>(dest) << 20) ^
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+  Backoff backoff(bo);
   for (int attempt = 0;; ++attempt) {
     // The transport acknowledges delivery; a drop injected here is what a
     // lost RMA message looks like to the sender — no ack, so retransmit.
@@ -220,12 +230,18 @@ void Communicator::send(std::size_t dest, const std::vector<double>& data,
                          " times; retry budget exhausted");
     }
     obs::count("comm.send.retransmits");
+    const double delay = backoff.next();
     log::warn("fault ", fault::kCommSendDrop, ": rank ", rank_, " -> ",
               dest, " tag ", tag, " message dropped, retransmit attempt ",
-              attempt + 1, "/", cfg.send_retries, " after ", backoff, " s");
-    sleep_s(backoff);
-    backoff = std::min(2.0 * backoff, cfg.backoff_max_s);
+              attempt + 1, "/", cfg.send_retries, " after ", delay, " s");
+    sleep_s(delay);
   }
+}
+
+bool Communicator::try_recv(std::size_t src, int tag, double timeout_s,
+                            std::vector<double>* out) {
+  SWRAMAN_REQUIRE(src < size(), "try_recv: source rank out of range");
+  return ctx_->take(src, rank_, tag, timeout_s, *out);
 }
 
 std::vector<double> Communicator::recv(std::size_t src, int tag) {
@@ -778,6 +794,16 @@ void run_spmd(std::size_t n_ranks,
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+std::vector<Communicator> make_comm_group(std::size_t n_ranks,
+                                          const CommConfig& config) {
+  SWRAMAN_REQUIRE(n_ranks >= 1, "make_comm_group: need at least one rank");
+  auto ctx = std::make_shared<CommContext>(n_ranks, config);
+  std::vector<Communicator> group;
+  group.reserve(n_ranks);
+  for (std::size_t r = 0; r < n_ranks; ++r) group.emplace_back(ctx, r);
+  return group;
 }
 
 }  // namespace swraman::parallel

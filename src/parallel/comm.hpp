@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -41,6 +42,12 @@ struct CommConfig {
   int send_retries = 8;           // retransmissions after a dropped send
   double backoff_base_s = 1e-4;   // first retransmit backoff; doubles
   double backoff_max_s = 0.05;    // backoff ceiling
+  // Decorrelated-jitter retransmit backoff (common/backoff.hpp) instead
+  // of the plain doubling schedule: concurrent senders whose drops
+  // coincide stop retrying in lockstep. Deterministic — each (rank, dest,
+  // tag) derives its jitter stream from backoff_seed.
+  bool backoff_jitter = false;
+  std::uint64_t backoff_seed = 2026;
   double stall_s = 1e-3;          // injected delay for comm.stall / delay
   // Ranks per node group for AllreduceAlgorithm::Hierarchical: consecutive
   // ranks [k*node_size, (k+1)*node_size) share one "node" whose intra
@@ -121,6 +128,13 @@ class Communicator {
   // TimeoutError after CommConfig::recv_retries extra waits go unanswered.
   [[nodiscard]] std::vector<double> recv(std::size_t src, int tag = 0);
 
+  // Non-throwing timed receive: waits at most timeout_s for one message;
+  // false on expiry (out untouched). The polling primitive of server
+  // loops that must stay responsive to shutdown (no exception churn, no
+  // retry doubling).
+  bool try_recv(std::size_t src, int tag, double timeout_s,
+                std::vector<double>* out);
+
   [[nodiscard]] const CommConfig& config() const;
 
   // Root's data is copied to everyone.
@@ -181,5 +195,14 @@ class Communicator {
 void run_spmd(std::size_t n_ranks,
               const std::function<void(Communicator&)>& fn,
               const CommConfig& config = {});
+
+// Endpoints of a fresh shared context without the run_spmd thread
+// harness: element k of the returned vector is rank k. The caller owns
+// the threading — each endpoint must be driven by at most one thread at a
+// time (the usual one-thread-per-rank rule), but different endpoints may
+// live on arbitrary threads. Used by the sharded serve tier's cross-shard
+// cache, where shard server threads outlive any single SPMD region.
+std::vector<Communicator> make_comm_group(std::size_t n_ranks,
+                                          const CommConfig& config = {});
 
 }  // namespace swraman::parallel

@@ -1,0 +1,170 @@
+#include "serve/remote_cache.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/obs.hpp"
+#include "robustness/fault.hpp"
+
+namespace swraman::serve {
+
+namespace {
+
+// Wire format of the request/response round trip. Requests ride tag 0 of
+// the fabric's private comm group; each request names the (unique)
+// response tag its answer must come back on, so concurrent lookups from
+// one shard never collide in the mailbox.
+constexpr int kRequestTag = 0;
+
+// request  = [key bits, response tag]
+// response = [found, alpha[0..8], dipole[0..2]]  (found = 0: miss)
+constexpr std::size_t kRequestLen = 2;
+constexpr std::size_t kResponseLen = 13;
+
+double key_bits(std::uint64_t key) { return std::bit_cast<double>(key); }
+std::uint64_t bits_key(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+}  // namespace
+
+RemoteCacheFabric::RemoteCacheFabric(Options options)
+    : options_(std::move(options)) {
+  SWRAMAN_REQUIRE(options_.n_shards >= 1,
+                  "RemoteCacheFabric: need at least one shard");
+  comms_ = parallel::make_comm_group(options_.n_shards, options_.comm);
+  nodes_.reserve(options_.n_shards);
+  for (std::size_t s = 0; s < options_.n_shards; ++s) {
+    nodes_.push_back(std::make_unique<Node>());
+  }
+}
+
+RemoteCacheFabric::~RemoteCacheFabric() {
+  for (std::size_t s = 0; s < nodes_.size(); ++s) stop(s);
+}
+
+void RemoteCacheFabric::start(std::size_t shard) {
+  SWRAMAN_REQUIRE(shard < nodes_.size(),
+                  "RemoteCacheFabric: shard out of range");
+  Node& node = *nodes_[shard];
+  if (node.run.load(std::memory_order_acquire)) return;
+  node.run.store(true, std::memory_order_release);
+  node.server = std::thread([this, shard] { serve_loop(shard); });
+}
+
+void RemoteCacheFabric::stop(std::size_t shard) {
+  SWRAMAN_REQUIRE(shard < nodes_.size(),
+                  "RemoteCacheFabric: shard out of range");
+  Node& node = *nodes_[shard];
+  node.run.store(false, std::memory_order_release);
+  if (node.server.joinable()) node.server.join();
+  // The incarnation's published results die with it: a restarted shard
+  // republishes what it recomputes, and stale requests still in the
+  // mailbox are drained unanswered (the requester's timeout handles it).
+  const std::lock_guard<std::mutex> lock(node.mutex);
+  node.table.clear();
+}
+
+bool RemoteCacheFabric::running(std::size_t shard) const {
+  SWRAMAN_REQUIRE(shard < nodes_.size(),
+                  "RemoteCacheFabric: shard out of range");
+  return nodes_[shard]->run.load(std::memory_order_acquire);
+}
+
+void RemoteCacheFabric::publish(std::size_t shard, std::uint64_t key,
+                                const raman::GeometryRecord& rec) {
+  SWRAMAN_REQUIRE(shard < nodes_.size(),
+                  "RemoteCacheFabric: shard out of range");
+  Node& node = *nodes_[shard];
+  const std::lock_guard<std::mutex> lock(node.mutex);
+  node.table[key] = rec;
+  published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool RemoteCacheFabric::lookup(std::size_t shard, std::size_t peer,
+                               std::uint64_t key,
+                               raman::GeometryRecord* out) {
+  SWRAMAN_REQUIRE(shard < nodes_.size() && peer < nodes_.size(),
+                  "RemoteCacheFabric: shard out of range");
+  SWRAMAN_REQUIRE(peer != shard, "RemoteCacheFabric: lookup on self");
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (fault::should_fire(kFaultRemoteTimeout)) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.cache.remote_timeouts");
+    log::warn("fault ", kFaultRemoteTimeout, ": shard ", shard, " -> ",
+              peer, " lookup dropped, falling back to local compute");
+    return false;
+  }
+  const int resp_tag = next_resp_tag_.fetch_add(1, std::memory_order_relaxed);
+  comms_[shard].send(peer,
+                     {key_bits(key), static_cast<double>(resp_tag)},
+                     kRequestTag);
+  std::vector<double> resp;
+  if (!comms_[shard].try_recv(peer, resp_tag, options_.lookup_timeout_s,
+                              &resp)) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.cache.remote_timeouts");
+    return false;
+  }
+  if (resp.size() != kResponseLen || resp[0] == 0.0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  for (std::size_t i = 0; i < 9; ++i) out->alpha[i] = resp[1 + i];
+  for (std::size_t i = 0; i < 3; ++i) out->dipole[i] = resp[10 + i];
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void RemoteCacheFabric::serve_loop(std::size_t shard) {
+  Node& node = *nodes_[shard];
+  const std::size_t n = nodes_.size();
+  std::vector<double> req;
+  while (node.run.load(std::memory_order_acquire)) {
+    for (std::size_t src = 0; src < n; ++src) {
+      if (src == shard) continue;
+      if (!node.run.load(std::memory_order_acquire)) return;
+      if (!comms_[shard].try_recv(src, kRequestTag, options_.poll_s, &req)) {
+        continue;
+      }
+      if (req.size() != kRequestLen) continue;  // malformed: drop
+      const std::uint64_t key = bits_key(req[0]);
+      const int resp_tag = static_cast<int>(req[1]);
+      std::vector<double> resp(1, 0.0);
+      {
+        const std::lock_guard<std::mutex> lock(node.mutex);
+        const auto it = node.table.find(key);
+        if (it != node.table.end()) {
+          resp.resize(kResponseLen);
+          resp[0] = 1.0;
+          for (std::size_t i = 0; i < 9; ++i) {
+            resp[1 + i] = it->second.alpha[i];
+          }
+          for (std::size_t i = 0; i < 3; ++i) {
+            resp[10 + i] = it->second.dipole[i];
+          }
+        }
+      }
+      try {
+        comms_[shard].send(src, resp, resp_tag);
+        served_.fetch_add(1, std::memory_order_relaxed);
+      } catch (const Error&) {
+        // Injected send drops exhausting their retry budget must not take
+        // the server thread down; the requester's timeout covers it.
+      }
+    }
+  }
+}
+
+RemoteCacheFabric::Stats RemoteCacheFabric::stats() const {
+  Stats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.published = published_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace swraman::serve

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/comm.hpp"
+#include "raman/checkpoint.hpp"
+
+// Cross-shard displacement-cache fabric (DESIGN.md S12). Every shard of
+// the durable serve tier publishes its locally computed canonical-frame
+// GeometryRecords into a per-shard table; peers query those tables over
+// the p2p comm layer (one request/response round trip per lookup) before
+// falling back to local compute.
+//
+// Consistency model: bounded staleness over immutable data. Records are
+// content-addressed — a canonical key fully determines its record — so a
+// response computed against an older table can only miss, never return a
+// wrong value; any hit is exact and bitwise identical to what local
+// compute would have produced. Lookups are bounded by lookup_timeout_s
+// (a dead peer, a slow server sweep, or the injected
+// serve.cache.remote_timeout fault all degrade to a miss), so the serve
+// path never blocks on a remote shard.
+//
+// Threading: each started shard runs one server thread sweeping its
+// peers' request mailboxes. Requests and responses ride distinct tags of
+// one shared comm group — point-to-point operations are context-locked,
+// so a shard's worker threads may issue lookups while its server thread
+// answers peers on the same endpoint.
+
+namespace swraman::serve {
+
+// Fault site: one remote lookup times out (response dropped on the floor)
+// and the caller falls back to local compute.
+inline constexpr const char* kFaultRemoteTimeout =
+    "serve.cache.remote_timeout";
+
+class RemoteCacheFabric {
+ public:
+  struct Options {
+    std::size_t n_shards = 1;
+    double poll_s = 0.002;           // server-side per-peer poll slice
+    double lookup_timeout_s = 0.05;  // requester budget before fallback
+    parallel::CommConfig comm;       // transport policy of the group
+  };
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t timeouts = 0;  // expired waits + injected timeouts
+    std::uint64_t served = 0;    // requests answered by server threads
+    std::uint64_t published = 0;
+  };
+
+  explicit RemoteCacheFabric(Options options);
+  ~RemoteCacheFabric();
+  RemoteCacheFabric(const RemoteCacheFabric&) = delete;
+  RemoteCacheFabric& operator=(const RemoteCacheFabric&) = delete;
+
+  // Starts/stops shard's server thread. stop() also clears the shard's
+  // table — a killed shard's incarnation takes its published results with
+  // it, exactly like a crashed process would. Both are idempotent.
+  void start(std::size_t shard);
+  void stop(std::size_t shard);
+  [[nodiscard]] bool running(std::size_t shard) const;
+
+  // Inserts a canonical-frame record into shard's own table (never
+  // blocks on the network; must not throw — serve worker threads call it
+  // after every locally computed displacement).
+  void publish(std::size_t shard, std::uint64_t key,
+               const raman::GeometryRecord& rec);
+
+  // Asks `peer` for `key` from `shard`'s endpoint; true + *out on a hit.
+  // Misses, timeouts, dead peers and the injected timeout fault all
+  // return false — the caller computes locally.
+  bool lookup(std::size_t shard, std::size_t peer, std::uint64_t key,
+              raman::GeometryRecord* out);
+
+  [[nodiscard]] std::size_t n_shards() const { return nodes_.size(); }
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Node {
+    std::mutex mutex;
+    std::map<std::uint64_t, raman::GeometryRecord> table;
+    std::thread server;
+    std::atomic<bool> run{false};
+  };
+
+  void serve_loop(std::size_t shard);
+
+  Options options_;
+  std::vector<parallel::Communicator> comms_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<int> next_resp_tag_{1};  // tag 0 carries requests
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> published_{0};
+};
+
+}  // namespace swraman::serve

@@ -1,0 +1,126 @@
+#include "serve/router.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/obs.hpp"
+
+namespace swraman::serve {
+
+namespace {
+
+// splitmix64 finalizer — the mixing function behind the rendezvous
+// scores; full-avalanche so per-shard score orderings of distinct keys
+// are effectively independent (balanced placement).
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(RouterOptions options)
+    : options_(options), alive_(options.n_shards, true) {
+  SWRAMAN_REQUIRE(options_.n_shards >= 1,
+                  "ShardRouter: need at least one shard");
+  probe_.reserve(options_.n_shards);
+  for (std::size_t s = 0; s < options_.n_shards; ++s) {
+    BackoffOptions b = options_.probe;
+    b.seed = mix64(options_.seed ^ (0xa5a5a5a5ull + s));
+    probe_.emplace_back(b);
+  }
+}
+
+std::uint64_t ShardRouter::job_key(const JobSpec& spec) {
+  Hash64 h;
+  h.str(spec.client);
+  h.u64(settings_fingerprint(spec));
+  if (spec.engine == EngineKind::Real) {
+    // Content, not name: resubmissions of one geometry co-locate even
+    // when labelled differently, keeping dedup shard-local.
+    for (const grid::AtomSite& a : spec.atoms) {
+      h.u64(static_cast<std::uint64_t>(a.z));
+      for (int k = 0; k < 3; ++k) h.f64(a.pos[k]);
+    }
+  }
+  return h.value();
+}
+
+std::uint64_t ShardRouter::score(std::uint64_t key, std::size_t shard,
+                                 std::uint64_t seed) {
+  return mix64(key ^ mix64(seed ^ (shard + 1)));
+}
+
+std::uint64_t ShardRouter::score(std::uint64_t key,
+                                 std::size_t shard) const {
+  return score(key, shard, options_.seed);
+}
+
+std::size_t ShardRouter::route(std::uint64_t key) const {
+  std::size_t best = kNoShard;
+  std::uint64_t best_score = 0;
+  for (std::size_t s = 0; s < alive_.size(); ++s) {
+    if (!alive_[s]) continue;
+    const std::uint64_t sc = score(key, s);
+    if (best == kNoShard || sc > best_score) {
+      best = s;
+      best_score = sc;
+    }
+  }
+  return best;
+}
+
+std::size_t ShardRouter::home(std::uint64_t key) const {
+  std::size_t best = 0;
+  std::uint64_t best_score = 0;
+  for (std::size_t s = 0; s < alive_.size(); ++s) {
+    const std::uint64_t sc = score(key, s);
+    if (s == 0 || sc > best_score) {
+      best = s;
+      best_score = sc;
+    }
+  }
+  return best;
+}
+
+std::size_t ShardRouter::n_live() const {
+  std::size_t n = 0;
+  for (const bool a : alive_) n += a ? 1 : 0;
+  return n;
+}
+
+bool ShardRouter::alive(std::size_t shard) const {
+  SWRAMAN_REQUIRE(shard < alive_.size(), "ShardRouter: shard out of range");
+  return alive_[shard];
+}
+
+void ShardRouter::mark_dead(std::size_t shard) {
+  SWRAMAN_REQUIRE(shard < alive_.size(), "ShardRouter: shard out of range");
+  if (!alive_[shard]) return;
+  alive_[shard] = false;
+  ++deaths_;
+  obs::count("serve.router.deaths");
+  obs::instant("serve.router.shard_dead", "shard",
+               static_cast<double>(shard));
+  log::warn("router: shard ", shard, " marked dead (", n_live(), "/",
+            alive_.size(), " live)");
+}
+
+void ShardRouter::mark_alive(std::size_t shard) {
+  SWRAMAN_REQUIRE(shard < alive_.size(), "ShardRouter: shard out of range");
+  if (alive_[shard]) return;
+  alive_[shard] = true;
+  ++recoveries_;
+  probe_[shard].reset();
+  obs::count("serve.router.recoveries");
+  obs::instant("serve.router.shard_recovered", "shard",
+               static_cast<double>(shard));
+}
+
+double ShardRouter::retry_after_hint(std::size_t shard) {
+  SWRAMAN_REQUIRE(shard < alive_.size(), "ShardRouter: shard out of range");
+  return probe_[shard].next();
+}
+
+}  // namespace swraman::serve

@@ -11,15 +11,17 @@ FairShareScheduler::FairShareScheduler(AdmissionLimits limits)
     : limits_(limits) {}
 
 AdmissionDecision FairShareScheduler::admit(const JobSpec& spec,
-                                            const JobEstimate& est) {
+                                            const JobEstimate& est,
+                                            bool force) {
   AdmissionDecision d;
   d.outstanding_seconds = outstanding_seconds_;
-  if (outstanding_tasks_ + est.n_tasks > limits_.max_queued_tasks) {
+  if (!force &&
+      outstanding_tasks_ + est.n_tasks > limits_.max_queued_tasks) {
     d.admitted = false;
     d.reason = "queue-depth";
     return d;
   }
-  if (modeled_bytes_ + est.modeled_bytes > limits_.max_modeled_bytes) {
+  if (!force && modeled_bytes_ + est.modeled_bytes > limits_.max_modeled_bytes) {
     d.admitted = false;
     d.reason = "modeled-memory";
     return d;

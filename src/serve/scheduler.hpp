@@ -49,7 +49,10 @@ class FairShareScheduler {
   explicit FairShareScheduler(AdmissionLimits limits = {});
 
   // Charges the job against the limits or rejects it (nothing charged).
-  AdmissionDecision admit(const JobSpec& spec, const JobEstimate& est);
+  // force: charge unconditionally (WAL replay of already-acknowledged
+  // work — the limits still see the load, but cannot reject it).
+  AdmissionDecision admit(const JobSpec& spec, const JobEstimate& est,
+                          bool force = false);
 
   // Job left the system (completed or failed): releases its admission
   // charge.

@@ -24,6 +24,7 @@ double now_seconds() {
 
 struct RamanService::JobState {
   std::uint64_t id = 0;
+  std::uint64_t tag = 0;  // durable global id (sharded tier); 0 unused
   JobSpec spec;
   JobEstimate est;
   std::uint64_t settings_fp = 0;
@@ -74,7 +75,8 @@ RamanService::~RamanService() { pool_->stop(); }
 
 void RamanService::start() { pool_->start(); }
 
-SubmitResult RamanService::submit(const JobSpec& spec) {
+SubmitResult RamanService::submit(const JobSpec& spec,
+                                  const SubmitOptions& sub) {
   SWRAMAN_TRACE_SPAN(span, "serve.submit");
   if (spec.engine == EngineKind::Real) {
     SWRAMAN_REQUIRE(!spec.atoms.empty(), "serve: Real job without atoms");
@@ -95,7 +97,8 @@ SubmitResult RamanService::submit(const JobSpec& spec) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++tallies_.jobs_submitted;
 
-  const AdmissionDecision decision = scheduler_.admit(spec, est);
+  const AdmissionDecision decision =
+      scheduler_.admit(spec, est, sub.force_admit);
   if (!decision.admitted) {
     ++tallies_.jobs_rejected;
     obs::count("serve.jobs.rejected");
@@ -114,12 +117,26 @@ SubmitResult RamanService::submit(const JobSpec& spec) {
     return res;
   }
 
+  // Log-before-ack: the durability hook (the shard's WAL append + fsync)
+  // runs before any job state exists. A throwing hook aborts the
+  // submission with the admission charge released and nothing queued —
+  // the job was never acknowledged, so nothing can be lost.
+  if (options_.hooks.on_accept) {
+    try {
+      options_.hooks.on_accept(sub.tag, spec);
+    } catch (...) {
+      scheduler_.release(est);
+      throw;
+    }
+  }
+
   ++tallies_.jobs_accepted;
   obs::count("serve.jobs.accepted");
   const std::uint64_t id = next_job_id_++;
   auto owned = std::make_unique<JobState>();
   JobState& job = *owned;
   job.id = id;
+  job.tag = sub.tag;
   job.spec = spec;
   job.est = est;
   job.settings_fp = settings_fingerprint(spec);
@@ -174,12 +191,32 @@ SubmitResult RamanService::submit(const JobSpec& spec) {
   std::vector<std::size_t> pending_roots;
   for (std::size_t node_id : job.dag.roots()) {
     const TaskNode& node = job.dag.node(node_id);
-    if (node.kind == TaskKind::Displacement && job.checkpoint != nullptr) {
-      if (const raman::GeometryRecord* rec =
-              job.checkpoint->lookup(node.coord, node.sign)) {
-        job.dag.records[node_id] = *rec;
-        ++tallies_.checkpoint_hits;
-        obs::count("serve.checkpoint.hits");
+    if (node.kind == TaskKind::Displacement) {
+      // WAL-replay warm set first, then the per-job checkpoint: either
+      // way the record is re-notified to the durability hook so the new
+      // shard incarnation's log carries it (replay-of-replay safety).
+      const raman::GeometryRecord* warm_rec = nullptr;
+      if (sub.warm != nullptr) {
+        const auto it = sub.warm->find({node.coord, node.sign});
+        if (it != sub.warm->end()) warm_rec = &it->second;
+      }
+      if (warm_rec == nullptr && job.checkpoint != nullptr) {
+        if (const raman::GeometryRecord* rec =
+                job.checkpoint->lookup(node.coord, node.sign)) {
+          warm_rec = rec;
+          ++tallies_.checkpoint_hits;
+          obs::count("serve.checkpoint.hits");
+        }
+      } else if (warm_rec != nullptr) {
+        ++tallies_.warm_hits;
+        obs::count("serve.warm.hits");
+      }
+      if (warm_rec != nullptr) {
+        job.dag.records[node_id] = *warm_rec;
+        if (options_.hooks.on_task_durable) {
+          options_.hooks.on_task_durable(job.tag, node.coord, node.sign,
+                                         *warm_rec);
+        }
         complete_node(kNoWorker, job, node_id);
         continue;
       }
@@ -202,6 +239,10 @@ SubmitResult RamanService::submit(const JobSpec& spec) {
           break;
         case DisplacementCache::Ref::Hit:
           job.dag.records[node_id] = rec;
+          if (options_.hooks.on_task_durable) {
+            options_.hooks.on_task_durable(job.tag, node.coord, node.sign,
+                                           rec);
+          }
           complete_node(kNoWorker, job, node_id);
           break;
         case DisplacementCache::Ref::Wait:
@@ -278,6 +319,9 @@ void RamanService::finish_job(JobState& job, JobStatus status,
   obs::observe(("serve.latency." + job.spec.client).c_str(),
                job.result.latency_s);
   obs::observe("serve.latency", job.result.latency_s);
+  if (options_.hooks.on_finish) {
+    options_.hooks.on_finish(job.tag, job.result);
+  }
   cv_.notify_all();
 }
 
@@ -382,10 +426,35 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
   ctx.to_canonical = job.keys[node_id].to_canonical;
   ctx.cost_seconds = job.est.per_task_seconds;
 
+  // Cross-shard cache first (off-lock, bounded latency): a peer shard may
+  // already own this canonical key. The hit arrives in the canonical
+  // frame and is rotated back, exactly like a local dedup wait release —
+  // bit moves only, so remote and local completions are bitwise equal.
   const double t0 = now_seconds();
   raman::GeometryRecord rec;
-  if (!evaluate_with_retry(job, ctx, &rec)) return;
-  obs::observe("serve.task.seconds", now_seconds() - t0);
+  bool remote_hit = false;
+  if (options_.hooks.remote_lookup) {
+    raman::GeometryRecord canonical;
+    if (options_.hooks.remote_lookup(job.keys[node_id].key, &canonical)) {
+      const AxisTransform from =
+          inverse(job.keys[node_id].to_canonical);
+      rec.alpha = apply_tensor(from, canonical.alpha);
+      rec.dipole = apply_vector(from, canonical.dipole);
+      remote_hit = true;
+      obs::count("serve.cache.remote_hits");
+    }
+  }
+  if (!remote_hit) {
+    if (!evaluate_with_retry(job, ctx, &rec)) return;
+    obs::observe("serve.task.seconds", now_seconds() - t0);
+    if (options_.hooks.publish) {
+      raman::GeometryRecord canonical;
+      canonical.alpha = apply_tensor(job.keys[node_id].to_canonical, rec.alpha);
+      canonical.dipole =
+          apply_vector(job.keys[node_id].to_canonical, rec.dipole);
+      options_.hooks.publish(job.keys[node_id].key, canonical);
+    }
+  }
 
   // Durable before visible: the checkpoint append happens before the DAG
   // learns of the completion, so a crash never loses an acknowledged
@@ -393,6 +462,9 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
   if (job.checkpoint != nullptr) {
     std::lock_guard<std::mutex> ckpt_lock(checkpoint_mutex_);
     job.checkpoint->record(node.coord, node.sign, rec);
+  }
+  if (options_.hooks.on_task_durable) {
+    options_.hooks.on_task_durable(job.tag, node.coord, node.sign, rec);
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -412,15 +484,25 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
         if (it == jobs_.end() || it->second->status != JobStatus::Running) {
           continue;
         }
-        it->second->dag.records[waiters[i].node] = waiter_records[i];
-        complete_node(worker, *it->second, waiters[i].node);
+        JobState& wjob = *it->second;
+        wjob.dag.records[waiters[i].node] = waiter_records[i];
+        if (options_.hooks.on_task_durable) {
+          const TaskNode& wnode = wjob.dag.node(waiters[i].node);
+          options_.hooks.on_task_durable(wjob.tag, wnode.coord, wnode.sign,
+                                         waiter_records[i]);
+        }
+        complete_node(worker, wjob, waiters[i].node);
       }
     }
     return;
   }
 
-  ++tallies_.tasks_executed;
-  ++job.result.tasks_executed;
+  if (remote_hit) {
+    ++tallies_.remote_hits;
+  } else {
+    ++tallies_.tasks_executed;
+    ++job.result.tasks_executed;
+  }
   job.dag.records[node_id] = rec;
 
   if (options_.use_cache && job.keys[node_id].owner) {
@@ -437,14 +519,18 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
       JobState& wjob = *it->second;
       if (wjob.status != JobStatus::Running) continue;
       wjob.dag.records[waiters[i].node] = waiter_records[i];
+      const TaskNode& wnode = wjob.dag.node(waiters[i].node);
       if (wjob.checkpoint != nullptr) {
         // Keep the waiter job's checkpoint as complete as if it had run
         // the evaluation itself (append under the service lock is fine:
         // checkpoint_mutex_ only orders appends against each other).
-        const TaskNode& wnode = wjob.dag.node(waiters[i].node);
         std::lock_guard<std::mutex> ckpt_lock(checkpoint_mutex_);
         wjob.checkpoint->record(wnode.coord, wnode.sign,
                                 waiter_records[i]);
+      }
+      if (options_.hooks.on_task_durable) {
+        options_.hooks.on_task_durable(wjob.tag, wnode.coord, wnode.sign,
+                                       waiter_records[i]);
       }
       complete_node(worker, wjob, waiters[i].node);
     }

@@ -2,10 +2,12 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "serve/cache.hpp"
 #include "serve/dag.hpp"
@@ -34,6 +36,53 @@ namespace swraman::serve {
 // (thrown as TimeoutError, consumed by the bounded per-task retry).
 inline constexpr const char* kFaultTaskFail = "serve.task.fail";
 
+// Durability/federation hooks of the sharded tier (DESIGN.md S12). All
+// hooks are optional; `tag` is the caller-supplied durable id passed in
+// SubmitOptions (the sharded tier's global job id), not the service-local
+// job id.
+struct ServiceHooks {
+  // Called under the service lock after the admission decision and BEFORE
+  // any job state exists or the submission is acknowledged. A throwing
+  // hook (wedged WAL) aborts the submission with no state change — the
+  // log-before-ack contract.
+  std::function<void(std::uint64_t tag, const JobSpec& spec)> on_accept;
+  // Called before a finished displacement becomes visible to the job's
+  // DAG (durable-before-visible, the checkpoint ordering shard-wide).
+  // Runs on worker threads for computed results and under the service
+  // lock for warm/checkpoint/dedup completions; must not throw.
+  std::function<void(std::uint64_t tag, std::size_t coord, int sign,
+                     const raman::GeometryRecord& rec)>
+      on_task_durable;
+  // Called under the service lock when the job reaches a terminal status.
+  std::function<void(std::uint64_t tag, const JobResult& result)> on_finish;
+  // Cross-shard displacement cache: consulted (off-lock, worker threads)
+  // before a local owner evaluation; fills the *canonical-frame* record
+  // and returns true on a hit. Must bound its own latency (timeout
+  // fallback to local compute).
+  std::function<bool(std::uint64_t key, raman::GeometryRecord* canonical)>
+      remote_lookup;
+  // Publishes a locally computed canonical record for peer shards
+  // (off-lock, worker threads; must not throw).
+  std::function<void(std::uint64_t key, const raman::GeometryRecord& rec)>
+      publish;
+};
+
+// Per-submission options of the sharded/replay paths. Plain submit(spec)
+// keeps the PR-5 behaviour bit for bit.
+struct SubmitOptions {
+  // Durable global id forwarded to every hook; 0 outside the sharded tier.
+  std::uint64_t tag = 0;
+  // WAL replay warm set: displacement results (own frame, keyed
+  // (coord, sign)) that complete their nodes at submit, exactly like
+  // checkpoint hits. Not owned; must outlive the submit() call.
+  const std::map<std::pair<std::size_t, int>, raman::GeometryRecord>*
+      warm = nullptr;
+  // Replay of an already-acknowledged job: admission limits are charged
+  // but never reject — accepted work must survive a shard death even if
+  // the survivor is momentarily over its admission budget.
+  bool force_admit = false;
+};
+
 struct ServiceOptions {
   std::size_t n_workers = 2;
   bool work_stealing = true;   // false: no stealing between deques
@@ -46,6 +95,8 @@ struct ServiceOptions {
   ModeledEngineOptions modeled;        // seed of the modeled engine
   double pull_target_seconds = 0.05;   // central-pull batch, modeled cost
   std::size_t pull_max_tasks = 64;
+  // Durability/remote-cache hooks of the sharded tier (all optional).
+  ServiceHooks hooks;
 };
 
 struct SubmitResult {
@@ -64,6 +115,8 @@ struct ServiceStats {
   std::uint64_t tasks_executed = 0;   // engine evaluations actually run
   std::uint64_t task_retries = 0;
   std::uint64_t checkpoint_hits = 0;
+  std::uint64_t warm_hits = 0;    // WAL-replay records applied at submit
+  std::uint64_t remote_hits = 0;  // cross-shard cache hits
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   double cache_hit_ratio = 0.0;
@@ -80,8 +133,10 @@ class RamanService {
   RamanService& operator=(const RamanService&) = delete;
 
   // Admission-controlled, non-blocking. Rejected jobs are not queued; the
-  // caller should retry after retry_after_s.
-  SubmitResult submit(const JobSpec& spec);
+  // caller should retry after retry_after_s. SubmitOptions carries the
+  // sharded tier's durable id, WAL-replay warm records, and the
+  // force-admit flag; the default keeps plain submissions unchanged.
+  SubmitResult submit(const JobSpec& spec, const SubmitOptions& sub = {});
 
   // Launches the worker pool (idempotent; no-op when not start_paused).
   void start();

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/molecules.hpp"
+#include "serve/router.hpp"
+
+namespace swraman::serve {
+namespace {
+
+RouterOptions four_shards() {
+  RouterOptions o;
+  o.n_shards = 4;
+  return o;
+}
+
+std::vector<std::uint64_t> some_keys(std::size_t n) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (std::size_t k = 0; k < n; ++k) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    keys.push_back(x);
+  }
+  return keys;
+}
+
+TEST(ServeRouter, DeterministicAndReasonablyBalanced) {
+  ShardRouter a(four_shards());
+  ShardRouter b(four_shards());
+  std::map<std::size_t, std::size_t> load;
+  for (const std::uint64_t key : some_keys(2000)) {
+    const std::size_t s = a.route(key);
+    ASSERT_LT(s, 4u);
+    EXPECT_EQ(s, b.route(key));       // stateless placement
+    EXPECT_EQ(s, a.home(key));        // all alive: route == home
+    ++load[s];
+  }
+  // Rendezvous hashing spreads keys near-uniformly; no shard should be
+  // starved or dominant.
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(load[s], 300u) << "shard " << s;
+    EXPECT_LT(load[s], 700u) << "shard " << s;
+  }
+}
+
+TEST(ServeRouter, DeathMovesOnlyTheDeadShardsKeys) {
+  ShardRouter router(four_shards());
+  const std::vector<std::uint64_t> keys = some_keys(1000);
+  std::map<std::uint64_t, std::size_t> before;
+  for (const std::uint64_t key : keys) before[key] = router.route(key);
+
+  router.mark_dead(2);
+  EXPECT_EQ(router.n_live(), 3u);
+  EXPECT_FALSE(router.alive(2));
+  std::size_t moved = 0;
+  for (const std::uint64_t key : keys) {
+    const std::size_t now = router.route(key);
+    EXPECT_NE(now, 2u);
+    if (before[key] != 2) {
+      // Minimal movement: keys of healthy shards never migrate.
+      EXPECT_EQ(now, before[key]) << "key " << key;
+    } else {
+      ++moved;
+      // The dead shard's keys each fail over to their rendezvous
+      // runner-up — the live shard with the next-highest score.
+      std::size_t runner_up = 0;
+      std::uint64_t best = 0;
+      for (std::size_t s = 0; s < 4; ++s) {
+        if (s == 2) continue;
+        const std::uint64_t sc =
+            ShardRouter::score(key, s, four_shards().seed);
+        if (sc > best) {
+          best = sc;
+          runner_up = s;
+        }
+      }
+      EXPECT_EQ(now, runner_up) << "key " << key;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+
+  // Recovery brings every key home; nothing else moved in the meantime.
+  router.mark_alive(2);
+  for (const std::uint64_t key : keys) {
+    EXPECT_EQ(router.route(key), before[key]);
+  }
+  EXPECT_EQ(router.deaths(), 1u);
+  EXPECT_EQ(router.recoveries(), 1u);
+}
+
+TEST(ServeRouter, AllDeadRoutesToNoShard) {
+  ShardRouter router(four_shards());
+  for (std::size_t s = 0; s < 4; ++s) router.mark_dead(s);
+  EXPECT_EQ(router.n_live(), 0u);
+  EXPECT_EQ(router.route(123), ShardRouter::kNoShard);
+  // home() ignores liveness and still names the owner.
+  EXPECT_LT(router.home(123), 4u);
+}
+
+TEST(ServeRouter, RetryAfterHintIsPositiveBoundedAndDeterministic) {
+  ShardRouter a(four_shards());
+  ShardRouter b(four_shards());
+  a.mark_dead(1);
+  b.mark_dead(1);
+  const BackoffOptions probe = four_shards().probe;
+  double last_a = 0.0;
+  for (int k = 0; k < 10; ++k) {
+    const double hint_a = a.retry_after_hint(1);
+    const double hint_b = b.retry_after_hint(1);
+    EXPECT_EQ(hint_a, hint_b);  // same seed, same schedule
+    EXPECT_GE(hint_a, probe.base_s);
+    EXPECT_LE(hint_a, probe.cap_s);
+    last_a = hint_a;
+  }
+  // Revival resets the probe schedule: the next death replays it.
+  a.mark_alive(1);
+  a.mark_dead(1);
+  const double first_again = a.retry_after_hint(1);
+  ShardRouter fresh(four_shards());
+  fresh.mark_dead(1);
+  EXPECT_EQ(first_again, fresh.retry_after_hint(1));
+  (void)last_a;
+}
+
+TEST(ServeRouter, MarkDeadAndAliveAreIdempotent) {
+  ShardRouter router(four_shards());
+  router.mark_dead(3);
+  router.mark_dead(3);
+  EXPECT_EQ(router.deaths(), 1u);
+  EXPECT_EQ(router.n_live(), 3u);
+  router.mark_alive(3);
+  router.mark_alive(3);
+  EXPECT_EQ(router.recoveries(), 1u);
+  EXPECT_EQ(router.n_live(), 4u);
+}
+
+TEST(ServeRouter, JobKeyTracksTenantAndContentNotLabels) {
+  JobSpec spec;
+  spec.client = "alice";
+  spec.name = "run-1";
+  spec.engine = EngineKind::Modeled;
+  spec.scale.n_atoms = 8;
+
+  JobSpec same = spec;
+  same.name = "run-2";  // labels don't reroute a tenant's resubmissions
+  EXPECT_EQ(ShardRouter::job_key(spec), ShardRouter::job_key(same));
+
+  JobSpec other_tenant = spec;
+  other_tenant.client = "bob";
+  EXPECT_NE(ShardRouter::job_key(spec), ShardRouter::job_key(other_tenant));
+
+  JobSpec other_scale = spec;
+  other_scale.scale.n_atoms = 9;  // different content fingerprint
+  EXPECT_NE(ShardRouter::job_key(spec), ShardRouter::job_key(other_scale));
+
+  JobSpec real;
+  real.client = "alice";
+  real.engine = EngineKind::Real;
+  real.atoms = molecules::water();
+  JobSpec real_moved = real;
+  real_moved.atoms[0].pos[2] += 0.01;  // geometry is part of the key
+  EXPECT_NE(ShardRouter::job_key(real), ShardRouter::job_key(real_moved));
+}
+
+}  // namespace
+}  // namespace swraman::serve
