@@ -17,6 +17,17 @@
 //   * every job's (dalpha, dmu) hash is bitwise identical to the
 //     fault-free run
 //
+// The chaos pass also drives the observability plane end to end
+// (DESIGN.md S13) and gates on its artifacts:
+//   * jobtrace stitching — some chaos-pass job must carry spans from both
+//     shard incarnations (pre-kill work, the replay marker, post-kill
+//     work) on ONE gid timeline (--jobtrace FILE exports all of them);
+//   * flight recorder — every injected shard kill dumps a postmortem
+//     ring (flight-serve.shard.kill.json in the working directory);
+//   * SLO monitor — with a deliberately unattainable latency SLO the
+//     per-tenant burn rate must light up during the chaos window
+//     (--health FILE exports the swraman-health-v1 history).
+//
 // --json writes the swraman-bench-v1 chaos record consumed by
 // scripts/check_perf_json.py (dispatched on "recovered_jobs").
 
@@ -30,6 +41,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "obs/obs.hpp"
 #include "robustness/fault.hpp"
 #include "serve/sharded.hpp"
 #include "serve/trace.hpp"
@@ -82,17 +94,19 @@ struct RunOutcome {
   std::size_t accepted = 0;
   std::size_t completed = 0;
   ShardedStats stats;
+  std::string health_json;  // swraman-health-v1 from this run's monitor
+  double max_burn = 0.0;    // worst max_burn_rate across its snapshots
 };
 
 // kill_at: trace indices whose submission is preceded by arming
 // serve.shard.kill (fires on that submission's routing decision);
 // restart_at: indices where every dead shard is recovered first.
 RunOutcome run_trace(const std::vector<JobSpec>& trace,
-                     const std::string& wal_dir, std::size_t n_shards,
+                     const ShardedOptions& opts,
                      const std::vector<std::size_t>& kill_at,
                      const std::vector<std::size_t>& restart_at) {
-  std::filesystem::create_directories(wal_dir);
-  ShardedRamanService svc(make_options(wal_dir, n_shards));
+  std::filesystem::create_directories(opts.wal_dir);
+  ShardedRamanService svc(opts);
   std::map<std::size_t, std::uint64_t> gids;  // trace index -> gid
   RunOutcome out;
   for (std::size_t i = 0; i < trace.size(); ++i) {
@@ -127,7 +141,48 @@ RunOutcome run_trace(const std::vector<JobSpec>& trace,
     }
   }
   out.stats = svc.stats();
+  // Export the monitor's history before the service (and its registry
+  // observations) go away with the run.
+  out.health_json = svc.slo().export_json();
+  for (const obs::HealthSnapshot& s : svc.slo().history()) {
+    out.max_burn = std::max(out.max_burn, s.max_burn_rate);
+  }
   return out;
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+  if (!out.good()) {
+    std::printf("bench_serve_chaos: FAIL cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+// The stitched-timeline gate: at least one chaos-pass job whose single
+// gid timeline shows work from incarnation 0, the replay marker, and
+// resumed work from incarnation >= 1 — proof the trace context survived
+// the WAL round-trip through the shard death.
+bool any_stitched_timeline() {
+  auto& jt = obs::JobTraceRegistry::instance();
+  for (const std::uint64_t gid : jt.gids()) {
+    if (jt.incarnation(gid) == 0) continue;
+    bool pre_kill = false;
+    bool replay = false;
+    bool post_kill = false;
+    for (const obs::JobSpan& s : jt.spans(gid)) {
+      if (s.incarnation == 0 && s.id != 1) pre_kill = true;
+      if (s.name == "replay" && s.incarnation >= 1) replay = true;
+      if (s.incarnation >= 1 && !s.event && s.name != "replay" &&
+          s.id != 1) {
+        post_kill = true;
+      }
+    }
+    if (pre_kill && replay && post_kill) return true;
+  }
+  return false;
 }
 
 void write_json(const std::string& path, std::size_t jobs,
@@ -156,17 +211,29 @@ void write_json(const std::string& path, std::size_t jobs,
 int main(int argc, char** argv) {
   log::set_level(log::Level::Error);
   std::string json_path;
+  std::string jobtrace_path;
+  std::string health_path;
   std::size_t n_shards = 3;
   bool short_trace = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobtrace") == 0 && i + 1 < argc) {
+      jobtrace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--health") == 0 && i + 1 < argc) {
+      health_path = argv[++i];
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       n_shards = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--short") == 0) {
       short_trace = true;
     }
   }
+
+  // The chaos harness always runs with the full observability plane on:
+  // the acceptance gates below require its artifacts. Flight dumps land
+  // in the working directory (flight-serve.shard.kill.json per kill).
+  obs::set_enabled(true);
+  obs::flight::set_enabled(true);
 
   TraceOptions topts;
   if (short_trace) {
@@ -183,9 +250,14 @@ int main(int argc, char** argv) {
 
   std::printf("\nfault-free pass...\n");
   const RunOutcome clean =
-      run_trace(trace, "bench_chaos_wal/clean", n_shards, {}, {});
+      run_trace(trace, make_options("bench_chaos_wal/clean", n_shards),
+                {}, {});
 
   std::printf("chaos pass (kills + torn WAL + remote timeouts)...\n");
+  // Jobtrace only now: both passes replay the same trace through fresh
+  // services, so gids repeat — tracing the fault-free pass would merge
+  // its spans into the chaos timelines the stitching gate inspects.
+  obs::set_jobtrace_enabled(true);
   // Torn-write and remote-timeout sites stay armed for the whole pass;
   // the kill site is re-armed at each kill point inside run_trace.
   fault::reset();
@@ -194,8 +266,13 @@ int main(int argc, char** argv) {
   const std::size_t k1 = trace.size() / 3;
   const std::size_t k2 = 2 * trace.size() / 3;
   const std::size_t r1 = (k1 + k2) / 2;  // restart between the kills
-  const RunOutcome chaos = run_trace(trace, "bench_chaos_wal/chaos",
-                                     n_shards, {k1, k2}, {r1});
+  ShardedOptions chaos_opts = make_options("bench_chaos_wal/chaos", n_shards);
+  // An unattainable latency SLO: every modeled job misses it, so the SLO
+  // monitor must show the error budget burning while the chaos window is
+  // open — that the burn actually registers is one of the gates.
+  chaos_opts.slo.latency_slo_s = 1e-6;
+  chaos_opts.slo.min_period_s = 0.0;  // snapshot on every tier tick
+  const RunOutcome chaos = run_trace(trace, chaos_opts, {k1, k2}, {r1});
 
   std::size_t mismatches = 0;
   for (const auto& [idx, h] : clean.hashes) {
@@ -219,13 +296,31 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(chaos.stats.replayed_tasks),
       static_cast<unsigned long long>(chaos.stats.remote_hits));
   std::printf("lost jobs: %zu, bitwise mismatches: %zu\n", lost, mismatches);
+  std::printf(
+      "obs plane: %llu flight dump(s), %zu traced jobs, "
+      "max SLO burn %.1fx\n",
+      static_cast<unsigned long long>(obs::flight::dump_count()),
+      obs::JobTraceRegistry::instance().n_jobs(), chaos.max_burn);
 
   if (!json_path.empty()) {
     write_json(json_path, trace.size(), chaos.stats, replayed_fraction, lost,
                mismatches);
   }
+  bool artifacts_ok = true;
+  if (!jobtrace_path.empty()) {
+    if (obs::write_jobtrace_file(jobtrace_path)) {
+      std::printf("wrote %s\n", jobtrace_path.c_str());
+    } else {
+      std::printf("bench_serve_chaos: FAIL cannot write %s\n",
+                  jobtrace_path.c_str());
+      artifacts_ok = false;
+    }
+  }
+  if (!health_path.empty()) {
+    artifacts_ok = write_text(health_path, chaos.health_json) && artifacts_ok;
+  }
 
-  bool ok = true;
+  bool ok = artifacts_ok;
   if (chaos.stats.kills < 1) {
     std::printf("bench_serve_chaos: FAIL no shard kill fired\n");
     ok = false;
@@ -246,6 +341,21 @@ int main(int argc, char** argv) {
   if (mismatches != 0) {
     std::printf("bench_serve_chaos: FAIL %zu spectra differ bitwise\n",
                 mismatches);
+    ok = false;
+  }
+  if (!any_stitched_timeline()) {
+    std::printf("bench_serve_chaos: FAIL no job timeline stitched across "
+                "the kill/replay boundary\n");
+    ok = false;
+  }
+  if (obs::flight::dump_count() < 1) {
+    std::printf("bench_serve_chaos: FAIL no flight-recorder dump for the "
+                "injected kills\n");
+    ok = false;
+  }
+  if (!(chaos.max_burn > 0.0)) {
+    std::printf("bench_serve_chaos: FAIL SLO burn never registered during "
+                "the chaos window\n");
     ok = false;
   }
   return ok ? 0 : 1;

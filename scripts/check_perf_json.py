@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
-"""Validate a swraman perf/bench JSON report (and optionally a Chrome trace).
+"""Validate a swraman perf/bench/observability JSON report.
 
 Usage: check_perf_json.py JSON_FILE [CHROME_TRACE_JSON]
 
 The schema is autodetected from the top-level "schema" field:
-  swraman-perf-v1    the tracing report emitted by src/obs/report.cpp
-  swraman-bench-v1   benchmark series emitted by bench/*.cpp --json
+  swraman-perf-v1      the tracing report emitted by src/obs/report.cpp
+  swraman-bench-v1     benchmark series emitted by bench/*.cpp --json
+  swraman-jobtrace-v1  per-job cross-shard timelines (src/obs/jobtrace.cpp)
+  swraman-health-v1    SLO monitor snapshots (src/obs/slo.cpp)
+  swraman-flight-v1    flight-recorder postmortem dumps (src/obs/flight.cpp)
 
 Exits non-zero with a diagnostic on any violation.  Used by
-scripts/tier1.sh after the traced smoke run and the bench smoke run.
+scripts/tier1.sh after the traced smoke run, the bench smoke runs, and
+the chaos run's observability-plane artifacts.
 """
 
 import json
@@ -118,16 +122,258 @@ def check_bench(path: str, doc: dict) -> None:
           f"{len(series)} series)")
 
 
+def _finite_num(path: str, where: str, obj: dict, key: str) -> float:
+    v = obj.get(key)
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        fail(f"{path}: {where} {key} must be a number")
+    if not math.isfinite(v):
+        fail(f"{path}: {where} {key} must be finite (got {v!r})")
+    return float(v)
+
+
+def check_jobtrace(path: str, doc: dict) -> None:
+    """swraman-jobtrace-v1: every job is one causal timeline.  Span ids
+    are unique and ascending, the root is span 1, parents exist and start
+    no later than their children (monotone nesting), events are
+    zero-width, and a span may legitimately be open (end_ns == 0) — that
+    is the footprint of work interrupted by a shard death."""
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, list):
+        fail(f"{path}: jobs must be an array")
+    n_spans = 0
+    n_open = 0
+    n_replayed = 0
+    for j, job in enumerate(jobs):
+        where = f"jobs[{j}]"
+        gid = job.get("gid")
+        if isinstance(gid, bool) or not isinstance(gid, int) or gid < 1:
+            fail(f"{path}: {where} gid must be a positive integer")
+        incs = job.get("incarnations")
+        if isinstance(incs, bool) or not isinstance(incs, int) or incs < 1:
+            fail(f"{path}: {where} incarnations must be >= 1")
+        if incs > 1:
+            n_replayed += 1
+        spans = job.get("spans")
+        if not isinstance(spans, list) or not spans:
+            fail(f"{path}: {where} spans must be a non-empty array")
+        by_id = {}
+        prev_id = 0
+        for k, s in enumerate(spans):
+            w = f"{where}.spans[{k}]"
+            for key in ("id", "parent", "name", "shard", "incarnation",
+                        "start_ns", "end_ns", "event", "attrs"):
+                if key not in s:
+                    fail(f"{path}: {w} missing {key!r}")
+            if s["id"] <= prev_id:
+                fail(f"{path}: {w} span ids must be unique and ascending "
+                     f"(got {s['id']} after {prev_id})")
+            prev_id = s["id"]
+            if k == 0 and (s["id"] != 1 or s["parent"] != 0):
+                fail(f"{path}: {w} the first span must be the root "
+                     f"(id 1, parent 0)")
+            if not (0 <= s["incarnation"] < incs):
+                fail(f"{path}: {w} incarnation {s['incarnation']} outside "
+                     f"[0, {incs})")
+            if s["parent"] != 0:
+                parent = by_id.get(s["parent"])
+                if parent is None:
+                    fail(f"{path}: {w} parent {s['parent']} does not exist "
+                         f"(or follows its child)")
+                # Monotone nesting: a child never starts before its
+                # parent.  (A replayed child under the original root is
+                # still later — the root predates the crash.)
+                if s["start_ns"] < parent["start_ns"]:
+                    fail(f"{path}: {w} starts before its parent "
+                         f"({s['start_ns']} < {parent['start_ns']})")
+            if s["end_ns"] == 0:
+                n_open += 1
+                if s["event"]:
+                    fail(f"{path}: {w} an event cannot be open")
+            else:
+                if s["event"]:
+                    if s["end_ns"] != s["start_ns"]:
+                        fail(f"{path}: {w} events must be zero-width")
+                elif s["end_ns"] < s["start_ns"]:
+                    fail(f"{path}: {w} ends before it starts")
+            by_id[s["id"]] = s
+            n_spans += 1
+    print(f"check_perf_json: {path}: OK ({len(jobs)} job timelines, "
+          f"{n_spans} spans, {n_replayed} replayed, "
+          f"{n_open} open across shard deaths)")
+
+
+def check_health(path: str, doc: dict) -> None:
+    """swraman-health-v1: SLO monitor history.  Snapshot times ascend,
+    ratios stay in [0, 1], percentiles are finite and ordered, per-tenant
+    counters never run backwards, and every burn rate obeys
+    burn = (1 - window_attainment) / (1 - objective) within float slack."""
+    slo = _finite_num(path, "top-level", doc, "latency_slo_s")
+    if slo <= 0:
+        fail(f"{path}: latency_slo_s must be positive")
+    objective = _finite_num(path, "top-level", doc, "objective")
+    if not (0.0 <= objective < 1.0):
+        fail(f"{path}: objective must lie in [0, 1) (got {objective})")
+    budget = 1.0 - objective
+    full_burn = 1.0 / budget
+    snaps = doc.get("snapshots")
+    if not isinstance(snaps, list) or not snaps:
+        fail(f"{path}: snapshots must be a non-empty array")
+    prev_t = 0
+    prev_finished = {}
+    max_burn_seen = 0.0
+    tenants = set()
+    for i, s in enumerate(snaps):
+        where = f"snapshots[{i}]"
+        t = s.get("t_ns")
+        if isinstance(t, bool) or not isinstance(t, int) or t < prev_t:
+            fail(f"{path}: {where} t_ns must be a non-decreasing integer")
+        prev_t = t
+        if _finite_num(path, where, s, "queue_depth") < 0:
+            fail(f"{path}: {where} queue_depth must be non-negative")
+        ratio = _finite_num(path, where, s, "cache_hit_ratio")
+        if not (0.0 <= ratio <= 1.0):
+            fail(f"{path}: {where} cache_hit_ratio outside [0, 1]")
+        p99 = _finite_num(path, where, s, "wal_fsync_p99_s")
+        fmax = _finite_num(path, where, s, "wal_fsync_max_s")
+        if p99 < 0 or fmax < 0 or p99 > fmax * (1 + 1e-9):
+            fail(f"{path}: {where} wal fsync percentiles must satisfy "
+                 f"0 <= p99 <= max (got {p99}, {fmax})")
+        max_burn = _finite_num(path, where, s, "max_burn_rate")
+        if max_burn < 0 or max_burn > full_burn * (1 + 1e-9):
+            fail(f"{path}: {where} max_burn_rate outside [0, 1/(1-obj)] "
+                 f"(got {max_burn}, full burn {full_burn})")
+        max_burn_seen = max(max_burn_seen, max_burn)
+        worst = 0.0
+        for k, ten in enumerate(s.get("tenants", [])):
+            w = f"{where}.tenants[{k}]"
+            name = ten.get("tenant")
+            if not isinstance(name, str) or not name:
+                fail(f"{path}: {w} tenant must be a non-empty string")
+            tenants.add(name)
+            finished = ten.get("finished")
+            if isinstance(finished, bool) or not isinstance(finished, int) \
+                    or finished < prev_finished.get(name, 0):
+                fail(f"{path}: {w} finished count ran backwards")
+            prev_finished[name] = finished
+            wf = ten.get("window_finished")
+            if isinstance(wf, bool) or not isinstance(wf, int) or wf < 0 \
+                    or wf > finished:
+                fail(f"{path}: {w} window_finished outside [0, finished]")
+            att = _finite_num(path, w, ten, "attainment")
+            watt = _finite_num(path, w, ten, "window_attainment")
+            if not (0.0 <= att <= 1.0) or not (0.0 <= watt <= 1.0):
+                fail(f"{path}: {w} attainment outside [0, 1]")
+            burn = _finite_num(path, w, ten, "burn_rate")
+            want = (1.0 - watt) / budget
+            if abs(burn - want) > 1e-6 * max(1.0, want):
+                fail(f"{path}: {w} burn_rate {burn} inconsistent with "
+                     f"window_attainment (want {want})")
+            worst = max(worst, burn)
+            p50 = _finite_num(path, w, ten, "p50_s")
+            p99t = _finite_num(path, w, ten, "p99_s")
+            if p50 < 0 or p99t < 0 or p50 > p99t * (1 + 1e-9):
+                fail(f"{path}: {w} latency percentiles must satisfy "
+                     f"0 <= p50 <= p99 (got {p50}, {p99t})")
+        if worst > max_burn * (1 + 1e-9):
+            fail(f"{path}: {where} max_burn_rate {max_burn} below worst "
+                 f"tenant burn {worst}")
+    print(f"check_perf_json: {path}: OK ({len(snaps)} snapshots, "
+          f"{len(tenants)} tenants, worst burn {max_burn_seen:.2f}x)")
+
+
+def check_flight(path: str, doc: dict) -> None:
+    """swraman-flight-v1: postmortem ring dump — a reason, decoded ring
+    events with per-thread ordinals, and counter values with deltas since
+    the previous dump."""
+    if not isinstance(doc.get("reason"), str) or not doc["reason"]:
+        fail(f"{path}: reason must be a non-empty string")
+    seq = doc.get("dump_seq")
+    if isinstance(seq, bool) or not isinstance(seq, int) or seq < 1:
+        fail(f"{path}: dump_seq must be a positive integer")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        fail(f"{path}: events must be an array")
+    per_thread = {}
+    for i, e in enumerate(events):
+        where = f"events[{i}]"
+        for key in ("t_ns", "tid", "seq", "tag"):
+            if key not in e:
+                fail(f"{path}: {where} missing {key!r}")
+        if not isinstance(e["tag"], str) or not e["tag"]:
+            fail(f"{path}: {where} tag must be a non-empty string")
+        _finite_num(path, where, e, "a")
+        _finite_num(path, where, e, "b")
+        # Per-thread ordinals are unique: the seqlock may drop slots but
+        # must never duplicate one.
+        tid_seqs = per_thread.setdefault(e["tid"], set())
+        if e["seq"] in tid_seqs:
+            fail(f"{path}: {where} duplicate ring ordinal {e['seq']} for "
+                 f"tid {e['tid']}")
+        tid_seqs.add(e["seq"])
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{path}: counters must be an object")
+    for name, c in counters.items():
+        _finite_num(path, f"counters[{name!r}]", c, "value")
+        _finite_num(path, f"counters[{name!r}]", c, "delta")
+    print(f"check_perf_json: {path}: OK (flight dump "
+          f"{doc['reason']!r}, {len(events)} events, "
+          f"{len(counters)} counters)")
+
+
+def check_perf_histograms(path: str, hists: dict) -> None:
+    """Histogram summary audit: every exported histogram must have
+    ordered, finite percentiles bracketed by min/max, and a mean
+    consistent with count and sum (the edge cases the C++ side
+    regression-tests: empty -> all zero, single sample -> min == max)."""
+    for name, h in hists.items():
+        where = f"histograms[{name!r}]"
+        count = h.get("count")
+        if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+            fail(f"{path}: {where} count must be a non-negative integer")
+        for key in ("sum", "min", "max", "mean", "p50", "p95", "p99"):
+            _finite_num(path, where, h, key)
+        if count == 0:
+            if any(h[k] != 0 for k in ("sum", "min", "max", "mean",
+                                       "p50", "p95", "p99")):
+                fail(f"{path}: {where} empty histogram must report zeros")
+            continue
+        if h["min"] > h["max"]:
+            fail(f"{path}: {where} min exceeds max")
+        eps = 1e-9 * max(1.0, abs(h["max"]))
+        if not (h["min"] - eps <= h["p50"] <= h["p95"] <= h["p99"]
+                <= h["max"] + eps):
+            fail(f"{path}: {where} percentiles must satisfy "
+                 f"min <= p50 <= p95 <= p99 <= max (got {h['p50']}, "
+                 f"{h['p95']}, {h['p99']} in [{h['min']}, {h['max']}])")
+        if not (h["min"] - eps <= h["mean"] <= h["max"] + eps):
+            fail(f"{path}: {where} mean outside [min, max]")
+        if abs(h["mean"] * count - h["sum"]) > 1e-6 * max(1.0, abs(h["sum"])):
+            fail(f"{path}: {where} mean * count != sum")
+
+
 def check_perf(path: str) -> None:
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
 
-    if doc.get("schema") == "swraman-bench-v1":
+    schema = doc.get("schema")
+    if schema == "swraman-bench-v1":
         check_bench(path, doc)
         return
-    if doc.get("schema") != "swraman-perf-v1":
-        fail(f"{path}: schema is {doc.get('schema')!r}, expected "
-             f"'swraman-perf-v1' or 'swraman-bench-v1'")
+    if schema == "swraman-jobtrace-v1":
+        check_jobtrace(path, doc)
+        return
+    if schema == "swraman-health-v1":
+        check_health(path, doc)
+        return
+    if schema == "swraman-flight-v1":
+        check_flight(path, doc)
+        return
+    if schema != "swraman-perf-v1":
+        fail(f"{path}: schema is {schema!r}, expected one of "
+             f"'swraman-perf-v1', 'swraman-bench-v1', "
+             f"'swraman-jobtrace-v1', 'swraman-health-v1', "
+             f"'swraman-flight-v1'")
     if not isinstance(doc.get("total_wall_s"), (int, float)) or doc["total_wall_s"] <= 0:
         fail(f"{path}: total_wall_s must be a positive number")
     if not isinstance(doc.get("spans"), int) or doc["spans"] <= 0:
@@ -159,10 +405,12 @@ def check_perf(path: str) -> None:
     for group in ("counters", "gauges", "histograms"):
         if group not in metrics:
             fail(f"{path}: metrics missing {group!r}")
+    check_perf_histograms(path, metrics["histograms"])
 
     print(f"check_perf_json: {path}: OK "
           f"({len(phases)} phases, {doc['spans']} spans, "
-          f"{len(metrics['counters'])} counters)")
+          f"{len(metrics['counters'])} counters, "
+          f"{len(metrics['histograms'])} histograms audited)")
 
 
 def check_trace(path: str) -> None:

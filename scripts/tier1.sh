@@ -70,14 +70,35 @@ SWRAMAN_CHECK=1 ./build/bench/bench_serve_throughput \
 python3 scripts/check_perf_json.py "${SMOKE_DIR}/BENCH_serve.json"
 cp "${SMOKE_DIR}/BENCH_serve.json" BENCH_serve.json
 
+echo "== tier-1: hotspots pipeline (selftest + smoke report) =="
+# The ranking core is pinned by its checked-in fixture, then run over the
+# traced smoke report it will see in production (modeled allreduce cycles).
+python3 scripts/hotspots.py --selftest
+python3 scripts/hotspots.py "${SMOKE_DIR}/swraman_perf.json" --top 5
+python3 scripts/hotspots.py "${SMOKE_DIR}/swraman_perf.json" \
+  --json "${SMOKE_DIR}/hotspots.json" >/dev/null
+
 echo "== tier-1: serve chaos gate (kills + WAL replay, SWRAMAN_CHECK=1) =="
 # The chaos harness replays the short mixed-tenant trace through the
 # sharded tier twice (fault-free vs shard kills + torn WAL + remote-cache
 # timeouts) and exits non-zero unless every accepted job survives with a
-# bitwise-identical spectrum; the chaos record is validated and kept.
+# bitwise-identical spectrum. The same run drives the observability plane
+# end to end: the bench itself gates on a jobtrace stitched across the
+# kill/replay boundary, a flight-recorder dump per injected kill, and a
+# non-zero SLO burn during the chaos window; the exported artifacts
+# (chaos record, jobtrace, health history, kill postmortem) are then
+# validated structurally here.
 (cd "${SMOKE_DIR}" && SWRAMAN_CHECK=1 ../../build/bench/bench_serve_chaos \
-  --short --json BENCH_chaos.json >/dev/null)
+  --short --json BENCH_chaos.json --jobtrace chaos_jobtrace.json \
+  --health chaos_health.json >/dev/null)
 python3 scripts/check_perf_json.py "${SMOKE_DIR}/BENCH_chaos.json"
+python3 scripts/check_perf_json.py "${SMOKE_DIR}/chaos_jobtrace.json"
+python3 scripts/check_perf_json.py "${SMOKE_DIR}/chaos_health.json"
+test -f "${SMOKE_DIR}/flight-serve.shard.kill.json" || {
+  echo "tier-1: FAIL: no flight-recorder dump for the injected shard kills"
+  exit 1
+}
+python3 scripts/check_perf_json.py "${SMOKE_DIR}/flight-serve.shard.kill.json"
 cp "${SMOKE_DIR}/BENCH_chaos.json" BENCH_chaos.json
 
 if [ "${SANITIZER}" != "none" ]; then

@@ -38,6 +38,13 @@ int thread_index() {
   return id;
 }
 
+// Per-thread context tag; function-local so first use from any thread
+// (including atexit-era logging) constructs it safely.
+std::string& thread_context_slot() {
+  thread_local std::string ctx;
+  return ctx;
+}
+
 bool parse_level(const char* s, Level& out) {
   if (std::strcmp(s, "debug") == 0) return out = Level::Debug, true;
   if (std::strcmp(s, "info") == 0) return out = Level::Info, true;
@@ -89,6 +96,19 @@ void set_rank(int rank) { g_rank.store(rank, std::memory_order_relaxed); }
 
 int rank() { return g_rank.load(std::memory_order_relaxed); }
 
+void set_thread_context(const std::string& ctx) {
+  thread_context_slot() = ctx;
+}
+
+const std::string& thread_context() { return thread_context_slot(); }
+
+ScopedContext::ScopedContext(const std::string& ctx)
+    : saved_(thread_context_slot()) {
+  thread_context_slot() = ctx;
+}
+
+ScopedContext::~ScopedContext() { thread_context_slot() = saved_; }
+
 std::string timestamp_utc_now() {
   const auto now = std::chrono::system_clock::now();
   const std::time_t secs = std::chrono::system_clock::to_time_t(now);
@@ -116,6 +136,12 @@ void write(Level lvl, const std::string& message) {
   if (r >= 0) {
     head += "[r" + std::to_string(r) + "/t" +
             std::to_string(thread_index()) + "] ";
+  }
+  const std::string& ctx = thread_context_slot();
+  if (!ctx.empty()) {
+    head += '[';
+    head += ctx;
+    head += "] ";
   }
   const std::scoped_lock lock(g_mutex);
   std::ostream& os = (lvl >= Level::Warn) ? std::cerr : std::cout;

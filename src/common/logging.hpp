@@ -34,6 +34,26 @@ bool timestamps();
 void set_rank(int rank);
 int rank();
 
+// Thread-context prefix "[s0/w1/g17]": a free-form per-thread tag naming
+// the shard / worker / job a line belongs to, so interleaved chaos-run
+// logs are grep-able per job. Empty (the default) disables the prefix.
+void set_thread_context(const std::string& ctx);
+const std::string& thread_context();
+
+// RAII: swaps the calling thread's context in, restores the previous one
+// on destruction. Workers push "s<shard>/w<worker>" for their lifetime
+// and nest "/g<gid>" around each task they execute.
+class ScopedContext {
+ public:
+  explicit ScopedContext(const std::string& ctx);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  std::string saved_;
+};
+
 // Current UTC wall time formatted as ISO-8601 with millisecond precision
 // ("2026-08-07T12:34:56.789Z"). Exposed for tests and exporters.
 std::string timestamp_utc_now();

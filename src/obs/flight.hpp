@@ -1,0 +1,80 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Flight recorder (DESIGN.md S13). A fixed-size lock-free per-thread ring
+// of the most recent trace events, dumped — together with counter deltas
+// since the previous dump — the moment something goes wrong: a
+// CheckViolation, a fault site firing, a wedged WAL, or a shard kill.
+// The chaos harness gets postmortem forensics ("what were all threads
+// doing in the last N events before the kill") instead of just pass/fail.
+//
+// Concurrency model: each thread owns one ring and is its only writer;
+// records are published with a per-slot seqlock (seq odd while a write is
+// in flight, payload fields are relaxed atomics) so a dumping thread can
+// read every ring without locks and simply skips torn slots. Rings are
+// registered in a global list and leaked when their thread exits — the
+// tail of a dead worker's ring is exactly what a postmortem wants.
+//
+// Disabled cost: flight::record() gates on one relaxed atomic load.
+// Enable programmatically (set_enabled) or with SWRAMAN_FLIGHT=1; dumps
+// go to SWRAMAN_FLIGHT_DIR (default ".") as flight-<reason>.json
+// ("swraman-flight-v1"), one file per distinct reason, overwritten on
+// repeat so a fault site firing thousands of times keeps the latest
+// context without unbounded files.
+
+namespace swraman::obs::flight {
+
+namespace detail {
+extern std::atomic<bool> g_flight_enabled;
+}  // namespace detail
+
+// Hot-path gate: one relaxed load.
+inline bool enabled() {
+  return detail::g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on);
+
+// Slots per thread ring (power of two).
+inline constexpr std::size_t kRingSlots = 512;
+// Tag bytes kept per event (longer tags are truncated).
+inline constexpr std::size_t kTagBytes = 24;
+
+// One decoded ring event (dump/readback form).
+struct Event {
+  std::uint64_t t_ns = 0;   // obs::now_ns() timebase
+  std::uint32_t tid = 0;    // obs::thread_id() of the recording thread
+  std::uint64_t seq = 0;    // per-thread record ordinal
+  std::string tag;          // e.g. "wal.append", "fault.serve.shard.kill"
+  double a = 0.0;           // two free payload values (gid, shard, ...)
+  double b = 0.0;
+};
+
+// Record an event into the calling thread's ring (no-op when disabled).
+void record(const char* tag, double a = 0.0, double b = 0.0);
+
+// Snapshot of every ring's stable slots, oldest first (tests/exporters).
+std::vector<Event> snapshot();
+
+// Dump the rings + counter deltas since the previous dump to
+// "<dir>/flight-<sanitized reason>.json"; returns the path ("" when
+// disabled or the write failed). Thread-safe; serialized internally.
+std::string dump(const std::string& reason);
+
+// Where dumps go (overrides SWRAMAN_FLIGHT_DIR; "" = current directory).
+void set_dump_dir(const std::string& dir);
+
+// Total dumps written since process start / the last reset.
+std::uint64_t dump_count();
+// Path of the most recent dump ("" if none yet).
+std::string last_dump_path();
+
+// Clears rings' visible contents, dump bookkeeping, and the delta
+// baseline (tests).
+void reset_for_testing();
+
+}  // namespace swraman::obs::flight

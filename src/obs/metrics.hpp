@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -48,15 +49,31 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
-// Summary histogram: count / sum / min / max (enough to export mean and
-// extremes of residuals and payload sizes without binning policy).
+// Summary histogram: count / sum / min / max plus fixed log-spaced
+// buckets so quantiles and threshold counts (SLO attainment) can be
+// estimated without a per-histogram binning policy. Buckets span
+// [1e-6, ~3.16e4) with six per decade (~±20% quantile resolution —
+// plenty for latencies and durations); values at or below the bottom
+// land in bucket 0, values past the top land in the saturation bucket.
+//
+// Quantile edge semantics (regression-tested in tests/obs):
+//   * empty histogram        -> quantile() == 0, count_below() == 0
+//   * single sample          -> quantile(q) == that sample for every q
+//   * q <= 0 / q >= 1        -> exact min / exact max
+//   * saturated top bucket   -> clamped to the exact max (never +inf)
+// Interpolated results are always clamped into [min, max].
 class Histogram {
  public:
+  // Bucket 0..kBuckets-2 are finite log-spaced bins; the last bucket
+  // absorbs everything past the top bound (saturation).
+  static constexpr std::size_t kBuckets = 64;
+
   struct Snapshot {
     std::uint64_t count = 0;
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
     [[nodiscard]] double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
@@ -65,10 +82,25 @@ class Histogram {
   void observe(double v);
   [[nodiscard]] Snapshot snapshot() const;
 
+  // Inclusive upper bound of bucket i (the last bucket reports the top
+  // finite bound; saturated samples are clamped to max on readout).
+  static double bucket_upper(std::size_t i);
+  // Bucket index a value lands in.
+  static std::size_t bucket_index(double v);
+
+  // Convenience wrappers over the free functions below.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::uint64_t count_below(double x) const;
+
  private:
   mutable std::mutex mutex_;
   Snapshot s_;
 };
+
+// Estimated q-quantile of a snapshot (see edge semantics above).
+double quantile(const Histogram::Snapshot& s, double q);
+// Estimated number of samples <= x (0 for x < min, count for x >= max).
+std::uint64_t count_below(const Histogram::Snapshot& s, double x);
 
 class Registry {
  public:

@@ -1,8 +1,13 @@
 #pragma once
 
-// Umbrella header for the observability subsystem (DESIGN.md S8):
-// hierarchical span tracing, metrics, and report exporters.
+// Umbrella header for the observability subsystem (DESIGN.md S8, S13):
+// hierarchical span tracing, metrics, report exporters, and the
+// distributed observability plane (cross-shard job tracing, the flight
+// recorder, and the live SLO monitor).
 
+#include "obs/flight.hpp"
+#include "obs/jobtrace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"

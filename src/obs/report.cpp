@@ -12,8 +12,6 @@
 
 namespace swraman::obs {
 
-namespace {
-
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -51,7 +49,8 @@ std::string json_num(double v) {
   return buf;
 }
 
-void append_attrs_json(std::string& out, const std::vector<Attr>& attrs) {
+std::string attrs_json(const std::vector<Attr>& attrs) {
+  std::string out;
   out += '{';
   bool first = true;
   for (const Attr& a : attrs) {
@@ -69,9 +68,8 @@ void append_attrs_json(std::string& out, const std::vector<Attr>& attrs) {
     }
   }
   out += '}';
+  return out;
 }
-
-}  // namespace
 
 std::vector<PhaseNode> aggregate_phases(
     const std::vector<SpanRecord>& spans) {
@@ -165,7 +163,7 @@ std::string chrome_trace_json(const std::vector<SpanRecord>& spans) {
     std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%u,\"args\":",
                   s.tid);
     out += buf;
-    append_attrs_json(out, s.attrs);
+    out += attrs_json(s.attrs);
     out += '}';
   }
   out += "]}\n";
@@ -245,6 +243,12 @@ std::string perf_report_json(const std::vector<SpanRecord>& spans,
     out += json_num(h.max);
     out += ", \"mean\": ";
     out += json_num(h.mean());
+    out += ", \"p50\": ";
+    out += json_num(quantile(h, 0.50));
+    out += ", \"p95\": ";
+    out += json_num(quantile(h, 0.95));
+    out += ", \"p99\": ";
+    out += json_num(quantile(h, 0.99));
     out += '}';
   }
   out += "}\n  }\n}\n";

@@ -55,6 +55,13 @@ std::string phase_tree_text(const std::vector<PhaseNode>& phases);
 // Prints the current phase tree through log::info (one line per node).
 void log_phase_tree();
 
+// JSON emission helpers shared by the exporters (perf report, jobtrace,
+// flight dumps, health snapshots): escape a string body, format a finite
+// number (non-finite values emit 0), and render an attr list as an object.
+std::string json_escape(const std::string& s);
+std::string json_num(double v);
+std::string attrs_json(const std::vector<Attr>& attrs);
+
 // Writes `content` to `path`; false (with a log::warn) on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);
 

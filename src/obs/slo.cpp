@@ -1,0 +1,155 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace swraman::obs {
+
+namespace {
+
+constexpr const char kLatencyPrefix[] = "serve.latency.";
+constexpr const char kQueuePrefix[] = "serve.queue.depth";
+constexpr const char kRatioPrefix[] = "serve.cache.hit_ratio";
+constexpr const char kFsyncHist[] = "serve.wal.fsync_s";
+
+bool has_prefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(SloOptions opts) : opts_(opts) {
+  if (opts_.objective >= 1.0) opts_.objective = 0.999;
+  if (opts_.objective < 0.0) opts_.objective = 0.0;
+}
+
+HealthSnapshot SloMonitor::compute_locked() {
+  Registry& reg = Registry::instance();
+  HealthSnapshot snap;
+  snap.t_ns = now_ns();
+
+  for (const auto& [name, v] : reg.gauge_values()) {
+    if (has_prefix(name, kQueuePrefix)) snap.queue_depth += v;
+  }
+  double ratio_sum = 0.0;
+  std::size_t ratio_n = 0;
+  for (const auto& [name, v] : reg.gauge_values()) {
+    if (has_prefix(name, kRatioPrefix)) {
+      ratio_sum += v;
+      ++ratio_n;
+    }
+  }
+  snap.cache_hit_ratio = ratio_n == 0 ? 0.0 : ratio_sum / ratio_n;
+
+  const auto hists = reg.histogram_values();
+  if (const auto it = hists.find(kFsyncHist); it != hists.end()) {
+    snap.wal_fsync_p99_s = quantile(it->second, 0.99);
+    snap.wal_fsync_max_s = it->second.max;
+  }
+
+  // The full-budget burn rate: window attainment 0 burns the budget this
+  // many times faster than the objective allows.
+  const double budget = std::max(1.0 - opts_.objective, 1e-9);
+  for (const auto& [name, h] : hists) {
+    if (!has_prefix(name, kLatencyPrefix)) continue;
+    TenantHealth t;
+    t.tenant = name.substr(sizeof(kLatencyPrefix) - 1);
+    t.finished = h.count;
+    const std::uint64_t below = count_below(h, opts_.latency_slo_s);
+    t.attainment =
+        h.count == 0 ? 1.0
+                     : static_cast<double>(below) /
+                           static_cast<double>(h.count);
+    auto& prev = prev_[name];
+    const std::uint64_t d_count = h.count - std::min(h.count, prev.first);
+    const std::uint64_t d_below = below - std::min(below, prev.second);
+    t.window_finished = d_count;
+    t.window_attainment =
+        d_count == 0 ? 1.0
+                     : static_cast<double>(std::min(d_below, d_count)) /
+                           static_cast<double>(d_count);
+    t.burn_rate = (1.0 - t.window_attainment) / budget;
+    t.p50_s = quantile(h, 0.50);
+    t.p99_s = quantile(h, 0.99);
+    prev = {h.count, below};
+    snap.max_burn_rate = std::max(snap.max_burn_rate, t.burn_rate);
+    snap.tenants.push_back(std::move(t));
+  }
+  return snap;
+}
+
+HealthSnapshot SloMonitor::tick() {
+  const std::scoped_lock lock(mutex_);
+  HealthSnapshot snap = compute_locked();
+  last_tick_ns_ = snap.t_ns;
+  ever_ticked_ = true;
+  // Hint ramps linearly from 0 (no burn) to 1 at the full-budget burn.
+  const double full_burn = 1.0 / std::max(1.0 - opts_.objective, 1e-9);
+  hint_.store(std::clamp(snap.max_burn_rate / full_burn, 0.0, 1.0),
+              std::memory_order_relaxed);
+  if (history_.size() >= opts_.max_snapshots) {
+    history_.erase(history_.begin());
+  }
+  history_.push_back(snap);
+  return snap;
+}
+
+void SloMonitor::maybe_tick() {
+  {
+    const std::scoped_lock lock(mutex_);
+    const std::uint64_t now = now_ns();
+    const auto period_ns =
+        static_cast<std::uint64_t>(opts_.min_period_s * 1e9);
+    if (ever_ticked_ && now - last_tick_ns_ < period_ns) return;
+  }
+  tick();
+}
+
+std::vector<HealthSnapshot> SloMonitor::history() const {
+  const std::scoped_lock lock(mutex_);
+  return history_;
+}
+
+std::string SloMonitor::export_json() const {
+  const std::vector<HealthSnapshot> hist = history();
+  std::string out;
+  out.reserve(hist.size() * 256 + 512);
+  out += "{\n  \"schema\": \"swraman-health-v1\",\n";
+  out += "  \"generated\": \"" + json_escape(log::timestamp_utc_now()) +
+         "\",\n";
+  out += "  \"latency_slo_s\": " + json_num(opts_.latency_slo_s) + ",\n";
+  out += "  \"objective\": " + json_num(opts_.objective) + ",\n";
+  out += "  \"snapshots\": [\n";
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    const HealthSnapshot& s = hist[i];
+    out += "    {\"t_ns\": " + std::to_string(s.t_ns) +
+           ", \"queue_depth\": " + json_num(s.queue_depth) +
+           ", \"cache_hit_ratio\": " + json_num(s.cache_hit_ratio) +
+           ", \"wal_fsync_p99_s\": " + json_num(s.wal_fsync_p99_s) +
+           ", \"wal_fsync_max_s\": " + json_num(s.wal_fsync_max_s) +
+           ", \"max_burn_rate\": " + json_num(s.max_burn_rate) +
+           ", \"tenants\": [";
+    for (std::size_t j = 0; j < s.tenants.size(); ++j) {
+      const TenantHealth& t = s.tenants[j];
+      if (j != 0) out += ", ";
+      out += "{\"tenant\": \"" + json_escape(t.tenant) +
+             "\", \"finished\": " + std::to_string(t.finished) +
+             ", \"window_finished\": " + std::to_string(t.window_finished) +
+             ", \"attainment\": " + json_num(t.attainment) +
+             ", \"window_attainment\": " + json_num(t.window_attainment) +
+             ", \"burn_rate\": " + json_num(t.burn_rate) +
+             ", \"p50_s\": " + json_num(t.p50_s) +
+             ", \"p99_s\": " + json_num(t.p99_s) + '}';
+    }
+    out += "]}";
+    out += (i + 1 < hist.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace swraman::obs

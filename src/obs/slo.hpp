@@ -1,0 +1,107 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+// Live health / SLO monitor (DESIGN.md S13). A periodic snapshotter that
+// computes, purely from the existing metrics registries, the health view
+// an operator (or the admission controller) needs during a chaos event:
+//
+//   * per-tenant latency SLO attainment — the fraction of each tenant's
+//     "serve.latency.<tenant>" observations at or under the latency SLO —
+//     both cumulative and over the window since the previous snapshot;
+//   * per-tenant burn rate — (1 - window attainment) / (1 - objective):
+//     1.0 burns the error budget exactly at the objective rate, >1 burns
+//     faster (a shard kill shows up as a burn spike in the kill window);
+//   * queue depth (sum of "serve.queue.depth*" gauges), dedup-cache hit
+//     ratio (mean of "serve.cache.hit_ratio*" gauges), and WAL fsync lag
+//     (p99 / max of the "serve.wal.fsync_s" histogram).
+//
+// Snapshots accumulate in memory and export as one "swraman-health-v1"
+// JSON. There is deliberately no monitor thread — lint rule 4 confines
+// thread construction to the serve pool / comm runtime — instead the
+// serve tier drives maybe_tick() from its own submit/finish/recover
+// paths, throttled by min_period_s, so health keeps flowing exactly when
+// the system is under load.
+//
+// Backpressure: the newest snapshot's worst burn rate is folded into a
+// [0, 1] hint readable lock-free from any thread; admission control
+// stretches its retry_after_s hints by (1 + hint) so clients back off
+// harder while the error budget is burning.
+
+namespace swraman::obs {
+
+struct SloOptions {
+  double latency_slo_s = 0.5;   // per-job latency objective threshold
+  double objective = 0.95;      // target attainment (fraction within SLO)
+  double min_period_s = 0.02;   // maybe_tick() throttle
+  std::size_t max_snapshots = 4096;  // history cap (oldest dropped)
+};
+
+struct TenantHealth {
+  std::string tenant;
+  std::uint64_t finished = 0;        // cumulative latency observations
+  std::uint64_t window_finished = 0; // observations since last snapshot
+  double attainment = 1.0;           // cumulative fraction within SLO
+  double window_attainment = 1.0;    // fraction within SLO in the window
+  double burn_rate = 0.0;            // (1 - window attainment) / budget
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+};
+
+struct HealthSnapshot {
+  std::uint64_t t_ns = 0;      // monotonic time of the snapshot
+  double queue_depth = 0.0;    // summed serve.queue.depth* gauges
+  double cache_hit_ratio = 0.0;
+  double wal_fsync_p99_s = 0.0;
+  double wal_fsync_max_s = 0.0;
+  double max_burn_rate = 0.0;  // worst tenant burn in this snapshot
+  std::vector<TenantHealth> tenants;
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloOptions opts = {});
+
+  // Compute a snapshot now, append it to the history, refresh the
+  // backpressure hint, and return it.
+  HealthSnapshot tick();
+
+  // Throttled tick: no-op unless min_period_s elapsed since the last.
+  void maybe_tick();
+
+  // Lock-free backpressure hint in [0, 1]: 0 while attainment meets the
+  // objective, ramping to 1 as the worst tenant burn rate approaches the
+  // full-budget burn (burn >= 1/(1-objective) pegs it at 1).
+  [[nodiscard]] double backpressure_hint() const {
+    return hint_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::vector<HealthSnapshot> history() const;
+  [[nodiscard]] const SloOptions& options() const { return opts_; }
+
+  // "swraman-health-v1" JSON of the whole history.
+  [[nodiscard]] std::string export_json() const;
+
+ private:
+  HealthSnapshot compute_locked();
+
+  SloOptions opts_;
+  Timer clock_;
+  std::atomic<double> hint_{0.0};
+  mutable std::mutex mutex_;
+  std::uint64_t last_tick_ns_ = 0;
+  bool ever_ticked_ = false;
+  std::vector<HealthSnapshot> history_;
+  // Per-tenant {count, count-below-SLO} at the previous snapshot, for
+  // window attainment.
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> prev_;
+};
+
+}  // namespace swraman::obs

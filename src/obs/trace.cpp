@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/flight.hpp"
 #include "obs/report.hpp"
 
 namespace swraman::obs {
@@ -138,11 +139,15 @@ void ScopedSpan::attr(const char* key, const std::string& value) {
 }
 
 void instant(const char* name) {
+  // Instants are the flight recorder's bread and butter: faults, recovery
+  // decisions, kills. Feed the ring even when span tracing is off.
+  flight::record(name);
   if (!enabled()) return;
   commit(make_record(tls(), name, true));
 }
 
 void instant(const char* name, const char* key, double value) {
+  flight::record(name, value);
   if (!enabled()) return;
   SpanRecord rec = make_record(tls(), name, true);
   rec.attrs.push_back(Attr{key, true, value, {}});
@@ -150,6 +155,7 @@ void instant(const char* name, const char* key, double value) {
 }
 
 void instant(const char* name, const char* key, const std::string& value) {
+  flight::record(name);
   if (!enabled()) return;
   SpanRecord rec = make_record(tls(), name, true);
   rec.attrs.push_back(Attr{key, false, 0.0, value});

@@ -137,6 +137,10 @@ bool FaultInjector::should_fire(const std::string& site) {
     // obs never takes the fault mutex, so emitting under our lock is safe.
     obs::instant("fault.injected", "site", site);
     obs::count("fault.injected");
+    obs::flight::record(("fault." + site).c_str());
+    // One postmortem file per site, overwritten on repeat fires — the
+    // latest context survives without unbounded output.
+    obs::flight::dump("fault." + site);
   }
   return fire;
 }

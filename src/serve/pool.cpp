@@ -106,6 +106,10 @@ bool WorkerPool::die(std::size_t id, const TaskRef* pending) {
 }
 
 void WorkerPool::worker_loop(std::size_t id) {
+  log::set_thread_context(
+      (options_.log_prefix.empty() ? std::string()
+                                   : options_.log_prefix + "/") +
+      "w" + std::to_string(id));
   std::vector<TaskRef> batch;
   while (!stop_.load(std::memory_order_relaxed)) {
     TaskRef task;

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -42,6 +43,10 @@ class WorkerPool {
     bool steal = true;             // disable -> strict per-worker FIFO
     double pull_target_seconds = 0.05;  // refill batch size, modeled
     std::size_t pull_max_tasks = 64;
+    // Log-context prefix of the worker threads: worker i tags its log
+    // lines "<log_prefix>/w<i>" ("w<i>" when empty), so a shard's worker
+    // output is grep-able by shard and worker id.
+    std::string log_prefix;
   };
 
   // run: execute one task (must not throw — the service owns retries).

@@ -18,9 +18,10 @@ namespace {
 // one shard never collide in the mailbox.
 constexpr int kRequestTag = 0;
 
-// request  = [key bits, response tag]
+// request  = [key bits, response tag, trace gid bits, trace parent bits]
+//            (gid 0: untraced request)
 // response = [found, alpha[0..8], dipole[0..2]]  (found = 0: miss)
-constexpr std::size_t kRequestLen = 2;
+constexpr std::size_t kRequestLen = 4;
 constexpr std::size_t kResponseLen = 13;
 
 double key_bits(std::uint64_t key) { return std::bit_cast<double>(key); }
@@ -83,36 +84,53 @@ void RemoteCacheFabric::publish(std::size_t shard, std::uint64_t key,
 
 bool RemoteCacheFabric::lookup(std::size_t shard, std::size_t peer,
                                std::uint64_t key,
-                               raman::GeometryRecord* out) {
+                               raman::GeometryRecord* out,
+                               const obs::TraceContext& ctx) {
   SWRAMAN_REQUIRE(shard < nodes_.size() && peer < nodes_.size(),
                   "RemoteCacheFabric: shard out of range");
   SWRAMAN_REQUIRE(peer != shard, "RemoteCacheFabric: lookup on self");
   lookups_.fetch_add(1, std::memory_order_relaxed);
+  auto& jt = obs::JobTraceRegistry::instance();
+  const std::uint64_t lspan =
+      jt.begin(ctx, "remote.lookup", static_cast<int>(shard));
+  jt.attr(ctx.gid, lspan, "peer", static_cast<double>(peer));
   if (fault::should_fire(kFaultRemoteTimeout)) {
     timeouts_.fetch_add(1, std::memory_order_relaxed);
     obs::count("serve.cache.remote_timeouts");
     log::warn("fault ", kFaultRemoteTimeout, ": shard ", shard, " -> ",
               peer, " lookup dropped, falling back to local compute");
+    jt.attr(ctx.gid, lspan, "timeout", 1.0);
+    jt.end(ctx.gid, lspan);
     return false;
   }
   const int resp_tag = next_resp_tag_.fetch_add(1, std::memory_order_relaxed);
+  // The trace context travels in the request frame: the serving shard's
+  // side of this round trip lands on the same per-job timeline.
   comms_[shard].send(peer,
-                     {key_bits(key), static_cast<double>(resp_tag)},
+                     {key_bits(key), static_cast<double>(resp_tag),
+                      key_bits(ctx.gid),
+                      key_bits(lspan != 0 ? lspan : ctx.parent_span)},
                      kRequestTag);
   std::vector<double> resp;
   if (!comms_[shard].try_recv(peer, resp_tag, options_.lookup_timeout_s,
                               &resp)) {
     timeouts_.fetch_add(1, std::memory_order_relaxed);
     obs::count("serve.cache.remote_timeouts");
+    jt.attr(ctx.gid, lspan, "timeout", 1.0);
+    jt.end(ctx.gid, lspan);
     return false;
   }
   if (resp.size() != kResponseLen || resp[0] == 0.0) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    jt.attr(ctx.gid, lspan, "hit", 0.0);
+    jt.end(ctx.gid, lspan);
     return false;
   }
   for (std::size_t i = 0; i < 9; ++i) out->alpha[i] = resp[1 + i];
   for (std::size_t i = 0; i < 3; ++i) out->dipole[i] = resp[10 + i];
   hits_.fetch_add(1, std::memory_order_relaxed);
+  jt.attr(ctx.gid, lspan, "hit", 1.0);
+  jt.end(ctx.gid, lspan);
   return true;
 }
 
@@ -130,6 +148,7 @@ void RemoteCacheFabric::serve_loop(std::size_t shard) {
       if (req.size() != kRequestLen) continue;  // malformed: drop
       const std::uint64_t key = bits_key(req[0]);
       const int resp_tag = static_cast<int>(req[1]);
+      const obs::TraceContext req_ctx{bits_key(req[2]), bits_key(req[3])};
       std::vector<double> resp(1, 0.0);
       {
         const std::lock_guard<std::mutex> lock(node.mutex);
@@ -145,6 +164,12 @@ void RemoteCacheFabric::serve_loop(std::size_t shard) {
           }
         }
       }
+      // The serving shard's footprint on the requesting job's timeline —
+      // the cross-shard half of the jobtrace stitch.
+      auto& jt = obs::JobTraceRegistry::instance();
+      const std::uint64_t ev =
+          jt.event(req_ctx, "remote.serve", static_cast<int>(shard));
+      jt.attr(req_ctx.gid, ev, "hit", resp[0]);
       try {
         comms_[shard].send(src, resp, resp_tag);
         served_.fetch_add(1, std::memory_order_relaxed);

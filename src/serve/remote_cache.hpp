@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/jobtrace.hpp"
 #include "parallel/comm.hpp"
 #include "raman/checkpoint.hpp"
 
@@ -77,9 +78,13 @@ class RemoteCacheFabric {
 
   // Asks `peer` for `key` from `shard`'s endpoint; true + *out on a hit.
   // Misses, timeouts, dead peers and the injected timeout fault all
-  // return false — the caller computes locally.
+  // return false — the caller computes locally. `ctx` is the requesting
+  // job's trace context: it rides the request frame so the serving shard
+  // stamps a "remote.serve" event onto the same cross-shard timeline
+  // (the default inactive context traces nothing).
   bool lookup(std::size_t shard, std::size_t peer, std::uint64_t key,
-              raman::GeometryRecord* out);
+              raman::GeometryRecord* out,
+              const obs::TraceContext& ctx = {});
 
   [[nodiscard]] std::size_t n_shards() const { return nodes_.size(); }
   [[nodiscard]] Stats stats() const;

@@ -36,6 +36,10 @@ struct RamanService::JobState {
   JobResult result;
   double submit_time = 0.0;
   bool released = false;  // admission charge given back exactly once
+  // Cross-shard trace context of this job's spans (gid + the submit span
+  // they nest under). Written once at submit before the job is published;
+  // immutable afterwards, so worker threads read it off-lock.
+  obs::TraceContext trace;
 };
 
 RamanService::RamanService(ServiceOptions options)
@@ -43,11 +47,18 @@ RamanService::RamanService(ServiceOptions options)
       real_engine_(std::make_unique<RealEngine>()),
       modeled_engine_(std::make_unique<ModeledEngine>(options_.modeled)),
       scheduler_(options_.admission) {
+  const std::string suffix =
+      options_.shard_id >= 0 ? "." + std::to_string(options_.shard_id) : "";
+  queue_gauge_name_ = "serve.queue.depth" + suffix;
+  ratio_gauge_name_ = "serve.cache.hit_ratio" + suffix;
+  log_prefix_ =
+      options_.shard_id >= 0 ? "s" + std::to_string(options_.shard_id) : "";
   WorkerPool::Options pool_opts;
   pool_opts.n_workers = std::max<std::size_t>(1, options_.n_workers);
   pool_opts.steal = options_.work_stealing;
   pool_opts.pull_target_seconds = options_.pull_target_seconds;
   pool_opts.pull_max_tasks = options_.pull_max_tasks;
+  pool_opts.log_prefix = log_prefix_;
   pool_ = std::make_unique<WorkerPool>(
       pool_opts,
       [this](std::size_t worker, TaskRef ref) { execute(worker, ref); },
@@ -94,6 +105,16 @@ SubmitResult RamanService::submit(const JobSpec& spec,
     span.attr("modeled_seconds", est.total_seconds);
   }
 
+  // Cross-shard timeline: the submission nests under the router's
+  // route/replay span carried in by sub.trace (no-op outside the sharded
+  // tier, where the context is inactive).
+  auto& jt = obs::JobTraceRegistry::instance();
+  const std::uint64_t submit_span =
+      jt.begin(sub.trace, "submit", options_.shard_id);
+  jt.attr(sub.trace.gid, submit_span, "tenant", spec.client);
+  jt.attr(sub.trace.gid, submit_span, "tasks",
+          static_cast<double>(est.n_tasks));
+
   std::lock_guard<std::mutex> lock(mutex_);
   ++tallies_.jobs_submitted;
 
@@ -106,11 +127,17 @@ SubmitResult RamanService::submit(const JobSpec& spec,
     res.accepted = false;
     res.reason = decision.reason;
     // Retry-after hint: the modeled backlog divided over live workers is
-    // roughly when today's queue has drained.
+    // roughly when today's queue has drained; a burning error budget
+    // (the SLO monitor's backpressure hint) stretches it further.
     const double workers =
         static_cast<double>(std::max<std::size_t>(1, pool_->alive()));
     res.retry_after_s =
         (decision.outstanding_seconds + est.per_task_seconds) / workers;
+    if (options_.backpressure) {
+      res.retry_after_s *= 1.0 + options_.backpressure();
+    }
+    jt.attr(sub.trace.gid, submit_span, "rejected", decision.reason);
+    jt.end(sub.trace.gid, submit_span);
     log::warn("serve: rejected job '", spec.name, "' of tenant '",
               spec.client, "' (", decision.reason, "), retry after ",
               res.retry_after_s, " s");
@@ -126,6 +153,8 @@ SubmitResult RamanService::submit(const JobSpec& spec,
       options_.hooks.on_accept(sub.tag, spec);
     } catch (...) {
       scheduler_.release(est);
+      jt.attr(sub.trace.gid, submit_span, "aborted", "wal");
+      jt.end(sub.trace.gid, submit_span);
       throw;
     }
   }
@@ -137,6 +166,10 @@ SubmitResult RamanService::submit(const JobSpec& spec,
   JobState& job = *owned;
   job.id = id;
   job.tag = sub.tag;
+  // Task spans of this job nest under its submit span (falling back to
+  // the caller's parent when jobtrace was toggled mid-flight).
+  job.trace = sub.trace;
+  if (submit_span != 0) job.trace.parent_span = submit_span;
   job.spec = spec;
   job.est = est;
   job.settings_fp = settings_fingerprint(spec);
@@ -188,6 +221,10 @@ SubmitResult RamanService::submit(const JobSpec& spec,
 
   jobs_.emplace(id, std::move(owned));
 
+  std::size_t n_warm = 0;
+  std::size_t n_ckpt = 0;
+  std::size_t n_dedup_hits = 0;
+  std::size_t n_dedup_waits = 0;
   std::vector<std::size_t> pending_roots;
   for (std::size_t node_id : job.dag.roots()) {
     const TaskNode& node = job.dag.node(node_id);
@@ -204,10 +241,12 @@ SubmitResult RamanService::submit(const JobSpec& spec,
         if (const raman::GeometryRecord* rec =
                 job.checkpoint->lookup(node.coord, node.sign)) {
           warm_rec = rec;
+          ++n_ckpt;
           ++tallies_.checkpoint_hits;
           obs::count("serve.checkpoint.hits");
         }
       } else if (warm_rec != nullptr) {
+        ++n_warm;
         ++tallies_.warm_hits;
         obs::count("serve.warm.hits");
       }
@@ -238,6 +277,7 @@ SubmitResult RamanService::submit(const JobSpec& spec,
           dispatch_ready(kNoWorker, job, node_id);
           break;
         case DisplacementCache::Ref::Hit:
+          ++n_dedup_hits;
           job.dag.records[node_id] = rec;
           if (options_.hooks.on_task_durable) {
             options_.hooks.on_task_durable(job.tag, node.coord, node.sign,
@@ -246,6 +286,7 @@ SubmitResult RamanService::submit(const JobSpec& spec,
           complete_node(kNoWorker, job, node_id);
           break;
         case DisplacementCache::Ref::Wait:
+          ++n_dedup_waits;
           break;  // released when the owner completes
       }
     } else {
@@ -254,10 +295,37 @@ SubmitResult RamanService::submit(const JobSpec& spec,
   }
   pool_->notify();
 
+  if (submit_span != 0) {
+    if (n_warm != 0) {
+      jt.attr(job.trace.gid, submit_span, "warm_hits",
+              static_cast<double>(n_warm));
+    }
+    if (n_ckpt != 0) {
+      jt.attr(job.trace.gid, submit_span, "checkpoint_hits",
+              static_cast<double>(n_ckpt));
+    }
+    if (n_dedup_hits + n_dedup_waits != 0) {
+      const std::uint64_t ev =
+          jt.event(job.trace, "dedup", options_.shard_id);
+      jt.attr(job.trace.gid, ev, "hits",
+              static_cast<double>(n_dedup_hits));
+      jt.attr(job.trace.gid, ev, "waits",
+              static_cast<double>(n_dedup_waits));
+    }
+    jt.end(job.trace.gid, submit_span);
+  }
+  update_health_gauges_locked();
+
   SubmitResult res;
   res.accepted = true;
   res.job_id = id;
   return res;
+}
+
+void RamanService::update_health_gauges_locked() {
+  obs::gauge_set(queue_gauge_name_.c_str(),
+                 static_cast<double>(scheduler_.queued()));
+  obs::gauge_set(ratio_gauge_name_.c_str(), cache_.hit_ratio());
 }
 
 double RamanService::node_cost(const JobState& job, std::size_t node) const {
@@ -319,6 +387,12 @@ void RamanService::finish_job(JobState& job, JobStatus status,
   obs::observe(("serve.latency." + job.spec.client).c_str(),
                job.result.latency_s);
   obs::observe("serve.latency", job.result.latency_s);
+  auto& jt = obs::JobTraceRegistry::instance();
+  const std::uint64_t ev = jt.event(job.trace, "finish", options_.shard_id);
+  jt.attr(job.trace.gid, ev, "status",
+          std::string(job_status_name(status)));
+  jt.attr(job.trace.gid, ev, "latency_s", job.result.latency_s);
+  update_health_gauges_locked();
   if (options_.hooks.on_finish) {
     options_.hooks.on_finish(job.tag, job.result);
   }
@@ -394,6 +468,11 @@ void RamanService::execute(std::size_t worker, TaskRef ref) {
     job = it->second.get();
     node = job->dag.node(ref.node);
   }
+  // Log lines of this task carry "s<shard>/w<worker>/g<gid>" — one grep
+  // recovers everything a job touched across shards and workers.
+  const std::uint64_t gid = job->tag != 0 ? job->tag : ref.job;
+  const log::ScopedContext log_ctx(log::thread_context() + "/g" +
+                                   std::to_string(gid));
   SWRAMAN_TRACE_SPAN(span, "serve.task");
   if (span.active()) {
     span.attr("job", static_cast<double>(ref.job));
@@ -426,6 +505,15 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
   ctx.to_canonical = job.keys[node_id].to_canonical;
   ctx.cost_seconds = job.est.per_task_seconds;
 
+  // The job timeline's displacement span. Deliberately left open on the
+  // FaultInjected propagation path: an open span in the stitched timeline
+  // is the footprint of work cut down by a shard death.
+  auto& jt = obs::JobTraceRegistry::instance();
+  const std::uint64_t dspan =
+      jt.begin(job.trace, "displacement", options_.shard_id);
+  jt.attr(job.trace.gid, dspan, "coord", static_cast<double>(node.coord));
+  jt.attr(job.trace.gid, dspan, "sign", static_cast<double>(node.sign));
+
   // Cross-shard cache first (off-lock, bounded latency): a peer shard may
   // already own this canonical key. The hit arrives in the canonical
   // frame and is rotated back, exactly like a local dedup wait release —
@@ -435,17 +523,25 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
   bool remote_hit = false;
   if (options_.hooks.remote_lookup) {
     raman::GeometryRecord canonical;
-    if (options_.hooks.remote_lookup(job.keys[node_id].key, &canonical)) {
+    obs::TraceContext lookup_ctx = job.trace;
+    if (dspan != 0) lookup_ctx.parent_span = dspan;
+    if (options_.hooks.remote_lookup(job.keys[node_id].key, &canonical,
+                                     lookup_ctx)) {
       const AxisTransform from =
           inverse(job.keys[node_id].to_canonical);
       rec.alpha = apply_tensor(from, canonical.alpha);
       rec.dipole = apply_vector(from, canonical.dipole);
       remote_hit = true;
       obs::count("serve.cache.remote_hits");
+      jt.attr(job.trace.gid, dspan, "remote_hit", 1.0);
     }
   }
   if (!remote_hit) {
-    if (!evaluate_with_retry(job, ctx, &rec)) return;
+    if (!evaluate_with_retry(job, ctx, &rec)) {
+      jt.attr(job.trace.gid, dspan, "failed", 1.0);
+      jt.end(job.trace.gid, dspan);
+      return;
+    }
     obs::observe("serve.task.seconds", now_seconds() - t0);
     if (options_.hooks.publish) {
       raman::GeometryRecord canonical;
@@ -466,6 +562,7 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
   if (options_.hooks.on_task_durable) {
     options_.hooks.on_task_durable(job.tag, node.coord, node.sign, rec);
   }
+  jt.end(job.trace.gid, dspan);
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (job.status != JobStatus::Running) {
@@ -532,6 +629,11 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
         options_.hooks.on_task_durable(wjob.tag, wnode.coord, wnode.sign,
                                        waiter_records[i]);
       }
+      // The waiter's timeline shows where its deduped result came from.
+      const std::uint64_t rel =
+          jt.event(wjob.trace, "dedup.release", options_.shard_id);
+      jt.attr(wjob.trace.gid, rel, "owner_gid",
+              static_cast<double>(job.tag != 0 ? job.tag : job.id));
       complete_node(worker, wjob, waiters[i].node);
     }
   }
@@ -540,6 +642,9 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
 
 void RamanService::run_hessian(std::size_t worker, JobState& job,
                                std::size_t node_id) {
+  auto& jt = obs::JobTraceRegistry::instance();
+  const std::uint64_t hspan =
+      jt.begin(job.trace, "hessian", options_.shard_id);
   linalg::Matrix hess;
   try {
     if (fault::should_fire(kFaultTaskFail)) {
@@ -548,12 +653,15 @@ void RamanService::run_hessian(std::size_t worker, JobState& job,
     SWRAMAN_TRACE_SCOPE("serve.hessian");
     hess = raman::energy_hessian(job.spec.atoms, job.spec.options.vibrations);
   } catch (const FaultInjected&) {
-    throw;
+    throw;  // span stays open: the kill's footprint on the timeline
   } catch (const Error& e) {
+    jt.attr(job.trace.gid, hspan, "failed", 1.0);
+    jt.end(job.trace.gid, hspan);
     std::lock_guard<std::mutex> lock(mutex_);
     fail_job_locked(job.id, e.what());
     return;
   }
+  jt.end(job.trace.gid, hspan);
   std::lock_guard<std::mutex> lock(mutex_);
   if (job.status != JobStatus::Running) return;
   ++tallies_.tasks_executed;
@@ -585,6 +693,9 @@ void RamanService::run_row(std::size_t worker, JobState& job,
 
 void RamanService::run_assemble(std::size_t worker, JobState& job,
                                 std::size_t node_id) {
+  auto& jt = obs::JobTraceRegistry::instance();
+  const std::uint64_t aspan =
+      jt.begin(job.trace, "assemble", options_.shard_id);
   // Spectrum assembly happens outside the lock on copies: the inputs are
   // frozen (every dependency is done) and potentially expensive to
   // contract for large molecules.
@@ -610,11 +721,14 @@ void RamanService::run_assemble(std::size_t worker, JobState& job,
       // 5 cm^-1 Lorentzian on the paper's Fig. 19 plotting grid.
       broadened = raman::broaden(spectrum.modes, 5.0, 100.0, 4500.0, 2.0);
     } catch (const Error& e) {
+      jt.attr(job.trace.gid, aspan, "failed", 1.0);
+      jt.end(job.trace.gid, aspan);
       std::lock_guard<std::mutex> lock(mutex_);
       fail_job_locked(job.id, e.what());
       return;
     }
   }
+  jt.end(job.trace.gid, aspan);
   std::lock_guard<std::mutex> lock(mutex_);
   if (job.status != JobStatus::Running) return;
   job.result.spectrum = std::move(spectrum);

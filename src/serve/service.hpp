@@ -9,6 +9,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/jobtrace.hpp"
 #include "serve/cache.hpp"
 #include "serve/dag.hpp"
 #include "serve/engine.hpp"
@@ -58,8 +59,11 @@ struct ServiceHooks {
   // Cross-shard displacement cache: consulted (off-lock, worker threads)
   // before a local owner evaluation; fills the *canonical-frame* record
   // and returns true on a hit. Must bound its own latency (timeout
-  // fallback to local compute).
-  std::function<bool(std::uint64_t key, raman::GeometryRecord* canonical)>
+  // fallback to local compute). The job's trace context rides along so
+  // the serving shard can stamp its side of the round trip onto the same
+  // cross-shard timeline.
+  std::function<bool(std::uint64_t key, raman::GeometryRecord* canonical,
+                     const obs::TraceContext& ctx)>
       remote_lookup;
   // Publishes a locally computed canonical record for peer shards
   // (off-lock, worker threads; must not throw).
@@ -81,6 +85,10 @@ struct SubmitOptions {
   // but never reject — accepted work must survive a shard death even if
   // the survivor is momentarily over its admission budget.
   bool force_admit = false;
+  // Cross-shard trace context: which job timeline (gid) and which span
+  // (the router's route/replay span) this submission nests under. The
+  // default inactive context keeps plain submissions untraced.
+  obs::TraceContext trace;
 };
 
 struct ServiceOptions {
@@ -95,6 +103,13 @@ struct ServiceOptions {
   ModeledEngineOptions modeled;        // seed of the modeled engine
   double pull_target_seconds = 0.05;   // central-pull batch, modeled cost
   std::size_t pull_max_tasks = 64;
+  // Shard id stamped onto jobtrace spans and per-shard gauge/log names
+  // (-1: unsharded service — no suffix, tier-level spans).
+  int shard_id = -1;
+  // Live-health backpressure hint in [0, 1] (the SLO monitor's burn-rate
+  // signal); rejected submissions stretch retry_after_s by (1 + hint) so
+  // clients back off harder while the error budget is burning.
+  std::function<double()> backpressure;
   // Durability/remote-cache hooks of the sharded tier (all optional).
   ServiceHooks hooks;
 };
@@ -174,9 +189,18 @@ class RamanService {
   void finish_job(JobState& job, JobStatus status, const std::string& error);
   void fail_job_locked(std::uint64_t job_id, const std::string& error);
 
+  // Refresh the per-shard health gauges (queue depth, dedup hit ratio)
+  // the SLO monitor snapshots; requires mutex_ held.
+  void update_health_gauges_locked();
+
   ServiceOptions options_;
   std::unique_ptr<DisplacementEngine> real_engine_;
   std::unique_ptr<DisplacementEngine> modeled_engine_;
+  // Gauge/log names are shard-suffixed ("serve.queue.depth.s0"); built
+  // once so hot paths never concatenate.
+  std::string queue_gauge_name_;
+  std::string ratio_gauge_name_;
+  std::string log_prefix_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -21,11 +21,13 @@ double now_seconds() {
 }  // namespace
 
 ShardedRamanService::ShardedRamanService(ShardedOptions options)
-    : options_(std::move(options)), router_([this] {
+    : options_(std::move(options)),
+      router_([this] {
         RouterOptions r = options_.router;
         r.n_shards = options_.n_shards;
         return r;
-      }()) {
+      }()),
+      slo_(options_.slo) {
   SWRAMAN_REQUIRE(options_.n_shards >= 1,
                   "sharded: need at least one shard");
   SWRAMAN_REQUIRE(!options_.wal_dir.empty(), "sharded: empty WAL directory");
@@ -60,6 +62,9 @@ void ShardedRamanService::make_shard(std::size_t shard) {
   // Results flow tier-side through on_finish; the pool must run so warm
   // replays and failover submissions drain without an explicit start().
   so.start_paused = false;
+  so.shard_id = static_cast<int>(shard);
+  // Admission backs clients off harder while the error budget burns.
+  so.backpressure = [this] { return slo_.backpressure_hint(); };
   JobLog* logp = sh.log.get();  // outlives the service (teardown order)
   so.hooks.on_accept = [logp](std::uint64_t gid, const JobSpec& spec) {
     logp->append_job(gid, spec);
@@ -73,9 +78,16 @@ void ShardedRamanService::make_shard(std::size_t shard) {
                                     const JobResult& result) {
     // Terminal status durable before the waiter can observe it.
     logp->append_done(gid, result.status);
-    const std::lock_guard<std::mutex> lock(results_mutex_);
-    results_[gid] = result;
-    results_cv_.notify_all();
+    // The job's cross-shard timeline closes with its root span (id 1 by
+    // convention), however many incarnations it took to get here.
+    obs::JobTraceRegistry::instance().end(gid, 1);
+    {
+      const std::lock_guard<std::mutex> lock(results_mutex_);
+      results_[gid] = result;
+      results_cv_.notify_all();
+    }
+    // Finishes move tenant latency histograms — refresh the health view.
+    slo_.maybe_tick();
   };
   if (fabric_ != nullptr) {
     so.hooks.publish = [this, shard](std::uint64_t key,
@@ -83,7 +95,8 @@ void ShardedRamanService::make_shard(std::size_t shard) {
       fabric_->publish(shard, key, rec);
     };
     so.hooks.remote_lookup = [this, shard](std::uint64_t key,
-                                           raman::GeometryRecord* out) {
+                                           raman::GeometryRecord* out,
+                                           const obs::TraceContext& ctx) {
       // Engages only once some shard has died: before that every key is
       // home and a remote probe could only miss. Peer pick is the highest
       // rendezvous score among running fabric nodes — after a failover
@@ -102,7 +115,7 @@ void ShardedRamanService::make_shard(std::size_t shard) {
         }
       }
       if (best == ShardRouter::kNoShard) return false;
-      return fabric_->lookup(shard, best, key, out);
+      return fabric_->lookup(shard, best, key, out, ctx);
     };
   }
   sh.service = std::make_unique<RamanService>(std::move(so));
@@ -124,6 +137,9 @@ void ShardedRamanService::kill_locked(std::size_t shard) {
   ++kills_;
   obs::count("serve.shard.kills");
   obs::instant("serve.shard.killed", "shard", static_cast<double>(shard));
+  // Postmortem forensics: what every thread was doing in its last moments
+  // before the kill (the instant above put the kill itself in the rings).
+  obs::flight::dump("serve.shard.kill");
   router_.mark_dead(shard);
 }
 
@@ -153,8 +169,17 @@ bool ShardedRamanService::try_submit_locked(std::size_t shard,
 
 SubmitResult ShardedRamanService::submit(const JobSpec& spec) {
   SWRAMAN_TRACE_SPAN(span, "serve.router.submit");
+  slo_.maybe_tick();
   const std::lock_guard<std::mutex> lock(shards_mutex_);
   ++submitted_;
+  // Optimistic job timeline for the gid this submission gets on
+  // acceptance; a terminal rejection drops it again so the reused gid
+  // starts clean.
+  auto& jt = obs::JobTraceRegistry::instance();
+  const obs::TraceContext root_ctx = jt.root(next_gid_, "job");
+  const std::uint64_t route_span = jt.begin(root_ctx, "route");
+  obs::TraceContext trace = root_ctx;
+  if (route_span != 0) trace.parent_span = route_span;
   const std::uint64_t key = ShardRouter::job_key(spec);
   // Injected crash: the routed-to shard dies before the submission
   // reaches it — kill plus failover exercised in one call.
@@ -162,6 +187,8 @@ SubmitResult ShardedRamanService::submit(const JobSpec& spec) {
     const std::size_t victim = router_.route(key);
     if (victim != ShardRouter::kNoShard) {
       log::warn("fault ", kFaultShardKill, ": killing shard ", victim);
+      const std::uint64_t ev = jt.event(trace, "shard.kill");
+      jt.attr(root_ctx.gid, ev, "victim", static_cast<double>(victim));
       kill_locked(victim);
     }
   }
@@ -179,6 +206,8 @@ SubmitResult ShardedRamanService::submit(const JobSpec& spec) {
       // probe, not 0.0 — repeated rejections back clients off.
       res.retry_after_s = router_.retry_after_hint(home);
       if (span.active()) span.attr("rejected", 1.0);
+      jt.end(root_ctx.gid, route_span);
+      jt.drop_job(root_ctx.gid);
       return res;
     }
     failed_over = failed_over || s != home;
@@ -190,6 +219,7 @@ SubmitResult ShardedRamanService::submit(const JobSpec& spec) {
     }
     SubmitOptions sub;
     sub.tag = next_gid_;
+    sub.trace = trace;
     SubmitResult res;
     if (!try_submit_locked(s, spec, sub, &res)) continue;
     if (res.accepted) {
@@ -205,11 +235,19 @@ SubmitResult ShardedRamanService::submit(const JobSpec& spec) {
       }
       res.job_id = gid;
       if (span.active()) span.attr("shard", static_cast<double>(s));
+      jt.attr(gid, route_span, "shard", static_cast<double>(s));
+      if (failed_over) jt.attr(gid, route_span, "failover", 1.0);
+      jt.end(gid, route_span);
+      // Best-effort durable pointer from WAL to timeline: replay re-
+      // attaches the recovered incarnation's spans to this root.
+      if (root_ctx.gid != 0) sh.log->append_trace(gid, 1);
     } else {
       // Admission backpressure from a healthy shard: not a failover case
       // (the key's owner said "later"), the hint already carries its
       // backlog estimate.
       ++rejected_;
+      jt.end(root_ctx.gid, route_span);
+      jt.drop_job(root_ctx.gid);
     }
     return res;
   }
@@ -242,18 +280,35 @@ void ShardedRamanService::recover_shard(std::size_t shard) {
   // memory is gone. Everything acknowledged is in the durable prefix.
   const WalReplay rep = JobLog::replay(wal_path(shard));
   make_shard(shard);
+  auto& jt = obs::JobTraceRegistry::instance();
   std::size_t resubmitted = 0;
   for (const LoggedJob& j : rep.jobs) {
     {
       const std::lock_guard<std::mutex> rlock(results_mutex_);
       if (results_.count(j.gid) != 0) continue;  // delivered before death
     }
+    // Stitch the new incarnation onto the job's pre-crash timeline: the
+    // WAL's trace record names the root to re-attach to, and the replay
+    // span bumps the incarnation so both sides of the kill stay visible.
+    const obs::TraceContext rctx =
+        jt.restore_root(j.gid, j.trace_root, "job");
+    obs::TraceContext trace = rctx;
+    const std::uint64_t replay_span =
+        jt.begin(rctx, "replay", static_cast<int>(shard));
+    jt.attr(j.gid, replay_span, "warm_tasks",
+            static_cast<double>(j.tasks.size()));
+    if (replay_span != 0) trace.parent_span = replay_span;
     SubmitOptions sub;
     sub.tag = j.gid;
     sub.warm = &j.tasks;
     sub.force_admit = true;  // acknowledged work is never re-rejected
+    sub.trace = trace;
     const SubmitResult res = shards_[shard].service->submit(j.spec, sub);
     SWRAMAN_REQUIRE(res.accepted, "sharded: replay resubmission rejected");
+    jt.end(j.gid, replay_span);
+    // Replay-of-replay safety: the fresh incarnation's log carries the
+    // trace pointer too.
+    if (rctx.gid != 0) shards_[shard].log->append_trace(j.gid, 1);
     ++replayed_jobs_;
     replayed_tasks_ += j.tasks.size();
     ++resubmitted;
@@ -264,6 +319,7 @@ void ShardedRamanService::recover_shard(std::size_t shard) {
   failover_latencies_s_.push_back(latency);
   obs::observe("serve.router.failover_s", latency);
   obs::count("serve.shard.recoveries");
+  slo_.maybe_tick();
   if (span.active()) {
     span.attr("shard", static_cast<double>(shard));
     span.attr("replayed_jobs", static_cast<double>(resubmitted));

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/slo.hpp"
 #include "serve/remote_cache.hpp"
 #include "serve/router.hpp"
 #include "serve/service.hpp"
@@ -62,6 +63,10 @@ struct ShardedOptions {
   // and a remote probe could only miss).
   bool remote_cache = true;
   double remote_lookup_timeout_s = 0.05;
+  // Live health/SLO monitor: tier submit/finish/recover paths drive its
+  // throttled ticks, and its backpressure hint stretches the shards'
+  // retry_after_s while the error budget burns.
+  obs::SloOptions slo;
 };
 
 struct ShardedStats {
@@ -119,6 +124,11 @@ class ShardedRamanService {
   [[nodiscard]] ShardedStats stats() const;
   [[nodiscard]] RemoteCacheFabric::Stats cache_stats() const;
 
+  // The tier's live health monitor (snapshots, burn rates, backpressure
+  // hint, swraman-health-v1 export).
+  [[nodiscard]] obs::SloMonitor& slo() { return slo_; }
+  [[nodiscard]] const obs::SloMonitor& slo() const { return slo_; }
+
  private:
   struct Shard {
     std::unique_ptr<JobLog> log;        // outlives service (hooks append)
@@ -135,6 +145,7 @@ class ShardedRamanService {
 
   ShardedOptions options_;
   ShardRouter router_;
+  obs::SloMonitor slo_;  // internally synchronized; ticked off-lock too
   std::unique_ptr<RemoteCacheFabric> fabric_;
 
   // Lock order: shards_mutex_ -> (per-shard service mutex) ->

@@ -216,13 +216,16 @@ bool JobLog::append_line(const std::string& body) {
     obs::instant("serve.wal.torn_write", "bytes",
                  static_cast<double>(torn));
     log::warn("wal: injected torn write on ", path_, " — log wedged");
+    obs::flight::dump("wal.wedged");
     return false;
   }
+  const std::uint64_t t0 = obs::now_ns();
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
       std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
     wedged_ = true;
     obs::count("serve.wal.write_errors");
     log::warn("wal: write to ", path_, " failed — log wedged");
+    obs::flight::dump("wal.wedged");
     return false;
   }
   ++records_;
@@ -230,6 +233,9 @@ bool JobLog::append_line(const std::string& body) {
   ++fsyncs_;
   obs::count("serve.wal.appends");
   obs::count("serve.wal.bytes", static_cast<double>(line.size()));
+  // Fsync lag feeds the SLO monitor's wal_fsync_p99_s.
+  obs::observe("serve.wal.fsync_s",
+               static_cast<double>(obs::now_ns() - t0) * 1e-9);
   return true;
 }
 
@@ -257,6 +263,12 @@ void JobLog::append_task(std::uint64_t gid, std::size_t coord, int sign,
 void JobLog::append_done(std::uint64_t gid, JobStatus status) {
   std::ostringstream body;
   body << "done " << gid << " " << job_status_name(status);
+  append_line(body.str());
+}
+
+void JobLog::append_trace(std::uint64_t gid, std::uint64_t root_span) {
+  std::ostringstream body;
+  body << "trace " << gid << " " << root_span;
   append_line(body.str());
 }
 
@@ -342,6 +354,11 @@ WalReplay JobLog::replay(const std::string& path) {
                                                   ? JobStatus::Completed
                                                   : JobStatus::Failed;
         }
+      } else if (ok && kind == "trace") {
+        std::uint64_t root_span = 0;
+        const auto it = index.find(gid);
+        ok = static_cast<bool>(rec >> root_span) && it != index.end();
+        if (ok) out.jobs[it->second].trace_root = root_span;
       } else {
         ok = false;
       }

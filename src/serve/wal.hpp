@@ -15,11 +15,14 @@
 // serve-tier transition is appended — and fsync'd — *before* it is
 // acknowledged:
 //
-//   job  <gid> <spec...>          accepted submission (before the ack)
-//   task <gid> <coord> <sign> ..  displacement result, durable before the
+//   job   <gid> <spec...>         accepted submission (before the ack)
+//   task  <gid> <coord> <sign> .. displacement result, durable before the
 //                                 DAG sees the completion (the checkpoint
 //                                 ordering of service.cpp, now shard-wide)
-//   done <gid> <completed|failed> terminal job status
+//   done  <gid> <completed|failed> terminal job status
+//   trace <gid> <root-span-id>    jobtrace root of the accepted job, so a
+//                                 recovered shard re-attaches its replay
+//                                 spans to the same cross-shard timeline
 //
 // File format (text, one record per line, same %.17g round-trip contract
 // as raman::Checkpoint):
@@ -55,6 +58,8 @@ struct LoggedJob {
   std::map<std::pair<std::size_t, int>, raman::GeometryRecord> tasks;
   bool finished = false;
   JobStatus final_status = JobStatus::Queued;
+  // Jobtrace root span id from a "trace" record (0: job was not traced).
+  std::uint64_t trace_root = 0;
 };
 
 struct WalReplay {
@@ -105,6 +110,11 @@ class JobLog {
 
   // Terminal status append; never throws (same contract as append_task).
   void append_done(std::uint64_t gid, JobStatus status);
+
+  // Jobtrace root of an accepted job; never throws. Best-effort — losing
+  // it only costs the stitched timeline a fresh root on replay, never
+  // durability.
+  void append_trace(std::uint64_t gid, std::uint64_t root_span);
 
   [[nodiscard]] std::uint64_t records() const {
     std::lock_guard<std::mutex> lock(mutex_);

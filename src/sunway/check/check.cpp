@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -89,7 +90,11 @@ std::string record_violation(const char* rule, const std::string& context) {
 }  // namespace
 
 void report(const char* rule, const std::string& context) {
-  throw CheckViolation(rule, record_violation(rule, context));
+  const std::string what = record_violation(rule, context);
+  // A throwing violation is a crash-grade event: dump the flight rings
+  // before unwinding so the postmortem shows what led up to it.
+  obs::flight::dump("check.violation");
+  throw CheckViolation(rule, what);
 }
 
 void note(const char* rule, const std::string& context) {

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+
+namespace swraman::obs {
+namespace {
+
+class SloTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    Registry::instance().reset_for_testing();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::instance().reset_for_testing();
+  }
+};
+
+SloOptions fast_opts() {
+  SloOptions opts;
+  opts.latency_slo_s = 0.1;
+  opts.objective = 0.9;
+  opts.min_period_s = 0.0;  // every maybe_tick snapshots
+  return opts;
+}
+
+TEST_F(SloTest, EmptyRegistrySnapshotsCleanHealth) {
+  SloMonitor mon(fast_opts());
+  const HealthSnapshot snap = mon.tick();
+  EXPECT_DOUBLE_EQ(snap.queue_depth, 0.0);
+  EXPECT_DOUBLE_EQ(snap.cache_hit_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max_burn_rate, 0.0);
+  EXPECT_TRUE(snap.tenants.empty());
+  EXPECT_DOUBLE_EQ(mon.backpressure_hint(), 0.0);
+  EXPECT_EQ(mon.history().size(), 1u);
+}
+
+TEST_F(SloTest, AggregatesPerShardGaugesAndFsyncHistogram) {
+  Registry& reg = Registry::instance();
+  reg.gauge("serve.queue.depth.0").set(3.0);
+  reg.gauge("serve.queue.depth.1").set(5.0);
+  reg.gauge("serve.cache.hit_ratio.0").set(0.2);
+  reg.gauge("serve.cache.hit_ratio.1").set(0.6);
+  reg.gauge("unrelated.gauge").set(100.0);
+  reg.histogram("serve.wal.fsync_s").observe(1e-4);
+  reg.histogram("serve.wal.fsync_s").observe(2e-3);
+  SloMonitor mon(fast_opts());
+  const HealthSnapshot snap = mon.tick();
+  EXPECT_DOUBLE_EQ(snap.queue_depth, 8.0);       // summed across shards
+  EXPECT_DOUBLE_EQ(snap.cache_hit_ratio, 0.4);   // averaged across shards
+  EXPECT_DOUBLE_EQ(snap.wal_fsync_max_s, 2e-3);
+  EXPECT_GT(snap.wal_fsync_p99_s, 0.0);
+  EXPECT_LE(snap.wal_fsync_p99_s, 2e-3 * 1.0001);
+}
+
+TEST_F(SloTest, PerTenantAttainmentAndBurnRate) {
+  Histogram& alice = Registry::instance().histogram("serve.latency.alice");
+  Histogram& bob = Registry::instance().histogram("serve.latency.bob");
+  // alice: 4 in SLO, 1 out -> attainment 0.8, burn (1-0.8)/(1-0.9) = 2.
+  for (int i = 0; i < 4; ++i) alice.observe(0.01);
+  alice.observe(10.0);
+  // bob: all in SLO -> burn 0.
+  for (int i = 0; i < 5; ++i) bob.observe(0.01);
+  SloMonitor mon(fast_opts());
+  const HealthSnapshot snap = mon.tick();
+  ASSERT_EQ(snap.tenants.size(), 2u);
+  const TenantHealth& a = snap.tenants[0];
+  const TenantHealth& b = snap.tenants[1];
+  EXPECT_EQ(a.tenant, "alice");
+  EXPECT_EQ(b.tenant, "bob");
+  EXPECT_EQ(a.finished, 5u);
+  EXPECT_NEAR(a.attainment, 0.8, 1e-12);
+  EXPECT_NEAR(a.burn_rate, 2.0, 1e-9);
+  EXPECT_NEAR(b.burn_rate, 0.0, 1e-12);
+  EXPECT_NEAR(snap.max_burn_rate, 2.0, 1e-9);
+  // Percentiles are finite and ordered.
+  EXPECT_LE(a.p50_s, a.p99_s);
+  EXPECT_LE(a.p99_s, 10.0);
+}
+
+TEST_F(SloTest, WindowAttainmentSeesOnlyNewObservations) {
+  Histogram& h = Registry::instance().histogram("serve.latency.alice");
+  for (int i = 0; i < 10; ++i) h.observe(10.0);  // all out of SLO
+  SloMonitor mon(fast_opts());
+  const HealthSnapshot first = mon.tick();
+  ASSERT_EQ(first.tenants.size(), 1u);
+  EXPECT_NEAR(first.tenants[0].window_attainment, 0.0, 1e-12);
+  EXPECT_NEAR(first.tenants[0].burn_rate, 10.0, 1e-6);
+
+  // The next window is clean: cumulative attainment stays poor but the
+  // burn rate recovers because the *window* is healthy again.
+  for (int i = 0; i < 10; ++i) h.observe(0.01);
+  const HealthSnapshot second = mon.tick();
+  ASSERT_EQ(second.tenants.size(), 1u);
+  EXPECT_EQ(second.tenants[0].window_finished, 10u);
+  EXPECT_NEAR(second.tenants[0].window_attainment, 1.0, 1e-12);
+  EXPECT_NEAR(second.tenants[0].burn_rate, 0.0, 1e-12);
+  EXPECT_NEAR(second.tenants[0].attainment, 0.5, 1e-12);
+
+  // An idle window reports perfect attainment, not a stale burn.
+  const HealthSnapshot third = mon.tick();
+  EXPECT_EQ(third.tenants[0].window_finished, 0u);
+  EXPECT_NEAR(third.tenants[0].burn_rate, 0.0, 1e-12);
+}
+
+TEST_F(SloTest, BackpressureHintRampsWithBurnAndClampsAtOne) {
+  Histogram& h = Registry::instance().histogram("serve.latency.alice");
+  SloMonitor mon(fast_opts());  // objective 0.9 -> full burn = 10
+  for (int i = 0; i < 2; ++i) h.observe(10.0);
+  for (int i = 0; i < 2; ++i) h.observe(0.01);
+  mon.tick();  // window attainment 0.5 -> burn 5 -> hint 0.5
+  EXPECT_NEAR(mon.backpressure_hint(), 0.5, 1e-9);
+  for (int i = 0; i < 8; ++i) h.observe(10.0);
+  mon.tick();  // window attainment 0 -> burn 10 == full burn -> hint 1
+  EXPECT_NEAR(mon.backpressure_hint(), 1.0, 1e-9);
+  mon.tick();  // idle window -> hint relaxes to 0
+  EXPECT_NEAR(mon.backpressure_hint(), 0.0, 1e-12);
+}
+
+TEST_F(SloTest, MaybeTickThrottlesByMinPeriod) {
+  SloOptions opts = fast_opts();
+  opts.min_period_s = 3600.0;  // effectively never again
+  SloMonitor mon(opts);
+  mon.maybe_tick();
+  mon.maybe_tick();
+  mon.maybe_tick();
+  EXPECT_EQ(mon.history().size(), 1u);
+}
+
+TEST_F(SloTest, HistoryCapDropsOldestSnapshots) {
+  SloOptions opts = fast_opts();
+  opts.max_snapshots = 3;
+  SloMonitor mon(opts);
+  for (int i = 0; i < 10; ++i) mon.tick();
+  const std::vector<HealthSnapshot> hist = mon.history();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_LE(hist[0].t_ns, hist[1].t_ns);
+  EXPECT_LE(hist[1].t_ns, hist[2].t_ns);
+}
+
+TEST_F(SloTest, DegenerateObjectiveIsClamped) {
+  SloOptions opts = fast_opts();
+  opts.objective = 1.0;  // would divide by zero unclamped
+  SloMonitor mon(opts);
+  EXPECT_LT(mon.options().objective, 1.0);
+  Registry::instance().histogram("serve.latency.alice").observe(10.0);
+  const HealthSnapshot snap = mon.tick();
+  EXPECT_TRUE(std::isfinite(snap.max_burn_rate));
+  EXPECT_GE(mon.backpressure_hint(), 0.0);
+  EXPECT_LE(mon.backpressure_hint(), 1.0);
+}
+
+TEST_F(SloTest, ExportJsonCarriesSchemaAndTenants) {
+  Registry::instance().histogram("serve.latency.alice").observe(0.01);
+  SloMonitor mon(fast_opts());
+  mon.tick();
+  const std::string json = mon.export_json();
+  EXPECT_NE(json.find("\"schema\": \"swraman-health-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"latency_slo_s\": 0.1"), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\": \"alice\""), std::string::npos);
+  EXPECT_NE(json.find("\"burn_rate\": "), std::string::npos);
+  EXPECT_NE(json.find("\"snapshots\": ["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swraman::obs

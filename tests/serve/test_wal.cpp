@@ -377,5 +377,64 @@ TEST(ServeWal, WarmReplayExecutesNoDuplicateTasks) {
   }
 }
 
+TEST(ServeWal, TraceRecordRoundTripsRootSpan) {
+  fault::ScopedFaults guard;
+  const std::string path = temp_path("wal_trace.wal");
+  const JobSpec spec = modeled_spec("alice", 3);
+  const raman::GeometryRecord r0 = make_record(0.5);
+  {
+    JobLog log(path, 0);
+    log.append_job(17, spec);
+    log.append_trace(17, 1);
+    log.append_task(17, 0, +1, r0);
+    log.append_done(17, JobStatus::Completed);
+    EXPECT_EQ(log.records(), 4u);
+  }
+  const WalReplay rep = JobLog::replay(path);
+  EXPECT_FALSE(rep.torn_tail);
+  EXPECT_EQ(rep.records, 4u);
+  ASSERT_EQ(rep.jobs.size(), 1u);
+  EXPECT_EQ(rep.jobs[0].trace_root, 1u);
+  // The trace record rides between job and task records without
+  // disturbing either.
+  EXPECT_EQ(rep.jobs[0].tasks.size(), 1u);
+  EXPECT_TRUE(rep.jobs[0].finished);
+  std::remove(path.c_str());
+}
+
+TEST(ServeWal, TraceRecordDefaultsToZeroWhenAbsent) {
+  fault::ScopedFaults guard;
+  const std::string path = temp_path("wal_no_trace.wal");
+  {
+    JobLog log(path, 0);
+    log.append_job(5, modeled_spec("bob", 2));
+  }
+  const WalReplay rep = JobLog::replay(path);
+  ASSERT_EQ(rep.jobs.size(), 1u);
+  EXPECT_EQ(rep.jobs[0].trace_root, 0u);  // pre-tracing logs replay fine
+  std::remove(path.c_str());
+}
+
+TEST(ServeWal, TraceRecordForUnknownGidIsTornTail) {
+  fault::ScopedFaults guard;
+  const std::string path = temp_path("wal_orphan_trace.wal");
+  const raman::GeometryRecord r0 = make_record(1.0);
+  {
+    JobLog log(path, 0);
+    log.append_job(8, modeled_spec("carol", 2));
+    log.append_task(8, 0, -1, r0);
+    // A trace record naming a gid the log never admitted cannot be
+    // attributed; replay must stop there like any other malformed tail
+    // instead of guessing.
+    log.append_trace(999, 1);
+  }
+  const WalReplay rep = JobLog::replay(path);
+  EXPECT_TRUE(rep.torn_tail);
+  ASSERT_EQ(rep.jobs.size(), 1u);
+  EXPECT_EQ(rep.jobs[0].gid, 8u);
+  EXPECT_EQ(rep.jobs[0].tasks.size(), 1u);  // acknowledged prefix intact
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace swraman::serve
