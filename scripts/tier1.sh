@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 verification (ROADMAP.md): full build + ctest, the repo lint
-# gate, a fully checked (SWRAMAN_CHECK=1) run of the sunway suites, the
-# serve throughput gate (>= 2x over naive FIFO with dedup hits), the
-# serve chaos gate (shard kills + WAL replay, zero lost jobs, bitwise
-# spectra), then instrumented passes — the robustness/fault-injection suite under
-# ASan/UBSan and the obs + parallel + serve suites under TSan (the
+# gate, fully checked (SWRAMAN_CHECK=1) runs of the sunway suites AND
+# the serve/obs/parallel suites (the host concurrency checker: lock
+# order graph, blocking-under-lock audit, p2p protocol verifier — zero
+# violations tolerated), the serve throughput gate (>= 2x over naive
+# FIFO with dedup hits), the serve chaos gate (shard kills + WAL
+# replay, zero lost jobs, bitwise spectra, lockcheck-clean), then
+# instrumented passes — the robustness/fault-injection suite under
+# ASan/UBSan, the obs + parallel + serve suites under TSan (the
 # metrics registry claims lock-free counters and the serve pool claims
-# race-free work stealing; this is where we prove both).
+# race-free work stealing; this is where we prove both), and the serve
+# + obs suites under UBSan.
 # Set SWRAMAN_SANITIZE=undefined to swap the robustness pass to UBSan,
 # or SWRAMAN_SANITIZE=none to skip every instrumented pass.
 set -euo pipefail
@@ -24,21 +28,57 @@ echo "== tier-1: repo lint gate (scripts/lint.py) =="
 python3 scripts/lint.py build
 
 echo "== tier-1: checked execution (SWRAMAN_CHECK=1) =="
+# SWRAMAN_CHECK_FILE is JSON-lines: one summary line per checker
+# (swraman-check-v1 from swcheck, swraman-lockcheck-v1 from the host
+# concurrency checker).  Each line is structurally validated, then the
+# expected lines are asserted here.
 CHECK_DIR="build/check-smoke"
 mkdir -p "${CHECK_DIR}"
 SWRAMAN_CHECK=1 \
   SWRAMAN_CHECK_FILE="${CHECK_DIR}/swraman_check.json" \
   ./build/tests/test_sunway_check
 SWRAMAN_CHECK=1 ./build/tests/test_sunway >/dev/null
+python3 scripts/check_perf_json.py "${CHECK_DIR}/swraman_check.json"
 python3 - "${CHECK_DIR}/swraman_check.json" <<'EOF'
 import json, sys
+docs = {}
 with open(sys.argv[1]) as f:
-    s = json.load(f)
-assert s["schema"] == "swraman-check-v1", s
+    for line in f:
+        if line.strip():
+            d = json.loads(line)
+            docs[d["schema"]] = d
+s = docs["swraman-check-v1"]
 assert s["enabled"] is True, s
-print(f"checked run: {s['violations']} violation(s) "
+print(f"checked run: {s['violations']} swcheck violation(s) "
       f"(all seeded and caught)")
 EOF
+
+echo "== tier-1: serve + obs suites under the concurrency checker =="
+# The whole serve tier and obs plane run with the lock-order graph,
+# blocking-under-lock audit and p2p verifier live; both suites must be
+# violation-free (the seeded-violation tests clean up after themselves
+# via ScopedChecking, so any nonzero tally is a real contract breach).
+for suite in test_serve test_obs test_parallel; do
+  SWRAMAN_CHECK=1 \
+    SWRAMAN_CHECK_FILE="${CHECK_DIR}/${suite}_check.json" \
+    "./build/tests/${suite}" >/dev/null
+  python3 scripts/check_perf_json.py "${CHECK_DIR}/${suite}_check.json"
+  python3 - "${CHECK_DIR}/${suite}_check.json" "${suite}" <<'EOF'
+import json, sys
+docs = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        if line.strip():
+            d = json.loads(line)
+            docs[d["schema"]] = d
+s = docs["swraman-lockcheck-v1"]
+assert s["enabled"] is True, s
+assert s["violations"] == 0, \
+    f"{sys.argv[2]}: lockcheck violations under SWRAMAN_CHECK=1: {s}"
+print(f"{sys.argv[2]}: lockcheck clean "
+      f"({len(s['sites'])} lock classes in the order graph)")
+EOF
+done
 
 echo "== tier-1: traced smoke run (SWRAMAN_TRACE=1) =="
 SMOKE_DIR="build/trace-smoke"
@@ -88,10 +128,29 @@ echo "== tier-1: serve chaos gate (kills + WAL replay, SWRAMAN_CHECK=1) =="
 # non-zero SLO burn during the chaos window; the exported artifacts
 # (chaos record, jobtrace, health history, kill postmortem) are then
 # validated structurally here.
-(cd "${SMOKE_DIR}" && SWRAMAN_CHECK=1 ../../build/bench/bench_serve_chaos \
+(cd "${SMOKE_DIR}" && SWRAMAN_CHECK=1 SWRAMAN_CHECK_FILE=chaos_check.json \
+  ../../build/bench/bench_serve_chaos \
   --short --json BENCH_chaos.json --jobtrace chaos_jobtrace.json \
   --health chaos_health.json >/dev/null)
 python3 scripts/check_perf_json.py "${SMOKE_DIR}/BENCH_chaos.json"
+# The chaos run is the concurrency checker's hardest gate: shard kills,
+# WAL replay, failover and remote-cache timeouts, all with the lock
+# graph and the p2p verifier live — and zero violations tolerated.
+python3 scripts/check_perf_json.py "${SMOKE_DIR}/chaos_check.json"
+python3 - "${SMOKE_DIR}/chaos_check.json" <<'EOF'
+import json, sys
+docs = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        if line.strip():
+            d = json.loads(line)
+            docs[d["schema"]] = d
+s = docs["swraman-lockcheck-v1"]
+assert s["enabled"] is True, s
+assert s["violations"] == 0, \
+    f"chaos run: lockcheck violations: {s}"
+print(f"chaos run: lockcheck clean ({len(s['sites'])} lock classes)")
+EOF
 python3 scripts/check_perf_json.py "${SMOKE_DIR}/chaos_jobtrace.json"
 python3 scripts/check_perf_json.py "${SMOKE_DIR}/chaos_health.json"
 test -f "${SMOKE_DIR}/flight-serve.shard.kill.json" || {
@@ -125,6 +184,18 @@ if [ "${SANITIZER}" != "none" ]; then
   # time (SCF under TSan is ~20x slower), not correctness.
   ./build-thread/tests/test_serve --gtest_filter=-ServeRealEngine.*
   (cd build-thread && ./bench/bench_serve_chaos --short --shards 2)
+
+  echo "== tier-1: serve + obs suites under -fsanitize=undefined =="
+  # UBSan complements the concurrency checker: lockcheck proves lock
+  # discipline, UBSan proves the code under those locks is free of
+  # undefined behavior (the remote-cache wire format bit-casts, the
+  # histogram bucket math, the seqlock ring arithmetic).
+  cmake -B build-undefined -S . \
+        -DSWRAMAN_SANITIZE=undefined \
+        -DSWRAMAN_BUILD_BENCH=OFF -DSWRAMAN_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-undefined -j "${JOBS}" --target test_obs test_serve
+  ./build-undefined/tests/test_obs
+  ./build-undefined/tests/test_serve --gtest_filter=-ServeRealEngine.*
 fi
 
 echo "tier-1: OK"

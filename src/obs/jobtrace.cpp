@@ -73,7 +73,7 @@ JobSpan* JobTraceRegistry::find_locked(std::uint64_t gid,
 
 TraceContext JobTraceRegistry::root(std::uint64_t gid, const char* name) {
   if (gid == 0 || !jobtrace_enabled()) return {};
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   Timeline& t = jobs_[gid];
   if (t.spans.empty()) {
     JobSpan root;
@@ -91,7 +91,7 @@ TraceContext JobTraceRegistry::restore_root(std::uint64_t gid,
                                             const char* name) {
   if (gid == 0 || !jobtrace_enabled()) return {};
   if (root_id == 0) root_id = 1;
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   Timeline& t = jobs_[gid];
   if (t.spans.empty()) {
     // Fresh process: rebuild the root from the logged id so replayed
@@ -110,7 +110,7 @@ TraceContext JobTraceRegistry::restore_root(std::uint64_t gid,
 std::uint64_t JobTraceRegistry::begin(const TraceContext& parent,
                                       const char* name, int shard) {
   if (!parent.active()) return 0;
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   Timeline& t = jobs_[parent.gid];
   if (t.spans.size() >= kMaxSpansPerJob) {
     if (!t.spans.empty()) {
@@ -137,7 +137,7 @@ std::uint64_t JobTraceRegistry::begin(const TraceContext& parent,
 
 void JobTraceRegistry::end(std::uint64_t gid, std::uint64_t span) {
   if (gid == 0 || span == 0 || !jobtrace_enabled()) return;
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   if (JobSpan* s = find_locked(gid, span); s != nullptr && s->end_ns == 0) {
     s->end_ns = now_ns();
     if (s->end_ns == s->start_ns) ++s->end_ns;  // keep end > start visible
@@ -148,7 +148,7 @@ std::uint64_t JobTraceRegistry::event(const TraceContext& parent,
                                       const char* name, int shard) {
   const std::uint64_t id = begin(parent, name, shard);
   if (id == 0) return 0;
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   if (JobSpan* s = find_locked(parent.gid, id); s != nullptr) {
     s->event = true;
     s->end_ns = s->start_ns;
@@ -159,7 +159,7 @@ std::uint64_t JobTraceRegistry::event(const TraceContext& parent,
 void JobTraceRegistry::attr(std::uint64_t gid, std::uint64_t span,
                             const char* key, double value) {
   if (gid == 0 || span == 0 || !jobtrace_enabled()) return;
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   if (JobSpan* s = find_locked(gid, span); s != nullptr) {
     s->attrs.push_back(Attr{key, true, value, {}});
   }
@@ -168,7 +168,7 @@ void JobTraceRegistry::attr(std::uint64_t gid, std::uint64_t span,
 void JobTraceRegistry::attr(std::uint64_t gid, std::uint64_t span,
                             const char* key, const std::string& value) {
   if (gid == 0 || span == 0 || !jobtrace_enabled()) return;
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   if (JobSpan* s = find_locked(gid, span); s != nullptr) {
     s->attrs.push_back(Attr{key, false, 0.0, value});
   }
@@ -176,29 +176,29 @@ void JobTraceRegistry::attr(std::uint64_t gid, std::uint64_t span,
 
 void JobTraceRegistry::drop_job(std::uint64_t gid) {
   if (gid == 0 || !jobtrace_enabled()) return;
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   jobs_.erase(gid);
 }
 
 std::uint32_t JobTraceRegistry::incarnation(std::uint64_t gid) const {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   const auto it = jobs_.find(gid);
   return it == jobs_.end() ? 0 : it->second.incarnation;
 }
 
 std::vector<JobSpan> JobTraceRegistry::spans(std::uint64_t gid) const {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   const auto it = jobs_.find(gid);
   return it == jobs_.end() ? std::vector<JobSpan>{} : it->second.spans;
 }
 
 std::size_t JobTraceRegistry::n_jobs() const {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   return jobs_.size();
 }
 
 std::vector<std::uint64_t> JobTraceRegistry::gids() const {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   std::vector<std::uint64_t> out;
   out.reserve(jobs_.size());
   for (const auto& [gid, t] : jobs_) out.push_back(gid);
@@ -208,7 +208,7 @@ std::vector<std::uint64_t> JobTraceRegistry::gids() const {
 std::string JobTraceRegistry::export_json() const {
   std::map<std::uint64_t, Timeline> copy;
   {
-    const std::scoped_lock lock(mutex_);
+    const lockcheck::CheckedLock lock(mutex_);
     copy = jobs_;
   }
   std::string out;
@@ -244,7 +244,7 @@ std::string JobTraceRegistry::export_json() const {
 }
 
 void JobTraceRegistry::reset_for_testing() {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   jobs_.clear();
 }
 

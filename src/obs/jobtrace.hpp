@@ -3,10 +3,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lockcheck.hpp"
 #include "obs/trace.hpp"
 
 // Cross-shard job tracing (DESIGN.md S13). Where trace.hpp records what a
@@ -132,7 +132,7 @@ class JobTraceRegistry {
 
   // Serve-level event rates (per job submit/route/task), not per-DMA:
   // one global mutex is fine and keeps cross-thread stitching trivial.
-  mutable std::mutex mutex_;
+  mutable lockcheck::CheckedMutex mutex_{"obs.jobtrace"};
   std::map<std::uint64_t, Timeline> jobs_;
 };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "obs/flight.hpp"
 
 namespace swraman::obs {
 
@@ -10,6 +13,25 @@ namespace {
 // decade). 63 finite buckets span [1e-6, ~3.16e4); the 64th saturates.
 constexpr double kBucketLo = 1e-6;
 constexpr double kBucketsPerDecade = 6.0;
+
+// lockcheck lives in swraman_common, below this library, so it cannot
+// reach the metrics registry or the flight recorder directly. Any binary
+// linking obs installs these sinks from static init; lockcheck violations
+// then bump check.violations (bypassing the obs::count tracing gate — a
+// checked run tallies whether or not tracing is on, same policy as
+// swcheck) and dump the flight rings before a throwing report unwinds.
+struct LockcheckSinkInit {
+  LockcheckSinkInit() {
+    lockcheck::ObsSinks sinks;
+    sinks.violation = [](const char* rule, const std::string&) {
+      Registry::instance().counter("check.violations").add(1.0);
+      obs::instant("check.violation", "rule", std::string(rule));
+    };
+    sinks.flight_dump = [](const char* reason) { flight::dump(reason); };
+    lockcheck::install_obs_sinks(sinks);
+  }
+};
+const LockcheckSinkInit g_lockcheck_sink_init;
 }  // namespace
 
 double Histogram::bucket_upper(std::size_t i) {
@@ -32,7 +54,7 @@ std::size_t Histogram::bucket_index(double v) {
 }
 
 void Histogram::observe(double v) {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   if (s_.count == 0) {
     s_.min = v;
     s_.max = v;
@@ -46,7 +68,7 @@ void Histogram::observe(double v) {
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   return s_;
 }
 
@@ -108,35 +130,35 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 std::map<std::string, double> Registry::counter_values() const {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   std::map<std::string, double> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
   return out;
 }
 
 std::map<std::string, double> Registry::gauge_values() const {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   std::map<std::string, double> out;
   for (const auto& [name, g] : gauges_) out[name] = g->value();
   return out;
@@ -144,14 +166,14 @@ std::map<std::string, double> Registry::gauge_values() const {
 
 std::map<std::string, Histogram::Snapshot> Registry::histogram_values()
     const {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   std::map<std::string, Histogram::Snapshot> out;
   for (const auto& [name, h] : histograms_) out[name] = h->snapshot();
   return out;
 }
 
 void Registry::reset_for_testing() {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

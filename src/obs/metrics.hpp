@@ -5,9 +5,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/lockcheck.hpp"
 #include "obs/trace.hpp"
 
 // Metrics registry (DESIGN.md S8): named counters, gauges, and summary
@@ -93,7 +93,7 @@ class Histogram {
   [[nodiscard]] std::uint64_t count_below(double x) const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable lockcheck::CheckedMutex mutex_{"obs.histogram"};
   Snapshot s_;
 };
 
@@ -123,7 +123,7 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
+  mutable lockcheck::CheckedMutex mutex_{"obs.metrics"};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

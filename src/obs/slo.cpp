@@ -83,7 +83,7 @@ HealthSnapshot SloMonitor::compute_locked() {
 }
 
 HealthSnapshot SloMonitor::tick() {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   HealthSnapshot snap = compute_locked();
   last_tick_ns_ = snap.t_ns;
   ever_ticked_ = true;
@@ -100,7 +100,7 @@ HealthSnapshot SloMonitor::tick() {
 
 void SloMonitor::maybe_tick() {
   {
-    const std::scoped_lock lock(mutex_);
+    const lockcheck::CheckedLock lock(mutex_);
     const std::uint64_t now = now_ns();
     const auto period_ns =
         static_cast<std::uint64_t>(opts_.min_period_s * 1e9);
@@ -110,7 +110,7 @@ void SloMonitor::maybe_tick() {
 }
 
 std::vector<HealthSnapshot> SloMonitor::history() const {
-  const std::scoped_lock lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   return history_;
 }
 

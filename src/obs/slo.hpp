@@ -3,10 +3,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lockcheck.hpp"
 #include "common/logging.hpp"
 
 // Live health / SLO monitor (DESIGN.md S13). A periodic snapshotter that
@@ -95,7 +95,7 @@ class SloMonitor {
   SloOptions opts_;
   Timer clock_;
   std::atomic<double> hint_{0.0};
-  mutable std::mutex mutex_;
+  mutable lockcheck::CheckedMutex mutex_{"obs.slo"};
   std::uint64_t last_tick_ns_ = 0;
   bool ever_ticked_ = false;
   std::vector<HealthSnapshot> history_;

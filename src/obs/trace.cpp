@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
 
+#include "common/lockcheck.hpp"
 #include "common/logging.hpp"
 #include "obs/flight.hpp"
 #include "obs/report.hpp"
@@ -21,7 +21,7 @@ namespace {
 // exporter and late-exiting threads may touch it after main returns, so it
 // must never be destroyed.
 struct GlobalState {
-  std::mutex mutex;
+  lockcheck::CheckedMutex mutex{"obs.trace"};
   std::vector<SpanRecord> completed;
   std::uint64_t dropped = 0;
   Timer epoch;  // process trace epoch (monotonic)
@@ -50,7 +50,7 @@ Tls& tls() {
 
 void commit(SpanRecord&& rec) {
   GlobalState& s = state();
-  const std::scoped_lock lock(s.mutex);
+  const lockcheck::CheckedLock lock(s.mutex);
   if (s.completed.size() >= kMaxSpans) {
     ++s.dropped;
     return;
@@ -166,7 +166,7 @@ std::vector<SpanRecord> snapshot() {
   GlobalState& s = state();
   std::vector<SpanRecord> out;
   {
-    const std::scoped_lock lock(s.mutex);
+    const lockcheck::CheckedLock lock(s.mutex);
     out = s.completed;
   }
   std::sort(out.begin(), out.end(),
@@ -179,13 +179,13 @@ std::vector<SpanRecord> snapshot() {
 
 std::uint64_t dropped() {
   GlobalState& s = state();
-  const std::scoped_lock lock(s.mutex);
+  const lockcheck::CheckedLock lock(s.mutex);
   return s.dropped;
 }
 
 void reset_for_testing() {
   GlobalState& s = state();
-  const std::scoped_lock lock(s.mutex);
+  const lockcheck::CheckedLock lock(s.mutex);
   s.completed.clear();
   s.dropped = 0;
   s.epoch.reset();

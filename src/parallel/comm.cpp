@@ -10,9 +10,11 @@
 
 #include "common/backoff.hpp"
 #include "common/error.hpp"
+#include "common/lockcheck.hpp"
 #include "common/logging.hpp"
 #include "obs/obs.hpp"
 #include "parallel/allreduce_select.hpp"
+#include "parallel/commcheck.hpp"
 #include "robustness/fault.hpp"
 #include "sunway/check/check.hpp"
 #include "sunway/rma_reduce.hpp"
@@ -56,31 +58,64 @@ void sleep_s(double seconds) {
 class CommContext {
  public:
   explicit CommContext(std::size_t n, CommConfig config = {})
-      : n_(n), config_(config), split_colors_(n, 0), op_seq_(n, 0) {}
+      : n_(n), config_(config), split_colors_(n, 0), op_seq_(n, 0),
+        check_id_(commcheck::register_context(n)) {}
+
+  // Orphan scan: every message still enqueued here was sent and never
+  // received. The commcheck tolerance list (abandon()) explains the
+  // ones a timed-out requester deliberately walked away from; the rest
+  // are protocol bugs.
+  ~CommContext() {
+    if (check_id_ == 0) return;
+    std::vector<commcheck::Leftover> leftovers;
+    for (const auto& [k, q] : mail_) {
+      if (q.empty()) continue;
+      leftovers.push_back(
+          {static_cast<std::size_t>((k >> 48) & 0xFFFF),
+           static_cast<std::size_t>((k >> 32) & 0xFFFF),
+           static_cast<int>(static_cast<std::uint32_t>(k & 0xFFFFFFFFu)),
+           q.size()});
+    }
+    commcheck::on_context_destroyed(check_id_, leftovers);
+  }
 
   [[nodiscard]] std::size_t size() const { return n_; }
   [[nodiscard]] const CommConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t check_id() const { return check_id_; }
 
   void post(std::size_t src, std::size_t dst, int tag,
             std::vector<double> data) {
-    const std::scoped_lock lock(mutex_);
+    const lockcheck::CheckedLock lock(mutex_);
     mail_[key(src, dst, tag)].push(std::move(data));
     cv_.notify_all();
   }
 
   // Waits up to timeout_s for a message; false on expiry (out untouched).
+  // `blocking` marks untimed-intent receives (Communicator::recv): those
+  // register a wait-for edge in the commcheck recv-cycle detector for
+  // the duration of the wait; bounded polls (try_recv) do not.
   bool take(std::size_t src, std::size_t dst, int tag, double timeout_s,
-            std::vector<double>& out) {
-    std::unique_lock lock(mutex_);
+            std::vector<double>& out, bool blocking = false,
+            const std::source_location& loc =
+                std::source_location::current()) {
+    lockcheck::CheckedLock lock(mutex_);
     const std::uint64_t k = key(src, dst, tag);
     const auto ready = [&] {
       const auto it = mail_.find(k);
       return it != mail_.end() && !it->second.empty();
     };
-    if (!cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
-                      ready)) {
-      return false;
+    const bool track =
+        blocking && check_id_ != 0 && lockcheck::enabled() && !ready();
+    if (track) {
+      // The probe reads mail_ under mutex_, which this thread holds for
+      // the whole recv_wait_begin call.
+      commcheck::recv_wait_begin(check_id_, dst, src, tag,
+                                 {&CommContext::mailbox_empty, this}, loc);
     }
+    const bool got =
+        cv_.wait_for(lock, std::chrono::duration<double>(timeout_s), ready);
+    if (track) commcheck::recv_wait_end(check_id_, dst);
+    if (!got) return false;
     auto& q = mail_[k];
     out = std::move(q.front());
     q.pop();
@@ -88,7 +123,7 @@ class CommContext {
   }
 
   void barrier() {
-    std::unique_lock lock(mutex_);
+    lockcheck::CheckedLock lock(mutex_);
     const std::size_t gen = barrier_gen_;
     if (++barrier_count_ == n_) {
       barrier_count_ = 0;
@@ -112,7 +147,7 @@ class CommContext {
   // shared child context plus this rank's position within its color group.
   std::pair<std::shared_ptr<CommContext>, std::size_t> split(
       std::size_t rank, int color) {
-    std::unique_lock lock(mutex_);
+    lockcheck::CheckedLock lock(mutex_);
     split_colors_[rank] = color;
     const std::size_t gen = split_gen_;
     if (++split_count_ == n_) {
@@ -153,10 +188,20 @@ class CommContext {
     std::vector<std::size_t> members;
   };
 
+  // True when the (src -> dst, tag) mailbox is absent or empty. Called
+  // by the commcheck cycle detector from recv_wait_begin, on the thread
+  // that already holds mutex_.
+  static bool mailbox_empty(void* self, std::size_t src, std::size_t dst,
+                            int tag) {
+    auto* ctx = static_cast<CommContext*>(self);
+    const auto it = ctx->mail_.find(key(src, dst, tag));
+    return it == ctx->mail_.end() || it->second.empty();
+  }
+
   std::size_t n_;
   CommConfig config_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  lockcheck::CheckedMutex mutex_{"parallel.comm.ctx"};
+  lockcheck::CheckedCondVar cv_;
   std::map<std::uint64_t, std::queue<std::vector<double>>> mail_;
   std::size_t barrier_count_ = 0;
   std::size_t barrier_gen_ = 0;
@@ -165,6 +210,7 @@ class CommContext {
   std::size_t split_gen_ = 0;
   std::map<int, SplitGroup> split_children_;
   std::vector<std::uint64_t> op_seq_;
+  std::uint64_t check_id_ = 0;  // commcheck context id (0 = unchecked)
 };
 
 // Cached two-level topology (DESIGN.md S10): the node group of
@@ -191,6 +237,7 @@ const CommConfig& Communicator::config() const { return ctx_->config(); }
 int Communicator::next_tag_base() { return ctx_->next_tag_base(rank_); }
 
 void Communicator::barrier() {
+  lockcheck::blocking_call("comm.barrier");
   // Injected rank stall: this rank arrives late; the others tolerate the
   // delay through their recv/barrier timeouts.
   if (fault::should_fire(fault::kCommStall)) {
@@ -201,9 +248,15 @@ void Communicator::barrier() {
   ctx_->barrier();
 }
 
+std::uint64_t Communicator::context_id() const { return ctx_->check_id(); }
+
 void Communicator::send(std::size_t dest, const std::vector<double>& data,
-                        int tag) {
+                        int tag, std::source_location loc) {
   SWRAMAN_REQUIRE(dest < size(), "send: destination rank out of range");
+  // Sends can sleep through the retransmit backoff; doing that while
+  // holding a strict lock stalls every thread queued behind it.
+  lockcheck::blocking_call("comm.send", nullptr, loc);
+  commcheck::on_send(ctx_->check_id(), rank_, dest, tag, data.size(), loc);
   const CommConfig& cfg = config();
   BackoffOptions bo;
   bo.base_s = cfg.backoff_base_s;
@@ -239,13 +292,22 @@ void Communicator::send(std::size_t dest, const std::vector<double>& data,
 }
 
 bool Communicator::try_recv(std::size_t src, int tag, double timeout_s,
-                            std::vector<double>* out) {
+                            std::vector<double>* out,
+                            std::source_location loc) {
   SWRAMAN_REQUIRE(src < size(), "try_recv: source rank out of range");
-  return ctx_->take(src, rank_, tag, timeout_s, *out);
+  lockcheck::blocking_call("comm.try_recv", nullptr, loc);
+  if (!ctx_->take(src, rank_, tag, timeout_s, *out, /*blocking=*/false,
+                  loc)) {
+    return false;
+  }
+  commcheck::on_recv(ctx_->check_id(), src, rank_, tag, out->size());
+  return true;
 }
 
-std::vector<double> Communicator::recv(std::size_t src, int tag) {
+std::vector<double> Communicator::recv(std::size_t src, int tag,
+                                       std::source_location loc) {
   SWRAMAN_REQUIRE(src < size(), "recv: source rank out of range");
+  lockcheck::blocking_call("comm.recv", nullptr, loc);
   const CommConfig& cfg = config();
   if (fault::should_fire(fault::kCommRecvDelay)) {
     log::warn("fault ", fault::kCommRecvDelay, ": rank ", rank_,
@@ -255,7 +317,10 @@ std::vector<double> Communicator::recv(std::size_t src, int tag) {
   std::vector<double> data;
   double timeout = cfg.recv_timeout_s;
   for (int attempt = 0; attempt <= cfg.recv_retries; ++attempt) {
-    if (ctx_->take(src, rank_, tag, timeout, data)) return data;
+    if (ctx_->take(src, rank_, tag, timeout, data, /*blocking=*/true, loc)) {
+      commcheck::on_recv(ctx_->check_id(), src, rank_, tag, data.size());
+      return data;
+    }
     obs::count("comm.recv.timeouts");
     if (attempt < cfg.recv_retries) {
       log::warn("recv: rank ", rank_, " <- ", src, " tag ", tag,

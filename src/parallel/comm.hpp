@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <source_location>
 #include <vector>
 
 // SPMD message-passing runtime over std::thread — the stand-in for MPI
@@ -121,19 +122,30 @@ class Communicator {
 
   // Reliable send: retransmits (with exponential backoff) when the
   // transport drops the message; throws TimeoutError once the retry budget
-  // of the communicator's CommConfig is exhausted.
-  void send(std::size_t dest, const std::vector<double>& data, int tag = 0);
+  // of the communicator's CommConfig is exhausted. The source_location
+  // defaults carry the caller's site into the commcheck p2p verifier's
+  // reports; never pass them explicitly.
+  void send(std::size_t dest, const std::vector<double>& data, int tag = 0,
+            std::source_location loc = std::source_location::current());
 
   // Timed receive: waits in bounded, doubling slices and throws
   // TimeoutError after CommConfig::recv_retries extra waits go unanswered.
-  [[nodiscard]] std::vector<double> recv(std::size_t src, int tag = 0);
+  [[nodiscard]] std::vector<double> recv(
+      std::size_t src, int tag = 0,
+      std::source_location loc = std::source_location::current());
 
   // Non-throwing timed receive: waits at most timeout_s for one message;
   // false on expiry (out untouched). The polling primitive of server
   // loops that must stay responsive to shutdown (no exception churn, no
   // retry doubling).
   bool try_recv(std::size_t src, int tag, double timeout_s,
-                std::vector<double>* out);
+                std::vector<double>* out,
+                std::source_location loc = std::source_location::current());
+
+  // Id of the shared context in the commcheck p2p verifier (0 when
+  // checking was off at construction). Lets endpoint owners like the
+  // remote-cache fabric bind wire types to their tags.
+  [[nodiscard]] std::uint64_t context_id() const;
 
   [[nodiscard]] const CommConfig& config() const;
 

@@ -20,6 +20,7 @@ raman::GeometryRecord map_record(const raman::GeometryRecord& canonical,
 DisplacementCache::Ref DisplacementCache::reference(
     std::uint64_t key, const CacheWaiter& waiter,
     raman::GeometryRecord* record) {
+  lockcheck::assert_held(guard_, "DisplacementCache::reference");
   auto [it, inserted] = entries_.try_emplace(key);
   if (inserted) {
     ++misses_;
@@ -45,6 +46,7 @@ std::vector<CacheWaiter> DisplacementCache::complete(
   // while its displacement is still in flight, fail() already dropped the
   // entry — and a resubmission may even have re-created (and finished) it.
   // The late result is then simply recorded (or ignored) with no waiters.
+  lockcheck::assert_held(guard_, "DisplacementCache::complete");
   auto it = entries_.try_emplace(key).first;
   if (it->second.done) {
     if (records != nullptr) records->clear();
@@ -65,6 +67,7 @@ std::vector<CacheWaiter> DisplacementCache::complete(
 }
 
 std::vector<CacheWaiter> DisplacementCache::fail(std::uint64_t key) {
+  lockcheck::assert_held(guard_, "DisplacementCache::fail");
   auto it = entries_.find(key);
   if (it == entries_.end()) return {};
   std::vector<CacheWaiter> waiters = std::move(it->second.waiters);

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lockcheck.hpp"
 #include "raman/checkpoint.hpp"
 #include "serve/job.hpp"
 
@@ -20,7 +21,9 @@
 // worker timing: a fixed trace always executes the same evaluations.
 //
 // The cache is bookkeeping only and does no locking itself; the service
-// calls it under its own mutex.
+// calls it under its own mutex. set_guard() makes that contract
+// checkable: with SWRAMAN_CHECK=1 every mutating call verifies the
+// guard mutex is held (lock.guard_unheld).
 
 namespace swraman::serve {
 
@@ -39,6 +42,10 @@ class DisplacementCache {
     Hit,    // record already available (record() output filled)
     Wait,   // owner still in flight; caller was attached as waiter
   };
+
+  // Installs the mutex the caller promises to hold around every mutating
+  // call (nullptr: unchecked — standalone/unit-test use).
+  void set_guard(const lockcheck::CheckedMutex* guard) { guard_ = guard; }
 
   // References `key` on behalf of (job, node). For Hit, `record` receives
   // the canonical result mapped through from_canonical.
@@ -72,6 +79,7 @@ class DisplacementCache {
     std::vector<CacheWaiter> waiters;
   };
 
+  const lockcheck::CheckedMutex* guard_ = nullptr;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::uint64_t hits_ = 0;    // references served without a new evaluation
   std::uint64_t misses_ = 0;  // references that created an owner

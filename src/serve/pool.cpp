@@ -47,7 +47,7 @@ void WorkerPool::stop() {
 void WorkerPool::push_local(std::size_t worker, TaskRef ref) {
   SWRAMAN_ASSERT(worker < deques_.size(), "WorkerPool: bad worker id");
   {
-    std::lock_guard<std::mutex> lock(deques_[worker]->mutex);
+    const lockcheck::CheckedLock lock(deques_[worker]->mutex);
     deques_[worker]->tasks.push_front(ref);
   }
   idle_cv_.notify_all();
@@ -56,7 +56,7 @@ void WorkerPool::push_local(std::size_t worker, TaskRef ref) {
 void WorkerPool::notify() { idle_cv_.notify_all(); }
 
 bool WorkerPool::pop_local(std::size_t id, TaskRef* out) {
-  std::lock_guard<std::mutex> lock(deques_[id]->mutex);
+  const lockcheck::CheckedLock lock(deques_[id]->mutex);
   if (deques_[id]->tasks.empty()) return false;
   *out = deques_[id]->tasks.front();
   deques_[id]->tasks.pop_front();
@@ -68,7 +68,7 @@ bool WorkerPool::steal(std::size_t thief, TaskRef* out) {
   const std::size_t n = deques_.size();
   for (std::size_t k = 1; k < n; ++k) {
     const std::size_t victim = (thief + k) % n;
-    std::lock_guard<std::mutex> lock(deques_[victim]->mutex);
+    const lockcheck::CheckedLock lock(deques_[victim]->mutex);
     if (deques_[victim]->tasks.empty()) continue;
     *out = deques_[victim]->tasks.back();
     deques_[victim]->tasks.pop_back();
@@ -90,7 +90,7 @@ bool WorkerPool::die(std::size_t id, const TaskRef* pending) {
   std::vector<TaskRef> orphans;
   if (pending != nullptr) orphans.push_back(*pending);
   {
-    std::lock_guard<std::mutex> lock(deques_[id]->mutex);
+    const lockcheck::CheckedLock lock(deques_[id]->mutex);
     orphans.insert(orphans.end(), deques_[id]->tasks.begin(),
                    deques_[id]->tasks.end());
     deques_[id]->tasks.clear();
@@ -124,7 +124,7 @@ void WorkerPool::worker_loop(std::size_t id) {
         task = batch.front();
         have = true;
         if (n > 1) {
-          std::lock_guard<std::mutex> lock(deques_[id]->mutex);
+          const lockcheck::CheckedLock lock(deques_[id]->mutex);
           for (std::size_t i = 1; i < n; ++i) {
             deques_[id]->tasks.push_back(batch[i]);
           }
@@ -133,7 +133,9 @@ void WorkerPool::worker_loop(std::size_t id) {
       }
     }
     if (!have) {
-      std::unique_lock<std::mutex> lock(idle_mutex_);
+      // Timed, predicate-less park: legal under the condvar audit (only
+      // the *untimed* predicate-less wait() is a lost-wakeup hazard).
+      lockcheck::CheckedLock lock(idle_mutex_);
       idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
       continue;
     }

@@ -1,16 +1,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/lockcheck.hpp"
 #include "serve/scheduler.hpp"
 
 // Work-stealing worker pool (DESIGN.md S11). Each worker owns a deque:
@@ -88,7 +87,7 @@ class WorkerPool {
 
  private:
   struct Deque {
-    std::mutex mutex;
+    lockcheck::CheckedMutex mutex{"serve.pool.deque"};
     std::deque<TaskRef> tasks;
   };
 
@@ -108,8 +107,8 @@ class WorkerPool {
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> alive_{0};
-  std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
+  lockcheck::CheckedMutex idle_mutex_{"serve.pool.idle"};
+  lockcheck::CheckedCondVar idle_cv_;
 };
 
 }  // namespace swraman::serve

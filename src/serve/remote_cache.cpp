@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "obs/obs.hpp"
+#include "parallel/commcheck.hpp"
 #include "robustness/fault.hpp"
 
 namespace swraman::serve {
@@ -34,6 +35,14 @@ RemoteCacheFabric::RemoteCacheFabric(Options options)
   SWRAMAN_REQUIRE(options_.n_shards >= 1,
                   "RemoteCacheFabric: need at least one shard");
   comms_ = parallel::make_comm_group(options_.n_shards, options_.comm);
+  // Bind the fabric's wire types in the p2p verifier: requests ride
+  // tag 0, every other (caller-drawn) tag carries a response frame. A
+  // send/recv whose length disagrees is p2p.tag_mismatch.
+  const std::uint64_t check_ctx = comms_[0].context_id();
+  parallel::commcheck::bind_tag(check_ctx, kRequestTag, kRequestLen,
+                                "cache.request");
+  parallel::commcheck::bind_default(check_ctx, kResponseLen,
+                                    "cache.response");
   nodes_.reserve(options_.n_shards);
   for (std::size_t s = 0; s < options_.n_shards; ++s) {
     nodes_.push_back(std::make_unique<Node>());
@@ -62,7 +71,7 @@ void RemoteCacheFabric::stop(std::size_t shard) {
   // The incarnation's published results die with it: a restarted shard
   // republishes what it recomputes, and stale requests still in the
   // mailbox are drained unanswered (the requester's timeout handles it).
-  const std::lock_guard<std::mutex> lock(node.mutex);
+  const lockcheck::CheckedLock lock(node.mutex);
   node.table.clear();
 }
 
@@ -77,7 +86,7 @@ void RemoteCacheFabric::publish(std::size_t shard, std::uint64_t key,
   SWRAMAN_REQUIRE(shard < nodes_.size(),
                   "RemoteCacheFabric: shard out of range");
   Node& node = *nodes_[shard];
-  const std::lock_guard<std::mutex> lock(node.mutex);
+  const lockcheck::CheckedLock lock(node.mutex);
   node.table[key] = rec;
   published_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -116,6 +125,13 @@ bool RemoteCacheFabric::lookup(std::size_t shard, std::size_t peer,
                               &resp)) {
     timeouts_.fetch_add(1, std::memory_order_relaxed);
     obs::count("serve.cache.remote_timeouts");
+    // Walking away from the round trip: the un-consumed request (the
+    // peer may be dead) and the late response (the peer may still
+    // answer) are both declared abandoned so the p2p verifier does not
+    // flag them as orphans at context destruction.
+    const std::uint64_t check_ctx = comms_[shard].context_id();
+    parallel::commcheck::abandon(check_ctx, shard, peer, kRequestTag);
+    parallel::commcheck::abandon(check_ctx, peer, shard, resp_tag);
     jt.attr(ctx.gid, lspan, "timeout", 1.0);
     jt.end(ctx.gid, lspan);
     return false;
@@ -149,12 +165,14 @@ void RemoteCacheFabric::serve_loop(std::size_t shard) {
       const std::uint64_t key = bits_key(req[0]);
       const int resp_tag = static_cast<int>(req[1]);
       const obs::TraceContext req_ctx{bits_key(req[2]), bits_key(req[3])};
-      std::vector<double> resp(1, 0.0);
+      // Miss and hit share one wire type (found flag up front): the
+      // response tag is bound to a single 13-double frame in the p2p
+      // verifier, so a short miss frame would be a tag mismatch.
+      std::vector<double> resp(kResponseLen, 0.0);
       {
-        const std::lock_guard<std::mutex> lock(node.mutex);
+        const lockcheck::CheckedLock lock(node.mutex);
         const auto it = node.table.find(key);
         if (it != node.table.end()) {
-          resp.resize(kResponseLen);
           resp[0] = 1.0;
           for (std::size_t i = 0; i < 9; ++i) {
             resp[1 + i] = it->second.alpha[i];

@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/lockcheck.hpp"
 #include "obs/jobtrace.hpp"
 #include "parallel/comm.hpp"
 #include "raman/checkpoint.hpp"
@@ -91,7 +91,7 @@ class RemoteCacheFabric {
 
  private:
   struct Node {
-    std::mutex mutex;
+    lockcheck::CheckedMutex mutex{"serve.remote_cache.node"};
     std::map<std::uint64_t, raman::GeometryRecord> table;
     std::thread server;
     std::atomic<bool> run{false};

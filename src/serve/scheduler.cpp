@@ -13,6 +13,7 @@ FairShareScheduler::FairShareScheduler(AdmissionLimits limits)
 AdmissionDecision FairShareScheduler::admit(const JobSpec& spec,
                                             const JobEstimate& est,
                                             bool force) {
+  lockcheck::assert_held(guard_, "FairShareScheduler::admit");
   AdmissionDecision d;
   d.outstanding_seconds = outstanding_seconds_;
   if (!force &&
@@ -38,6 +39,7 @@ AdmissionDecision FairShareScheduler::admit(const JobSpec& spec,
 }
 
 void FairShareScheduler::release(const JobEstimate& est) {
+  lockcheck::assert_held(guard_, "FairShareScheduler::release");
   SWRAMAN_ASSERT(outstanding_tasks_ >= est.n_tasks,
                  "FairShareScheduler::release: task underflow");
   outstanding_tasks_ -= est.n_tasks;
@@ -51,6 +53,7 @@ void FairShareScheduler::release(const JobEstimate& est) {
 
 void FairShareScheduler::push(const std::string& tenant, int priority,
                               double cost_seconds, TaskRef ref) {
+  lockcheck::assert_held(guard_, "FairShareScheduler::push");
   Tenant& t = tenants_[tenant];
   if (t.idle()) {
     // Returning tenant: fast-forward its clock to the active minimum so
@@ -74,6 +77,7 @@ void FairShareScheduler::push(const std::string& tenant, int priority,
 std::size_t FairShareScheduler::take(std::vector<TaskRef>* out,
                                      double target_seconds,
                                      std::size_t max_tasks) {
+  lockcheck::assert_held(guard_, "FairShareScheduler::take");
   if (n_ready_ == 0 || max_tasks == 0) return 0;
   Tenant* pick = nullptr;
   for (auto& [name, t] : tenants_) {

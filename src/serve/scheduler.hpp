@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lockcheck.hpp"
 #include "serve/job.hpp"
 
 // Weighted fair-share scheduling + admission control (DESIGN.md S11).
@@ -25,6 +26,9 @@
 // the backpressure contract of RamanService::submit.
 //
 // The scheduler does no locking; the service calls it under its mutex.
+// That contract is checkable: set_guard() names the mutex, and in
+// SWRAMAN_CHECK mode every mutating call verifies the calling thread
+// holds it (lock.guard_unheld).
 
 namespace swraman::serve {
 
@@ -47,6 +51,10 @@ struct AdmissionDecision {
 class FairShareScheduler {
  public:
   explicit FairShareScheduler(AdmissionLimits limits = {});
+
+  // Installs the mutex the caller promises to hold around every mutating
+  // call (nullptr: unchecked — standalone/unit-test use).
+  void set_guard(const lockcheck::CheckedMutex* guard) { guard_ = guard; }
 
   // Charges the job against the limits or rejects it (nothing charged).
   // force: charge unconditionally (WAL replay of already-acknowledged
@@ -94,6 +102,7 @@ class FairShareScheduler {
   };
 
   AdmissionLimits limits_;
+  const lockcheck::CheckedMutex* guard_ = nullptr;
   std::map<std::string, Tenant> tenants_;
   std::size_t n_ready_ = 0;
   std::size_t outstanding_tasks_ = 0;

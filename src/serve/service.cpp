@@ -47,6 +47,10 @@ RamanService::RamanService(ServiceOptions options)
       real_engine_(std::make_unique<RealEngine>()),
       modeled_engine_(std::make_unique<ModeledEngine>(options_.modeled)),
       scheduler_(options_.admission) {
+  // Make the "caller locks for us" contracts checkable: every mutating
+  // scheduler/cache call must hold mutex_ (lock.guard_unheld otherwise).
+  scheduler_.set_guard(&mutex_);
+  cache_.set_guard(&mutex_);
   const std::string suffix =
       options_.shard_id >= 0 ? "." + std::to_string(options_.shard_id) : "";
   queue_gauge_name_ = "serve.queue.depth" + suffix;
@@ -63,13 +67,13 @@ RamanService::RamanService(ServiceOptions options)
       pool_opts,
       [this](std::size_t worker, TaskRef ref) { execute(worker, ref); },
       [this](double target, std::size_t max_tasks, std::vector<TaskRef>* out) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const lockcheck::CheckedLock lock(mutex_);
         return scheduler_.take(out, target, max_tasks);
       },
       [this](const std::vector<TaskRef>& orphans) {
         // A dying worker's deque is re-queued centrally: the tasks run
         // again on a surviving worker (work adoption, DESIGN.md S7/S11).
-        std::lock_guard<std::mutex> lock(mutex_);
+        const lockcheck::CheckedLock lock(mutex_);
         for (const TaskRef& ref : orphans) {
           auto it = jobs_.find(ref.job);
           if (it == jobs_.end()) continue;
@@ -115,211 +119,285 @@ SubmitResult RamanService::submit(const JobSpec& spec,
   jt.attr(sub.trace.gid, submit_span, "tasks",
           static_cast<double>(est.n_tasks));
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++tallies_.jobs_submitted;
+  // One submission at a time, end to end: admission order, cache
+  // ownership and job ids stay deterministic even though the service
+  // mutex is released for the blocking middle phase below.
+  const lockcheck::CheckedLock serial(submit_serial_mutex_);
 
-  const AdmissionDecision decision =
-      scheduler_.admit(spec, est, sub.force_admit);
-  if (!decision.admitted) {
-    ++tallies_.jobs_rejected;
-    obs::count("serve.jobs.rejected");
-    SubmitResult res;
-    res.accepted = false;
-    res.reason = decision.reason;
-    // Retry-after hint: the modeled backlog divided over live workers is
-    // roughly when today's queue has drained; a burning error budget
-    // (the SLO monitor's backpressure hint) stretches it further.
-    const double workers =
-        static_cast<double>(std::max<std::size_t>(1, pool_->alive()));
-    res.retry_after_s =
-        (decision.outstanding_seconds + est.per_task_seconds) / workers;
-    if (options_.backpressure) {
-      res.retry_after_s *= 1.0 + options_.backpressure();
-    }
-    jt.attr(sub.trace.gid, submit_span, "rejected", decision.reason);
-    jt.end(sub.trace.gid, submit_span);
-    log::warn("serve: rejected job '", spec.name, "' of tenant '",
-              spec.client, "' (", decision.reason, "), retry after ",
-              res.retry_after_s, " s");
-    return res;
-  }
+  // Phase 1 (service lock): the admission decision — the only state a
+  // rejected submission ever touches.
+  {
+    const lockcheck::CheckedLock lock(mutex_);
+    ++tallies_.jobs_submitted;
 
-  // Log-before-ack: the durability hook (the shard's WAL append + fsync)
-  // runs before any job state exists. A throwing hook aborts the
-  // submission with the admission charge released and nothing queued —
-  // the job was never acknowledged, so nothing can be lost.
-  if (options_.hooks.on_accept) {
-    try {
-      options_.hooks.on_accept(sub.tag, spec);
-    } catch (...) {
-      scheduler_.release(est);
-      jt.attr(sub.trace.gid, submit_span, "aborted", "wal");
+    const AdmissionDecision decision =
+        scheduler_.admit(spec, est, sub.force_admit);
+    if (!decision.admitted) {
+      ++tallies_.jobs_rejected;
+      obs::count("serve.jobs.rejected");
+      SubmitResult res;
+      res.accepted = false;
+      res.reason = decision.reason;
+      // Retry-after hint: the modeled backlog divided over live workers
+      // is roughly when today's queue has drained; a burning error
+      // budget (the SLO monitor's backpressure hint) stretches it
+      // further.
+      const double workers =
+          static_cast<double>(std::max<std::size_t>(1, pool_->alive()));
+      res.retry_after_s =
+          (decision.outstanding_seconds + est.per_task_seconds) / workers;
+      if (options_.backpressure) {
+        res.retry_after_s *= 1.0 + options_.backpressure();
+      }
+      jt.attr(sub.trace.gid, submit_span, "rejected", decision.reason);
       jt.end(sub.trace.gid, submit_span);
-      throw;
+      log::warn("serve: rejected job '", spec.name, "' of tenant '",
+                spec.client, "' (", decision.reason, "), retry after ",
+                res.retry_after_s, " s");
+      return res;
     }
   }
 
-  ++tallies_.jobs_accepted;
-  obs::count("serve.jobs.accepted");
-  const std::uint64_t id = next_job_id_++;
-  auto owned = std::make_unique<JobState>();
-  JobState& job = *owned;
-  job.id = id;
-  job.tag = sub.tag;
-  // Task spans of this job nest under its submit span (falling back to
-  // the caller's parent when jobtrace was toggled mid-flight).
-  job.trace = sub.trace;
-  if (submit_span != 0) job.trace.parent_span = submit_span;
-  job.spec = spec;
-  job.est = est;
-  job.settings_fp = settings_fingerprint(spec);
-  job.submit_time = now_seconds();
-  job.status = JobStatus::Running;
-  job.result.status = JobStatus::Running;
-
+  // Phase 2 (no service lock): everything blocking or expensive — the
+  // WAL fsync behind on_accept, content-address hashing, checkpoint
+  // replay reads. The admission charge is the only shared state this
+  // phase owns; any throw gives it back under a fresh lock.
+  // Log-before-ack still holds: the durable append finishes before any
+  // job state exists or the submission is acknowledged. A throwing hook
+  // (wedged WAL) aborts the submission with nothing queued — the job
+  // was never acknowledged, so nothing can be lost.
+  const std::uint64_t settings_fp = settings_fingerprint(spec);
   const std::size_t n = 3 * spec.n_atoms();
   const bool with_hessian = spec.engine == EngineKind::Real && spec.with_modes;
-  job.dag = JobDag(n, with_hessian);
-  job.result.dalpha = linalg::Matrix(n, 9);
-  job.result.dmu = linalg::Matrix(n, 3);
-
-  // Content addresses for every displacement node. Real jobs hash the
-  // actual displaced geometry (canonicalized under the axis group);
-  // modeled jobs hash (scale fingerprint, coord, sign) — symmetry-blind
-  // but still dedup-identical across repeated submissions.
-  job.keys.resize(2 * n);
-  for (std::size_t coord = 0; coord < n; ++coord) {
-    for (int s = 0; s < 2; ++s) {
-      const int sign = s == 0 ? +1 : -1;
-      const std::size_t node = job.dag.displacement_id(coord, sign);
-      if (spec.engine == EngineKind::Real) {
-        std::vector<grid::AtomSite> geometry = spec.atoms;
-        geometry[coord / 3].pos[static_cast<int>(coord % 3)] +=
-            sign * spec.options.alpha_displacement;
-        const CanonicalKey ck =
-            canonical_key(geometry, job.settings_fp, options_.use_symmetry);
-        job.keys[node].key = ck.key;
-        job.keys[node].to_canonical = ck.to_canonical;
-      } else {
-        Hash64 h;
-        h.u64(job.settings_fp);
-        h.u64(coord);
-        h.u64(static_cast<std::uint64_t>(sign + 2));
-        job.keys[node].key = h.value();
-      }
+  JobDag dag;
+  std::vector<NodeKey> keys;
+  std::unique_ptr<raman::Checkpoint> checkpoint;
+  try {
+    if (options_.hooks.on_accept) {
+      options_.hooks.on_accept(sub.tag, spec);
     }
-  }
 
-  // Checkpoint restart: records finished by a previous incarnation of
-  // this job complete their nodes before anything is queued.
-  if (spec.engine == EngineKind::Real &&
-      !spec.options.checkpoint_path.empty()) {
-    job.checkpoint = std::make_unique<raman::Checkpoint>(
-        spec.options.checkpoint_path, spec.atoms,
-        spec.options.alpha_displacement);
-  }
+    dag = JobDag(n, with_hessian);
 
-  jobs_.emplace(id, std::move(owned));
-
-  std::size_t n_warm = 0;
-  std::size_t n_ckpt = 0;
-  std::size_t n_dedup_hits = 0;
-  std::size_t n_dedup_waits = 0;
-  std::vector<std::size_t> pending_roots;
-  for (std::size_t node_id : job.dag.roots()) {
-    const TaskNode& node = job.dag.node(node_id);
-    if (node.kind == TaskKind::Displacement) {
-      // WAL-replay warm set first, then the per-job checkpoint: either
-      // way the record is re-notified to the durability hook so the new
-      // shard incarnation's log carries it (replay-of-replay safety).
-      const raman::GeometryRecord* warm_rec = nullptr;
-      if (sub.warm != nullptr) {
-        const auto it = sub.warm->find({node.coord, node.sign});
-        if (it != sub.warm->end()) warm_rec = &it->second;
-      }
-      if (warm_rec == nullptr && job.checkpoint != nullptr) {
-        if (const raman::GeometryRecord* rec =
-                job.checkpoint->lookup(node.coord, node.sign)) {
-          warm_rec = rec;
-          ++n_ckpt;
-          ++tallies_.checkpoint_hits;
-          obs::count("serve.checkpoint.hits");
+    // Content addresses for every displacement node. Real jobs hash the
+    // actual displaced geometry (canonicalized under the axis group);
+    // modeled jobs hash (scale fingerprint, coord, sign) — symmetry-blind
+    // but still dedup-identical across repeated submissions.
+    keys.resize(2 * n);
+    for (std::size_t coord = 0; coord < n; ++coord) {
+      for (int s = 0; s < 2; ++s) {
+        const int sign = s == 0 ? +1 : -1;
+        const std::size_t node = dag.displacement_id(coord, sign);
+        if (spec.engine == EngineKind::Real) {
+          std::vector<grid::AtomSite> geometry = spec.atoms;
+          geometry[coord / 3].pos[static_cast<int>(coord % 3)] +=
+              sign * spec.options.alpha_displacement;
+          const CanonicalKey ck =
+              canonical_key(geometry, settings_fp, options_.use_symmetry);
+          keys[node].key = ck.key;
+          keys[node].to_canonical = ck.to_canonical;
+        } else {
+          Hash64 h;
+          h.u64(settings_fp);
+          h.u64(coord);
+          h.u64(static_cast<std::uint64_t>(sign + 2));
+          keys[node].key = h.value();
         }
-      } else if (warm_rec != nullptr) {
-        ++n_warm;
-        ++tallies_.warm_hits;
-        obs::count("serve.warm.hits");
-      }
-      if (warm_rec != nullptr) {
-        job.dag.records[node_id] = *warm_rec;
-        if (options_.hooks.on_task_durable) {
-          options_.hooks.on_task_durable(job.tag, node.coord, node.sign,
-                                         *warm_rec);
-        }
-        complete_node(kNoWorker, job, node_id);
-        continue;
       }
     }
-    pending_roots.push_back(node_id);
+
+    // Checkpoint restart: records finished by a previous incarnation of
+    // this job complete their nodes before anything is queued.
+    if (spec.engine == EngineKind::Real &&
+        !spec.options.checkpoint_path.empty()) {
+      lockcheck::blocking_call("checkpoint.replay");
+      checkpoint = std::make_unique<raman::Checkpoint>(
+          spec.options.checkpoint_path, spec.atoms,
+          spec.options.alpha_displacement);
+    }
+  } catch (...) {
+    {
+      const lockcheck::CheckedLock lock(mutex_);
+      scheduler_.release(est);
+    }
+    jt.attr(sub.trace.gid, submit_span, "aborted", "wal");
+    jt.end(sub.trace.gid, submit_span);
+    throw;
   }
 
-  for (std::size_t node_id : pending_roots) {
-    const TaskNode& node = job.dag.node(node_id);
-    if (node.kind == TaskKind::Displacement && options_.use_cache) {
-      raman::GeometryRecord rec;
-      CacheWaiter waiter;
-      waiter.job = id;
-      waiter.node = node_id;
-      waiter.from_canonical = inverse(job.keys[node_id].to_canonical);
-      switch (cache_.reference(job.keys[node_id].key, waiter, &rec)) {
-        case DisplacementCache::Ref::Owner:
-          job.keys[node_id].owner = true;
-          dispatch_ready(kNoWorker, job, node_id);
-          break;
-        case DisplacementCache::Ref::Hit:
-          ++n_dedup_hits;
-          job.dag.records[node_id] = rec;
-          if (options_.hooks.on_task_durable) {
-            options_.hooks.on_task_durable(job.tag, node.coord, node.sign,
-                                           rec);
-          }
-          complete_node(kNoWorker, job, node_id);
-          break;
-        case DisplacementCache::Ref::Wait:
-          ++n_dedup_waits;
-          break;  // released when the owner completes
-      }
-    } else {
-      dispatch_ready(kNoWorker, job, node_id);
-    }
-  }
-  pool_->notify();
-
-  if (submit_span != 0) {
-    if (n_warm != 0) {
-      jt.attr(job.trace.gid, submit_span, "warm_hits",
-              static_cast<double>(n_warm));
-    }
-    if (n_ckpt != 0) {
-      jt.attr(job.trace.gid, submit_span, "checkpoint_hits",
-              static_cast<double>(n_ckpt));
-    }
-    if (n_dedup_hits + n_dedup_waits != 0) {
-      const std::uint64_t ev =
-          jt.event(job.trace, "dedup", options_.shard_id);
-      jt.attr(job.trace.gid, ev, "hits",
-              static_cast<double>(n_dedup_hits));
-      jt.attr(job.trace.gid, ev, "waits",
-              static_cast<double>(n_dedup_waits));
-    }
-    jt.end(job.trace.gid, submit_span);
-  }
-  update_health_gauges_locked();
-
+  // Phase 3 (service lock): publish the job — id assignment, state,
+  // warm/checkpoint/dedup completions (their durability notifications
+  // deferred to the off-lock hook drain), dispatch.
   SubmitResult res;
-  res.accepted = true;
-  res.job_id = id;
+  {
+    const lockcheck::CheckedLock lock(mutex_);
+    ++tallies_.jobs_accepted;
+    obs::count("serve.jobs.accepted");
+    const std::uint64_t id = next_job_id_++;
+    auto owned = std::make_unique<JobState>();
+    JobState& job = *owned;
+    job.id = id;
+    job.tag = sub.tag;
+    // Task spans of this job nest under its submit span (falling back to
+    // the caller's parent when jobtrace was toggled mid-flight).
+    job.trace = sub.trace;
+    if (submit_span != 0) job.trace.parent_span = submit_span;
+    job.spec = spec;
+    job.est = est;
+    job.settings_fp = settings_fp;
+    job.submit_time = now_seconds();
+    job.status = JobStatus::Running;
+    job.result.status = JobStatus::Running;
+    job.dag = std::move(dag);
+    job.result.dalpha = linalg::Matrix(n, 9);
+    job.result.dmu = linalg::Matrix(n, 3);
+    job.keys = std::move(keys);
+    job.checkpoint = std::move(checkpoint);
+
+    jobs_.emplace(id, std::move(owned));
+
+    std::size_t n_warm = 0;
+    std::size_t n_ckpt = 0;
+    std::size_t n_dedup_hits = 0;
+    std::size_t n_dedup_waits = 0;
+    std::vector<std::size_t> pending_roots;
+    for (std::size_t node_id : job.dag.roots()) {
+      const TaskNode& node = job.dag.node(node_id);
+      if (node.kind == TaskKind::Displacement) {
+        // WAL-replay warm set first, then the per-job checkpoint: either
+        // way the record is re-notified to the durability hook so the new
+        // shard incarnation's log carries it (replay-of-replay safety).
+        const raman::GeometryRecord* warm_rec = nullptr;
+        if (sub.warm != nullptr) {
+          const auto it = sub.warm->find({node.coord, node.sign});
+          if (it != sub.warm->end()) warm_rec = &it->second;
+        }
+        if (warm_rec == nullptr && job.checkpoint != nullptr) {
+          if (const raman::GeometryRecord* rec =
+                  job.checkpoint->lookup(node.coord, node.sign)) {
+            warm_rec = rec;
+            ++n_ckpt;
+            ++tallies_.checkpoint_hits;
+            obs::count("serve.checkpoint.hits");
+          }
+        } else if (warm_rec != nullptr) {
+          ++n_warm;
+          ++tallies_.warm_hits;
+          obs::count("serve.warm.hits");
+        }
+        if (warm_rec != nullptr) {
+          job.dag.records[node_id] = *warm_rec;
+          defer_durable_locked(job.tag, node.coord, node.sign, *warm_rec,
+                               nullptr);
+          complete_node(kNoWorker, job, node_id);
+          continue;
+        }
+      }
+      pending_roots.push_back(node_id);
+    }
+
+    for (std::size_t node_id : pending_roots) {
+      const TaskNode& node = job.dag.node(node_id);
+      if (node.kind == TaskKind::Displacement && options_.use_cache) {
+        raman::GeometryRecord rec;
+        CacheWaiter waiter;
+        waiter.job = id;
+        waiter.node = node_id;
+        waiter.from_canonical = inverse(job.keys[node_id].to_canonical);
+        switch (cache_.reference(job.keys[node_id].key, waiter, &rec)) {
+          case DisplacementCache::Ref::Owner:
+            job.keys[node_id].owner = true;
+            dispatch_ready(kNoWorker, job, node_id);
+            break;
+          case DisplacementCache::Ref::Hit:
+            ++n_dedup_hits;
+            job.dag.records[node_id] = rec;
+            defer_durable_locked(job.tag, node.coord, node.sign, rec, nullptr);
+            complete_node(kNoWorker, job, node_id);
+            break;
+          case DisplacementCache::Ref::Wait:
+            ++n_dedup_waits;
+            break;  // released when the owner completes
+        }
+      } else {
+        dispatch_ready(kNoWorker, job, node_id);
+      }
+    }
+    pool_->notify();
+
+    if (submit_span != 0) {
+      if (n_warm != 0) {
+        jt.attr(job.trace.gid, submit_span, "warm_hits",
+                static_cast<double>(n_warm));
+      }
+      if (n_ckpt != 0) {
+        jt.attr(job.trace.gid, submit_span, "checkpoint_hits",
+                static_cast<double>(n_ckpt));
+      }
+      if (n_dedup_hits + n_dedup_waits != 0) {
+        const std::uint64_t ev =
+            jt.event(job.trace, "dedup", options_.shard_id);
+        jt.attr(job.trace.gid, ev, "hits",
+                static_cast<double>(n_dedup_hits));
+        jt.attr(job.trace.gid, ev, "waits",
+                static_cast<double>(n_dedup_waits));
+      }
+      jt.end(job.trace.gid, submit_span);
+    }
+    update_health_gauges_locked();
+
+    res.accepted = true;
+    res.job_id = id;
+  }
+  drain_hooks();
   return res;
+}
+
+void RamanService::defer_durable_locked(std::uint64_t tag, std::size_t coord,
+                                        int sign,
+                                        const raman::GeometryRecord& rec,
+                                        raman::Checkpoint* ckpt) {
+  if (!options_.hooks.on_task_durable && ckpt == nullptr) return;
+  pending_durable_.push_back({tag, coord, sign, rec, ckpt});
+  pending_hooks_.fetch_add(1, std::memory_order_release);
+}
+
+void RamanService::drain_hooks() {
+  // Fast path: nothing queued (the common case — computed results notify
+  // their hooks directly on the worker thread, off-lock).
+  if (pending_hooks_.load(std::memory_order_acquire) == 0) return;
+  // Serialize drains so checkpoint/WAL record order is stable; the lock
+  // is kAllowsBlocking because the whole point is to fsync under it.
+  const lockcheck::CheckedLock serial(hook_drain_mutex_);
+  while (true) {
+    std::vector<PendingDurable> durable;
+    std::vector<PendingFinish> finish;
+    {
+      const lockcheck::CheckedLock lock(mutex_);
+      durable.swap(pending_durable_);
+      finish.swap(pending_finish_);
+      pending_hooks_.store(0, std::memory_order_release);
+    }
+    if (durable.empty() && finish.empty()) return;
+    for (const PendingDurable& d : durable) {
+      if (d.ckpt != nullptr) {
+        lockcheck::blocking_call("checkpoint.append");
+        const lockcheck::CheckedLock ckpt_lock(checkpoint_mutex_);
+        d.ckpt->record(d.coord, d.sign, d.rec);
+      }
+      if (options_.hooks.on_task_durable) {
+        options_.hooks.on_task_durable(d.tag, d.coord, d.sign, d.rec);
+      }
+    }
+    for (const PendingFinish& f : finish) {
+      if (options_.hooks.on_finish) {
+        options_.hooks.on_finish(f.tag, f.result);
+      }
+    }
+    // Hooks may themselves complete waiters (a published record releasing
+    // a dedup wait) and enqueue more work — loop until the outboxes stay
+    // empty.
+  }
 }
 
 void RamanService::update_health_gauges_locked() {
@@ -393,8 +471,12 @@ void RamanService::finish_job(JobState& job, JobStatus status,
           std::string(job_status_name(status)));
   jt.attr(job.trace.gid, ev, "latency_s", job.result.latency_s);
   update_health_gauges_locked();
+  // The finish hook (WAL "done" record) is deferred to the off-lock
+  // drain; the record is best-effort by the WAL's contract, so waking
+  // waiters first loses nothing durable.
   if (options_.hooks.on_finish) {
-    options_.hooks.on_finish(job.tag, job.result);
+    pending_finish_.push_back({job.tag, job.result});
+    pending_hooks_.fetch_add(1, std::memory_order_release);
   }
   cv_.notify_all();
 }
@@ -445,7 +527,7 @@ bool RamanService::evaluate_with_retry(JobState& job, const TaskContext& ctx,
       throw;  // simulated hard process death must propagate
     } catch (const Error& e) {
       if (attempt >= attempts) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const lockcheck::CheckedLock lock(mutex_);
         fail_job_locked(job.id, e.what());
         return false;
       }
@@ -461,7 +543,7 @@ void RamanService::execute(std::size_t worker, TaskRef ref) {
   JobState* job = nullptr;
   TaskNode node;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const lockcheck::CheckedLock lock(mutex_);
     auto it = jobs_.find(ref.job);
     if (it == jobs_.end()) return;
     if (it->second->status != JobStatus::Running) return;  // failed: skip
@@ -492,6 +574,10 @@ void RamanService::execute(std::size_t worker, TaskRef ref) {
       run_assemble(worker, *job, ref.node);
       break;
   }
+  // Durability/finish notifications the task deferred while holding the
+  // service lock (dedup releases, terminal transitions) run now,
+  // off-lock, before the worker picks its next task.
+  drain_hooks();
 }
 
 void RamanService::run_displacement(std::size_t worker, JobState& job,
@@ -554,9 +640,12 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
 
   // Durable before visible: the checkpoint append happens before the DAG
   // learns of the completion, so a crash never loses an acknowledged
-  // geometry (same ordering the raman pipeline uses).
+  // geometry (same ordering the raman pipeline uses). Off the service
+  // lock: only checkpoint_mutex_ (kAllowsBlocking by design) is held
+  // across the file append.
   if (job.checkpoint != nullptr) {
-    std::lock_guard<std::mutex> ckpt_lock(checkpoint_mutex_);
+    lockcheck::blocking_call("checkpoint.append");
+    const lockcheck::CheckedLock ckpt_lock(checkpoint_mutex_);
     job.checkpoint->record(node.coord, node.sign, rec);
   }
   if (options_.hooks.on_task_durable) {
@@ -564,7 +653,7 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
   }
   jt.end(job.trace.gid, dspan);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   if (job.status != JobStatus::Running) {
     // The job failed while this task was in flight; still publish the
     // result so cross-job waiters of an owned key are not stranded.
@@ -583,11 +672,9 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
         }
         JobState& wjob = *it->second;
         wjob.dag.records[waiters[i].node] = waiter_records[i];
-        if (options_.hooks.on_task_durable) {
-          const TaskNode& wnode = wjob.dag.node(waiters[i].node);
-          options_.hooks.on_task_durable(wjob.tag, wnode.coord, wnode.sign,
-                                         waiter_records[i]);
-        }
+        const TaskNode& wnode = wjob.dag.node(waiters[i].node);
+        defer_durable_locked(wjob.tag, wnode.coord, wnode.sign,
+                             waiter_records[i], nullptr);
         complete_node(worker, wjob, waiters[i].node);
       }
     }
@@ -617,18 +704,12 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
       if (wjob.status != JobStatus::Running) continue;
       wjob.dag.records[waiters[i].node] = waiter_records[i];
       const TaskNode& wnode = wjob.dag.node(waiters[i].node);
-      if (wjob.checkpoint != nullptr) {
-        // Keep the waiter job's checkpoint as complete as if it had run
-        // the evaluation itself (append under the service lock is fine:
-        // checkpoint_mutex_ only orders appends against each other).
-        std::lock_guard<std::mutex> ckpt_lock(checkpoint_mutex_);
-        wjob.checkpoint->record(wnode.coord, wnode.sign,
-                                waiter_records[i]);
-      }
-      if (options_.hooks.on_task_durable) {
-        options_.hooks.on_task_durable(wjob.tag, wnode.coord, wnode.sign,
-                                       waiter_records[i]);
-      }
+      // The waiter job's checkpoint append and durability notification
+      // are deferred to the off-lock hook drain: a task record is
+      // best-effort (its loss only costs recomputation on replay), and
+      // an fsync under the service lock would stall every worker.
+      defer_durable_locked(wjob.tag, wnode.coord, wnode.sign,
+                           waiter_records[i], wjob.checkpoint.get());
       // The waiter's timeline shows where its deduped result came from.
       const std::uint64_t rel =
           jt.event(wjob.trace, "dedup.release", options_.shard_id);
@@ -657,12 +738,12 @@ void RamanService::run_hessian(std::size_t worker, JobState& job,
   } catch (const Error& e) {
     jt.attr(job.trace.gid, hspan, "failed", 1.0);
     jt.end(job.trace.gid, hspan);
-    std::lock_guard<std::mutex> lock(mutex_);
+    const lockcheck::CheckedLock lock(mutex_);
     fail_job_locked(job.id, e.what());
     return;
   }
   jt.end(job.trace.gid, hspan);
-  std::lock_guard<std::mutex> lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   if (job.status != JobStatus::Running) return;
   ++tallies_.tasks_executed;
   ++job.result.tasks_executed;
@@ -672,7 +753,7 @@ void RamanService::run_hessian(std::size_t worker, JobState& job,
 
 void RamanService::run_row(std::size_t worker, JobState& job,
                            std::size_t node_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   if (job.status != JobStatus::Running) return;
   const TaskNode node = job.dag.node(node_id);
   const std::size_t coord = node.coord;
@@ -706,7 +787,7 @@ void RamanService::run_assemble(std::size_t worker, JobState& job,
     linalg::Matrix dalpha;
     linalg::Matrix dmu;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const lockcheck::CheckedLock lock(mutex_);
       if (job.status != JobStatus::Running) return;
       hess = job.dag.hessian;
       dalpha = job.result.dalpha;
@@ -723,13 +804,13 @@ void RamanService::run_assemble(std::size_t worker, JobState& job,
     } catch (const Error& e) {
       jt.attr(job.trace.gid, aspan, "failed", 1.0);
       jt.end(job.trace.gid, aspan);
-      std::lock_guard<std::mutex> lock(mutex_);
+      const lockcheck::CheckedLock lock(mutex_);
       fail_job_locked(job.id, e.what());
       return;
     }
   }
   jt.end(job.trace.gid, aspan);
-  std::lock_guard<std::mutex> lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   if (job.status != JobStatus::Running) return;
   job.result.spectrum = std::move(spectrum);
   job.result.broadened = std::move(broadened);
@@ -738,7 +819,7 @@ void RamanService::run_assemble(std::size_t worker, JobState& job,
 
 JobResult RamanService::wait(std::uint64_t job_id) {
   if (options_.start_paused) pool_->start();
-  std::unique_lock<std::mutex> lock(mutex_);
+  lockcheck::CheckedLock lock(mutex_);
   auto it = jobs_.find(job_id);
   SWRAMAN_REQUIRE(it != jobs_.end(), "serve: wait on unknown job id");
   JobState& job = *it->second;
@@ -751,7 +832,7 @@ JobResult RamanService::wait(std::uint64_t job_id) {
 
 void RamanService::drain() {
   if (options_.start_paused) pool_->start();
-  std::unique_lock<std::mutex> lock(mutex_);
+  lockcheck::CheckedLock lock(mutex_);
   cv_.wait(lock, [this] {
     for (const auto& [id, job] : jobs_) {
       if (job->status == JobStatus::Running ||
@@ -764,7 +845,7 @@ void RamanService::drain() {
 }
 
 ServiceStats RamanService::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const lockcheck::CheckedLock lock(mutex_);
   ServiceStats s = tallies_;
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();

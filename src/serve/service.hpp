@@ -1,14 +1,15 @@
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "common/lockcheck.hpp"
 #include "obs/jobtrace.hpp"
 #include "serve/cache.hpp"
 #include "serve/dag.hpp"
@@ -23,8 +24,11 @@
 // the content-addressed cache, and lets the work-stealing pool drain the
 // weighted fair-share scheduler. wait()/drain() deliver results.
 //
-// Determinism contract: submissions are serialized under the service
-// lock, cache ownership and admission decisions are made at submit time,
+// Determinism contract: submissions are serialized end to end by the
+// submit serial lock (the service mutex itself is dropped for the
+// blocking middle phase — WAL fsync, content hashing, checkpoint
+// replay), cache ownership and admission decisions are made at submit
+// time,
 // and every derivative/spectrum is assembled from per-node result slots
 // in fixed index order — so a fixed (trace, seed, limits) produces
 // bitwise-identical job results and dedup/admission counters regardless
@@ -42,19 +46,25 @@ inline constexpr const char* kFaultTaskFail = "serve.task.fail";
 // SubmitOptions (the sharded tier's global job id), not the service-local
 // job id.
 struct ServiceHooks {
-  // Called under the service lock after the admission decision and BEFORE
-  // any job state exists or the submission is acknowledged. A throwing
-  // hook (wedged WAL) aborts the submission with no state change — the
-  // log-before-ack contract.
+  // Called OFF the service mutex (submissions stay serialized by the
+  // submit serial lock) after the admission decision and BEFORE any job
+  // state exists or the submission is acknowledged. A throwing hook
+  // (wedged WAL) aborts the submission with no state change — the
+  // log-before-ack contract. The blocking audit relies on this: the WAL
+  // fsync behind this hook must never run under a strict lock.
   std::function<void(std::uint64_t tag, const JobSpec& spec)> on_accept;
-  // Called before a finished displacement becomes visible to the job's
-  // DAG (durable-before-visible, the checkpoint ordering shard-wide).
-  // Runs on worker threads for computed results and under the service
-  // lock for warm/checkpoint/dedup completions; must not throw.
+  // Computed results: called on the worker thread, off-lock, before the
+  // DAG sees the completion (durable-before-visible). Warm/checkpoint/
+  // dedup completions: deferred through the hook outbox and drained
+  // off-lock before the enclosing submit()/execute() returns — the WAL
+  // task records are best-effort (a loss costs recomputation on replay,
+  // never an acknowledged job), so the deferral is safe. Must not throw.
   std::function<void(std::uint64_t tag, std::size_t coord, int sign,
                      const raman::GeometryRecord& rec)>
       on_task_durable;
-  // Called under the service lock when the job reaches a terminal status.
+  // Called off-lock from the hook drain after the terminal transition;
+  // wait() may observe the result before this ran (the WAL "done" record
+  // is best-effort). Must not throw.
   std::function<void(std::uint64_t tag, const JobResult& result)> on_finish;
   // Cross-shard displacement cache: consulted (off-lock, worker threads)
   // before a local owner evaluation; fills the *canonical-frame* record
@@ -189,6 +199,16 @@ class RamanService {
   void finish_job(JobState& job, JobStatus status, const std::string& error);
   void fail_job_locked(std::uint64_t job_id, const std::string& error);
 
+  // Queues a durability notification (and optional checkpoint append)
+  // discovered under mutex_ for the off-lock hook drain. Requires mutex_.
+  void defer_durable_locked(std::uint64_t tag, std::size_t coord, int sign,
+                            const raman::GeometryRecord& rec,
+                            raman::Checkpoint* ckpt);
+  // Drains the hook outboxes off-lock (fsync-backed WAL appends,
+  // checkpoint writes, finish notifications). Called at the end of
+  // submit() and execute(); serialized so hook order is stable.
+  void drain_hooks();
+
   // Refresh the per-shard health gauges (queue depth, dedup hit ratio)
   // the SLO monitor snapshots; requires mutex_ held.
   void update_health_gauges_locked();
@@ -202,15 +222,49 @@ class RamanService {
   std::string ratio_gauge_name_;
   std::string log_prefix_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable lockcheck::CheckedMutex mutex_{"serve.service"};
+  lockcheck::CheckedCondVar cv_;
   std::map<std::uint64_t, std::unique_ptr<JobState>> jobs_;
   std::uint64_t next_job_id_ = 1;
   DisplacementCache cache_;
   FairShareScheduler scheduler_;
   ServiceStats tallies_;
 
-  std::mutex checkpoint_mutex_;  // serializes checkpoint file appends
+  // Serializes whole submissions end to end while mutex_ is released for
+  // the blocking middle phase (WAL fsync, key hashing, checkpoint
+  // replay) — the determinism contract's serialization point.
+  // kAllowsBlocking: holding it across the fsync is the design.
+  lockcheck::CheckedMutex submit_serial_mutex_{
+      "serve.submit_serial", lockcheck::CheckedMutex::kAllowsBlocking};
+
+  // Serializes checkpoint file appends. kAllowsBlocking: the append's
+  // fwrite happens under it by design; the audit polices that no strict
+  // lock is held *around* it.
+  lockcheck::CheckedMutex checkpoint_mutex_{
+      "serve.ckpt", lockcheck::CheckedMutex::kAllowsBlocking};
+
+  // Hook outboxes: durability/finish notifications discovered while
+  // holding mutex_ (warm hits, dedup releases, terminal transitions) are
+  // queued here and drained off-lock — the blocking audit's fix for
+  // fsync-under-the-service-lock. Entries reference JobState-owned
+  // checkpoints; jobs_ entries are never erased, so the pointers stay
+  // valid for the service's lifetime.
+  struct PendingDurable {
+    std::uint64_t tag = 0;
+    std::size_t coord = 0;
+    int sign = 0;
+    raman::GeometryRecord rec;
+    raman::Checkpoint* ckpt = nullptr;  // also append to this checkpoint
+  };
+  struct PendingFinish {
+    std::uint64_t tag = 0;
+    JobResult result;
+  };
+  std::vector<PendingDurable> pending_durable_;  // guarded by mutex_
+  std::vector<PendingFinish> pending_finish_;    // guarded by mutex_
+  std::atomic<std::size_t> pending_hooks_{0};    // fast-path drain gate
+  lockcheck::CheckedMutex hook_drain_mutex_{
+      "serve.hook_drain", lockcheck::CheckedMutex::kAllowsBlocking};
 
   std::unique_ptr<WorkerPool> pool_;  // constructed last, stopped first
 };

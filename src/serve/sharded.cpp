@@ -37,13 +37,13 @@ ShardedRamanService::ShardedRamanService(ShardedOptions options)
     fo.lookup_timeout_s = options_.remote_lookup_timeout_s;
     fabric_ = std::make_unique<RemoteCacheFabric>(fo);
   }
-  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const lockcheck::CheckedLock lock(shards_mutex_);
   shards_.resize(options_.n_shards);
   for (std::size_t s = 0; s < options_.n_shards; ++s) make_shard(s);
 }
 
 ShardedRamanService::~ShardedRamanService() {
-  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const lockcheck::CheckedLock lock(shards_mutex_);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (fabric_ != nullptr) fabric_->stop(s);
     shards_[s].service.reset();
@@ -82,7 +82,7 @@ void ShardedRamanService::make_shard(std::size_t shard) {
     // convention), however many incarnations it took to get here.
     obs::JobTraceRegistry::instance().end(gid, 1);
     {
-      const std::lock_guard<std::mutex> lock(results_mutex_);
+      const lockcheck::CheckedLock lock(results_mutex_);
       results_[gid] = result;
       results_cv_.notify_all();
     }
@@ -144,7 +144,7 @@ void ShardedRamanService::kill_locked(std::size_t shard) {
 }
 
 void ShardedRamanService::kill_shard(std::size_t shard) {
-  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const lockcheck::CheckedLock lock(shards_mutex_);
   SWRAMAN_REQUIRE(shard < shards_.size(), "sharded: shard out of range");
   kill_locked(shard);
 }
@@ -170,7 +170,7 @@ bool ShardedRamanService::try_submit_locked(std::size_t shard,
 SubmitResult ShardedRamanService::submit(const JobSpec& spec) {
   SWRAMAN_TRACE_SPAN(span, "serve.router.submit");
   slo_.maybe_tick();
-  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const lockcheck::CheckedLock lock(shards_mutex_);
   ++submitted_;
   // Optimistic job timeline for the gid this submission gets on
   // acceptance; a terminal rejection drops it again so the reused gid
@@ -230,7 +230,7 @@ SubmitResult ShardedRamanService::submit(const JobSpec& spec) {
         obs::count("serve.router.failovers");
       }
       {
-        const std::lock_guard<std::mutex> rlock(results_mutex_);
+        const lockcheck::CheckedLock rlock(results_mutex_);
         accepted_gids_.insert(gid);
       }
       res.job_id = gid;
@@ -254,7 +254,7 @@ SubmitResult ShardedRamanService::submit(const JobSpec& spec) {
 }
 
 JobResult ShardedRamanService::wait(std::uint64_t gid) {
-  std::unique_lock<std::mutex> lock(results_mutex_);
+  lockcheck::CheckedLock lock(results_mutex_);
   SWRAMAN_REQUIRE(accepted_gids_.count(gid) != 0,
                   "sharded: wait on unknown job id");
   results_cv_.wait(lock, [&] { return results_.count(gid) != 0; });
@@ -262,7 +262,7 @@ JobResult ShardedRamanService::wait(std::uint64_t gid) {
 }
 
 void ShardedRamanService::drain() {
-  std::unique_lock<std::mutex> lock(results_mutex_);
+  lockcheck::CheckedLock lock(results_mutex_);
   results_cv_.wait(lock, [&] {
     for (const std::uint64_t gid : accepted_gids_) {
       if (results_.count(gid) == 0) return false;
@@ -272,46 +272,75 @@ void ShardedRamanService::drain() {
 }
 
 void ShardedRamanService::recover_shard(std::size_t shard) {
-  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const lockcheck::CheckedLock lock(shards_mutex_);
   SWRAMAN_REQUIRE(shard < shards_.size(), "sharded: shard out of range");
   if (router_.alive(shard)) return;
   SWRAMAN_TRACE_SPAN(span, "serve.router.recover");
   // Recovery reads ONLY the on-disk log — the crashed incarnation's
   // memory is gone. Everything acknowledged is in the durable prefix.
   const WalReplay rep = JobLog::replay(wal_path(shard));
-  make_shard(shard);
   auto& jt = obs::JobTraceRegistry::instance();
   std::size_t resubmitted = 0;
-  for (const LoggedJob& j : rep.jobs) {
-    {
-      const std::lock_guard<std::mutex> rlock(results_mutex_);
-      if (results_.count(j.gid) != 0) continue;  // delivered before death
+  // make_shard() truncates the on-disk log, so from here until the
+  // replay completes the undelivered jobs exist only in `rep`. If the
+  // fresh incarnation's WAL wedges mid-replay (injected torn write on
+  // a resubmission's log-before-ack append), the incarnation is dead on
+  // arrival: tear it down and replay `rep` onto another one instead of
+  // unwinding — unwinding would abandon the in-memory copy. Jobs that
+  // finished under a wedged incarnation are in results_ and are skipped
+  // by the retry, so nothing runs twice to completion.
+  for (int attempt = 0;; ++attempt) {
+    SWRAMAN_REQUIRE(attempt < 100,
+                    "sharded: replay WAL keeps wedging; giving up");
+    make_shard(shard);
+    bool wedged = false;
+    resubmitted = 0;
+    for (const LoggedJob& j : rep.jobs) {
+      {
+        const lockcheck::CheckedLock rlock(results_mutex_);
+        if (results_.count(j.gid) != 0) continue;  // delivered before death
+      }
+      // Stitch the new incarnation onto the job's pre-crash timeline: the
+      // WAL's trace record names the root to re-attach to, and the replay
+      // span bumps the incarnation so both sides of the kill stay visible.
+      const obs::TraceContext rctx =
+          jt.restore_root(j.gid, j.trace_root, "job");
+      obs::TraceContext trace = rctx;
+      const std::uint64_t replay_span =
+          jt.begin(rctx, "replay", static_cast<int>(shard));
+      jt.attr(j.gid, replay_span, "warm_tasks",
+              static_cast<double>(j.tasks.size()));
+      if (replay_span != 0) trace.parent_span = replay_span;
+      SubmitOptions sub;
+      sub.tag = j.gid;
+      sub.warm = &j.tasks;
+      sub.force_admit = true;  // acknowledged work is never re-rejected
+      sub.trace = trace;
+      try {
+        const SubmitResult res = shards_[shard].service->submit(j.spec, sub);
+        SWRAMAN_REQUIRE(res.accepted, "sharded: replay resubmission rejected");
+      } catch (const CheckpointError& e) {
+        log::warn("sharded: shard ", shard, " WAL wedged during replay (",
+                  e.what(), "); retrying with a fresh incarnation");
+        jt.end(j.gid, replay_span);
+        obs::count("serve.shard.replay_wedges");
+        // Same teardown order as a kill: joining the workers first lets
+        // in-flight resubmissions finish into results_.
+        if (fabric_ != nullptr) fabric_->stop(shard);
+        shards_[shard].service.reset();
+        shards_[shard].log.reset();
+        wedged = true;
+        break;
+      }
+      jt.end(j.gid, replay_span);
+      // Replay-of-replay safety: the fresh incarnation's log carries the
+      // trace pointer too.
+      if (rctx.gid != 0) shards_[shard].log->append_trace(j.gid, 1);
+      ++replayed_jobs_;
+      replayed_tasks_ += j.tasks.size();
+      ++resubmitted;
     }
-    // Stitch the new incarnation onto the job's pre-crash timeline: the
-    // WAL's trace record names the root to re-attach to, and the replay
-    // span bumps the incarnation so both sides of the kill stay visible.
-    const obs::TraceContext rctx =
-        jt.restore_root(j.gid, j.trace_root, "job");
-    obs::TraceContext trace = rctx;
-    const std::uint64_t replay_span =
-        jt.begin(rctx, "replay", static_cast<int>(shard));
-    jt.attr(j.gid, replay_span, "warm_tasks",
-            static_cast<double>(j.tasks.size()));
-    if (replay_span != 0) trace.parent_span = replay_span;
-    SubmitOptions sub;
-    sub.tag = j.gid;
-    sub.warm = &j.tasks;
-    sub.force_admit = true;  // acknowledged work is never re-rejected
-    sub.trace = trace;
-    const SubmitResult res = shards_[shard].service->submit(j.spec, sub);
-    SWRAMAN_REQUIRE(res.accepted, "sharded: replay resubmission rejected");
-    jt.end(j.gid, replay_span);
-    // Replay-of-replay safety: the fresh incarnation's log carries the
-    // trace pointer too.
-    if (rctx.gid != 0) shards_[shard].log->append_trace(j.gid, 1);
-    ++replayed_jobs_;
-    replayed_tasks_ += j.tasks.size();
-    ++resubmitted;
+    if (!wedged) break;
   }
   ++recoveries_;
   router_.mark_alive(shard);
@@ -335,22 +364,22 @@ void ShardedRamanService::recover_all() {
 }
 
 std::size_t ShardedRamanService::n_shards() const {
-  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const lockcheck::CheckedLock lock(shards_mutex_);
   return shards_.size();
 }
 
 std::size_t ShardedRamanService::n_live() const {
-  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const lockcheck::CheckedLock lock(shards_mutex_);
   return router_.n_live();
 }
 
 bool ShardedRamanService::alive(std::size_t shard) const {
-  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const lockcheck::CheckedLock lock(shards_mutex_);
   return router_.alive(shard);
 }
 
 ShardedStats ShardedRamanService::stats() const {
-  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const lockcheck::CheckedLock lock(shards_mutex_);
   ShardedStats s;
   s.jobs_submitted = submitted_;
   s.jobs_accepted = accepted_;
@@ -368,7 +397,7 @@ ShardedStats ShardedRamanService::stats() const {
     if (sh.log != nullptr) s.wal_records += sh.log->records();
   }
   {
-    const std::lock_guard<std::mutex> rlock(results_mutex_);
+    const lockcheck::CheckedLock rlock(results_mutex_);
     for (const auto& [gid, r] : results_) {
       if (r.status == JobStatus::Completed) {
         ++s.jobs_completed;

@@ -1,15 +1,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/lockcheck.hpp"
 #include "obs/slo.hpp"
 #include "serve/remote_cache.hpp"
 #include "serve/router.hpp"
@@ -150,8 +149,12 @@ class ShardedRamanService {
 
   // Lock order: shards_mutex_ -> (per-shard service mutex) ->
   // results_mutex_. Worker-thread hooks take results_mutex_ only, so
-  // kill_locked may join workers while holding shards_mutex_.
-  mutable std::mutex shards_mutex_;
+  // kill_locked may join workers while holding shards_mutex_ — which is
+  // why it is kAllowsBlocking (held across joins, WAL replay and shard
+  // reconstruction by design; the lockcheck audit verifies nothing
+  // *stricter* blocks).
+  mutable lockcheck::CheckedMutex shards_mutex_{
+      "serve.tier.shards", lockcheck::CheckedMutex::kAllowsBlocking};
   std::vector<Shard> shards_;
   std::uint64_t next_gid_ = 1;
   std::uint64_t kills_ = 0;
@@ -167,8 +170,8 @@ class ShardedRamanService {
   // threads, written under shards_mutex_).
   std::atomic<bool> ever_killed_{false};
 
-  mutable std::mutex results_mutex_;
-  std::condition_variable results_cv_;
+  mutable lockcheck::CheckedMutex results_mutex_{"serve.tier.results"};
+  lockcheck::CheckedCondVar results_cv_;
   std::map<std::uint64_t, JobResult> results_;  // by gid, terminal only
   std::set<std::uint64_t> accepted_gids_;
 };

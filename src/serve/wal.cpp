@@ -195,7 +195,12 @@ JobLog::~JobLog() {
 }
 
 bool JobLog::append_line(const std::string& body) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Announce the fsync *before* taking our own (kAllowsBlocking) mutex:
+  // the audit then sees exactly the caller-held locks, and an append
+  // reached from under a strict service/obs lock is the
+  // lock.blocking_under_lock hazard that feeds wal_fsync_p99_s.
+  lockcheck::blocking_call("wal.append_fsync");
+  const lockcheck::CheckedLock lock(mutex_);
   if (file_ == nullptr) return true;  // inactive log: appends are no-ops
   if (wedged_) {
     obs::count("serve.wal.lost_appends");

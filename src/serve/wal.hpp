@@ -3,11 +3,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/lockcheck.hpp"
 #include "raman/checkpoint.hpp"
 #include "serve/job.hpp"
 
@@ -92,7 +92,7 @@ class JobLog {
   // True once a torn write fired: the "disk" is gone, nothing appended
   // after that point is durable, and the shard must be treated as dead.
   [[nodiscard]] bool wedged() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const lockcheck::CheckedLock lock(mutex_);
     return wedged_;
   }
 
@@ -117,15 +117,15 @@ class JobLog {
   void append_trace(std::uint64_t gid, std::uint64_t root_span);
 
   [[nodiscard]] std::uint64_t records() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const lockcheck::CheckedLock lock(mutex_);
     return records_;
   }
   [[nodiscard]] std::uint64_t bytes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const lockcheck::CheckedLock lock(mutex_);
     return bytes_;
   }
   [[nodiscard]] std::uint64_t fsyncs() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const lockcheck::CheckedLock lock(mutex_);
     return fsyncs_;
   }
 
@@ -136,7 +136,12 @@ class JobLog {
   // became) wedged.
   bool append_line(const std::string& body);
 
-  mutable std::mutex mutex_;
+  // kAllowsBlocking: the fsync happens *under* this mutex by design —
+  // it is the WAL's own serialization point, not a foreign lock held
+  // across I/O. The blocking audit instead polices the callers: nobody
+  // may reach append_line while holding a strict serve/obs lock.
+  mutable lockcheck::CheckedMutex mutex_{
+      "serve.wal", lockcheck::CheckedMutex::kAllowsBlocking};
   std::string path_;
   std::FILE* file_ = nullptr;
   bool wedged_ = false;

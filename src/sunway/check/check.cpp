@@ -43,7 +43,20 @@ bool env_truthy(const char* v) {
 
 void write_env_summary() {
   const char* path = std::getenv("SWRAMAN_CHECK_FILE");
-  write_summary(path == nullptr ? "" : path);
+  const std::string json = summary_json();
+  if (path == nullptr || *path == '\0' || std::string(path) == "-") {
+    std::cerr << json << "\n";
+    return;
+  }
+  // Appended, not truncated: SWRAMAN_CHECK_FILE is shared with lockcheck
+  // as a JSON-lines file, one line per checker; both EnvInits truncate
+  // it at static init (idempotent, pre-main) and both exit hooks append.
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    log::error("swcheck: cannot open summary file ", path);
+    return;
+  }
+  out << json << "\n";
 }
 
 // Reads SWRAMAN_CHECK at static-initialization time so any binary —
@@ -54,6 +67,10 @@ struct EnvInit {
     tally();  // force construction before any atexit callback may run
     if (env_truthy(std::getenv("SWRAMAN_CHECK"))) {
       set_enabled(true);
+      const char* path = std::getenv("SWRAMAN_CHECK_FILE");
+      if (path != nullptr && *path != '\0' && std::string(path) != "-") {
+        const std::ofstream trunc(path, std::ios::trunc);
+      }
       std::atexit(write_env_summary);
     }
   }

@@ -259,6 +259,47 @@ TEST(ServeSharded, TornWalWedgeIsTreatedAsShardDeath) {
   std::filesystem::remove_all(wal_dir);
 }
 
+TEST(ServeSharded, WalWedgeDuringReplayRetriesWithFreshIncarnation) {
+  fault::ScopedFaults guard;
+  const std::string wal_dir = temp_dir("sharded_replaywedge");
+  ShardedOptions opts = fast_sharded(wal_dir, 1);
+  // Slow the spin kernel so the kill interrupts unfinished jobs — replay
+  // must actually resubmit something for its WAL appends to happen.
+  opts.service.modeled.min_iterations = 200000;
+  opts.service.modeled.max_iterations = 200000;
+  ShardedRamanService svc(opts);
+
+  std::vector<std::uint64_t> gids;
+  for (const JobSpec& spec : small_trace()) {
+    const SubmitResult res = svc.submit(spec);
+    ASSERT_TRUE(res.accepted) << res.reason;
+    gids.push_back(res.job_id);
+  }
+  svc.kill_shard(0);
+
+  // Arming resets the site's visit counter, so the next WAL append — the
+  // first replay resubmission's log-before-ack record on the *fresh*
+  // incarnation — is the one that tears. Recovery must not unwind (the
+  // truncated log means the in-memory replay set is the only copy of the
+  // undelivered jobs); it tears the wedged incarnation down and replays
+  // onto another, and `at` implies max=1 so the retry goes through.
+  fault::FaultInjector::instance().configure_from_string(
+      "serve.wal.torn_write:at=1");
+  svc.recover_shard(0);
+  EXPECT_EQ(svc.n_live(), 1u);
+
+  svc.drain();
+  for (const std::uint64_t gid : gids) {
+    EXPECT_EQ(svc.wait(gid).status, JobStatus::Completed);
+  }
+  const ShardedStats stats = svc.stats();
+  EXPECT_EQ(stats.kills, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_GE(stats.replayed_jobs, 1u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  std::filesystem::remove_all(wal_dir);
+}
+
 TEST(ServeRemoteCache, FabricHitIsBitwiseAndBounded) {
   fault::ScopedFaults guard;
   RemoteCacheFabric::Options opts;
