@@ -94,6 +94,28 @@ def check_chaos_record(path: str, i: int, r: dict) -> None:
              f"bitwise from the fault-free run")
 
 
+def check_tiers_record(path: str, i: int, r: dict) -> None:
+    """The accuracy-tier record of bench_serve_tiers: the bec tier must be
+    a capacity win (speedup >= 1) bought with strictly fewer engine
+    evaluations than full DFPT, and the golden-water error margins must be
+    finite."""
+    where = f"records[{i}]"
+    speedup = _finite_nonneg(path, where, r, "speedup")
+    if speedup < 1.0:
+        fail(f"{path}: {where} tier speedup must be >= 1 (got {speedup})")
+    dfpt = _finite_nonneg(path, where, r, "dfpt_evals")
+    bec = _finite_nonneg(path, where, r, "bec_evals")
+    if bec < 1:
+        fail(f"{path}: {where} bec_evals must be >= 1 (got {bec})")
+    if dfpt <= bec:
+        fail(f"{path}: {where} evaluation counts must be ordered "
+             f"dfpt_evals > bec_evals (got {dfpt} vs {bec})")
+    for key in ("max_activity_rel_err", "max_dmu_err", "max_dalpha_err",
+                "max_freq_abs_err_cm"):
+        if key in r:
+            _finite_nonneg(path, where, r, key)
+
+
 def check_bench(path: str, doc: dict) -> None:
     if not isinstance(doc.get("bench"), str) or not doc["bench"]:
         fail(f"{path}: bench must be a non-empty string")
@@ -108,6 +130,10 @@ def check_bench(path: str, doc: dict) -> None:
         if "recovered_jobs" in r:
             # serve-chaos shape (bench_serve_chaos --json)
             check_chaos_record(path, i, r)
+            continue
+        if "dfpt_evals" in r:
+            # accuracy-tier shape (bench_serve_tiers --json)
+            check_tiers_record(path, i, r)
             continue
         if "throughput_per_s" in r:
             # serve-throughput shape (bench_serve_throughput --json)

@@ -110,6 +110,18 @@ SWRAMAN_CHECK=1 ./build/bench/bench_serve_throughput \
 python3 scripts/check_perf_json.py "${SMOKE_DIR}/BENCH_serve.json"
 cp "${SMOKE_DIR}/BENCH_serve.json" BENCH_serve.json
 
+echo "== tier-1: accuracy-tier gate (bec vs dfpt, golden water) =="
+# The tiers bench pushes the same water-scale job batch through both
+# accuracy tiers (modeled, dedup off — capacity not caching) and then
+# runs the golden water case on the real engine: it exits non-zero unless
+# the bec tier is a wall-clock capacity win, performs >= 5x fewer engine
+# evaluations than full DFPT, and lands inside the DESIGN.md S15 golden
+# tolerances (activities within 5% on shared-Hessian modes).
+SWRAMAN_CHECK=1 ./build/bench/bench_serve_tiers \
+  --json "${SMOKE_DIR}/BENCH_tiers.json" >/dev/null
+python3 scripts/check_perf_json.py "${SMOKE_DIR}/BENCH_tiers.json"
+cp "${SMOKE_DIR}/BENCH_tiers.json" BENCH_tiers.json
+
 echo "== tier-1: hotspots pipeline (selftest + smoke report) =="
 # The ranking core is pinned by its checked-in fixture, then run over the
 # traced smoke report it will see in production (modeled allreduce cycles).

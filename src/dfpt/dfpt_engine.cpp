@@ -58,6 +58,7 @@ DfptEngine::DfptEngine(const scf::ScfEngine& scf,
 ResponseResult DfptEngine::solve_response(int axis) {
   SWRAMAN_REQUIRE(axis >= 0 && axis < 3, "solve_response: axis in [0,3)");
   SWRAMAN_TRACE_SPAN(span, "dfpt.response");
+  obs::count("dfpt.response.solves");
   if (span.active()) span.attr("axis", static_cast<double>(axis));
   const int attempts = std::max(1, options_.recovery_attempts);
   for (int attempt = 1; attempt <= attempts; ++attempt) {

@@ -101,17 +101,29 @@ Checkpoint::Checkpoint(std::string path,
       char sign_ch = 0;
       GeometryRecord r;
       bool ok = static_cast<bool>(rec >> kind >> coord >> sign_ch) &&
-                kind == "geom" && (sign_ch == '+' || sign_ch == '-') &&
-                coord < n_coords;
+                kind == "geom" &&
+                (sign_ch == '+' || sign_ch == '-' || sign_ch == '0') &&
+                (sign_ch == '0' ? coord < kMaxFieldRecords : coord < n_coords);
       for (double& v : r.alpha) ok = ok && static_cast<bool>(rec >> v);
       for (double& v : r.dipole) ok = ok && static_cast<bool>(rec >> v);
+      // Optional forces tail: "f <n> <values...>" (bec field records).
+      std::string tail;
+      if (ok && (rec >> tail)) {
+        std::size_t n_f = 0;
+        ok = tail == "f" && static_cast<bool>(rec >> n_f) && n_f <= n_coords;
+        if (ok) {
+          r.forces.resize(n_f);
+          for (double& v : r.forces) ok = ok && static_cast<bool>(rec >> v);
+        }
+      }
       if (!ok) {
         log::warn("checkpoint: dropping truncated record in ", path_,
                   " (\"", line.substr(0, 40), "\")");
         truncated = true;
         break;
       }
-      records_[{coord, sign_ch == '+' ? +1 : -1}] = r;
+      records_[{coord, sign_ch == '+' ? +1 : (sign_ch == '-' ? -1 : 0)}] =
+          std::move(r);
     }
     in.close();
     if (truncated) {
@@ -154,9 +166,14 @@ void Checkpoint::append_record(const std::pair<std::size_t, int>& key,
     throw CheckpointError("Checkpoint: cannot append to " + path_);
   }
   std::ostringstream line;
-  line << "geom " << key.first << " " << (key.second > 0 ? '+' : '-');
+  line << "geom " << key.first << " "
+       << (key.second > 0 ? '+' : (key.second < 0 ? '-' : '0'));
   for (const double v : rec.alpha) line << " " << format_double(v);
   for (const double v : rec.dipole) line << " " << format_double(v);
+  if (!rec.forces.empty()) {
+    line << " f " << rec.forces.size();
+    for (const double v : rec.forces) line << " " << format_double(v);
+  }
   line << "\n";
   const std::string text = line.str();
   out << text;

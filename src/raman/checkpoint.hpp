@@ -24,7 +24,15 @@
 //
 //   swraman-raman-checkpoint <version>
 //   system <n_coords> <displacement> <geometry-fingerprint-hex>
-//   geom <coord> <+|-> <alpha(0,0)..alpha(2,2)> <mu_x> <mu_y> <mu_z>
+//   geom <coord> <+|-|0> <alpha(0,0)..alpha(2,2)> <mu_x> <mu_y> <mu_z>
+//        [f <n> <F_0> ... <F_{n-1}>]   (tail on the same geom line)
+//
+// The bec tier reuses the same file: finite-field force records are keyed
+// (field-stencil index, sign '0') — the index is a stencil slot rather
+// than a coordinate, so it is bounded by kMaxFieldRecords instead of
+// n_coords — and carry an optional flat-forces tail after the dipole.
+// The header's displacement slot holds the field strength there, so the
+// fingerprint still refuses cross-configuration resumes.
 //
 // A truncated trailing record (the signature of a crash mid-write) is
 // dropped silently; a header or fingerprint mismatch — the file belongs
@@ -36,11 +44,17 @@ namespace swraman::raman {
 struct GeometryRecord {
   std::array<double, 9> alpha{};  // row-major 3x3 polarizability
   std::array<double, 3> dipole{};
+  // Flat 3N forces; empty for displacement records, filled for the bec
+  // tier's finite-field records.
+  std::vector<double> forces;
 };
 
 class Checkpoint {
  public:
   static constexpr int kVersion = 1;
+  // Upper bound on the stencil index of a sign-'0' (field) record; loose
+  // on purpose so the file format survives a larger stencil.
+  static constexpr std::size_t kMaxFieldRecords = 64;
 
   // Inactive checkpoint: lookups miss, records are no-ops.
   Checkpoint() = default;

@@ -46,7 +46,13 @@ struct RamanMode {
 struct RamanSpectrum {
   std::vector<RamanMode> modes;
   // Number of DFPT polarizability evaluations performed (6N + ...).
+  // Strictly the displaced-geometry count: the bec tier's finite-field
+  // force evaluations are accounted separately in n_field_forces so the
+  // two tiers' costs stay comparable.
   int n_polarizabilities = 0;
+  // Number of finite-field force evaluations (bec tier only; zero for
+  // the full DFPT pipeline).
+  int n_field_forces = 0;
 };
 
 struct BroadenedSpectrum {

@@ -39,6 +39,7 @@ inline constexpr const char* kCpeDeath = "sunway.cpe.death";
 inline constexpr const char* kScfDiverge = "scf.diverge";
 inline constexpr const char* kDfptDiverge = "dfpt.diverge";
 inline constexpr const char* kRamanKill = "raman.kill";
+inline constexpr const char* kBecKill = "raman.bec.kill";
 
 struct FaultSpec {
   double probability = 0.0;  // per-visit firing probability

@@ -315,6 +315,7 @@ void ScfEngine::solve_eigenproblem(const linalg::Matrix& h,
 
 GroundState ScfEngine::solve(const linalg::Matrix* initial_density) {
   SWRAMAN_TRACE_SPAN(span, "scf.solve");
+  obs::count("scf.solves");
   const int attempts = std::max(1, options_.recovery_attempts);
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     bool diverged = false;

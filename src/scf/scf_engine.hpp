@@ -151,6 +151,10 @@ class ScfEngine {
     return v_ext_;
   }
 
+  // Nuclear forces for a converged ground state live in scf::ForceEvaluator
+  // (scf/forces.hpp): the displaced-Lagrangian evaluation needs sibling
+  // engines at perturbed geometries, which one engine cannot own cheaply.
+
   // Fermi occupations for the given spectrum; returns occupations summing
   // to n_electrons and sets fermi (chemical potential).
   [[nodiscard]] std::vector<double> fermi_occupations(

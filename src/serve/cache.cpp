@@ -12,6 +12,9 @@ raman::GeometryRecord map_record(const raman::GeometryRecord& canonical,
   raman::GeometryRecord out;
   out.alpha = apply_tensor(from_canonical, canonical.alpha);
   out.dipole = apply_vector(from_canonical, canonical.dipole);
+  if (!canonical.forces.empty()) {
+    out.forces = apply_forces(from_canonical, canonical.forces);
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@ const char* task_kind_name(TaskKind k) {
   switch (k) {
     case TaskKind::Displacement: return "displacement";
     case TaskKind::Row: return "row";
+    case TaskKind::FieldForce: return "field-force";
     case TaskKind::Hessian: return "hessian";
     case TaskKind::Assemble: return "assemble";
   }
@@ -33,6 +34,24 @@ JobDag::JobDag(std::size_t n_coords, bool with_hessian)
       static_cast<int>(n_coords + (with_hessian ? 1 : 0)), false};
 }
 
+JobDag::JobDag(std::size_t n_coords, bool with_hessian, std::size_t n_field)
+    : n_coords_(n_coords), with_hessian_(with_hessian), n_field_(n_field) {
+  SWRAMAN_REQUIRE(n_coords > 0 && n_coords % 3 == 0,
+                  "JobDag: n_coords must be a positive multiple of 3");
+  SWRAMAN_REQUIRE(n_field > 0, "JobDag: bec layout needs field tasks");
+  nodes_.resize(n_field + (with_hessian ? 1 : 0) + 1);
+  records.resize(n_field);
+  for (std::size_t idx = 0; idx < n_field; ++idx) {
+    nodes_[field_id(idx)] = {TaskKind::FieldForce, idx, 0, 0, false};
+  }
+  if (with_hessian) {
+    nodes_[hessian_id()] = {TaskKind::Hessian, 0, +1, 0, false};
+  }
+  nodes_[assemble_id()] = {
+      TaskKind::Assemble, 0, +1,
+      static_cast<int>(n_field + (with_hessian ? 1 : 0)), false};
+}
+
 std::vector<std::size_t> JobDag::roots() const {
   std::vector<std::size_t> out;
   out.reserve(2 * n_coords_ + 1);
@@ -48,6 +67,7 @@ std::vector<std::size_t> JobDag::successors(std::size_t id) const {
     case TaskKind::Displacement:
       return {row_id(n.coord)};
     case TaskKind::Row:
+    case TaskKind::FieldForce:
     case TaskKind::Hessian:
       return {assemble_id()};
     case TaskKind::Assemble:

@@ -23,17 +23,35 @@
 // assembly task reads them in fixed index order regardless of the order
 // workers finished in — that is what makes job output bitwise independent
 // of scheduling.
+//
+// The bec tier (DESIGN.md S15) swaps the displacement/row layers for a
+// constant-width field layer:
+//
+//   13 field-force tasks    (finite-field SCF + force stencil points of
+//                            raman/bec.hpp; node id = stencil index)
+//   1 optional Hessian task
+//   1 assembly task         (bec_derivatives over the 13 records, then
+//                            modes/spectrum as in the dfpt tier)
+//
+// Field node ids are the stencil indices 0..12, then Hessian, then
+// assembly; records[idx] holds stencil point idx.
 
 namespace swraman::serve {
 
-enum class TaskKind : std::uint8_t { Displacement, Row, Hessian, Assemble };
+enum class TaskKind : std::uint8_t {
+  Displacement,
+  Row,
+  FieldForce,
+  Hessian,
+  Assemble,
+};
 
 const char* task_kind_name(TaskKind k);
 
 struct TaskNode {
   TaskKind kind = TaskKind::Displacement;
-  std::size_t coord = 0;  // Displacement / Row
-  int sign = +1;          // Displacement
+  std::size_t coord = 0;  // Displacement / Row; stencil idx for FieldForce
+  int sign = +1;          // Displacement; 0 for FieldForce
   int deps_pending = 0;   // remaining unfinished dependencies
   bool done = false;
 };
@@ -43,10 +61,14 @@ class JobDag {
   // n_coords = 3N; with_hessian adds the normal-mode task.
   JobDag() = default;
   JobDag(std::size_t n_coords, bool with_hessian);
+  // Bec-tier shape: n_field field-force roots feeding the assembly.
+  JobDag(std::size_t n_coords, bool with_hessian, std::size_t n_field);
 
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] std::size_t n_coords() const { return n_coords_; }
   [[nodiscard]] bool with_hessian() const { return with_hessian_; }
+  [[nodiscard]] bool bec() const { return n_field_ != 0; }
+  [[nodiscard]] std::size_t n_field() const { return n_field_; }
   [[nodiscard]] const TaskNode& node(std::size_t id) const {
     return nodes_[id];
   }
@@ -58,11 +80,15 @@ class JobDag {
   [[nodiscard]] std::size_t row_id(std::size_t coord) const {
     return 2 * n_coords_ + coord;
   }
+  [[nodiscard]] std::size_t field_id(std::size_t idx) const {
+    return idx;  // valid only when bec()
+  }
   [[nodiscard]] std::size_t hessian_id() const {
-    return 3 * n_coords_;  // valid only when with_hessian()
+    // Valid only when with_hessian().
+    return bec() ? n_field_ : 3 * n_coords_;
   }
   [[nodiscard]] std::size_t assemble_id() const {
-    return 3 * n_coords_ + (with_hessian_ ? 1 : 0);
+    return (bec() ? n_field_ : 3 * n_coords_) + (with_hessian_ ? 1 : 0);
   }
 
   // Roots: every node with no dependencies (displacements + Hessian).
@@ -84,6 +110,7 @@ class JobDag {
 
   std::size_t n_coords_ = 0;
   bool with_hessian_ = false;
+  std::size_t n_field_ = 0;  // 0: dfpt layout; >0: bec layout
   std::vector<TaskNode> nodes_;
   std::size_t n_done_ = 0;
 };

@@ -6,11 +6,13 @@
 #include "common/error.hpp"
 #include "dfpt/dfpt_engine.hpp"
 #include "obs/obs.hpp"
+#include "raman/bec.hpp"
 #include "scf/scf_engine.hpp"
 
 namespace swraman::serve {
 
 raman::GeometryRecord RealEngine::evaluate(const TaskContext& ctx) {
+  if (ctx.field_force) return evaluate_field(ctx);
   const JobSpec& spec = *ctx.spec;
   SWRAMAN_REQUIRE(ctx.coord < 3 * spec.atoms.size(),
                   "RealEngine: coordinate out of range");
@@ -29,6 +31,53 @@ raman::GeometryRecord RealEngine::evaluate(const TaskContext& ctx) {
   raman::GeometryRecord rec;
   for (std::size_t i = 0; i < 3; ++i) {
     for (std::size_t j = 0; j < 3; ++j) rec.alpha[3 * i + j] = alpha(i, j);
+    rec.dipole[i] = gs.dipole[static_cast<int>(i)];
+  }
+  return rec;
+}
+
+raman::GeometryRecord RealEngine::evaluate_field(const TaskContext& ctx) {
+  const JobSpec& spec = *ctx.spec;
+  SWRAMAN_REQUIRE(
+      ctx.coord < static_cast<std::size_t>(raman::n_field_points()),
+      "RealEngine: field stencil index out of range");
+
+  // Finite-field SCF at the equilibrium geometry (the per-task solve).
+  scf::ScfOptions field_opts = spec.options.vibrations.scf;
+  const Vec3 field =
+      raman::field_vector(static_cast<int>(ctx.coord), spec.bec_field);
+  field_opts.electric_field = field;
+  scf::ScfEngine engine(spec.atoms, field_opts);
+  const scf::GroundState gs = engine.solve();
+  if (!gs.converged) {
+    throw ConvergenceError("serve: finite-field SCF did not converge");
+  }
+
+  // Shared field-free displaced-sibling evaluator (see engine.hpp).
+  std::shared_ptr<const scf::ForceEvaluator> evaluator;
+  {
+    Hash64 h;
+    h.str("force-evaluator");
+    h.u64(settings_fingerprint(spec));
+    for (const auto& a : spec.atoms) {
+      h.u64(static_cast<std::uint64_t>(a.z));
+      h.f64(a.pos.x);
+      h.f64(a.pos.y);
+      h.f64(a.pos.z);
+    }
+    const std::uint64_t key = h.value();
+    lockcheck::CheckedLock guard(forces_mutex_);
+    if (!forces_ || forces_key_ != key) {
+      forces_ = std::make_shared<const scf::ForceEvaluator>(
+          spec.atoms, spec.options.vibrations.scf);
+      forces_key_ = key;
+    }
+    evaluator = forces_;
+  }
+
+  raman::GeometryRecord rec;
+  rec.forces = evaluator->forces(gs, field);
+  for (std::size_t i = 0; i < 3; ++i) {
     rec.dipole[i] = gs.dipole[static_cast<int>(i)];
   }
   return rec;
@@ -60,14 +109,27 @@ raman::GeometryRecord ModeledEngine::evaluate(const TaskContext& ctx) {
   // dedup changes nothing.
   std::uint64_t state = ctx.canonical_key ^ options_.seed;
   raman::GeometryRecord canonical;
-  for (int i = 0; i < 3; ++i) {
-    for (int j = i; j < 3; ++j) {
-      const double v = i == j ? 4.0 + 2.0 * unit_double(splitmix64(state))
-                              : 0.4 * (unit_double(splitmix64(state)) - 0.5);
-      canonical.alpha[3 * i + j] = v;
-      canonical.alpha[3 * j + i] = v;  // symmetric, like the real tensor
+  if (ctx.field_force) {
+    // Field-force task: the record is a 3N force vector (plus the field
+    // dipole), same deterministic-stream contract as displacements.
+    canonical.forces.resize(ctx.n_forces);
+    for (auto& f : canonical.forces) {
+      f = 0.1 * (unit_double(splitmix64(state)) - 0.5);
     }
-    canonical.dipole[i] = 0.2 * (unit_double(splitmix64(state)) - 0.5);
+    for (int i = 0; i < 3; ++i) {
+      canonical.dipole[i] = 0.2 * (unit_double(splitmix64(state)) - 0.5);
+    }
+  } else {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i; j < 3; ++j) {
+        const double v = i == j
+                             ? 4.0 + 2.0 * unit_double(splitmix64(state))
+                             : 0.4 * (unit_double(splitmix64(state)) - 0.5);
+        canonical.alpha[3 * i + j] = v;
+        canonical.alpha[3 * j + i] = v;  // symmetric, like the real tensor
+      }
+      canonical.dipole[i] = 0.2 * (unit_double(splitmix64(state)) - 0.5);
+    }
   }
 
   // Burn CPU proportional to the task's modeled cost so the scheduler
@@ -94,6 +156,9 @@ raman::GeometryRecord ModeledEngine::evaluate(const TaskContext& ctx) {
   raman::GeometryRecord rec;
   rec.alpha = apply_tensor(from, canonical.alpha);
   rec.dipole = apply_vector(from, canonical.dipole);
+  if (!canonical.forces.empty()) {
+    rec.forces = apply_forces(from, canonical.forces);
+  }
   return rec;
 }
 

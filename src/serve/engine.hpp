@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
+#include "common/lockcheck.hpp"
+#include "scf/forces.hpp"
 #include "serve/job.hpp"
 
 // Displacement-task execution backends. The service hands a backend one
@@ -22,25 +25,40 @@ namespace swraman::serve {
 
 struct TaskContext {
   const JobSpec* spec = nullptr;
-  std::size_t coord = 0;
-  int sign = +1;
+  std::size_t coord = 0;  // displacement coordinate, or field stencil index
+  int sign = +1;          // 0 for field-force tasks
   std::uint64_t canonical_key = 0;
   AxisTransform to_canonical;    // canonical frame = T(own frame)
   double cost_seconds = 0.0;     // modeled cost of this evaluation
+  bool field_force = false;      // bec tier: coord is the stencil index
+  std::size_t n_forces = 0;      // 3N force components (field tasks only)
 };
 
 class DisplacementEngine {
  public:
   virtual ~DisplacementEngine() = default;
-  // Polarizability + dipole of the displaced geometry, in the task's own
-  // frame. May throw (ConvergenceError, TimeoutError, injected faults);
-  // the service owns the bounded retry.
+  // Polarizability + dipole of the displaced geometry — or, for a
+  // field-force task, the 3N force vector at one field stencil point —
+  // in the task's own frame. May throw (ConvergenceError, TimeoutError,
+  // injected faults); the service owns the bounded retry.
   virtual raman::GeometryRecord evaluate(const TaskContext& ctx) = 0;
 };
 
 class RealEngine : public DisplacementEngine {
  public:
   raman::GeometryRecord evaluate(const TaskContext& ctx) override;
+
+ private:
+  raman::GeometryRecord evaluate_field(const TaskContext& ctx);
+
+  // The 13 field stencil points of one bec job share the equilibrium
+  // displaced-sibling engines, so the evaluator (a 6N engine build, no
+  // SCF) is cached across tasks keyed by (geometry, settings). forces()
+  // is const and safe to call concurrently; the shared_ptr keeps an old
+  // evaluator alive for in-flight tasks while a new job swaps it out.
+  lockcheck::CheckedMutex forces_mutex_{"serve.real.forces"};
+  std::uint64_t forces_key_ = 0;
+  std::shared_ptr<const scf::ForceEvaluator> forces_;
 };
 
 struct ModeledEngineOptions {

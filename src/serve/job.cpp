@@ -5,10 +5,19 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "raman/bec.hpp"
 #include "sunway/arch.hpp"
 #include "sunway/cost_model.hpp"
 
 namespace swraman::serve {
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::Dfpt: return "dfpt";
+    case Tier::Bec: return "bec";
+  }
+  return "?";
+}
 
 const char* job_status_name(JobStatus s) {
   switch (s) {
@@ -159,9 +168,74 @@ CanonicalKey canonical_key(const std::vector<grid::AtomSite>& geometry,
   return out;
 }
 
+std::vector<double> apply_forces(const AxisTransform& t,
+                                 const std::vector<double>& forces) {
+  SWRAMAN_REQUIRE(forces.size() % 3 == 0, "apply_forces: not a 3N vector");
+  std::vector<double> out(forces.size());
+  for (std::size_t a = 0; a < forces.size() / 3; ++a) {
+    for (int i = 0; i < 3; ++i) {
+      double v = t.sign[i] * forces[3 * a + static_cast<std::size_t>(t.perm[i])];
+      if (v == 0.0) v = 0.0;
+      out[3 * a + static_cast<std::size_t>(i)] = v;
+    }
+  }
+  return out;
+}
+
+CanonicalKey canonical_field_key(const std::vector<grid::AtomSite>& geometry,
+                                 const std::array<int, 3>& field_dir,
+                                 std::uint64_t settings_fp,
+                                 bool use_symmetry) {
+  SWRAMAN_REQUIRE(!geometry.empty(), "canonical_field_key: empty geometry");
+  // Image = [field ints, atom rows in submission order]: the same
+  // transform rotates geometry and field together, so two stencil points
+  // collide only when a cube symmetry maps one (geometry, field) pair
+  // exactly onto the other.
+  const auto image = [&](const AxisTransform& t) {
+    std::vector<std::uint64_t> img;
+    img.reserve(3 + 4 * geometry.size());
+    for (int i = 0; i < 3; ++i) {
+      img.push_back(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(t.sign[i] * field_dir[static_cast<std::size_t>(t.perm[i])])));
+    }
+    for (const grid::AtomSite& a : geometry) {
+      const Vec3 p = apply(t, a.pos);
+      img.push_back(static_cast<std::uint64_t>(a.z));
+      for (int i = 0; i < 3; ++i) {
+        double v = p[i];
+        if (v == 0.0) v = 0.0;
+        img.push_back(std::bit_cast<std::uint64_t>(v));
+      }
+    }
+    return img;
+  };
+  CanonicalKey out;
+  std::vector<std::uint64_t> best;
+  if (!use_symmetry) {
+    best = image(AxisTransform{});
+  } else {
+    for (const AxisTransform& t : axis_transforms()) {
+      std::vector<std::uint64_t> img = image(t);
+      if (best.empty() || img < best) {
+        best = std::move(img);
+        out.to_canonical = t;
+      }
+    }
+  }
+  Hash64 h;
+  h.str("field-force");  // domain separation from displacement keys
+  h.u64(settings_fp);
+  h.u64(best.size());
+  for (std::uint64_t v : best) h.u64(v);
+  out.key = h.value();
+  return out;
+}
+
 std::uint64_t settings_fingerprint(const JobSpec& spec) {
   Hash64 h;
   h.u64(static_cast<std::uint64_t>(spec.engine));
+  h.u64(static_cast<std::uint64_t>(spec.tier));
+  if (spec.tier == Tier::Bec) h.f64(spec.bec_field);
   if (spec.engine == EngineKind::Modeled) {
     // Modeled results depend on the scale only (geometry is synthetic).
     h.u64(spec.scale.n_atoms);
@@ -207,17 +281,34 @@ JobEstimate estimate_job(const JobSpec& spec) {
   // directions of dfpt_iterations DFPT cycles over the three grid kernels.
   const double iter_s =
       kernel_s(model.n1) + kernel_s(model.v1) + kernel_s(model.h1);
-  const double cycles =
-      model.scf_iterations +
-      model.response_directions * model.dfpt_iterations;
+  const std::size_t n_coords = 3 * scale.n_atoms;
 
   JobEstimate est;
-  est.per_task_seconds = iter_s * cycles;
-  const std::size_t n_coords = 3 * scale.n_atoms;
-  // DAG: 6N displacements + 3N rows + 1 assembly (+ 1 Hessian task).
-  est.n_tasks = 2 * n_coords + n_coords + 1 +
-                (spec.engine == EngineKind::Real && spec.with_modes ? 1 : 0);
-  est.total_seconds = est.per_task_seconds * static_cast<double>(2 * n_coords);
+  if (spec.tier == Tier::Bec) {
+    // One field-force task = one SCF solve at fixed geometry plus the
+    // 6N frozen-state Lagrangian grid passes of the force stencil (two
+    // of the three kernels each — no eigensolve). The task count is a
+    // constant 13 + assembly (+ Hessian): the paper's O(1)-in-N field
+    // loop, which is what admission control gets to exploit.
+    const double field_tasks = static_cast<double>(raman::n_field_points());
+    est.per_task_seconds =
+        iter_s * model.scf_iterations +
+        (kernel_s(model.n1) + kernel_s(model.v1)) *
+            static_cast<double>(2 * n_coords);
+    est.n_tasks = static_cast<std::size_t>(field_tasks) + 1 +
+                  (spec.engine == EngineKind::Real && spec.with_modes ? 1 : 0);
+    est.total_seconds = est.per_task_seconds * field_tasks;
+  } else {
+    const double cycles =
+        model.scf_iterations +
+        model.response_directions * model.dfpt_iterations;
+    est.per_task_seconds = iter_s * cycles;
+    // DAG: 6N displacements + 3N rows + 1 assembly (+ 1 Hessian task).
+    est.n_tasks = 2 * n_coords + n_coords + 1 +
+                  (spec.engine == EngineKind::Real && spec.with_modes ? 1 : 0);
+    est.total_seconds =
+        est.per_task_seconds * static_cast<double>(2 * n_coords);
+  }
   // Resident footprint while the job is in flight: one GeometryRecord per
   // displacement node, the derivative matrices, and (real engine) the
   // basis-sized work arrays of the heaviest concurrent SCF.

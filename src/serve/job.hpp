@@ -28,6 +28,15 @@ enum class EngineKind {
   Modeled,  // cost-model-calibrated synthetic evaluation (core/workload)
 };
 
+// Accuracy tier of one job (DESIGN.md S15). Dfpt is the full pipeline:
+// 6N displaced-geometry DFPT polarizabilities. Bec is the RASCBEC fast
+// tier: a fixed 13-point finite-field force stencil at the equilibrium
+// geometry (raman/bec.hpp), O(1) in the atom count, priced and admitted
+// accordingly.
+enum class Tier : std::uint8_t { Dfpt, Bec };
+
+const char* tier_name(Tier t);
+
 struct JobSpec {
   std::string client = "default";  // tenant id (fair-share accounting unit)
   std::string name;                // label for traces and reports
@@ -52,6 +61,14 @@ struct JobSpec {
   // Bounded retry per task on transient failures (comm timeouts, injected
   // worker faults) — mirrors RamanOptions::geometry_attempts.
   int attempts = 2;
+
+  // Accuracy tier: Dfpt decomposes into 6N displacement tasks, Bec into
+  // the 13 field-force tasks of raman/bec.hpp. Part of the settings
+  // fingerprint — the two tiers never share cache entries.
+  Tier tier = Tier::Dfpt;
+  // Finite field strength of the bec stencil (atomic units); result-
+  // determining, so fingerprinted and WAL-encoded.
+  double bec_field = 1e-2;
 
   [[nodiscard]] std::size_t n_atoms() const {
     return engine == EngineKind::Real ? atoms.size() : scale.n_atoms;
@@ -129,6 +146,26 @@ struct CanonicalKey {
 
 CanonicalKey canonical_key(const std::vector<grid::AtomSite>& geometry,
                            std::uint64_t settings_fp, bool use_symmetry);
+
+// Canonical content-address of one finite-field force task: the shared
+// equilibrium geometry plus the integer field direction of the stencil
+// point, both mapped through the SAME transform — a field task may only
+// fold onto another field task whose rotated field matches, so +E e_x and
+// +E e_y never collide unless a symmetry really maps one onto the other.
+// Unlike canonical_key the atoms are NOT sorted: the cached record is a
+// per-atom force vector, and sorting would silently permute atom rows
+// between submissions. A domain-separation tag keeps field keys disjoint
+// from displacement keys even on hash collision inputs.
+CanonicalKey canonical_field_key(const std::vector<grid::AtomSite>& geometry,
+                                 const std::array<int, 3>& field_dir,
+                                 std::uint64_t settings_fp,
+                                 bool use_symmetry);
+
+// Force vector (flat 3N, atom-major) through a signed axis permutation:
+// out[3a + i] = sign_i * forces[3a + perm_i]. Exact (bit moves only),
+// like apply_tensor / apply_vector; -0.0 is folded onto +0.0.
+std::vector<double> apply_forces(const AxisTransform& t,
+                                 const std::vector<double>& forces);
 
 // Fingerprint of every engine setting that changes a displacement result:
 // two jobs share cache entries iff their fingerprints (and geometries)

@@ -19,10 +19,15 @@ namespace {
 // one shard never collide in the mailbox.
 constexpr int kRequestTag = 0;
 
-// request  = [key bits, response tag, trace gid bits, trace parent bits]
-//            (gid 0: untraced request)
-// response = [found, alpha[0..8], dipole[0..2]]  (found = 0: miss)
-constexpr std::size_t kRequestLen = 4;
+// request  = [key bits, response tag, trace gid bits, trace parent bits,
+//             n_forces]  (gid 0: untraced request)
+// response = [found, alpha[0..8], dipole[0..2], forces[0..n_forces-1]]
+//            (found = 0: miss)
+// n_forces is 0 for displacement records; bec field-force records carry
+// their 3N force vector behind the fixed 13-double head. The requester
+// knows n_forces up front and binds its per-call response tag to the
+// exact frame length, overriding the 13-double default binding.
+constexpr std::size_t kRequestLen = 5;
 constexpr std::size_t kResponseLen = 13;
 
 double key_bits(std::uint64_t key) { return std::bit_cast<double>(key); }
@@ -94,7 +99,8 @@ void RemoteCacheFabric::publish(std::size_t shard, std::uint64_t key,
 bool RemoteCacheFabric::lookup(std::size_t shard, std::size_t peer,
                                std::uint64_t key,
                                raman::GeometryRecord* out,
-                               const obs::TraceContext& ctx) {
+                               const obs::TraceContext& ctx,
+                               std::size_t n_forces) {
   SWRAMAN_REQUIRE(shard < nodes_.size() && peer < nodes_.size(),
                   "RemoteCacheFabric: shard out of range");
   SWRAMAN_REQUIRE(peer != shard, "RemoteCacheFabric: lookup on self");
@@ -113,12 +119,21 @@ bool RemoteCacheFabric::lookup(std::size_t shard, std::size_t peer,
     return false;
   }
   const int resp_tag = next_resp_tag_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t resp_len = kResponseLen + n_forces;
+  if (n_forces != 0) {
+    // Field-force responses outgrow the default 13-double binding; the
+    // per-call tag is fresh (monotonic counter), so this explicit bind
+    // never rebinds a live tag.
+    parallel::commcheck::bind_tag(comms_[shard].context_id(), resp_tag,
+                                  resp_len, "cache.response.forces");
+  }
   // The trace context travels in the request frame: the serving shard's
   // side of this round trip lands on the same per-job timeline.
   comms_[shard].send(peer,
                      {key_bits(key), static_cast<double>(resp_tag),
                       key_bits(ctx.gid),
-                      key_bits(lspan != 0 ? lspan : ctx.parent_span)},
+                      key_bits(lspan != 0 ? lspan : ctx.parent_span),
+                      static_cast<double>(n_forces)},
                      kRequestTag);
   std::vector<double> resp;
   if (!comms_[shard].try_recv(peer, resp_tag, options_.lookup_timeout_s,
@@ -136,7 +151,7 @@ bool RemoteCacheFabric::lookup(std::size_t shard, std::size_t peer,
     jt.end(ctx.gid, lspan);
     return false;
   }
-  if (resp.size() != kResponseLen || resp[0] == 0.0) {
+  if (resp.size() != resp_len || resp[0] == 0.0) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     jt.attr(ctx.gid, lspan, "hit", 0.0);
     jt.end(ctx.gid, lspan);
@@ -144,6 +159,8 @@ bool RemoteCacheFabric::lookup(std::size_t shard, std::size_t peer,
   }
   for (std::size_t i = 0; i < 9; ++i) out->alpha[i] = resp[1 + i];
   for (std::size_t i = 0; i < 3; ++i) out->dipole[i] = resp[10 + i];
+  out->forces.assign(resp.begin() + static_cast<std::ptrdiff_t>(kResponseLen),
+                     resp.end());
   hits_.fetch_add(1, std::memory_order_relaxed);
   jt.attr(ctx.gid, lspan, "hit", 1.0);
   jt.end(ctx.gid, lspan);
@@ -165,20 +182,28 @@ void RemoteCacheFabric::serve_loop(std::size_t shard) {
       const std::uint64_t key = bits_key(req[0]);
       const int resp_tag = static_cast<int>(req[1]);
       const obs::TraceContext req_ctx{bits_key(req[2]), bits_key(req[3])};
+      const std::size_t n_forces = static_cast<std::size_t>(req[4]);
       // Miss and hit share one wire type (found flag up front): the
-      // response tag is bound to a single 13-double frame in the p2p
-      // verifier, so a short miss frame would be a tag mismatch.
-      std::vector<double> resp(kResponseLen, 0.0);
+      // response tag is bound to a single frame length of
+      // 13 + n_forces doubles, so a short miss frame would be a tag
+      // mismatch. A stored record whose force vector disagrees with the
+      // requested length answers as a miss — the content address should
+      // make that impossible, but a mismatch must degrade, not corrupt.
+      std::vector<double> resp(kResponseLen + n_forces, 0.0);
       {
         const lockcheck::CheckedLock lock(node.mutex);
         const auto it = node.table.find(key);
-        if (it != node.table.end()) {
+        if (it != node.table.end() &&
+            it->second.forces.size() == n_forces) {
           resp[0] = 1.0;
           for (std::size_t i = 0; i < 9; ++i) {
             resp[1 + i] = it->second.alpha[i];
           }
           for (std::size_t i = 0; i < 3; ++i) {
             resp[10 + i] = it->second.dipole[i];
+          }
+          for (std::size_t i = 0; i < n_forces; ++i) {
+            resp[kResponseLen + i] = it->second.forces[i];
           }
         }
       }

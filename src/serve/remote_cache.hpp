@@ -81,10 +81,14 @@ class RemoteCacheFabric {
   // return false — the caller computes locally. `ctx` is the requesting
   // job's trace context: it rides the request frame so the serving shard
   // stamps a "remote.serve" event onto the same cross-shard timeline
-  // (the default inactive context traces nothing).
+  // (the default inactive context traces nothing). `n_forces` is the
+  // expected force-vector length of the record: 0 for displacement
+  // records, 3N for the bec tier's field-force records — it sizes the
+  // response frame, and a stored record whose force vector disagrees
+  // answers as a miss.
   bool lookup(std::size_t shard, std::size_t peer, std::uint64_t key,
               raman::GeometryRecord* out,
-              const obs::TraceContext& ctx = {});
+              const obs::TraceContext& ctx = {}, std::size_t n_forces = 0);
 
   [[nodiscard]] std::size_t n_shards() const { return nodes_.size(); }
   [[nodiscard]] Stats stats() const;

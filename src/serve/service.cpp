@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "obs/obs.hpp"
+#include "raman/bec.hpp"
 #include "raman/vibrations.hpp"
 #include "robustness/fault.hpp"
 
@@ -29,7 +30,8 @@ struct RamanService::JobState {
   JobEstimate est;
   std::uint64_t settings_fp = 0;
   JobDag dag;
-  // Per displacement node (ids 0..6N-1): content address + ownership.
+  // Per root node (displacement ids 0..6N-1, or field ids 0..12):
+  // content address + ownership.
   std::vector<NodeKey> keys;
   std::unique_ptr<raman::Checkpoint> checkpoint;
   JobStatus status = JobStatus::Queued;
@@ -116,6 +118,8 @@ SubmitResult RamanService::submit(const JobSpec& spec,
   const std::uint64_t submit_span =
       jt.begin(sub.trace, "submit", options_.shard_id);
   jt.attr(sub.trace.gid, submit_span, "tenant", spec.client);
+  jt.attr(sub.trace.gid, submit_span, "tier",
+          std::string(tier_name(spec.tier)));
   jt.attr(sub.trace.gid, submit_span, "tasks",
           static_cast<double>(est.n_tasks));
 
@@ -169,6 +173,9 @@ SubmitResult RamanService::submit(const JobSpec& spec,
   const std::uint64_t settings_fp = settings_fingerprint(spec);
   const std::size_t n = 3 * spec.n_atoms();
   const bool with_hessian = spec.engine == EngineKind::Real && spec.with_modes;
+  const bool bec = spec.tier == Tier::Bec;
+  const std::size_t n_field =
+      bec ? static_cast<std::size_t>(raman::n_field_points()) : 0;
   JobDag dag;
   std::vector<NodeKey> keys;
   std::unique_ptr<raman::Checkpoint> checkpoint;
@@ -177,43 +184,70 @@ SubmitResult RamanService::submit(const JobSpec& spec,
       options_.hooks.on_accept(sub.tag, spec);
     }
 
-    dag = JobDag(n, with_hessian);
+    dag = bec ? JobDag(n, with_hessian, n_field) : JobDag(n, with_hessian);
 
-    // Content addresses for every displacement node. Real jobs hash the
-    // actual displaced geometry (canonicalized under the axis group);
-    // modeled jobs hash (scale fingerprint, coord, sign) — symmetry-blind
-    // but still dedup-identical across repeated submissions.
-    keys.resize(2 * n);
-    for (std::size_t coord = 0; coord < n; ++coord) {
-      for (int s = 0; s < 2; ++s) {
-        const int sign = s == 0 ? +1 : -1;
-        const std::size_t node = dag.displacement_id(coord, sign);
+    if (bec) {
+      // Content addresses for the 13 field-force tasks. Real jobs hash
+      // the equilibrium geometry plus the integer field direction under
+      // one shared transform (canonical_field_key); modeled jobs hash
+      // (scale fingerprint, stencil index) — symmetry-blind but still
+      // dedup-identical across repeated submissions.
+      keys.resize(n_field);
+      for (std::size_t idx = 0; idx < n_field; ++idx) {
         if (spec.engine == EngineKind::Real) {
-          std::vector<grid::AtomSite> geometry = spec.atoms;
-          geometry[coord / 3].pos[static_cast<int>(coord % 3)] +=
-              sign * spec.options.alpha_displacement;
-          const CanonicalKey ck =
-              canonical_key(geometry, settings_fp, options_.use_symmetry);
-          keys[node].key = ck.key;
-          keys[node].to_canonical = ck.to_canonical;
+          const CanonicalKey ck = canonical_field_key(
+              spec.atoms, raman::field_direction(static_cast<int>(idx)),
+              settings_fp, options_.use_symmetry);
+          keys[idx].key = ck.key;
+          keys[idx].to_canonical = ck.to_canonical;
         } else {
           Hash64 h;
           h.u64(settings_fp);
-          h.u64(coord);
-          h.u64(static_cast<std::uint64_t>(sign + 2));
-          keys[node].key = h.value();
+          h.str("field");
+          h.u64(idx);
+          keys[idx].key = h.value();
+        }
+      }
+    } else {
+      // Content addresses for every displacement node. Real jobs hash the
+      // actual displaced geometry (canonicalized under the axis group);
+      // modeled jobs hash (scale fingerprint, coord, sign) —
+      // symmetry-blind but still dedup-identical across repeated
+      // submissions.
+      keys.resize(2 * n);
+      for (std::size_t coord = 0; coord < n; ++coord) {
+        for (int s = 0; s < 2; ++s) {
+          const int sign = s == 0 ? +1 : -1;
+          const std::size_t node = dag.displacement_id(coord, sign);
+          if (spec.engine == EngineKind::Real) {
+            std::vector<grid::AtomSite> geometry = spec.atoms;
+            geometry[coord / 3].pos[static_cast<int>(coord % 3)] +=
+                sign * spec.options.alpha_displacement;
+            const CanonicalKey ck =
+                canonical_key(geometry, settings_fp, options_.use_symmetry);
+            keys[node].key = ck.key;
+            keys[node].to_canonical = ck.to_canonical;
+          } else {
+            Hash64 h;
+            h.u64(settings_fp);
+            h.u64(coord);
+            h.u64(static_cast<std::uint64_t>(sign + 2));
+            keys[node].key = h.value();
+          }
         }
       }
     }
 
     // Checkpoint restart: records finished by a previous incarnation of
-    // this job complete their nodes before anything is queued.
+    // this job complete their nodes before anything is queued. The bec
+    // tier keys its field records (stencil index, sign 0) and stamps the
+    // field strength into the header's displacement slot.
     if (spec.engine == EngineKind::Real &&
         !spec.options.checkpoint_path.empty()) {
       lockcheck::blocking_call("checkpoint.replay");
       checkpoint = std::make_unique<raman::Checkpoint>(
           spec.options.checkpoint_path, spec.atoms,
-          spec.options.alpha_displacement);
+          bec ? spec.bec_field : spec.options.alpha_displacement);
     }
   } catch (...) {
     {
@@ -263,7 +297,8 @@ SubmitResult RamanService::submit(const JobSpec& spec,
     std::vector<std::size_t> pending_roots;
     for (std::size_t node_id : job.dag.roots()) {
       const TaskNode& node = job.dag.node(node_id);
-      if (node.kind == TaskKind::Displacement) {
+      if (node.kind == TaskKind::Displacement ||
+          node.kind == TaskKind::FieldForce) {
         // WAL-replay warm set first, then the per-job checkpoint: either
         // way the record is re-notified to the durability hook so the new
         // shard incarnation's log carries it (replay-of-replay safety).
@@ -298,7 +333,9 @@ SubmitResult RamanService::submit(const JobSpec& spec,
 
     for (std::size_t node_id : pending_roots) {
       const TaskNode& node = job.dag.node(node_id);
-      if (node.kind == TaskKind::Displacement && options_.use_cache) {
+      if ((node.kind == TaskKind::Displacement ||
+           node.kind == TaskKind::FieldForce) &&
+          options_.use_cache) {
         raman::GeometryRecord rec;
         CacheWaiter waiter;
         waiter.job = id;
@@ -409,6 +446,7 @@ void RamanService::update_health_gauges_locked() {
 double RamanService::node_cost(const JobState& job, std::size_t node) const {
   switch (job.dag.node(node).kind) {
     case TaskKind::Displacement:
+    case TaskKind::FieldForce:
       return job.est.per_task_seconds;
     case TaskKind::Hessian:
       // (1 + 6N + O(N^2)) extra SCF solves; charge quadratically in the
@@ -464,6 +502,10 @@ void RamanService::finish_job(JobState& job, JobStatus status,
   }
   obs::observe(("serve.latency." + job.spec.client).c_str(),
                job.result.latency_s);
+  obs::observe(
+      ("serve.latency.tier." + std::string(tier_name(job.spec.tier)))
+          .c_str(),
+      job.result.latency_s);
   obs::observe("serve.latency", job.result.latency_s);
   auto& jt = obs::JobTraceRegistry::instance();
   const std::uint64_t ev = jt.event(job.trace, "finish", options_.shard_id);
@@ -564,6 +606,9 @@ void RamanService::execute(std::size_t worker, TaskRef ref) {
     case TaskKind::Displacement:
       run_displacement(worker, *job, ref.node);
       break;
+    case TaskKind::FieldForce:
+      run_field_force(worker, *job, ref.node);
+      break;
     case TaskKind::Hessian:
       run_hessian(worker, *job, ref.node);
       break;
@@ -582,6 +627,16 @@ void RamanService::execute(std::size_t worker, TaskRef ref) {
 
 void RamanService::run_displacement(std::size_t worker, JobState& job,
                                     std::size_t node_id) {
+  run_evaluation(worker, job, node_id, /*field_force=*/false);
+}
+
+void RamanService::run_field_force(std::size_t worker, JobState& job,
+                                   std::size_t node_id) {
+  run_evaluation(worker, job, node_id, /*field_force=*/true);
+}
+
+void RamanService::run_evaluation(std::size_t worker, JobState& job,
+                                  std::size_t node_id, bool field_force) {
   const TaskNode node = job.dag.node(node_id);
   TaskContext ctx;
   ctx.spec = &job.spec;
@@ -590,13 +645,27 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
   ctx.canonical_key = job.keys[node_id].key;
   ctx.to_canonical = job.keys[node_id].to_canonical;
   ctx.cost_seconds = job.est.per_task_seconds;
+  ctx.field_force = field_force;
+  ctx.n_forces = field_force ? 3 * job.spec.n_atoms() : 0;
 
-  // The job timeline's displacement span. Deliberately left open on the
+  // Records cross frames as pure bit moves, forces included, so remote /
+  // dedup / local completions stay bitwise equal.
+  const AxisTransform& to_c = job.keys[node_id].to_canonical;
+  const auto to_canonical_rec = [&to_c](const raman::GeometryRecord& r) {
+    raman::GeometryRecord c;
+    c.alpha = apply_tensor(to_c, r.alpha);
+    c.dipole = apply_vector(to_c, r.dipole);
+    if (!r.forces.empty()) c.forces = apply_forces(to_c, r.forces);
+    return c;
+  };
+
+  // The job timeline's evaluation span. Deliberately left open on the
   // FaultInjected propagation path: an open span in the stitched timeline
   // is the footprint of work cut down by a shard death.
   auto& jt = obs::JobTraceRegistry::instance();
-  const std::uint64_t dspan =
-      jt.begin(job.trace, "displacement", options_.shard_id);
+  const std::uint64_t dspan = jt.begin(
+      job.trace, field_force ? "field-force" : "displacement",
+      options_.shard_id);
   jt.attr(job.trace.gid, dspan, "coord", static_cast<double>(node.coord));
   jt.attr(job.trace.gid, dspan, "sign", static_cast<double>(node.sign));
 
@@ -612,11 +681,14 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
     obs::TraceContext lookup_ctx = job.trace;
     if (dspan != 0) lookup_ctx.parent_span = dspan;
     if (options_.hooks.remote_lookup(job.keys[node_id].key, &canonical,
-                                     lookup_ctx)) {
+                                     lookup_ctx, ctx.n_forces)) {
       const AxisTransform from =
           inverse(job.keys[node_id].to_canonical);
       rec.alpha = apply_tensor(from, canonical.alpha);
       rec.dipole = apply_vector(from, canonical.dipole);
+      if (!canonical.forces.empty()) {
+        rec.forces = apply_forces(from, canonical.forces);
+      }
       remote_hit = true;
       obs::count("serve.cache.remote_hits");
       jt.attr(job.trace.gid, dspan, "remote_hit", 1.0);
@@ -630,11 +702,7 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
     }
     obs::observe("serve.task.seconds", now_seconds() - t0);
     if (options_.hooks.publish) {
-      raman::GeometryRecord canonical;
-      canonical.alpha = apply_tensor(job.keys[node_id].to_canonical, rec.alpha);
-      canonical.dipole =
-          apply_vector(job.keys[node_id].to_canonical, rec.dipole);
-      options_.hooks.publish(job.keys[node_id].key, canonical);
+      options_.hooks.publish(job.keys[node_id].key, to_canonical_rec(rec));
     }
   }
 
@@ -658,13 +726,9 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
     // The job failed while this task was in flight; still publish the
     // result so cross-job waiters of an owned key are not stranded.
     if (options_.use_cache && job.keys[node_id].owner) {
-      raman::GeometryRecord canonical;
-      canonical.alpha = apply_tensor(job.keys[node_id].to_canonical, rec.alpha);
-      canonical.dipole =
-          apply_vector(job.keys[node_id].to_canonical, rec.dipole);
       std::vector<raman::GeometryRecord> waiter_records;
-      const std::vector<CacheWaiter> waiters =
-          cache_.complete(job.keys[node_id].key, canonical, &waiter_records);
+      const std::vector<CacheWaiter> waiters = cache_.complete(
+          job.keys[node_id].key, to_canonical_rec(rec), &waiter_records);
       for (std::size_t i = 0; i < waiters.size(); ++i) {
         auto it = jobs_.find(waiters[i].job);
         if (it == jobs_.end() || it->second->status != JobStatus::Running) {
@@ -685,18 +749,15 @@ void RamanService::run_displacement(std::size_t worker, JobState& job,
     ++tallies_.remote_hits;
   } else {
     ++tallies_.tasks_executed;
+    if (field_force) ++tallies_.field_tasks_executed;
     ++job.result.tasks_executed;
   }
   job.dag.records[node_id] = rec;
 
   if (options_.use_cache && job.keys[node_id].owner) {
-    raman::GeometryRecord canonical;
-    canonical.alpha = apply_tensor(job.keys[node_id].to_canonical, rec.alpha);
-    canonical.dipole =
-        apply_vector(job.keys[node_id].to_canonical, rec.dipole);
     std::vector<raman::GeometryRecord> waiter_records;
-    const std::vector<CacheWaiter> waiters =
-        cache_.complete(job.keys[node_id].key, canonical, &waiter_records);
+    const std::vector<CacheWaiter> waiters = cache_.complete(
+        job.keys[node_id].key, to_canonical_rec(rec), &waiter_records);
     for (std::size_t i = 0; i < waiters.size(); ++i) {
       auto it = jobs_.find(waiters[i].job);
       if (it == jobs_.end()) continue;
@@ -782,6 +843,36 @@ void RamanService::run_assemble(std::size_t worker, JobState& job,
   // contract for large molecules.
   raman::RamanSpectrum spectrum;
   raman::BroadenedSpectrum broadened;
+  if (job.dag.bec()) {
+    // Bec tier: the derivative rows come out of the 13-point field
+    // stencil here (the dfpt tier computed them incrementally in its row
+    // tasks). Same fixed-index-order contract: records[] is read in
+    // stencil order regardless of completion order.
+    std::vector<raman::GeometryRecord> records;
+    {
+      const lockcheck::CheckedLock lock(mutex_);
+      if (job.status != JobStatus::Running) return;
+      records = job.dag.records;
+    }
+    linalg::Matrix dalpha;
+    linalg::Matrix dmu;
+    try {
+      SWRAMAN_TRACE_SCOPE("serve.assemble.bec");
+      raman::bec_derivatives(records, job.spec.bec_field,
+                             job.dag.n_coords(), /*enforce_sum_rule=*/true,
+                             &dalpha, &dmu);
+    } catch (const Error& e) {
+      jt.attr(job.trace.gid, aspan, "failed", 1.0);
+      jt.end(job.trace.gid, aspan);
+      const lockcheck::CheckedLock lock(mutex_);
+      fail_job_locked(job.id, e.what());
+      return;
+    }
+    const lockcheck::CheckedLock lock(mutex_);
+    if (job.status != JobStatus::Running) return;
+    job.result.dalpha = std::move(dalpha);
+    job.result.dmu = std::move(dmu);
+  }
   if (job.dag.with_hessian()) {
     linalg::Matrix hess;
     linalg::Matrix dalpha;

@@ -71,9 +71,10 @@ struct ServiceHooks {
   // and returns true on a hit. Must bound its own latency (timeout
   // fallback to local compute). The job's trace context rides along so
   // the serving shard can stamp its side of the round trip onto the same
-  // cross-shard timeline.
+  // cross-shard timeline. `n_forces` is the expected force-vector length
+  // of the record: 0 for displacement tasks, 3N for bec field tasks.
   std::function<bool(std::uint64_t key, raman::GeometryRecord* canonical,
-                     const obs::TraceContext& ctx)>
+                     const obs::TraceContext& ctx, std::size_t n_forces)>
       remote_lookup;
   // Publishes a locally computed canonical record for peer shards
   // (off-lock, worker threads; must not throw).
@@ -138,6 +139,8 @@ struct ServiceStats {
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_failed = 0;
   std::uint64_t tasks_executed = 0;   // engine evaluations actually run
+  std::uint64_t field_tasks_executed = 0;  // bec field evaluations (subset
+                                           // of tasks_executed)
   std::uint64_t task_retries = 0;
   std::uint64_t checkpoint_hits = 0;
   std::uint64_t warm_hits = 0;    // WAL-replay records applied at submit
@@ -185,6 +188,10 @@ class RamanService {
 
   void execute(std::size_t worker, TaskRef ref);
   void run_displacement(std::size_t worker, JobState& job, std::size_t node);
+  void run_field_force(std::size_t worker, JobState& job, std::size_t node);
+  // Shared evaluate/dedup/durability path of the two root task kinds.
+  void run_evaluation(std::size_t worker, JobState& job, std::size_t node,
+                      bool field_force);
   void run_hessian(std::size_t worker, JobState& job, std::size_t node);
   void run_row(std::size_t worker, JobState& job, std::size_t node);
   void run_assemble(std::size_t worker, JobState& job, std::size_t node);

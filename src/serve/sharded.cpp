@@ -96,7 +96,8 @@ void ShardedRamanService::make_shard(std::size_t shard) {
     };
     so.hooks.remote_lookup = [this, shard](std::uint64_t key,
                                            raman::GeometryRecord* out,
-                                           const obs::TraceContext& ctx) {
+                                           const obs::TraceContext& ctx,
+                                           std::size_t n_forces) {
       // Engages only once some shard has died: before that every key is
       // home and a remote probe could only miss. Peer pick is the highest
       // rendezvous score among running fabric nodes — after a failover
@@ -115,7 +116,7 @@ void ShardedRamanService::make_shard(std::size_t shard) {
         }
       }
       if (best == ShardRouter::kNoShard) return false;
-      return fabric_->lookup(shard, best, key, out, ctx);
+      return fabric_->lookup(shard, best, key, out, ctx, n_forces);
     };
   }
   sh.service = std::make_unique<RamanService>(std::move(so));

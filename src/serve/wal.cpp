@@ -88,7 +88,9 @@ std::string encode_spec(const JobSpec& spec) {
   body << encode_string(spec.client) << " " << encode_string(spec.name)
        << " " << spec.priority << " " << format_double(spec.weight) << " "
        << (spec.engine == EngineKind::Modeled ? 'm' : 'r') << " "
-       << spec.attempts << " " << (spec.with_modes ? 1 : 0);
+       << spec.attempts << " " << (spec.with_modes ? 1 : 0) << " "
+       << (spec.tier == Tier::Bec ? 'b' : 'd') << " "
+       << format_double(spec.bec_field);
   if (spec.engine == EngineKind::Modeled) {
     const core::SystemScale& sc = spec.scale;
     body << " scale " << sc.n_atoms << " "
@@ -125,8 +127,10 @@ bool decode_spec(std::istringstream& in, JobSpec* spec) {
   std::string name_hex;
   char engine_ch = 0;
   int with_modes = 0;
+  char tier_ch = 0;
   if (!(in >> client_hex >> name_hex >> spec->priority >> spec->weight >>
-        engine_ch >> spec->attempts >> with_modes)) {
+        engine_ch >> spec->attempts >> with_modes >> tier_ch >>
+        spec->bec_field)) {
     return false;
   }
   if (!decode_string(client_hex, &spec->client) ||
@@ -136,6 +140,8 @@ bool decode_spec(std::istringstream& in, JobSpec* spec) {
   if (engine_ch != 'm' && engine_ch != 'r') return false;
   spec->engine = engine_ch == 'm' ? EngineKind::Modeled : EngineKind::Real;
   spec->with_modes = with_modes != 0;
+  if (tier_ch != 'd' && tier_ch != 'b') return false;
+  spec->tier = tier_ch == 'b' ? Tier::Bec : Tier::Dfpt;
   std::string section;
   if (!(in >> section)) return false;
   if (spec->engine == EngineKind::Modeled) {
@@ -259,9 +265,16 @@ void JobLog::append_job(std::uint64_t gid, const JobSpec& spec) {
 void JobLog::append_task(std::uint64_t gid, std::size_t coord, int sign,
                          const raman::GeometryRecord& rec) {
   std::ostringstream body;
-  body << "task " << gid << " " << coord << " " << (sign > 0 ? '+' : '-');
+  body << "task " << gid << " " << coord << " "
+       << (sign > 0 ? '+' : sign < 0 ? '-' : '0');
   for (const double v : rec.alpha) body << " " << format_double(v);
   for (const double v : rec.dipole) body << " " << format_double(v);
+  // Bec field-force records append their 3N force vector; displacement
+  // records stay byte-identical to the v1 task layout.
+  if (!rec.forces.empty()) {
+    body << " f " << rec.forces.size();
+    for (const double v : rec.forces) body << " " << format_double(v);
+  }
   append_line(body.str());
 }
 
@@ -339,13 +352,28 @@ WalReplay JobLog::replay(const std::string& path) {
         char sign_ch = 0;
         raman::GeometryRecord r;
         ok = static_cast<bool>(rec >> coord >> sign_ch) &&
-             (sign_ch == '+' || sign_ch == '-');
+             (sign_ch == '+' || sign_ch == '-' || sign_ch == '0');
         for (double& v : r.alpha) ok = ok && static_cast<bool>(rec >> v);
         for (double& v : r.dipole) ok = ok && static_cast<bool>(rec >> v);
+        // Optional force tail (field-force records): " f <n> <F_0> ...".
+        if (ok) {
+          std::string tail;
+          if (rec >> tail) {
+            std::size_t n_forces = 0;
+            ok = tail == "f" && static_cast<bool>(rec >> n_forces);
+            if (ok) {
+              r.forces.resize(n_forces);
+              for (double& v : r.forces) {
+                ok = ok && static_cast<bool>(rec >> v);
+              }
+            }
+          }
+        }
         const auto it = index.find(gid);
         ok = ok && it != index.end();
         if (ok) {
-          out.jobs[it->second].tasks[{coord, sign_ch == '+' ? +1 : -1}] = r;
+          const int sign = sign_ch == '+' ? +1 : sign_ch == '-' ? -1 : 0;
+          out.jobs[it->second].tasks[{coord, sign}] = r;
           ++out.task_records;
         }
       } else if (ok && kind == "done") {

@@ -18,7 +18,10 @@
 //   job   <gid> <spec...>         accepted submission (before the ack)
 //   task  <gid> <coord> <sign> .. displacement result, durable before the
 //                                 DAG sees the completion (the checkpoint
-//                                 ordering of service.cpp, now shard-wide)
+//                                 ordering of service.cpp, now shard-wide).
+//                                 Bec field tasks use sign '0' with coord =
+//                                 stencil index and append their 3N force
+//                                 vector as " f <n> <F_0> ..."
 //   done  <gid> <completed|failed> terminal job status
 //   trace <gid> <root-span-id>    jobtrace root of the accepted job, so a
 //                                 recovered shard re-attaches its replay
@@ -54,7 +57,8 @@ struct LoggedJob {
   JobSpec spec;
   std::uint64_t settings_fp = 0;  // fingerprint logged at submit
   // Durable displacement results keyed (coord, sign), in the job's own
-  // frame — the warm-start set replay feeds back into submit().
+  // frame — the warm-start set replay feeds back into submit(). Bec
+  // field-force records are keyed (stencil index, 0).
   std::map<std::pair<std::size_t, int>, raman::GeometryRecord> tasks;
   bool finished = false;
   JobStatus final_status = JobStatus::Queued;

@@ -143,9 +143,12 @@ TEST_F(ObsPlaneTest, JobTraceStitchesAcrossKillAndReplay) {
   opts.wal_dir = wal_dir;
   opts.service.n_workers = 2;
   opts.service.modeled.iterations_per_modeled_second = 100.0;
-  // Slow spin kernel: the kills must land while jobs are still running.
-  opts.service.modeled.min_iterations = 200000;
-  opts.service.modeled.max_iterations = 200000;
+  // Slow spin kernel: the kills must land while displacement tasks are
+  // still pending on some shard (a replayed job with every displacement
+  // already durable has nothing post-kill to stitch), so each task burns
+  // ~1 ms and the per-shard backlog stays tens of ms deep.
+  opts.service.modeled.min_iterations = 1000000;
+  opts.service.modeled.max_iterations = 1000000;
   opts.slo.min_period_s = 0.0;  // snapshot on every tier tick
 
   ShardedRamanService svc(opts);
@@ -207,6 +210,74 @@ TEST_F(ObsPlaneTest, JobTraceStitchesAcrossKillAndReplay) {
   EXPECT_NE(health.find("\"tenant\": \"alice\""), std::string::npos);
 
   std::filesystem::remove_all(wal_dir);
+}
+
+TEST_F(ObsPlaneTest, SubmitSpansCarryTheAccuracyTierLabel) {
+  auto& jt = obs::JobTraceRegistry::instance();
+  ServiceOptions opts;
+  opts.n_workers = 1;
+  opts.start_paused = true;
+  opts.modeled.iterations_per_modeled_second = 100.0;
+  opts.modeled.min_iterations = 50;
+  opts.modeled.max_iterations = 500;
+  RamanService svc(opts);
+
+  const auto submit_tier = [&](std::uint64_t gid, Tier tier) {
+    JobSpec spec = modeled_spec("alice", 2);
+    spec.tier = tier;
+    SubmitOptions sub;
+    sub.trace = jt.root(gid, "job");
+    const SubmitResult res = svc.submit(spec, sub);
+    ASSERT_TRUE(res.accepted) << res.reason;
+  };
+  submit_tier(71, Tier::Dfpt);
+  submit_tier(72, Tier::Bec);
+  svc.drain();
+
+  const auto tier_attr = [&](std::uint64_t gid) {
+    for (const obs::JobSpan& s : jt.spans(gid)) {
+      if (s.name != "submit") continue;
+      for (const obs::Attr& a : s.attrs) {
+        if (a.key == "tier") return a.str;
+      }
+    }
+    return std::string("<missing>");
+  };
+  // SLO dashboards and postmortems must be able to split by tier: every
+  // submission span is labeled with the accuracy tier it was priced at.
+  EXPECT_EQ(tier_attr(71), "dfpt");
+  EXPECT_EQ(tier_attr(72), "bec");
+}
+
+TEST_F(ObsPlaneTest, CompletionLatencyIsRecordedPerTier) {
+  ServiceOptions opts;
+  opts.n_workers = 2;
+  opts.modeled.iterations_per_modeled_second = 100.0;
+  opts.modeled.min_iterations = 50;
+  opts.modeled.max_iterations = 500;
+  RamanService svc(opts);
+  JobSpec dfpt = modeled_spec("alice", 2);
+  JobSpec bec = modeled_spec("alice", 3);
+  bec.tier = Tier::Bec;
+  ASSERT_TRUE(svc.submit(dfpt).accepted);
+  ASSERT_TRUE(svc.submit(bec).accepted);
+  svc.drain();
+
+  const auto hists = obs::Registry::instance().histogram_values();
+  const auto count_of = [&](const std::string& name) -> std::uint64_t {
+    const auto it = hists.find(name);
+    return it == hists.end() ? 0u : it->second.count;
+  };
+  // One completion per tier, each in its own latency histogram, so tier
+  // SLOs can diverge (the bec tier is priced and promised faster).
+  EXPECT_EQ(count_of("serve.latency.tier.dfpt"), 1u);
+  EXPECT_EQ(count_of("serve.latency.tier.bec"), 1u);
+  for (const std::string name :
+       {"serve.latency.tier.dfpt", "serve.latency.tier.bec"}) {
+    const auto it = hists.find(name);
+    ASSERT_NE(it, hists.end());
+    EXPECT_GT(it->second.sum, 0.0) << name;
+  }
 }
 
 }  // namespace
