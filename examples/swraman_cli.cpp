@@ -10,6 +10,9 @@
 //   --tier minimal|standard|extended                   (default standard)
 //   --grid light|tight|really-tight                    (default light)
 //   --pseudized            valence-only pseudopotential variant
+//   --hartree direct|fmm|auto   Hartree evaluation backend  (default direct)
+//   --fmm-order <p>        FMM multipole order             (default 8)
+//   --fmm-theta <t>        FMM opening angle in (0,1)      (default 0.55)
 //   --relax-first          relax before raman/polar
 //   --freq <Hartree>       dynamic polarizability frequency (polar only)
 //   --checkpoint <file>    raman 6N-geometry checkpoint/restart file
@@ -42,6 +45,7 @@ struct CliOptions {
                "usage: swraman_cli <scf|polar|relax|raman> <file.xyz> "
                "[--backend nao|gto] [--tier minimal|standard|extended] "
                "[--grid light|tight|really-tight] [--pseudized] "
+               "[--hartree direct|fmm|auto] [--fmm-order p] [--fmm-theta t] "
                "[--relax-first] [--freq w] [--checkpoint file] "
                "[--fault spec] [--fault-seed n]\n");
   std::exit(2);
@@ -74,6 +78,21 @@ CliOptions parse(int argc, char** argv) {
                                                  : grid::GridLevel::Light;
     } else if (flag == "--pseudized") {
       opt.scf.species.pseudized = true;
+    } else if (flag == "--hartree") {
+      const std::string v = next();
+      if (v == "fmm") {
+        opt.scf.hartree_backend = fmm::HartreeBackend::Fmm;
+      } else if (v == "auto") {
+        opt.scf.hartree_backend = fmm::HartreeBackend::Auto;
+      } else if (v == "direct") {
+        opt.scf.hartree_backend = fmm::HartreeBackend::Direct;
+      } else {
+        usage();
+      }
+    } else if (flag == "--fmm-order") {
+      opt.scf.fmm.order = std::stoi(next());
+    } else if (flag == "--fmm-theta") {
+      opt.scf.fmm.theta = std::stod(next());
     } else if (flag == "--relax-first") {
       opt.relax_first = true;
     } else if (flag == "--freq") {

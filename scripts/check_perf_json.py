@@ -116,6 +116,60 @@ def check_tiers_record(path: str, i: int, r: dict) -> None:
             _finite_nonneg(path, where, r, key)
 
 
+def check_fmm_cluster_record(path: str, i: int, r: dict,
+                             prev_atoms: int) -> int:
+    """One cluster-size row of bench_fmm_crossover: positive sizes that
+    strictly grow across the series, finite timings, a speedup consistent
+    with them, a live far field (M2L pairs), and a sane relative error."""
+    where = f"records[{i}]"
+    for key in ("molecules", "atoms", "points", "m2l_pairs", "p2p_pairs"):
+        v = r.get(key)
+        if isinstance(v, bool) or not isinstance(v, int) or v < 0:
+            fail(f"{path}: {where} {key} must be a non-negative integer")
+    if r["atoms"] <= prev_atoms:
+        fail(f"{path}: {where} cluster sizes must be strictly increasing "
+             f"(got {r['atoms']} after {prev_atoms})")
+    direct_s = _finite_nonneg(path, where, r, "direct_s")
+    fmm_s = _finite_nonneg(path, where, r, "fmm_s")
+    if direct_s <= 0 or fmm_s <= 0:
+        fail(f"{path}: {where} timings must be positive")
+    speedup = _finite_nonneg(path, where, r, "speedup")
+    if abs(speedup - direct_s / fmm_s) > 1e-3 * max(1.0, speedup):
+        fail(f"{path}: {where} speedup {speedup} inconsistent with "
+             f"direct_s/fmm_s ({direct_s / fmm_s})")
+    if r["m2l_pairs"] < 1:
+        fail(f"{path}: {where} a cluster row with no M2L pairs means the "
+             f"far field never engaged")
+    err = _finite_nonneg(path, where, r, "max_rel_err")
+    if err > 1.0:
+        fail(f"{path}: {where} max_rel_err must be <= 1 (got {err})")
+    return r["atoms"]
+
+
+def check_fmm_crossover_record(path: str, i: int, r: dict,
+                               max_cluster_atoms: int) -> None:
+    """The crossover summary of bench_fmm_crossover: a crossover must
+    exist (the O(N) claim), the largest cluster must win under FMM, and
+    the summary must agree with the cluster rows it summarizes."""
+    where = f"records[{i}]"
+    for key in ("crossover_atoms", "max_atoms"):
+        v = r.get(key)
+        if isinstance(v, bool) or not isinstance(v, int) or v < 0:
+            fail(f"{path}: {where} {key} must be a non-negative integer")
+    if r["crossover_atoms"] < 1:
+        fail(f"{path}: {where} crossover_atoms must be positive — no "
+             f"crossover means direct summation never lost")
+    if r["crossover_atoms"] > r["max_atoms"]:
+        fail(f"{path}: {where} crossover_atoms exceeds max_atoms")
+    if max_cluster_atoms and r["max_atoms"] != max_cluster_atoms:
+        fail(f"{path}: {where} max_atoms {r['max_atoms']} disagrees with "
+             f"the largest cluster row ({max_cluster_atoms})")
+    speedup = _finite_nonneg(path, where, r, "speedup_at_max")
+    if speedup < 1.0:
+        fail(f"{path}: {where} speedup_at_max must be >= 1 "
+             f"(got {speedup})")
+
+
 def check_bench(path: str, doc: dict) -> None:
     if not isinstance(doc.get("bench"), str) or not doc["bench"]:
         fail(f"{path}: bench must be a non-empty string")
@@ -123,10 +177,20 @@ def check_bench(path: str, doc: dict) -> None:
     if not isinstance(records, list) or not records:
         fail(f"{path}: records must be a non-empty array")
     series = set()
+    prev_cluster_atoms = 0
     for i, r in enumerate(records):
         if not isinstance(r.get("series"), str) or not r["series"]:
             fail(f"{path}: records[{i}] series must be a non-empty string")
         series.add(r["series"])
+        if "fmm_s" in r:
+            # fmm-crossover cluster row (bench_fmm_crossover --json)
+            prev_cluster_atoms = check_fmm_cluster_record(
+                path, i, r, prev_cluster_atoms)
+            continue
+        if "crossover_atoms" in r:
+            # fmm-crossover summary (bench_fmm_crossover --json)
+            check_fmm_crossover_record(path, i, r, prev_cluster_atoms)
+            continue
         if "recovered_jobs" in r:
             # serve-chaos shape (bench_serve_chaos --json)
             check_chaos_record(path, i, r)

@@ -157,19 +157,29 @@ def selftest() -> None:
 
     expect(r["schema"] == SCHEMA_OUT, "output schema wrong")
     # The fixture charges: scf/hpsi 6e9 cpe, dfpt/sternheimer 3e9 cpe,
-    # comm.allreduce 1e9 plain, scf/rho 0.5e9 mpe; "serve.submit" carries
-    # no cycle attrs and must not appear.
-    expect(r["modeled_phases"] == 4, "expected 4 modeled phases")
-    expect(abs(r["total_modeled_cycles"] - 10.5e9) < 1.0,
+    # hartree.fmm.traversal 2e9 cpe, hartree.fmm.p2p 1.2e9 cpe,
+    # comm.allreduce 1e9 plain, scf/rho 0.5e9 mpe; "serve.submit",
+    # "hartree.poisson" and "hartree.fmm.downward" carry no cycle attrs
+    # and must not appear.
+    expect(r["modeled_phases"] == 6, "expected 6 modeled phases")
+    expect(abs(r["total_modeled_cycles"] - 13.7e9) < 1.0,
            "total cycles wrong")
     order = [h["path"] for h in r["hotspots"]]
-    expect(order == ["scf/hpsi", "dfpt/sternheimer", "comm.allreduce",
-                     "scf/rho"], f"ranking order wrong: {order}")
+    expect(order == ["scf/hpsi", "dfpt/sternheimer",
+                     "hartree.poisson/hartree.fmm.traversal",
+                     "hartree.poisson/hartree.fmm.downward/hartree.fmm.p2p",
+                     "comm.allreduce", "scf/rho"],
+           f"ranking order wrong: {order}")
     expect(r["hotspots"][0]["source"] == "modeled_cycles_cpe",
            "cpe attr must win over mpe")
-    expect(r["hotspots"][3]["source"] == "modeled_cycles_mpe",
+    # The FMM kernels model both engines; the CPE-tiled cycles must rank.
+    expect(r["hotspots"][2]["source"] == "modeled_cycles_cpe",
+           "fmm traversal must rank by its cpe cycles")
+    expect(r["hotspots"][3]["source"] == "modeled_cycles_cpe",
+           "fmm p2p must rank by its cpe cycles")
+    expect(r["hotspots"][5]["source"] == "modeled_cycles_mpe",
            "mpe fallback not used")
-    expect(abs(r["hotspots"][0]["share"] - 6.0 / 10.5) < 1e-12,
+    expect(abs(r["hotspots"][0]["share"] - 6.0 / 13.7) < 1e-12,
            "share wrong")
     # hpsi ran 3 times in the fixture: per-call = 2e9.
     expect(abs(r["hotspots"][0]["cycles_per_call"] - 2e9) < 1.0,
@@ -178,9 +188,13 @@ def selftest() -> None:
     expect(abs(roots.get("scf", 0.0) - 6.5e9) < 1.0,
            "scf rollup must combine hpsi + rho")
     expect(abs(roots.get("dfpt", 0.0) - 3e9) < 1.0, "dfpt rollup wrong")
+    expect(abs(roots.get("hartree.poisson", 0.0) - 3.2e9) < 1.0,
+           "hartree.poisson rollup must combine traversal + p2p")
     expect(r["rollup"][0]["root"] == "scf", "rollup order wrong")
+    expect(r["rollup"][1]["root"] == "hartree.poisson",
+           "hartree.poisson must outrank dfpt in the rollup")
     print("hotspots: selftest OK "
-          f"(4 modeled phases, total {r['total_modeled_cycles']:.3e} cy)")
+          f"(6 modeled phases, total {r['total_modeled_cycles']:.3e} cy)")
 
 
 def main() -> None:

@@ -53,6 +53,36 @@ print(f"checked run: {s['violations']} swcheck violation(s) "
       f"(all seeded and caught)")
 EOF
 
+echo "== tier-1: fmm suite + golden Fmm water under the checkers =="
+# The octree Hartree backend's CPE offload (M2L / P2P staging) runs with
+# the accelerator shadow checker live, both on the unit/property suite
+# and on the end-to-end golden water spectrum under HartreeBackend::Fmm.
+# Unlike test_sunway_check there are no seeded violations here: any
+# nonzero tally is a real LDM/DMA contract breach in the FMM kernels.
+for run in "test_fmm:./build/tests/test_fmm" \
+           "golden-fmm-water:./build/tests/test_golden --gtest_filter=GoldenSpectrum.WaterRamanUnderFmmBackendMatchesSnapshot"; do
+  name="${run%%:*}"
+  cmd="${run#*:}"
+  SWRAMAN_CHECK=1 \
+    SWRAMAN_CHECK_FILE="${CHECK_DIR}/${name}_check.json" \
+    ${cmd} >/dev/null
+  python3 scripts/check_perf_json.py "${CHECK_DIR}/${name}_check.json"
+  python3 - "${CHECK_DIR}/${name}_check.json" "${name}" <<'EOF'
+import json, sys
+docs = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        if line.strip():
+            docs[json.loads(line)["schema"]] = json.loads(line)
+for schema in ("swraman-check-v1", "swraman-lockcheck-v1"):
+    s = docs[schema]
+    assert s["enabled"] is True, s
+    assert s["violations"] == 0, \
+        f"{sys.argv[2]}: {schema} violations under SWRAMAN_CHECK=1: {s}"
+print(f"{sys.argv[2]}: swcheck + lockcheck clean")
+EOF
+done
+
 echo "== tier-1: serve + obs suites under the concurrency checker =="
 # The whole serve tier and obs plane run with the lock-order graph,
 # blocking-under-lock audit and p2p verifier live; both suites must be
@@ -122,6 +152,16 @@ SWRAMAN_CHECK=1 ./build/bench/bench_serve_tiers \
 python3 scripts/check_perf_json.py "${SMOKE_DIR}/BENCH_tiers.json"
 cp "${SMOKE_DIR}/BENCH_tiers.json" BENCH_tiers.json
 
+echo "== tier-1: fmm crossover gate (octree Hartree backend) =="
+# Growing water clusters priced through both Hartree evaluation paths.
+# The bench exits non-zero unless FMM crosses below direct summation
+# before the largest cluster and wins >= 1.5x at the largest; the
+# emitted swraman-bench-v1 series is validated and kept as the repo's
+# reference crossover curve.
+./build/bench/bench_fmm_crossover --json "${SMOKE_DIR}/BENCH_fmm.json"
+python3 scripts/check_perf_json.py "${SMOKE_DIR}/BENCH_fmm.json"
+cp "${SMOKE_DIR}/BENCH_fmm.json" BENCH_fmm.json
+
 echo "== tier-1: hotspots pipeline (selftest + smoke report) =="
 # The ranking core is pinned by its checked-in fixture, then run over the
 # traced smoke report it will see in production (modeled allreduce cycles).
@@ -188,9 +228,12 @@ if [ "${SANITIZER}" != "none" ]; then
         -DSWRAMAN_SANITIZE=thread \
         -DSWRAMAN_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-thread -j "${JOBS}" --target test_obs test_parallel \
-        test_serve bench_serve_chaos
+        test_serve test_fmm bench_serve_chaos
   ./build-thread/tests/test_obs
   ./build-thread/tests/test_parallel
+  # The FMM backend claims its CPE model fan-out is race-free; the
+  # backend suite (M2L/P2P offload vs host path) runs under TSan.
+  ./build-thread/tests/test_fmm
   # The serve pool/cache/scheduler run their full modeled-engine suite
   # under TSan; the RealEngine end-to-end tests are excluded only for
   # time (SCF under TSan is ~20x slower), not correctness.

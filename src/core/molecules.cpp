@@ -79,6 +79,38 @@ std::vector<AtomSite> methane() { return tetrahedral(6, 1.087 * kA); }
 
 std::vector<AtomSite> silane() { return tetrahedral(14, 1.480 * kA); }
 
+std::vector<AtomSite> water_cluster(std::size_t n_molecules) {
+  SWRAMAN_REQUIRE(n_molecules >= 1, "water_cluster: need >= 1 molecule");
+  const std::vector<AtomSite> mono = water();
+  // Cubic lattice with the liquid-water O-O spacing; enough cells along
+  // each axis to hold the requested count.
+  const double spacing = 2.8 * kA;
+  std::size_t side = 1;
+  while (side * side * side < n_molecules) ++side;
+  std::vector<AtomSite> cluster;
+  cluster.reserve(3 * n_molecules);
+  std::size_t placed = 0;
+  for (std::size_t i = 0; i < side && placed < n_molecules; ++i) {
+    for (std::size_t j = 0; j < side && placed < n_molecules; ++j) {
+      for (std::size_t k = 0; k < side && placed < n_molecules; ++k) {
+        const Vec3 origin{static_cast<double>(i) * spacing,
+                          static_cast<double>(j) * spacing,
+                          static_cast<double>(k) * spacing};
+        // Alternate orientation checkerboard-style: flipping z cancels the
+        // monomer dipoles pairwise across the lattice.
+        const double flip = ((i + j + k) % 2 == 0) ? 1.0 : -1.0;
+        for (const AtomSite& a : mono) {
+          cluster.push_back(
+              {a.z, {origin.x + a.pos.x, origin.y + a.pos.y,
+                     origin.z + flip * a.pos.z}});
+        }
+        ++placed;
+      }
+    }
+  }
+  return cluster;
+}
+
 std::vector<AtomSite> polyethylene_chain(std::size_t n_units) {
   SWRAMAN_REQUIRE(n_units >= 1, "polyethylene_chain: need >= 1 unit");
   // All-trans zigzag backbone in the xz plane: C-C 1.54 A, CCC 113.5 deg,

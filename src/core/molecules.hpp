@@ -35,6 +35,12 @@ std::vector<AtomSite> methane();
 // Silane SiH4, Si-H 1.480 A (tetrahedral).
 std::vector<AtomSite> silane();
 
+// n_molecules water monomers on a simple-cubic lattice (O-O spacing near
+// the liquid-water 2.8 A), orientations alternated to cancel the bulk
+// dipole — the growing-cluster workload of the FMM crossover bench and the
+// stand-in for solvated-biomolecule system sizes.
+std::vector<AtomSite> water_cluster(std::size_t n_molecules);
+
 // All-trans polyethylene chain H(C2H4)_n H — the Fig. 16 workload.
 // n repeat units -> 2n carbons + (4n + 2) hydrogens = 6n + 2 atoms.
 std::vector<AtomSite> polyethylene_chain(std::size_t n_units);

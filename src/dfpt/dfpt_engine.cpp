@@ -248,7 +248,7 @@ ResponseResult DfptEngine::solve_response_attempt(int axis, int attempt,
     std::vector<double> v1;
     {
       SWRAMAN_TRACE_SCOPE("dfpt.v1");
-      v1 = scf_.poisson().solve_on_grid(n1);
+      v1 = scf_.hartree().solve_on_grid(n1);
       for (std::size_t p = 0; p < v1.size(); ++p) {
         v1[p] += fxc_[p] * n1[p];
       }

@@ -1,0 +1,61 @@
+#include "fmm/traversal.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace swraman::fmm {
+
+namespace {
+
+struct Traverser {
+  const Octree& targets;
+  const Octree& sources;
+  double theta;
+  InteractionLists out;
+
+  void visit(std::size_t t, std::size_t s) {
+    const Cell& tc = targets.cells()[t];
+    const Cell& sc = sources.cells()[s];
+    const double dist = (tc.center - sc.center).norm();
+    // Two separate acceptance conditions (DESIGN.md S16): convergence —
+    // the geometric radii satisfy the theta MAC, which controls the
+    // truncation-error decay of the point-multipole expansions — and
+    // validity — every target point lies beyond every source atom's
+    // spline reach, where the atom's potential IS its analytic far field.
+    if (tc.radius + sc.radius < theta * dist && tc.radius + sc.reach < dist) {
+      out.m2l.push_back({t, s});
+      return;
+    }
+    const bool t_leaf = tc.is_leaf();
+    const bool s_leaf = sc.is_leaf();
+    if (t_leaf && s_leaf) {
+      out.p2p.push_back({t, s});
+      return;
+    }
+    // Open the wider cell (both when one side is a leaf).
+    const bool open_target =
+        s_leaf || (!t_leaf && tc.radius >= sc.radius);
+    if (open_target) {
+      for (int k = 0; k < tc.n_children; ++k) {
+        visit(tc.first_child + static_cast<std::size_t>(k), s);
+      }
+    } else {
+      for (int k = 0; k < sc.n_children; ++k) {
+        visit(t, sc.first_child + static_cast<std::size_t>(k));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+InteractionLists traverse(const Octree& targets, const Octree& sources,
+                          double theta) {
+  SWRAMAN_REQUIRE(theta > 0.0 && theta < 1.0, "fmm: MAC theta in (0, 1)");
+  Traverser tr{targets, sources, theta, {}};
+  tr.visit(targets.root(), sources.root());
+  return std::move(tr.out);
+}
+
+}  // namespace swraman::fmm

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fmm/tree.hpp"
+
+// Dual-tree traversal (target tree x source tree) under the multipole
+// acceptance criterion. A pair of cells is *well separated* when both
+//
+//   convergence:  r_target + r_source < theta * dist(centers),
+//   validity:     r_target + reach_source < dist(centers),
+//
+// with theta in (0, 1), r the geometric bounding radii and reach the
+// extent-inflated one (tree.hpp). The theta condition controls the
+// truncation-error decay of the point-multipole expansions; the reach
+// condition puts every target point outside every source atom's spline
+// sphere, where the atom's potential is exactly its analytic far field.
+// Accepted pairs get the source multipole translated into the target
+// cell's local expansion (M2L), serving every target point below that
+// cell via L2L. Otherwise the wider cell is opened; leaf-leaf pairs that
+// still fail fall through to exact near-field evaluation (P2P).
+
+namespace swraman::fmm {
+
+struct CellPair {
+  std::size_t target = 0;
+  std::size_t source = 0;
+};
+
+struct InteractionLists {
+  std::vector<CellPair> m2l;  // well-separated cell pairs
+  std::vector<CellPair> p2p;  // leaf-leaf near-field pairs
+};
+
+[[nodiscard]] InteractionLists traverse(const Octree& targets,
+                                        const Octree& sources, double theta);
+
+}  // namespace swraman::fmm

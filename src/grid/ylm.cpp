@@ -7,7 +7,8 @@
 
 namespace swraman::grid {
 
-void real_ylm(const Vec3& u, int lmax, std::vector<double>& out) {
+void real_ylm(const Vec3& u, int lmax, std::vector<double>& out,
+              YlmWorkspace& ws) {
   SWRAMAN_REQUIRE(lmax >= 0, "real_ylm: lmax >= 0");
   out.assign(n_lm(lmax), 0.0);
 
@@ -30,7 +31,8 @@ void real_ylm(const Vec3& u, int lmax, std::vector<double>& out) {
   //   Y_l0 = Q_l0, Y_l(+-m) = sqrt(2) Q_lm {cos,sin}(m phi).
   // Recurrences are stable upward in l for fixed m.
   const int nl = lmax + 1;
-  std::vector<double> q(static_cast<std::size_t>(nl * nl), 0.0);
+  std::vector<double>& q = ws.q;
+  q.assign(static_cast<std::size_t>(nl * nl), 0.0);
   const auto qi = [nl](int l, int m) {
     return static_cast<std::size_t>(l * nl + m);
   };
@@ -54,8 +56,10 @@ void real_ylm(const Vec3& u, int lmax, std::vector<double>& out) {
   }
 
   // Azimuthal factors cos(m phi), sin(m phi) by the angle-addition recurrence.
-  std::vector<double> cm(static_cast<std::size_t>(lmax) + 1, 1.0);
-  std::vector<double> sm(static_cast<std::size_t>(lmax) + 1, 0.0);
+  std::vector<double>& cm = ws.cm;
+  std::vector<double>& sm = ws.sm;
+  cm.assign(static_cast<std::size_t>(lmax) + 1, 1.0);
+  sm.assign(static_cast<std::size_t>(lmax) + 1, 0.0);
   for (int m = 1; m <= lmax; ++m) {
     cm[m] = cm[m - 1] * cphi - sm[m - 1] * sphi;
     sm[m] = sm[m - 1] * cphi + cm[m - 1] * sphi;
@@ -70,6 +74,11 @@ void real_ylm(const Vec3& u, int lmax, std::vector<double>& out) {
       out[lm_index(l, -m)] = sqrt2 * qlm * sm[m];
     }
   }
+}
+
+void real_ylm(const Vec3& u, int lmax, std::vector<double>& out) {
+  YlmWorkspace ws;
+  real_ylm(u, lmax, out, ws);
 }
 
 std::vector<double> real_ylm(const Vec3& u, int lmax) {

@@ -24,9 +24,22 @@ constexpr std::size_t n_lm(int lmax) {
   return static_cast<std::size_t>((lmax + 1) * (lmax + 1));
 }
 
+// Scratch buffers for real_ylm: hold one per thread and the evaluation
+// never heap-allocates after the first call (the hot Hartree / FMM
+// per-point paths depend on this).
+struct YlmWorkspace {
+  std::vector<double> q;   // associated-Legendre table
+  std::vector<double> cm;  // cos(m phi)
+  std::vector<double> sm;  // sin(m phi)
+};
+
 // Evaluates all real Y_lm for l = 0..lmax at unit direction u into out
 // (resized to n_lm(lmax)). u does not need to be normalized; the zero vector
 // maps to the north pole.
+void real_ylm(const Vec3& u, int lmax, std::vector<double>& out,
+              YlmWorkspace& ws);
+
+// Convenience overload with internal scratch (allocates per call).
 void real_ylm(const Vec3& u, int lmax, std::vector<double>& out);
 
 // Convenience wrapper returning the vector.

@@ -156,32 +156,55 @@ std::vector<double> MultipoleSolver::solve_on_grid(
 }
 
 double MultipolePotential::value(const Vec3& point) const {
+  // Thread-local scratch: the Y_lm basis buffer survives across calls, so
+  // the per-grid-point evaluation loop performs no heap allocation (pinned
+  // by Multipole.ValueDoesNotAllocatePerPoint).
+  thread_local Workspace ws;
+  return value(point, ws);
+}
+
+double MultipolePotential::value(const Vec3& point, Workspace& ws) const {
+  // Terms accumulate into one running sum in atom order — the exact
+  // floating-point chain of the original implementation, so Direct-backend
+  // results are bitwise stable across the workspace refactor.
   double v = 0.0;
-  std::vector<double> y;
-  const std::size_t n_lm = grid::n_lm(lmax_);
   for (std::size_t a = 0; a < centers_.size(); ++a) {
-    if (v_lm_[a].empty()) continue;
-    const Vec3 d = point - centers_[a];
-    const double r = std::max(d.norm(), 1e-8);
-    grid::real_ylm(d, lmax_, y);
-    if (r <= outer_radius_[a]) {
-      for (std::size_t lm = 0; lm < n_lm; ++lm) {
-        v += v_lm_[a][lm].value(r) * y[lm];
-      }
-    } else {
-      // Analytic multipole far field.
-      double rpow = r;  // r^{l+1}
-      std::size_t lm = 0;
-      for (int l = 0; l <= lmax_; ++l) {
-        const double pref = kFourPi / (2.0 * l + 1.0) / rpow;
-        for (int m = -l; m <= l; ++m, ++lm) {
-          v += pref * moments_[a][lm] * y[lm];
-        }
-        rpow *= r;
-      }
-    }
+    accumulate_atom(a, point, ws, v);
   }
   return v;
+}
+
+double MultipolePotential::value_atom(std::size_t atom, const Vec3& point,
+                                      Workspace& ws) const {
+  double v = 0.0;
+  accumulate_atom(atom, point, ws, v);
+  return v;
+}
+
+void MultipolePotential::accumulate_atom(std::size_t atom, const Vec3& point,
+                                         Workspace& ws, double& v) const {
+  if (v_lm_[atom].empty()) return;
+  const std::size_t n_lm = grid::n_lm(lmax_);
+  const Vec3 d = point - centers_[atom];
+  const double r = std::max(d.norm(), 1e-8);
+  grid::real_ylm(d, lmax_, ws.ylm, ws.ylm_scratch);
+  const double* y = ws.ylm.data();
+  if (r <= outer_radius_[atom]) {
+    for (std::size_t lm = 0; lm < n_lm; ++lm) {
+      v += v_lm_[atom][lm].value(r) * y[lm];
+    }
+  } else {
+    // Analytic multipole far field.
+    double rpow = r;  // r^{l+1}
+    std::size_t lm = 0;
+    for (int l = 0; l <= lmax_; ++l) {
+      const double pref = kFourPi / (2.0 * l + 1.0) / rpow;
+      for (int m = -l; m <= l; ++m, ++lm) {
+        v += pref * moments_[atom][lm] * y[lm];
+      }
+      rpow *= r;
+    }
+  }
 }
 
 double MultipolePotential::total_charge() const {

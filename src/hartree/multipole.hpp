@@ -6,6 +6,7 @@
 #include "common/spline.hpp"
 #include "common/vec3.hpp"
 #include "grid/atom_grid.hpp"
+#include "grid/ylm.hpp"
 
 // Multipole electrostatics after Delley (J. Phys. Chem. 100, 6107 (1996)) —
 // the real-space Poisson solver of the paper (Sec. 3.2, "kernel1"). The
@@ -28,8 +29,31 @@ namespace swraman::hartree {
 // multipole moments.
 class MultipolePotential {
  public:
-  // Potential value at an arbitrary point.
+  // Reusable per-thread scratch for point evaluation: the real-Y_lm basis
+  // buffer (and the recurrence tables inside real_ylm) that value() would
+  // otherwise heap-allocate per call. Callers on hot loops (solve_on_grid,
+  // the FMM P2P kernel) hold one per thread.
+  struct Workspace {
+    std::vector<double> ylm;
+    grid::YlmWorkspace ylm_scratch;
+  };
+
+  // Potential value at an arbitrary point. Uses a thread-local Workspace;
+  // allocation-free after the first call on each thread.
   [[nodiscard]] double value(const Vec3& point) const;
+
+  // Same, with a caller-provided workspace (no thread-local lookup).
+  [[nodiscard]] double value(const Vec3& point, Workspace& ws) const;
+
+  // Contribution of a single atom to the potential at `point`: the radial
+  // spline channels inside the atom's outer radius, the analytic multipole
+  // far field beyond it. value() is exactly the atom-ordered sum of these
+  // terms; the FMM near field (P2P) evaluates the same expression so that
+  // near-pair arithmetic is identical between backends.
+  [[nodiscard]] double value_atom(std::size_t atom, const Vec3& point,
+                                  Workspace& ws) const;
+
+  [[nodiscard]] std::size_t n_atoms() const { return centers_.size(); }
 
   // Total charge seen by the far field (sum of the l=0 moments); equals the
   // integrated density when the grid resolves it.
@@ -54,6 +78,8 @@ class MultipolePotential {
 
  private:
   friend class MultipoleSolver;
+  void accumulate_atom(std::size_t atom, const Vec3& point, Workspace& ws,
+                       double& v) const;
   int lmax_ = 0;
   std::vector<Vec3> centers_;
   std::vector<double> outer_radius_;             // per atom

@@ -57,7 +57,7 @@ double ForceEvaluator::lagrangian(const ScfEngine& engine,
   // Grid terms with the frozen density matrix expanded in the displaced
   // basis: external, Hartree (E_H = 1/2 integral v_H n), XC, field.
   const std::vector<double> n = engine.density_on_grid(gs.density);
-  const std::vector<double> v_h = engine.poisson().solve_on_grid(n);
+  const std::vector<double> v_h = engine.hartree().solve_on_grid(n);
   const std::vector<double>& v_ext = engine.external_potential();
   const xc::Functional functional = engine.options().functional;
   for (std::size_t p = 0; p < g.size(); ++p) {

@@ -56,7 +56,8 @@ ScfEngine::ScfEngine(std::vector<grid::AtomSite> atoms, ScfOptions options,
       basis_(std::move(atoms), options_.species),
       batches_(grid::make_batches(grid_, options_.batching)),
       partition_(std::move(partition)),
-      poisson_(grid_, options_.multipole_lmax) {
+      hartree_(grid_, options_.multipole_lmax, options_.hartree_backend,
+               options_.fmm) {
   SWRAMAN_REQUIRE(!partition_.active() ||
                       static_cast<bool>(partition_.allreduce),
                   "ScfEngine: active partition needs an allreduce");
@@ -408,7 +409,7 @@ GroundState ScfEngine::solve_attempt(const linalg::Matrix* initial_density,
     double e_vxc = 0.0;
     {
       SWRAMAN_TRACE_SCOPE("scf.veff");
-      const std::vector<double> v_h = poisson_.solve_on_grid(n);
+      const std::vector<double> v_h = hartree_.solve_on_grid(n);
       for (std::size_t p = 0; p < grid_.size(); ++p) {
         const xc::XcPoint xcp = xc::evaluate(options_.functional, n[p]);
         v_eff[p] = v_ext_[p] + v_h[p] + xcp.v + v_field[p];

@@ -7,6 +7,7 @@
 
 #include "basis/basis_set.hpp"
 #include "common/vec3.hpp"
+#include "fmm/backend.hpp"
 #include "grid/atom_grid.hpp"
 #include "grid/batch.hpp"
 #include "grid/loadbalance.hpp"
@@ -29,6 +30,11 @@ struct ScfOptions {
   grid::BatchingOptions batching;
   xc::Functional functional = xc::Functional::LdaPw92;
   int multipole_lmax = 6;
+  // Hartree far-field backend: Direct keeps the dense per-point atom sum
+  // (bitwise-stable reference), Fmm forces the octree fast multipole, Auto
+  // picks by the cost-model crossover (src/fmm/backend.hpp).
+  fmm::HartreeBackend hartree_backend = fmm::HartreeBackend::Direct;
+  fmm::FmmOptions fmm;
   double density_tol = 1e-6;     // max |P_new - P_old|
   double energy_tol = 1e-7;      // Hartree
   int max_iterations = 80;
@@ -109,7 +115,12 @@ class ScfEngine {
     return batches_;
   }
   [[nodiscard]] const hartree::MultipoleSolver& poisson() const {
-    return poisson_;
+    return hartree_.solver();
+  }
+  // The backend-dispatching Hartree context (Direct / Fmm / Auto); the
+  // v_eff, DFPT v1 and force paths all solve Poisson through it.
+  [[nodiscard]] const fmm::HartreeContext& hartree() const {
+    return hartree_;
   }
   [[nodiscard]] const linalg::Matrix& overlap() const { return s_; }
   [[nodiscard]] const linalg::Matrix& kinetic() const { return t_; }
@@ -196,7 +207,7 @@ class ScfEngine {
   std::vector<grid::Batch> batches_;
   GridPartition partition_;
   std::vector<std::size_t> batch_owner_;
-  hartree::MultipoleSolver poisson_;
+  fmm::HartreeContext hartree_;
   std::vector<BatchData> batch_data_;
   linalg::Matrix s_;
   linalg::Matrix t_;

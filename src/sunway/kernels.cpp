@@ -11,16 +11,13 @@
 
 namespace swraman::sunway {
 
-namespace {
-
-// Attaches the cost model's view of a kernel execution to its trace span:
-// the counter deltas the run produced (flops, DMA traffic, RMA traffic) and
+// The counter deltas the run produced (flops, DMA traffic, RMA traffic) and
 // the modeled machine time — cycles at the executing core's clock — for the
 // baseline and the fully optimized variant. Only evaluated when tracing is
 // on; the cost model itself never runs on the disabled path.
-void attach_kernel_attrs(obs::ScopedSpan& span, const CpeCluster& cluster,
-                         const CpeCounters& before, double elements,
-                         double vectorizable_fraction) {
+void attach_kernel_span_attrs(obs::ScopedSpan& span, const CpeCluster& cluster,
+                              const CpeCounters& before, double elements,
+                              double vectorizable_fraction) {
   if (!span.active()) return;
   const CpeCounters after = cluster.total();
   const double flops = after.flops - before.flops;
@@ -50,8 +47,6 @@ void attach_kernel_attrs(obs::ScopedSpan& span, const CpeCluster& cluster,
   span.attr("modeled_time_cpe_s",
             modeled_time(w, cluster.arch(), Variant::CpeTiledDbSimd));
 }
-
-}  // namespace
 
 std::size_t CsiTables::coeff_bytes() const {
   std::size_t b = 0;
@@ -197,7 +192,7 @@ void real_space_potential_cpe(CpeCluster& cluster, const CsiTables& tables,
   });
   if (span.active()) {
     span.attr("variant", mode == ExecMode::Simd ? "simd" : "scalar");
-    attach_kernel_attrs(span, cluster, before, static_cast<double>(n), 0.9);
+    attach_kernel_span_attrs(span, cluster, before, static_cast<double>(n), 0.9);
   }
 }
 
@@ -289,7 +284,7 @@ void reciprocal_potential_cpe(CpeCluster& cluster,
       out[p] = v;
     }
   });
-  attach_kernel_attrs(span, cluster, before, static_cast<double>(n), 0.9);
+  attach_kernel_span_attrs(span, cluster, before, static_cast<double>(n), 0.9);
 }
 
 KernelWorkload run_density_batches(CpeCluster& cluster,
@@ -324,7 +319,7 @@ KernelWorkload run_density_batches(CpeCluster& cluster,
   for (const BatchShape& sh : batches) {
     elements += static_cast<double>(sh.n_points);
   }
-  attach_kernel_attrs(span, cluster, before, elements, 0.85);
+  attach_kernel_span_attrs(span, cluster, before, elements, 0.85);
   return cluster.workload("n1", elements, 0.85);
 }
 
@@ -361,7 +356,7 @@ KernelWorkload run_hamiltonian_batches(CpeCluster& cluster,
   for (const BatchShape& sh : batches) {
     elements += static_cast<double>(sh.n_points);
   }
-  attach_kernel_attrs(span, cluster, before, elements, 0.9);
+  attach_kernel_span_attrs(span, cluster, before, elements, 0.9);
   return cluster.workload("H1", elements, 0.9);
 }
 

@@ -6,6 +6,7 @@
 #include "common/vec3.hpp"
 #include "hartree/ewald.hpp"
 #include "hartree/multipole.hpp"
+#include "obs/trace.hpp"
 #include "sunway/cpe_cluster.hpp"
 
 // The DFPT hotspot kernels in their Sunway form (paper Sec. 3.2):
@@ -27,6 +28,15 @@
 namespace swraman::sunway {
 
 enum class ExecMode { Scalar, Simd };
+
+// Attaches the cost model's view of a kernel execution to its trace span:
+// counter deltas since `before` (flops, DMA, RMA) plus the modeled cycles
+// for the MPE-scalar and CPE-tiled variants — the attributes
+// scripts/hotspots.py ranks phases by. Shared by every CPE-modeled kernel
+// in the repo (kernel1/kernel2/n1/H1 here, fmmM2L/fmmP2P in src/fmm).
+void attach_kernel_span_attrs(obs::ScopedSpan& span, const CpeCluster& cluster,
+                              const CpeCounters& before, double elements,
+                              double vectorizable_fraction);
 
 // --- kernel1: CSI real-space potential ---
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "core/molecules.hpp"
 #include "raman/raman.hpp"
 
 // Golden-reference regression: the water Raman spectrum (frequencies,
@@ -111,6 +112,68 @@ TEST(GoldenSpectrum, WaterRamanPeaksMatchSnapshot) {
     EXPECT_NEAR(spec.modes[i].activity, golden[i].activity,
                 kActivityRelTol * std::abs(golden[i].activity));
     EXPECT_NEAR(spec.modes[i].depolarization, golden[i].depolarization,
+                kDepolTol);
+  }
+}
+
+// The FMM Hartree backend must be a drop-in: the same golden water
+// spectrum, against the same snapshot, within the same tolerances — only
+// ScfOptions::hartree_backend differs. Water is small enough that most of
+// the evaluation is exact near field (P2P), which is precisely the claim
+// worth pinning: switching backends on a system below the crossover must
+// not move the physics.
+TEST(GoldenSpectrum, WaterRamanUnderFmmBackendMatchesSnapshot) {
+  if (std::getenv("SWRAMAN_GOLDEN_REGEN") != nullptr) {
+    GTEST_SKIP() << "regen runs the Direct reference only";
+  }
+  RamanOptions opt = golden_options();
+  opt.vibrations.scf.hartree_backend = fmm::HartreeBackend::Fmm;
+  RamanCalculator calc(water_atoms(), opt);
+  const RamanSpectrum spec = calc.compute();
+
+  const std::vector<GoldenMode> golden = load_golden();
+  ASSERT_EQ(spec.modes.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    SCOPED_TRACE("mode " + std::to_string(i));
+    EXPECT_NEAR(spec.modes[i].frequency_cm, golden[i].frequency_cm,
+                kFreqTolCm);
+    EXPECT_NEAR(spec.modes[i].activity, golden[i].activity,
+                kActivityRelTol * std::abs(golden[i].activity));
+    EXPECT_NEAR(spec.modes[i].depolarization, golden[i].depolarization,
+                kDepolTol);
+  }
+}
+
+// Silane under both backends at identical (reduced) numerics: the FMM
+// spectrum must sit within the golden tolerance kinds of the Direct one.
+// A second element (Si) and tetrahedral symmetry exercise heavier-Z spline
+// channels than water does. The pseudized valence-only variant keeps the
+// 451-solve Hessian at test-suite speed and is well-conditioned on the
+// coarse grid (no steep Si 1s core to resolve).
+TEST(GoldenSpectrum, SilaneRamanFmmBackendMatchesDirect) {
+  RamanOptions opt;
+  opt.vibrations.scf.grid.n_radial = 12;
+  opt.vibrations.scf.grid.angular_order = 5;
+  opt.vibrations.scf.species.tier = basis::Tier::Minimal;
+  opt.vibrations.scf.species.pseudized = true;
+  const std::vector<grid::AtomSite> atoms = molecules::silane();
+
+  RamanCalculator direct_calc(atoms, opt);
+  const RamanSpectrum direct = direct_calc.compute();
+
+  opt.vibrations.scf.hartree_backend = fmm::HartreeBackend::Fmm;
+  RamanCalculator fmm_calc(atoms, opt);
+  const RamanSpectrum fmm = fmm_calc.compute();
+
+  ASSERT_EQ(fmm.modes.size(), direct.modes.size());
+  ASSERT_FALSE(direct.modes.empty());
+  for (std::size_t i = 0; i < direct.modes.size(); ++i) {
+    SCOPED_TRACE("mode " + std::to_string(i));
+    EXPECT_NEAR(fmm.modes[i].frequency_cm, direct.modes[i].frequency_cm,
+                kFreqTolCm);
+    EXPECT_NEAR(fmm.modes[i].activity, direct.modes[i].activity,
+                kActivityRelTol * std::abs(direct.modes[i].activity) + 1e-12);
+    EXPECT_NEAR(fmm.modes[i].depolarization, direct.modes[i].depolarization,
                 kDepolTol);
   }
 }

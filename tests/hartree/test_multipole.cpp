@@ -1,6 +1,9 @@
 #include "hartree/multipole.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 
 #include <gtest/gtest.h>
 
@@ -179,6 +182,65 @@ TEST(Multipole, ZeroDensityGivesZeroPotential) {
       solver.solve(std::vector<double>(g.size(), 0.0));
   EXPECT_DOUBLE_EQ(pot.total_charge(), 0.0);
   EXPECT_DOUBLE_EQ(pot.value({1.0, 1.0, 1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace swraman::hartree
+
+// Counting global operator new: the per-point evaluation micro-regression
+// below pins the workspace hoisting (no heap traffic per value() call on
+// the hot Hartree evaluation path). Counting only; allocation behavior is
+// unchanged, so the rest of the binary is unaffected.
+namespace {
+std::atomic<std::size_t> g_allocation_count{0};
+
+// noinline keeps GCC's new/delete pairing analysis from flagging the
+// malloc/free backing as mismatched across inlined call sites.
+[[gnu::noinline]] void* counted_alloc(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+[[gnu::noinline]] void counted_release(void* p) noexcept { std::free(p); }
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { counted_release(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_release(p); }
+void operator delete[](void* p) noexcept { counted_release(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_release(p); }
+
+namespace swraman::hartree {
+namespace {
+
+TEST(Multipole, ValueDoesNotAllocatePerPoint) {
+  const std::vector<grid::AtomSite> atoms = {{8, {0.0, 0.0, 0.0}},
+                                             {1, {0.0, 0.0, 1.8}}};
+  const grid::MolecularGrid g = make_grid(atoms, grid::GridLevel::Light);
+  const MultipoleSolver solver(g, 6);
+  std::vector<double> n(g.size());
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    n[p] = gaussian_density(g.points[p], {0, 0, 0}, 1.2);
+  }
+  const MultipolePotential pot = solver.solve(n);
+
+  // First calls size the (thread_local / explicit) workspaces.
+  MultipolePotential::Workspace ws;
+  double acc = pot.value({1.0, 0.5, -0.3}) + pot.value({1.0, 0.5, -0.3}, ws);
+
+  const std::size_t before =
+      g_allocation_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 256; ++i) {
+    const Vec3 r{0.3 + 0.02 * i, -0.7, 0.4};
+    acc += pot.value(r);
+    acc += pot.value(r, ws);
+    acc += pot.value_atom(0, r, ws);
+  }
+  EXPECT_EQ(g_allocation_count.load(std::memory_order_relaxed), before)
+      << "per-point evaluation must not touch the heap (acc=" << acc << ")";
 }
 
 }  // namespace
